@@ -1,0 +1,295 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! 1. **vScale vs VCPU-Bal sizing** — Algorithm 1's consumption-aware
+//!    extendability vs weight-only fair-share sizing (§2.3 of the paper:
+//!    VCPU-Bal "only considers the VMs' weight but not their consumption,
+//!    making it not work-conserving").
+//! 2. **vScale vs hotplug mechanism** — the same daemon policy executed
+//!    through Algorithm 2's µs freeze vs Linux CPU hotplug's ms–100 ms
+//!    operations with `stop_machine` stalls (§6).
+//! 3. **BOOST on/off** — how much of the baseline's I/O resilience comes
+//!    from Xen's wakeup boosting.
+//! 4. **Daemon period sweep** — how reaction latency trades against
+//!    monitoring overhead.
+//! 5. **§7 future work** — an effective-parallelism-aware application vs
+//!    a fixed OpenMP-style pool, both under vScale.
+
+use guest_kernel::KernelVersion;
+use metrics::Table;
+use sim_core::time::SimTime;
+use vscale::config::{DomainSpec, MachineConfig, ScalingMode, SystemConfig};
+use vscale::daemon::DaemonConfig;
+use vscale::Machine;
+use vscale_bench::experiment::{build_host_with, seeds_from_env, ExperimentScale};
+use workloads::adaptive::{self, AdaptiveConfig};
+use workloads::desktop::{self, SlideshowConfig};
+use workloads::npb;
+use workloads::spin::SpinPolicy;
+
+/// Runs lu in the §5.2.1 host with an explicit scaling mode and desktop
+/// profile.
+fn run_lu_with_mode_bg(scaling: ScalingMode, seed: u64, slideshow: SlideshowConfig) -> (f64, f64) {
+    let vm_vcpus = 4;
+    let spec = DomainSpec {
+        scaling,
+        ..DomainSpec::fixed(vm_vcpus)
+    }
+    .with_weight(128 * vm_vcpus as u32);
+    let (mut m, vm, _bg) = build_host_with(spec, seed, slideshow);
+    let app = npb::NpbApp {
+        iterations: ExperimentScale::from_env().iters(npb::app("lu").expect("lu").iterations),
+        ..npb::app("lu").expect("lu")
+    };
+    npb::install(&mut m, vm, app, vm_vcpus, SpinPolicy::Active);
+    let start = m.now();
+    let end = m
+        .run_until_exited(vm, SimTime::from_secs(240))
+        .unwrap_or(SimTime::from_secs(240));
+    let st = m.domain_stats(vm);
+    (end.since(start).as_secs_f64(), st.wait_total.as_secs_f64())
+}
+
+/// Runs lu with the standard §5.2.1 desktops.
+fn run_lu_with_mode(scaling: ScalingMode, seed: u64) -> (f64, f64) {
+    run_lu_with_mode_bg(scaling, seed, SlideshowConfig::default())
+}
+
+/// Runs lu with mostly-idle desktops (lots of slack to exploit).
+fn run_lu_with_mode_idle_bg(scaling: ScalingMode, seed: u64) -> (f64, f64) {
+    run_lu_with_mode_bg(
+        scaling,
+        seed,
+        SlideshowConfig {
+            think_mean: sim_core::time::SimDuration::from_secs(5),
+            ..SlideshowConfig::default()
+        },
+    )
+}
+
+fn avg<F: Fn(u64) -> (f64, f64)>(f: F) -> (f64, f64) {
+    let seeds = seeds_from_env();
+    let n = seeds.len() as f64;
+    let (mut a, mut b) = (0.0, 0.0);
+    for s in seeds {
+        let (x, y) = f(s);
+        a += x;
+        b += y;
+    }
+    (a / n, b / n)
+}
+
+fn sizing_table(title: &str, runner: fn(ScalingMode, u64) -> (f64, f64)) {
+    let mut t = Table::new(title, &["policy", "exec (s)", "waiting (s)"]);
+    let (fe, fw) = avg(|s| runner(ScalingMode::Fixed, s));
+    t.row(&[
+        "fixed vCPUs (baseline)".into(),
+        format!("{fe:.2}"),
+        format!("{fw:.2}"),
+    ]);
+    let (ve, vw) = avg(|s| runner(ScalingMode::VScale(DaemonConfig::default()), s));
+    t.row(&[
+        "vScale (Algorithm 1)".into(),
+        format!("{ve:.2}"),
+        format!("{vw:.2}"),
+    ]);
+    let (be, bw) = avg(|s| runner(ScalingMode::VcpuBal(DaemonConfig::default()), s));
+    t.row(&[
+        "VCPU-Bal (weight only)".into(),
+        format!("{be:.2}"),
+        format!("{bw:.2}"),
+    ]);
+    t.print();
+}
+
+fn ablation_sizing_policy() {
+    // Busy neighbours: both policies shrink; weight-only sizing can even
+    // profit from never probing upward.
+    sizing_table(
+        "Ablation 1a: sizing policy, busy neighbours (lu, 30G spin)",
+        run_lu_with_mode,
+    );
+    // Mostly-idle neighbours: Algorithm 1 hands the VM the slack;
+    // weight-only sizing pins it at its fair share and wastes the machine
+    // — the paper's §2.3 "not work-conserving" critique of VCPU-Bal.
+    sizing_table(
+        "Ablation 1b: sizing policy, mostly idle neighbours",
+        run_lu_with_mode_idle_bg,
+    );
+    println!(
+        "weight-only sizing is competitive under saturation but cannot\n\
+         exploit idle neighbours' slack (§2.3: not work-conserving).\n"
+    );
+}
+
+fn ablation_mechanism() {
+    let mut t = Table::new(
+        "Ablation 2: reconfiguration mechanism (lu, 30G spin)",
+        &["mechanism", "exec (s)", "waiting (s)"],
+    );
+    let (ve, vw) = avg(|s| run_lu_with_mode(ScalingMode::VScale(DaemonConfig::default()), s));
+    t.row(&[
+        "vScale balancer (~2 us)".into(),
+        format!("{ve:.2}"),
+        format!("{vw:.2}"),
+    ]);
+    for version in [KernelVersion::V3_14_15, KernelVersion::V2_6_32] {
+        let (he, hw) = avg(|s| {
+            run_lu_with_mode(
+                ScalingMode::Hotplug {
+                    daemon: DaemonConfig::default(),
+                    version,
+                },
+                s,
+            )
+        });
+        t.row(&[
+            format!("CPU hotplug ({})", version.label()),
+            format!("{he:.2}"),
+            format!("{hw:.2}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "hotplug pays ms-to-100 ms per operation plus stop_machine stalls\n\
+         of the whole guest — the reason VCPU-Bal could only simulate\n\
+         dynamic vCPUs (§2.3/§6).\n"
+    );
+}
+
+fn ablation_boost() {
+    let mut t = Table::new(
+        "Ablation 3: Xen BOOST (lu baseline, 30G spin)",
+        &["BOOST", "exec (s)", "waiting (s)"],
+    );
+    for boost in [true, false] {
+        let seeds = seeds_from_env();
+        let n = seeds.len() as f64;
+        let (mut e, mut w) = (0.0, 0.0);
+        for seed in seeds {
+            let vm_vcpus = 4;
+            let mut m = Machine::new(MachineConfig {
+                n_pcpus: vm_vcpus,
+                seed,
+                credit: xen_sched::CreditConfig {
+                    boost,
+                    ..xen_sched::CreditConfig::default()
+                },
+                ..MachineConfig::default()
+            });
+            let vm = m.add_domain(
+                SystemConfig::Baseline
+                    .domain_spec(vm_vcpus)
+                    .with_weight(512),
+            );
+            desktop::add_desktops(&mut m, 2, SlideshowConfig::default());
+            let app = npb::NpbApp {
+                iterations: ExperimentScale::from_env()
+                    .iters(npb::app("lu").expect("lu").iterations),
+                ..npb::app("lu").expect("lu")
+            };
+            npb::install(&mut m, vm, app, vm_vcpus, SpinPolicy::Active);
+            let start = m.now();
+            let end = m
+                .run_until_exited(vm, SimTime::from_secs(240))
+                .unwrap_or(SimTime::from_secs(240));
+            e += end.since(start).as_secs_f64();
+            w += m.domain_stats(vm).wait_total.as_secs_f64();
+        }
+        t.row(&[
+            if boost { "on (Xen default)" } else { "off" }.into(),
+            format!("{:.2}", e / n),
+            format!("{:.2}", w / n),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+fn ablation_daemon_period() {
+    let mut t = Table::new(
+        "Ablation 4: daemon polling period (lu under vScale)",
+        &["period (ms)", "exec (s)", "reconfigs"],
+    );
+    for period_ms in [10u64, 30, 100, 300] {
+        let seeds = seeds_from_env();
+        let n = seeds.len() as f64;
+        let (mut e, mut r) = (0.0, 0.0);
+        for seed in seeds {
+            let daemon = DaemonConfig {
+                period: sim_core::time::SimDuration::from_ms(period_ms),
+                ..DaemonConfig::default()
+            };
+            let spec = DomainSpec {
+                scaling: ScalingMode::VScale(daemon),
+                ..DomainSpec::fixed(4)
+            }
+            .with_weight(512);
+            let (mut m, vm, _bg) = build_host_with(spec, seed, SlideshowConfig::default());
+            let app = npb::NpbApp {
+                iterations: ExperimentScale::from_env()
+                    .iters(npb::app("lu").expect("lu").iterations),
+                ..npb::app("lu").expect("lu")
+            };
+            npb::install(&mut m, vm, app, 4, SpinPolicy::Active);
+            let start = m.now();
+            let end = m
+                .run_until_exited(vm, SimTime::from_secs(240))
+                .unwrap_or(SimTime::from_secs(240));
+            e += end.since(start).as_secs_f64();
+            r += m.domain_stats(vm).reconfigs as f64;
+        }
+        t.row(&[
+            period_ms.to_string(),
+            format!("{:.2}", e / n),
+            format!("{:.0}", r / n),
+        ]);
+    }
+    t.print();
+    println!(
+        "the 10 ms default reacts within a burst; coarse periods miss the\n\
+         fluctuation and converge towards fixed-vCPU behaviour.\n"
+    );
+}
+
+fn ablation_future_work() {
+    let mut t = Table::new(
+        "Ablation 5: §7 future work — parallelism-aware application",
+        &["application", "exec (s)"],
+    );
+    for (label, adaptive) in [
+        ("fixed 4-way split (OpenMP-style)", false),
+        ("effective-parallelism aware", true),
+    ] {
+        let seeds = seeds_from_env();
+        let n = seeds.len() as f64;
+        let mut e = 0.0;
+        for seed in seeds {
+            let spec = SystemConfig::VScale.domain_spec(4).with_weight(512);
+            let (mut m, vm, _bg) = build_host_with(spec, seed, SlideshowConfig::default());
+            let cfg = AdaptiveConfig {
+                adaptive,
+                ..AdaptiveConfig::default()
+            };
+            adaptive::install(&mut m, vm, cfg, 4);
+            let start = m.now();
+            let end = m
+                .run_until_exited(vm, SimTime::from_secs(240))
+                .unwrap_or(SimTime::from_secs(240));
+            e += end.since(start).as_secs_f64();
+        }
+        t.row(&[label.into(), format!("{:.2}", e / n)]);
+    }
+    t.print();
+    println!(
+        "re-splitting each iteration across the VM's *active* vCPUs avoids\n\
+         the doubled-vCPU straggler that a fixed pool suffers when packed."
+    );
+}
+
+fn main() {
+    ablation_sizing_policy();
+    ablation_mechanism();
+    ablation_boost();
+    ablation_daemon_period();
+    ablation_future_work();
+}

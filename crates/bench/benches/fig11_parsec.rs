@@ -1,0 +1,43 @@
+//! **Figure 11** — PARSEC normalized execution times in a 4-vCPU VM for
+//! the four system configurations.
+
+use metrics::{paper::fig11, Series};
+use vscale::config::SystemConfig;
+use vscale_bench::experiment::{parsec_experiment_avg, ExperimentScale};
+use workloads::parsec::PARSEC_APPS;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let mut series: Vec<Series> = SystemConfig::ALL
+        .iter()
+        .map(|c| Series::new(c.label()))
+        .collect();
+    let names: Vec<&str> = PARSEC_APPS.iter().map(|a| a.name).collect();
+    for (i, app) in PARSEC_APPS.iter().enumerate() {
+        let base = parsec_experiment_avg(SystemConfig::Baseline, *app, 4, scale);
+        let base_secs = base.exec_time.as_secs_f64();
+        for (si, cfg) in SystemConfig::ALL.iter().enumerate() {
+            let r = if *cfg == SystemConfig::Baseline {
+                base.clone()
+            } else {
+                parsec_experiment_avg(*cfg, *app, 4, scale)
+            };
+            series[si].push(i as f64, r.exec_time.as_secs_f64() / base_secs);
+        }
+        println!("  {}: baseline {:.2}s", app.name, base_secs);
+    }
+    print!(
+        "{}",
+        Series::render_group(
+            "Figure 11: PARSEC normalized execution time, 4-vCPU VM",
+            "app#",
+            &series
+        )
+    );
+    println!("apps by index: {names:?}");
+    println!("\npaper: vScale reductions include:");
+    for (app, red) in fig11::REDUCTION {
+        println!("  {app}: >{:.0}%", red * 100.0);
+    }
+    println!("marginal: {:?}", fig11::MARGINAL);
+}

@@ -1,0 +1,37 @@
+//! **Figure 12** — the Figure 11 experiment with an 8-vCPU VM.
+
+use metrics::Series;
+use vscale::config::SystemConfig;
+use vscale_bench::experiment::{parsec_experiment_avg, ExperimentScale};
+use workloads::parsec::PARSEC_APPS;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let mut series: Vec<Series> = SystemConfig::ALL
+        .iter()
+        .map(|c| Series::new(c.label()))
+        .collect();
+    let names: Vec<&str> = PARSEC_APPS.iter().map(|a| a.name).collect();
+    for (i, app) in PARSEC_APPS.iter().enumerate() {
+        let base = parsec_experiment_avg(SystemConfig::Baseline, *app, 8, scale);
+        let base_secs = base.exec_time.as_secs_f64();
+        for (si, cfg) in SystemConfig::ALL.iter().enumerate() {
+            let r = if *cfg == SystemConfig::Baseline {
+                base.clone()
+            } else {
+                parsec_experiment_avg(*cfg, *app, 8, scale)
+            };
+            series[si].push(i as f64, r.exec_time.as_secs_f64() / base_secs);
+        }
+        println!("  {}: baseline {:.2}s", app.name, base_secs);
+    }
+    print!(
+        "{}",
+        Series::render_group(
+            "Figure 12: PARSEC normalized execution time, 8-vCPU VM",
+            "app#",
+            &series
+        )
+    );
+    println!("apps by index: {names:?}");
+}

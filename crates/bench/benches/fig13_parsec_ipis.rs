@@ -1,0 +1,37 @@
+//! **Figure 13** — reschedule IPIs received per vCPU per second by each
+//! PARSEC application on vanilla Xen/Linux (4-vCPU VM).
+//!
+//! dedup's pipeline and mm_sem pressure make it by far the heaviest
+//! (~940/s in the paper); swaptions has no synchronization primitive and
+//! sits near zero.
+
+use metrics::{paper::fig13, Table};
+use vscale::config::SystemConfig;
+use vscale_bench::experiment::{parsec_experiment_avg, ExperimentScale};
+use workloads::parsec::PARSEC_APPS;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let mut t = Table::new(
+        "Figure 13: PARSEC reschedule IPIs per vCPU per second (Xen/Linux)",
+        &["app", "vIPIs/s/vCPU"],
+    );
+    let mut dedup_rate = 0.0;
+    let mut max_other: f64 = 0.0;
+    for app in PARSEC_APPS {
+        let r = parsec_experiment_avg(SystemConfig::Baseline, app, 4, scale);
+        t.row(&[app.name.into(), format!("{:.0}", r.ipis_per_vcpu_per_sec)]);
+        if app.name == "dedup" {
+            dedup_rate = r.ipis_per_vcpu_per_sec;
+        } else {
+            max_other = max_other.max(r.ipis_per_vcpu_per_sec);
+        }
+    }
+    t.print();
+    println!(
+        "\npaper: dedup {:.0}/s, streamcluster {:.0}/s, swaptions ~0.\n\
+         measured: dedup {dedup_rate:.0}/s (max of the others {max_other:.0}/s).",
+        fig13::DEDUP_PER_S,
+        fig13::STREAMCLUSTER_PER_S
+    );
+}

@@ -1,0 +1,79 @@
+//! **Figure 14** — Apache web server under an httperf-style constant-rate
+//! client (16 KB file over 1 GbE): average reply rate, connection time
+//! and response time versus requesting rate, for the four configurations.
+//!
+//! The paper's shape: the baseline breaks past ~6 K req/s (reply rate
+//! falls, latencies explode); pv-spinlock avoids the break but peaks
+//! below vScale; vScale + pv-spinlock approaches link saturation (~7 K/s).
+
+use metrics::{paper::fig14, Series};
+use vscale::config::SystemConfig;
+use vscale_bench::experiment::{apache_experiment, ExperimentScale};
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    let seed = 0xf14e;
+    let rates: Vec<f64> = vec![
+        1_000.0, 2_000.0, 3_000.0, 4_000.0, 5_000.0, 6_000.0, 7_000.0, 8_000.0, 9_000.0, 10_000.0,
+    ];
+    let mut reply: Vec<Series> = Vec::new();
+    let mut conn: Vec<Series> = Vec::new();
+    let mut resp: Vec<Series> = Vec::new();
+    for cfg in SystemConfig::ALL {
+        let mut sr = Series::new(cfg.label());
+        let mut sc = Series::new(cfg.label());
+        let mut sp = Series::new(cfg.label());
+        for &rate in &rates {
+            let s = apache_experiment(cfg, rate, scale, seed);
+            sr.push(rate / 1_000.0, s.reply_rate / 1_000.0);
+            sc.push(rate / 1_000.0, s.connection_time_ms);
+            sp.push(rate / 1_000.0, s.response_time_ms);
+            eprintln!(
+                "  {} @ {:.0}/s: reply {:.0}/s conn {:.2} ms resp {:.2} ms",
+                cfg.label(),
+                rate,
+                s.reply_rate,
+                s.connection_time_ms,
+                s.response_time_ms
+            );
+        }
+        reply.push(sr);
+        conn.push(sc);
+        resp.push(sp);
+    }
+    print!(
+        "{}",
+        Series::render_group(
+            "Figure 14(a): average reply rate (K/s, higher is better)",
+            "req rate (K/s)",
+            &reply
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        Series::render_group(
+            "Figure 14(b): average connection time (ms, lower is better)",
+            "req rate (K/s)",
+            &conn
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        Series::render_group(
+            "Figure 14(c): average response time (ms, lower is better)",
+            "req rate (K/s)",
+            &resp
+        )
+    );
+    println!(
+        "\npaper peaks: baseline breaks past {:.1} K/s; pvlock {:.1} K/s;\n\
+         vScale {:.1} K/s; vScale+pvlock {:.1} K/s (link saturates ~{:.1} K/s).",
+        fig14::BASELINE_BREAK_REQ_PER_S / 1e3,
+        fig14::PVLOCK_PEAK_PER_S / 1e3,
+        fig14::VSCALE_PEAK_PER_S / 1e3,
+        fig14::VSCALE_PVLOCK_PEAK_PER_S / 1e3,
+        fig14::LINK_SATURATION_PER_S / 1e3
+    );
+}

@@ -1,0 +1,52 @@
+//! **Figure 4** — min/avg/max overhead of reading VMs' CPU consumption
+//! through dom0's libxl toolstack, for 1–50 co-located VMs, with an idle
+//! dom0 and with background disk or network I/O.
+//!
+//! This is the centralized monitoring path VCPU-Bal relied on; vScale's
+//! per-VM channel (Table 1) bypasses it entirely.
+
+use metrics::paper::fig4;
+use metrics::Table;
+use sim_core::rng::SimRng;
+use xen_sched::libxl_model::{Dom0Load, LibxlModel};
+
+fn main() {
+    let vm_counts = [1usize, 10, 20, 30, 40, 50];
+    let loads = [
+        ("w/o workload", Dom0Load::Idle),
+        ("w/ disk I/O", Dom0Load::DiskIo),
+        ("w/ network I/O", Dom0Load::NetworkIo),
+    ];
+    let iterations = 500;
+
+    let mut t = Table::new(
+        "Figure 4: libxl monitoring overhead from dom0 (ms)",
+        &["VMs", "load", "min", "avg", "max"],
+    );
+    let mut rng = SimRng::new(0xf144);
+    for &(label, load) in &loads {
+        for &n in &vm_counts {
+            let model = LibxlModel {
+                load,
+                ..LibxlModel::default()
+            };
+            let stats = model.measure(n, iterations, &mut rng);
+            t.row(&[
+                n.to_string(),
+                label.into(),
+                format!("{:.2}", stats.min()),
+                format!("{:.2}", stats.mean()),
+                format!("{:.2}", stats.max()),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "\npaper: ~{:.0} us per VM when idle (linear in VM count); with network\n\
+         I/O, 50 VMs average > {:.0} ms with maxima approaching {:.0} ms.\n\
+         vScale's channel costs 0.91 us per VM-read regardless of VM count.",
+        fig4::PER_VM_US,
+        fig4::NET_50VM_AVG_MS,
+        fig4::NET_50VM_MAX_MS
+    );
+}

@@ -1,0 +1,75 @@
+//! **Figure 5** — CDFs of Linux CPU hotplug (add) and unhotplug (remove)
+//! latency for four kernel versions, 100 operations each.
+//!
+//! These distributions are the reason vScale cannot be built on hotplug:
+//! removals take milliseconds to over 100 ms, with `stop_machine()`
+//! halting every CPU for a large fraction of that.
+
+use guest_kernel::{HotplugModel, KernelVersion};
+use metrics::paper::fig5;
+use metrics::{Series, Table};
+use sim_core::rng::SimRng;
+use sim_core::stats::Cdf;
+
+fn main() {
+    let mut rng = SimRng::new(0xf1605);
+    let points_ms: Vec<f64> = vec![0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 150.0, 200.0];
+
+    for (what, remove) in [("hotplug (add)", false), ("unhotplug (remove)", true)] {
+        let mut series = Vec::new();
+        for v in KernelVersion::ALL {
+            let model = HotplugModel::new(v);
+            let mut cdf = Cdf::new();
+            for _ in 0..100 {
+                let lat = if remove {
+                    model.sample_remove(&mut rng)
+                } else {
+                    model.sample_add(&mut rng)
+                };
+                cdf.record(lat.as_ms_f64());
+            }
+            let mut s = Series::new(v.label());
+            for (x, f) in cdf.series(&points_ms) {
+                s.push(x, f);
+            }
+            series.push(s);
+        }
+        print!(
+            "{}",
+            Series::render_group(
+                &format!("Figure 5: {what} latency CDF"),
+                "latency (ms)",
+                &series
+            )
+        );
+        println!();
+    }
+
+    // Medians table for quick comparison.
+    let mut t = Table::new("Figure 5 medians (ms)", &["kernel", "add", "remove"]);
+    for v in KernelVersion::ALL {
+        let model = HotplugModel::new(v);
+        let mut adds = Cdf::new();
+        let mut removes = Cdf::new();
+        for _ in 0..100 {
+            adds.record(model.sample_add(&mut rng).as_ms_f64());
+            removes.record(model.sample_remove(&mut rng).as_ms_f64());
+        }
+        t.row(&[
+            v.label().into(),
+            format!("{:.2}", adds.quantile(0.5)),
+            format!("{:.2}", removes.quantile(0.5)),
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper: best-case add {:.0}-{:.0} us (Linux 3.14.15); removals range\n\
+         {:.0}-{:.0} ms; hotplug is {:.0}x-{:.0}x slower than vScale's freeze.",
+        fig5::BEST_ADD_US.0,
+        fig5::BEST_ADD_US.1,
+        fig5::REMOVE_RANGE_MS.0,
+        fig5::REMOVE_RANGE_MS.1,
+        fig5::SLOWDOWN_VS_VSCALE.0,
+        fig5::SLOWDOWN_VS_VSCALE.1
+    );
+}

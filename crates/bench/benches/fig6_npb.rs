@@ -1,0 +1,60 @@
+//! **Figure 6** — NPB-OMP normalized execution times in a 4-vCPU VM under
+//! the three `GOMP_SPINCOUNT` settings (30 billion / 300 K / 0), for the
+//! four system configurations. Times are normalized to vanilla Xen/Linux
+//! per application.
+//!
+//! `VSCALE_BENCH_SCALE=full` runs paper-length workloads; default is a
+//! ~4x shortened quick pass.
+
+use metrics::{paper::fig6, Series};
+use vscale::config::SystemConfig;
+use vscale_bench::experiment::{npb_experiment_avg, ExperimentScale};
+use workloads::npb::NPB_APPS;
+use workloads::spin::SpinPolicy;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    for policy in SpinPolicy::ALL {
+        let mut series: Vec<Series> = SystemConfig::ALL
+            .iter()
+            .map(|c| Series::new(c.label()))
+            .collect();
+        println!("-- {} --", policy.label());
+        for (i, app) in NPB_APPS.iter().enumerate() {
+            let base = npb_experiment_avg(SystemConfig::Baseline, *app, 4, policy, scale);
+            let base_secs = base.exec_time.as_secs_f64();
+            for (si, cfg) in SystemConfig::ALL.iter().enumerate() {
+                let r = if *cfg == SystemConfig::Baseline {
+                    base.clone()
+                } else {
+                    npb_experiment_avg(*cfg, *app, 4, policy, scale)
+                };
+                series[si].push(i as f64, r.exec_time.as_secs_f64() / base_secs);
+            }
+            println!("  {}: baseline {:.2}s", app.name, base_secs);
+        }
+        print!(
+            "{}",
+            Series::render_group(
+                &format!(
+                    "Figure 6: NPB normalized execution time, 4-vCPU VM, {}",
+                    policy.label()
+                ),
+                "app#(bt cg dc ep ft is lu mg sp ua)",
+                &series
+            )
+        );
+        println!();
+    }
+    println!("paper (30G spin): vScale reduces execution time by:");
+    for (app, red) in fig6::REDUCTION_30G {
+        println!("  {app}: {:.0}% (normalized {:.2})", red * 100.0, 1.0 - red);
+    }
+    println!(
+        "insensitive apps (~1.0 in every policy): {:?};\n\
+         lu improves >{:.0}% under every waiting policy (its ad-hoc spin\n\
+         is outside OpenMP's control).",
+        fig6::INSENSITIVE,
+        fig6::LU_MIN_REDUCTION_ANY_POLICY * 100.0
+    );
+}

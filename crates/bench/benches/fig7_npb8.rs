@@ -1,0 +1,44 @@
+//! **Figure 7** — the Figure 6 experiment with an 8-vCPU VM (8-pCPU pool,
+//! four background desktops, same 2:1 consolidation).
+
+use metrics::Series;
+use vscale::config::SystemConfig;
+use vscale_bench::experiment::{npb_experiment_avg, ExperimentScale};
+use workloads::npb::NPB_APPS;
+use workloads::spin::SpinPolicy;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    for policy in SpinPolicy::ALL {
+        let mut series: Vec<Series> = SystemConfig::ALL
+            .iter()
+            .map(|c| Series::new(c.label()))
+            .collect();
+        println!("-- {} --", policy.label());
+        for (i, app) in NPB_APPS.iter().enumerate() {
+            let base = npb_experiment_avg(SystemConfig::Baseline, *app, 8, policy, scale);
+            let base_secs = base.exec_time.as_secs_f64();
+            for (si, cfg) in SystemConfig::ALL.iter().enumerate() {
+                let r = if *cfg == SystemConfig::Baseline {
+                    base.clone()
+                } else {
+                    npb_experiment_avg(*cfg, *app, 8, policy, scale)
+                };
+                series[si].push(i as f64, r.exec_time.as_secs_f64() / base_secs);
+            }
+            println!("  {}: baseline {:.2}s", app.name, base_secs);
+        }
+        print!(
+            "{}",
+            Series::render_group(
+                &format!(
+                    "Figure 7: NPB normalized execution time, 8-vCPU VM, {}",
+                    policy.label()
+                ),
+                "app#(bt cg dc ep ft is lu mg sp ua)",
+                &series
+            )
+        );
+        println!();
+    }
+}

@@ -1,0 +1,57 @@
+//! **Figure 8** — the number of active vCPUs over time while `bt` runs
+//! with vScale enabled, in a 4-vCPU VM and an 8-vCPU VM.
+//!
+//! The trace shows the daemon following the co-located desktops' bursts:
+//! shrinking when they decode, growing back the moment they idle.
+
+use vscale::config::SystemConfig;
+use vscale_bench::experiment::{npb_experiment, ExperimentScale};
+use workloads::npb;
+use workloads::spin::SpinPolicy;
+
+fn main() {
+    let scale = ExperimentScale::from_env();
+    for vm_vcpus in [4usize, 8] {
+        let r = npb_experiment(
+            SystemConfig::VScale,
+            npb::app("bt").expect("bt exists"),
+            vm_vcpus,
+            SpinPolicy::Active,
+            scale,
+            0xf8,
+        );
+        println!(
+            "== Figure 8: active vCPUs over time, bt in a {vm_vcpus}-vCPU VM \
+             (exec {:.2}s) ==",
+            r.exec_time.as_secs_f64()
+        );
+        println!("time(s) active");
+        // Print up to ~80 change points, decimated if necessary.
+        let step = (r.active_trace.len() / 80).max(1);
+        for (i, (t, n)) in r.active_trace.iter().enumerate() {
+            if i % step == 0 {
+                println!("{t:7.3} {n}");
+            }
+        }
+        // Time-weighted histogram.
+        let total = r.exec_time.as_secs_f64();
+        let mut hist = vec![0.0f64; vm_vcpus + 1];
+        for w in r.active_trace.windows(2) {
+            hist[w[0].1.min(vm_vcpus)] += w[1].0 - w[0].0;
+        }
+        if let Some(last) = r.active_trace.last() {
+            hist[last.1.min(vm_vcpus)] += (total - last.0).max(0.0);
+        }
+        print!("time share by active count: ");
+        for (n, t) in hist.iter().enumerate() {
+            if *t > 0.0 {
+                print!("{n}:{:.0}% ", 100.0 * t / total);
+            }
+        }
+        println!("\n");
+    }
+    println!(
+        "paper: the VM adaptively bounces between 2 and its full vCPU count\n\
+         as the background desktops' consumption fluctuates."
+    );
+}

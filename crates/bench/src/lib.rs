@@ -1,0 +1,11 @@
+//! Shared experiment harnesses for the per-table / per-figure benches.
+//!
+//! Each paper experiment is a parameterized run of the full machine; the
+//! bench binaries under `benches/` call into this crate and print the
+//! tables/series. Everything here is deterministic given the seed.
+
+pub mod experiment;
+
+pub use experiment::{
+    apache_experiment, npb_experiment, parsec_experiment, AppResult, ExperimentScale,
+};

@@ -1,0 +1,196 @@
+//! Machine and domain configuration.
+
+use guest_kernel::GuestConfig;
+use sim_core::time::SimDuration;
+use xen_sched::CreditConfig;
+
+use crate::daemon::DaemonConfig;
+
+/// How a domain adapts its active vCPU count.
+#[derive(Clone, Debug)]
+pub enum ScalingMode {
+    /// Fixed vCPU count (the vanilla Xen/Linux baseline).
+    Fixed,
+    /// vScale: daemon + channel + balancer (Algorithms 1 and 2).
+    VScale(DaemonConfig),
+    /// The same monitoring loop driving Linux CPU hotplug — the
+    /// VCPU-Bal-style baseline mechanism.
+    Hotplug {
+        /// Daemon parameters (monitoring cadence).
+        daemon: DaemonConfig,
+        /// Which kernel version's hotplug latency to model.
+        version: guest_kernel::KernelVersion,
+    },
+    /// VCPU-Bal's *policy* over vScale's mechanism: the target vCPU count
+    /// considers only the VM's weight (its fair share), never its or its
+    /// neighbours' consumption — the non-work-conserving sizing the paper
+    /// criticises in §2.3. Ablation mode.
+    VcpuBal(DaemonConfig),
+}
+
+/// Host-level configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Number of pCPUs in the domU pool (dom0 runs on dedicated cores
+    /// outside the pool, as in the paper's testbed).
+    pub n_pcpus: usize,
+    /// Credit-scheduler parameters.
+    pub credit: CreditConfig,
+    /// Root RNG seed.
+    pub seed: u64,
+    /// Latency of a virtual IPI between two running vCPUs.
+    pub ipi_latency: SimDuration,
+    /// NIC line rate in bits per second (paper: 1 GbE).
+    pub nic_bps: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            n_pcpus: 4,
+            credit: CreditConfig::default(),
+            seed: 0x5ca1e,
+            ipi_latency: SimDuration::from_us(5),
+            nic_bps: 1_000_000_000,
+        }
+    }
+}
+
+/// Per-domain configuration.
+#[derive(Clone, Debug)]
+pub struct DomainSpec {
+    /// Proportional-share weight.
+    pub weight: u32,
+    /// Guest kernel configuration (vCPU count, costs, pv-spinlock).
+    pub guest: GuestConfig,
+    /// vCPU scaling mode.
+    pub scaling: ScalingMode,
+    /// Optional consumption cap, in pCPUs.
+    pub cap_pcpus: Option<f64>,
+    /// Optional reservation, in pCPUs.
+    pub reservation_pcpus: Option<f64>,
+}
+
+impl DomainSpec {
+    /// A fixed-size SMP domain with default weight.
+    pub fn fixed(n_vcpus: usize) -> Self {
+        DomainSpec {
+            weight: 256,
+            guest: GuestConfig::new(n_vcpus),
+            scaling: ScalingMode::Fixed,
+            cap_pcpus: None,
+            reservation_pcpus: None,
+        }
+    }
+
+    /// A vScale-managed SMP domain with default daemon settings.
+    pub fn vscale(n_vcpus: usize) -> Self {
+        DomainSpec {
+            scaling: ScalingMode::VScale(DaemonConfig::default()),
+            ..DomainSpec::fixed(n_vcpus)
+        }
+    }
+
+    /// Enables the guest's pv-spinlock.
+    pub fn with_pv_spinlock(mut self) -> Self {
+        self.guest = self.guest.with_pv_spinlock();
+        self
+    }
+
+    /// Sets the proportional-share weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
+/// The four comparison configurations of the paper's §5.2 experiments.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SystemConfig {
+    /// Vanilla Xen/Linux.
+    Baseline,
+    /// Xen/Linux with pv-spinlock.
+    Pvlock,
+    /// vScale.
+    VScale,
+    /// vScale with pv-spinlock.
+    VScalePvlock,
+}
+
+impl SystemConfig {
+    /// All four configurations, in the paper's legend order.
+    pub const ALL: [SystemConfig; 4] = [
+        SystemConfig::Baseline,
+        SystemConfig::Pvlock,
+        SystemConfig::VScale,
+        SystemConfig::VScalePvlock,
+    ];
+
+    /// The paper's legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemConfig::Baseline => "Xen/Linux",
+            SystemConfig::Pvlock => "Xen/Linux + pvlock",
+            SystemConfig::VScale => "vScale",
+            SystemConfig::VScalePvlock => "vScale + pvlock",
+        }
+    }
+
+    /// Whether vScale's daemon/balancer runs.
+    pub fn vscale(self) -> bool {
+        matches!(self, SystemConfig::VScale | SystemConfig::VScalePvlock)
+    }
+
+    /// Whether the guest uses pv-spinlock.
+    pub fn pvlock(self) -> bool {
+        matches!(self, SystemConfig::Pvlock | SystemConfig::VScalePvlock)
+    }
+
+    /// Builds a [`DomainSpec`] for an `n_vcpus` test VM under this
+    /// configuration.
+    pub fn domain_spec(self, n_vcpus: usize) -> DomainSpec {
+        let mut spec = if self.vscale() {
+            DomainSpec::vscale(n_vcpus)
+        } else {
+            DomainSpec::fixed(n_vcpus)
+        };
+        if self.pvlock() {
+            spec = spec.with_pv_spinlock();
+        }
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_config_flags() {
+        assert!(!SystemConfig::Baseline.vscale());
+        assert!(!SystemConfig::Baseline.pvlock());
+        assert!(SystemConfig::Pvlock.pvlock());
+        assert!(SystemConfig::VScale.vscale());
+        assert!(SystemConfig::VScalePvlock.vscale());
+        assert!(SystemConfig::VScalePvlock.pvlock());
+    }
+
+    #[test]
+    fn domain_spec_builders() {
+        let spec = SystemConfig::VScalePvlock.domain_spec(4);
+        assert!(matches!(spec.scaling, ScalingMode::VScale(_)));
+        assert!(matches!(
+            spec.guest.klock_policy,
+            guest_kernel::KlockPolicy::PvSpinThenYield { .. }
+        ));
+        let spec = SystemConfig::Baseline.domain_spec(8);
+        assert!(matches!(spec.scaling, ScalingMode::Fixed));
+        assert_eq!(spec.guest.n_vcpus, 8);
+    }
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(SystemConfig::Baseline.label(), "Xen/Linux");
+        assert_eq!(SystemConfig::VScalePvlock.label(), "vScale + pvlock");
+    }
+}

@@ -1,0 +1,276 @@
+//! The vScale user-space daemon.
+//!
+//! The daemon is a real-time-class process pinned to vCPU0 (the master
+//! vCPU) so it executes deterministically and is never migrated. Every
+//! period it reads the VM's CPU extendability through the vScale channel
+//! (one syscall + one hypercall, ~0.91 µs) and compares the optimal vCPU
+//! count against the number currently active. On a mismatch it instructs
+//! the kernel balancer to freeze or unfreeze one vCPU at a time
+//! (Algorithm 2), each master-side operation costing ~2.1 µs.
+//!
+//! Because the daemon runs *inside* the guest, its reactions are delayed
+//! whenever vCPU0 itself is descheduled — the machine models this by
+//! charging the daemon's work as kernel work on vCPU0, which only executes
+//! while vCPU0 holds a pCPU.
+//!
+//! This module holds the daemon's per-domain state machine; the machine
+//! drives it from timer events and kernel-work completions.
+
+use sim_core::ids::VcpuId;
+use sim_core::time::SimDuration;
+
+/// Daemon tuning parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Polling period (the paper's prototype recomputes extendability
+    /// every 10 ms in the hypervisor; the daemon samples at the same
+    /// cadence).
+    pub period: SimDuration,
+    /// Consecutive periods a *smaller* target must persist before the
+    /// daemon freezes a vCPU (hysteresis against transient dips; growing
+    /// is always immediate so ramp-ups exploit parallelism).
+    pub shrink_patience: u32,
+    /// Extendability (in pCPUs) beyond the current active count required
+    /// before unfreezing another vCPU. Algorithm 1's ceiling grants a
+    /// vCPU for *any* partial allocation; running a vCPU on a sliver of
+    /// credit just drives the domain OVER and re-introduces the very
+    /// scheduling delays vScale removes, so the daemon only activates the
+    /// extra vCPU once it is at least this well funded.
+    pub grow_margin: f64,
+    /// Exponential smoothing factor applied to the 10 ms extendability
+    /// samples before deciding (new = alpha·sample + (1−alpha)·old).
+    /// Window-level consumption is noisy; smoothing keeps the daemon from
+    /// chasing single-window slack spikes while still reacting within a
+    /// few tens of milliseconds.
+    pub ema_alpha: f64,
+    /// How underfunded (in pCPUs) the marginal active vCPU must be before
+    /// the daemon freezes it even though the ceiling rule nominally keeps
+    /// it: shrink when `ext <= active - shrink_margin`. A vCPU running on
+    /// a 30% credit sliver drags the whole domain OVER.
+    pub shrink_margin: f64,
+    /// Growth probing: if `n_opt > active` persists this many periods but
+    /// the margin keeps blocking growth, grow anyway. Algorithm 1's slack
+    /// split is conservative (competitors that cannot spend their share
+    /// still dilute it), so persistent headroom is probed; a wrong probe
+    /// is rolled back by the shrink margin within a few periods.
+    pub grow_patience: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            period: SimDuration::from_ms(10),
+            shrink_patience: 3,
+            grow_margin: 0.35,
+            ema_alpha: 0.2,
+            shrink_margin: 0.65,
+            grow_patience: 5,
+        }
+    }
+}
+
+/// Kernel-work tags used by the daemon (must not collide with workload
+/// tags, which start at [`TAG_USER_BASE`]).
+pub const TAG_READ: u64 = 1;
+/// Tag base for freeze operations; the target vCPU index is added.
+pub const TAG_FREEZE_BASE: u64 = 1_000;
+/// Tag base for unfreeze operations; the target vCPU index is added.
+pub const TAG_UNFREEZE_BASE: u64 = 2_000;
+/// Tag base for hotplug completions.
+pub const TAG_HOTPLUG_BASE: u64 = 3_000;
+/// First tag value available to workloads.
+pub const TAG_USER_BASE: u64 = 1_000_000;
+
+/// What the daemon is currently doing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DaemonPhase {
+    /// Waiting for the next timer.
+    Idle,
+    /// The channel-read work is queued on vCPU0.
+    Reading,
+    /// A freeze/unfreeze operation's master-side work is queued.
+    Reconfiguring {
+        /// The vCPU being frozen or unfrozen.
+        target: VcpuId,
+        /// `true` = freeze, `false` = unfreeze.
+        freeze: bool,
+    },
+}
+
+/// Per-domain daemon state.
+#[derive(Clone, Debug)]
+pub struct DaemonState {
+    /// Tuning parameters.
+    pub config: DaemonConfig,
+    /// Current phase.
+    pub phase: DaemonPhase,
+    /// Consecutive periods the computed target stayed below the active
+    /// count.
+    pub shrink_streak: u32,
+    /// Consecutive periods the target stayed above the active count while
+    /// the grow margin blocked growth.
+    pub grow_streak: u32,
+    /// Smoothed extendability in pCPUs (`None` until the first sample).
+    pub ext_ema: Option<f64>,
+    /// Channel reads performed.
+    pub reads: u64,
+    /// Reconfiguration operations completed.
+    pub reconfigs: u64,
+}
+
+impl DaemonState {
+    /// Creates an idle daemon.
+    pub fn new(config: DaemonConfig) -> Self {
+        DaemonState {
+            config,
+            phase: DaemonPhase::Idle,
+            shrink_streak: 0,
+            grow_streak: 0,
+            ext_ema: None,
+            reads: 0,
+            reconfigs: 0,
+        }
+    }
+
+    /// Feeds one extendability sample (pCPUs) into the smoother and
+    /// returns the smoothed value.
+    pub fn smooth(&mut self, ext_pcpus: f64) -> f64 {
+        let a = self.config.ema_alpha.clamp(0.01, 1.0);
+        let ema = match self.ext_ema {
+            Some(prev) => a * ext_pcpus + (1.0 - a) * prev,
+            None => ext_pcpus,
+        };
+        self.ext_ema = Some(ema);
+        ema
+    }
+
+    /// Decides the next reconfiguration step given the Algorithm 1 target
+    /// `n_opt` (computed from the smoothed extendability), the smoothed
+    /// extendability in pCPUs, and the current active count. Applies
+    /// shrink hysteresis and the grow margin. Returns `Some(+1)` to
+    /// unfreeze one vCPU, `Some(-1)` to freeze one, or `None` to hold.
+    pub fn decide(&mut self, n_opt: usize, ext_pcpus: f64, active: usize) -> Option<i32> {
+        use std::cmp::Ordering;
+        let badly_underfunded = ext_pcpus <= active as f64 - self.config.shrink_margin;
+        match n_opt.cmp(&active) {
+            Ordering::Greater => {
+                self.shrink_streak = 0;
+                if ext_pcpus >= active as f64 + self.config.grow_margin {
+                    self.grow_streak = 0;
+                    Some(1)
+                } else {
+                    self.grow_streak += 1;
+                    if self.grow_streak >= self.config.grow_patience {
+                        self.grow_streak = 0;
+                        Some(1) // Probe.
+                    } else {
+                        None
+                    }
+                }
+            }
+            Ordering::Less => {
+                self.grow_streak = 0;
+                self.shrink_streak += 1;
+                if self.shrink_streak >= self.config.shrink_patience {
+                    Some(-1)
+                } else {
+                    None
+                }
+            }
+            Ordering::Equal if badly_underfunded && active > 1 => {
+                self.grow_streak = 0;
+                self.shrink_streak += 1;
+                if self.shrink_streak >= self.config.shrink_patience {
+                    Some(-1)
+                } else {
+                    None
+                }
+            }
+            Ordering::Equal => {
+                self.shrink_streak = 0;
+                self.grow_streak = 0;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grow_is_immediate_when_funded() {
+        let mut d = DaemonState::new(DaemonConfig::default());
+        assert_eq!(d.decide(4, 3.6, 2), Some(1));
+        assert_eq!(d.decide(3, 2.9, 2), Some(1));
+    }
+
+    #[test]
+    fn grow_margin_blocks_sliver_funding() {
+        let mut d = DaemonState::new(DaemonConfig::default());
+        // ceil(2.1) = 3 > 2 active, but the third vCPU would run on a
+        // 0.1-pCPU sliver: hold at 2.
+        assert_eq!(d.decide(3, 2.1, 2), None);
+        assert_eq!(d.decide(3, 2.5, 2), Some(1));
+    }
+
+    #[test]
+    fn persistent_headroom_is_probed() {
+        let mut d = DaemonState::new(DaemonConfig {
+            grow_patience: 3,
+            ..DaemonConfig::default()
+        });
+        assert_eq!(d.decide(3, 2.2, 2), None);
+        assert_eq!(d.decide(3, 2.2, 2), None);
+        assert_eq!(d.decide(3, 2.2, 2), Some(1), "third period probes");
+        // Streak reset after the probe.
+        assert_eq!(d.decide(4, 3.2, 3), None);
+    }
+
+    #[test]
+    fn badly_underfunded_marginal_vcpu_is_frozen() {
+        let mut d = DaemonState::new(DaemonConfig {
+            shrink_patience: 1,
+            ..DaemonConfig::default()
+        });
+        // ceil(2.2) = 3 = active, but the third vCPU runs on 0.2 pCPUs.
+        assert_eq!(d.decide(3, 2.2, 3), Some(-1));
+        // Adequately funded marginal vCPU is kept.
+        assert_eq!(d.decide(3, 2.8, 3), None);
+        // A UP domain is never shrunk.
+        assert_eq!(d.decide(1, 0.1, 1), None);
+    }
+
+    #[test]
+    fn shrink_needs_patience() {
+        let mut d = DaemonState::new(DaemonConfig {
+            shrink_patience: 2,
+            ..DaemonConfig::default()
+        });
+        assert_eq!(d.decide(1, 1.0, 4), None, "first low sample: wait");
+        assert_eq!(d.decide(1, 1.0, 4), Some(-1), "second low sample: shrink");
+    }
+
+    #[test]
+    fn equal_resets_streak() {
+        let mut d = DaemonState::new(DaemonConfig {
+            shrink_patience: 2,
+            ..DaemonConfig::default()
+        });
+        assert_eq!(d.decide(1, 1.0, 4), None);
+        assert_eq!(d.decide(4, 4.0, 4), None);
+        assert_eq!(d.decide(1, 1.0, 4), None, "streak restarted");
+    }
+
+    #[test]
+    fn grow_resets_streak() {
+        let mut d = DaemonState::new(DaemonConfig {
+            shrink_patience: 2,
+            ..DaemonConfig::default()
+        });
+        assert_eq!(d.decide(2, 2.0, 4), None);
+        assert_eq!(d.decide(5, 5.0, 4), Some(1));
+        assert_eq!(d.decide(2, 2.0, 4), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! vScale: automatic and efficient processor scaling for SMP VMs.
+//!
+//! This crate is the cross-layer core of the reproduction of the EuroSys '16
+//! paper. It composes the hypervisor ([`xen_sched`]) and one or more guest
+//! kernels ([`guest_kernel`]) into a deterministic discrete-event
+//! [`machine::Machine`], and implements the pieces that live *between* the
+//! layers:
+//!
+//! - the **vScale daemon** ([`daemon`]) — the RT-class user-space process
+//!   pinned to vCPU0 that polls the VM's CPU extendability through the
+//!   vScale channel and freezes/unfreezes vCPUs to match;
+//! - effect routing — reschedule IPIs, pv-lock kicks, device interrupts and
+//!   idle/block transitions all travel through the hypervisor scheduler, so
+//!   every delay the paper describes (Figure 1) emerges from scheduling;
+//! - the **hotplug baseline** — the same monitoring loop driving Linux CPU
+//!   hotplug instead of vScale's balancer, for head-to-head comparisons;
+//! - scenario plumbing ([`config`]) — the four evaluation configurations
+//!   (baseline, pv-spinlock, vScale, vScale+pv-spinlock) and the
+//!   overcommitted-host setups used by the application experiments.
+
+pub mod config;
+pub mod daemon;
+pub mod machine;
+
+pub use config::{DomainSpec, MachineConfig, ScalingMode, SystemConfig};
+pub use daemon::DaemonConfig;
+pub use machine::{DomainStats, Machine};
+pub use sim_core::ids::{DomId, GlobalVcpu, PcpuId, ThreadId, VcpuId};

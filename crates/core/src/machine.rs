@@ -1,0 +1,1242 @@
+//! The machine: a host running the hypervisor and one guest per domain.
+//!
+//! [`Machine`] owns global simulated time (one [`EventQueue`]), the credit
+//! scheduler, every guest kernel, a virtual NIC, and the per-domain vScale
+//! (or hotplug) daemon. It is the component that turns the two passive
+//! layers into a running system, with the cross-layer routing rules:
+//!
+//! - **pCPU grants** — hypervisor [`SchedEvent`]s start/stop guest vCPUs
+//!   and (re)arm per-pCPU slice-expiry events;
+//! - **reschedule IPIs** — delivered after a small latency when the target
+//!   vCPU is running, otherwise the target is woken through the hypervisor
+//!   (BOOST) and the IPI is handled when it next gets a pCPU — this is the
+//!   paper's Figure 1(b) delay;
+//! - **device interrupts** — arrive at the event-channel port's bound
+//!   vCPU; if that vCPU is frozen the interrupt is rebound on occurrence
+//!   (Algorithm 2 step (c)); if it is off-pCPU the interrupt waits for the
+//!   hypervisor — Figure 1(c);
+//! - **busy-waiting** — spinning threads simply burn their vCPU's slices;
+//!   preempted lock holders stall them — Figure 1(a);
+//! - **the daemon** — timer-driven monitoring whose work is charged on
+//!   vCPU0 and whose decisions drive Algorithm 2 (or the hotplug baseline).
+
+use std::collections::VecDeque;
+
+use guest_kernel::kernel::GuestEffect;
+use guest_kernel::thread::IoQueueId;
+use guest_kernel::{GuestKernel, HotplugModel, ThreadId, VcpuId};
+use sim_core::event::{EventHandle, EventQueue};
+use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
+use sim_core::rng::SimRng;
+use sim_core::time::{SimDuration, SimTime};
+use sim_core::trace::TraceRing;
+use xen_sched::credit::{CreditScheduler, SchedEvent};
+use xen_sched::evtchn::{EvtchnTable, PortId, PortKind};
+use xen_sched::extend::ExtendInfo;
+
+use crate::config::{DomainSpec, MachineConfig, ScalingMode};
+use crate::daemon::{
+    DaemonPhase, DaemonState, TAG_FREEZE_BASE, TAG_HOTPLUG_BASE, TAG_READ, TAG_UNFREEZE_BASE,
+};
+
+/// Machine-level events.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
+    /// Hypervisor per-pCPU tick (10 ms).
+    HvTick(PcpuId),
+    /// Hypervisor accounting pass (30 ms).
+    HvAcct,
+    /// vScale extendability ticker (10 ms).
+    ExtendTick,
+    /// End of a scheduling quantum; stale if the pCPU's generation moved.
+    SliceEnd { pcpu: PcpuId, gen: u64 },
+    /// A guest vCPU's next local event (cancellable).
+    Plan { dom: DomId, vcpu: VcpuId },
+    /// A reschedule IPI lands on a (hopefully still running) vCPU.
+    IpiDeliver { dom: DomId, vcpu: VcpuId },
+    /// A sleeping thread's timer fires.
+    SleepWake { dom: DomId, tid: ThreadId },
+    /// The daemon's polling timer.
+    DaemonTimer { dom: DomId },
+    /// An external I/O event (e.g. a network request) arrives at a port.
+    IoArrival {
+        dom: DomId,
+        port: PortId,
+        items: u64,
+    },
+    /// A NIC transmission completes.
+    NicDrained { dom: DomId },
+    /// The non-stall part of a hotplug operation finishes.
+    HotplugDone {
+        dom: DomId,
+        vcpu: VcpuId,
+        online: bool,
+    },
+}
+
+/// A unit of routing work inside one event's processing.
+enum Op {
+    Sched(SchedEvent),
+    Guest(DomId, GuestEffect),
+}
+
+/// Per-domain aggregate statistics gathered during a run.
+#[derive(Clone, Debug, Default)]
+pub struct DomainStats {
+    /// Total vCPU waiting time in hypervisor run queues (Figure 9).
+    pub wait_total: SimDuration,
+    /// Total vCPU run time.
+    pub run_total: SimDuration,
+    /// Reschedule IPIs delivered, per vCPU.
+    pub resched_ipis: Vec<u64>,
+    /// Timer interrupts delivered, per vCPU.
+    pub timer_ints: Vec<u64>,
+    /// Channel reads the daemon performed.
+    pub daemon_reads: u64,
+    /// Freeze/unfreeze (or hotplug) operations completed.
+    pub reconfigs: u64,
+}
+
+struct GuestDomain {
+    kernel: GuestKernel,
+    evtchn: EvtchnTable,
+    /// Accumulated payload per port, delivered with the interrupt.
+    port_pending: Vec<(IoQueueId, u64)>,
+    scaling: ScalingMode,
+    daemon: DaemonState,
+    hotplug: Option<HotplugModel>,
+    /// (time, active vCPUs) trace for Figure 8.
+    active_trace: Vec<(SimTime, usize)>,
+    /// I/O request arrival times (client-side record).
+    io_arrivals: Vec<SimTime>,
+    /// Times each request's interrupt reached a handler (≈ accept).
+    io_deliveries: Vec<SimTime>,
+    /// Times each reply finished serializing onto the wire.
+    nic_completions: Vec<SimTime>,
+    /// NIC transmit queue occupancy.
+    nic_busy_until: SimTime,
+    nic_seq: u64,
+    exited_threads: u64,
+}
+
+/// The composed host.
+pub struct Machine {
+    config: MachineConfig,
+    hv: CreditScheduler,
+    guests: Vec<GuestDomain>,
+    queue: EventQueue<Ev>,
+    /// Root RNG (workloads fork children from it).
+    pub rng: SimRng,
+    /// Cancellable plan handle per (domain, vCPU).
+    plan_handles: Vec<Vec<Option<EventHandle>>>,
+    /// Optional scheduling-decision trace (disabled by default; enable
+    /// with [`Machine::enable_trace`]).
+    trace: TraceRing,
+}
+
+impl Machine {
+    /// Creates a machine with the given host configuration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vscale::config::{MachineConfig, SystemConfig};
+    /// use vscale::machine::Machine;
+    /// use sim_core::time::SimTime;
+    ///
+    /// let mut m = Machine::new(MachineConfig { n_pcpus: 2, ..Default::default() });
+    /// let vm = m.add_domain(SystemConfig::VScale.domain_spec(2));
+    /// m.run_until(SimTime::from_ms(50));
+    /// assert_eq!(m.guest(vm).active_vcpus(), 2);
+    /// ```
+    pub fn new(config: MachineConfig) -> Self {
+        let hv = CreditScheduler::new(config.credit.clone(), config.n_pcpus);
+        let mut queue = EventQueue::new();
+        // Arm the recurring hypervisor timers.
+        for p in 0..config.n_pcpus {
+            queue.schedule(SimTime::ZERO + config.credit.tick, Ev::HvTick(PcpuId(p)));
+        }
+        let acct = config.credit.tick * u64::from(config.credit.ticks_per_acct);
+        queue.schedule(SimTime::ZERO + acct, Ev::HvAcct);
+        queue.schedule(SimTime::ZERO + config.credit.extend_period, Ev::ExtendTick);
+        let rng = SimRng::new(config.seed);
+        Machine {
+            config,
+            hv,
+            guests: Vec::new(),
+            queue,
+            rng,
+            plan_handles: Vec::new(),
+            trace: TraceRing::disabled(),
+        }
+    }
+
+    /// Enables tracing of pCPU assignment changes and reconfigurations,
+    /// retaining the most recent `capacity` entries.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceRing::new(capacity);
+    }
+
+    /// The scheduling trace (empty unless [`Machine::enable_trace`] was
+    /// called).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The hypervisor (read access for metrics).
+    pub fn hv(&self) -> &CreditScheduler {
+        &self.hv
+    }
+
+    /// Adds a domain; its vCPUs start blocked and wake when threads start.
+    pub fn add_domain(&mut self, spec: DomainSpec) -> DomId {
+        let n_vcpus = spec.guest.n_vcpus;
+        let dom =
+            self.hv
+                .create_domain(spec.weight, n_vcpus, spec.cap_pcpus, spec.reservation_pcpus);
+        let (daemon_cfg, hotplug) = match &spec.scaling {
+            ScalingMode::Fixed => (crate::daemon::DaemonConfig::default(), None),
+            ScalingMode::VScale(d) | ScalingMode::VcpuBal(d) => (*d, None),
+            ScalingMode::Hotplug { daemon, version } => {
+                (*daemon, Some(HotplugModel::new(*version)))
+            }
+        };
+        let daemon_active = !matches!(spec.scaling, ScalingMode::Fixed);
+        self.guests.push(GuestDomain {
+            kernel: GuestKernel::new(spec.guest),
+            evtchn: EvtchnTable::new(),
+            port_pending: Vec::new(),
+            scaling: spec.scaling,
+            daemon: DaemonState::new(daemon_cfg),
+            hotplug,
+            active_trace: vec![(self.queue.now(), n_vcpus)],
+            io_arrivals: Vec::new(),
+            io_deliveries: Vec::new(),
+            nic_completions: Vec::new(),
+            nic_busy_until: SimTime::ZERO,
+            nic_seq: 0,
+            exited_threads: 0,
+        });
+        self.plan_handles.push(vec![None; n_vcpus]);
+        if daemon_active {
+            let period = self.guests[dom.index()].daemon.config.period;
+            self.queue
+                .schedule(self.queue.now() + period, Ev::DaemonTimer { dom });
+        }
+        dom
+    }
+
+    /// Mutable access to a domain's guest kernel (workload setup).
+    pub fn guest_mut(&mut self, dom: DomId) -> &mut GuestKernel {
+        &mut self.guests[dom.index()].kernel
+    }
+
+    /// Read access to a domain's guest kernel.
+    pub fn guest(&self, dom: DomId) -> &GuestKernel {
+        &self.guests[dom.index()].kernel
+    }
+
+    /// Starts a spawned thread (fork balance + wake path).
+    pub fn start_thread(&mut self, dom: DomId, tid: ThreadId) {
+        let now = self.queue.now();
+        let mut fx = Vec::new();
+        self.guests[dom.index()]
+            .kernel
+            .start_thread(tid, now, &mut fx);
+        self.route(dom, fx, now);
+    }
+
+    /// Binds an I/O queue to an event-channel port delivered to `vcpu`.
+    pub fn bind_io_port(&mut self, dom: DomId, q: IoQueueId, vcpu: VcpuId) -> PortId {
+        let g = &mut self.guests[dom.index()];
+        let port = g.evtchn.alloc(dom, vcpu, PortKind::Io);
+        debug_assert_eq!(port.0, g.port_pending.len());
+        g.port_pending.push((q, 0));
+        port
+    }
+
+    /// Schedules an external I/O arrival (e.g. one HTTP request) at `at`.
+    pub fn inject_io(&mut self, dom: DomId, port: PortId, at: SimTime, items: u64) {
+        self.queue.schedule(at, Ev::IoArrival { dom, port, items });
+    }
+
+    /// Number of threads of `dom` that have exited.
+    pub fn exited_threads(&self, dom: DomId) -> u64 {
+        self.guests[dom.index()].exited_threads
+    }
+
+    /// The Figure 8 trace: (time, active vCPU count) change points.
+    pub fn active_trace(&self, dom: DomId) -> &[(SimTime, usize)] {
+        &self.guests[dom.index()].active_trace
+    }
+
+    /// Client-observed I/O logs: (arrivals, interrupt deliveries, reply
+    /// completions).
+    pub fn io_logs(&self, dom: DomId) -> (&[SimTime], &[SimTime], &[SimTime]) {
+        let g = &self.guests[dom.index()];
+        (&g.io_arrivals, &g.io_deliveries, &g.nic_completions)
+    }
+
+    /// Aggregate statistics for `dom`.
+    pub fn domain_stats(&self, dom: DomId) -> DomainStats {
+        let g = &self.guests[dom.index()];
+        let n = g.kernel.n_vcpus();
+        DomainStats {
+            wait_total: self.hv.domain_wait_total(dom),
+            run_total: self.hv.domain_run_total(dom),
+            resched_ipis: (0..n).map(|i| g.kernel.resched_ipis(VcpuId(i))).collect(),
+            timer_ints: (0..n).map(|i| g.kernel.timer_ints(VcpuId(i))).collect(),
+            daemon_reads: g.daemon.reads,
+            reconfigs: g.daemon.reconfigs,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop.
+    // ------------------------------------------------------------------
+
+    /// Runs until `deadline` or until the event queue empties.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(ev, now);
+        }
+    }
+
+    /// Runs until every thread of `dom` has exited, a deadline passes, or
+    /// the queue empties. Returns the completion time if all exited.
+    pub fn run_until_exited(&mut self, dom: DomId, deadline: SimTime) -> Option<SimTime> {
+        loop {
+            if self.guests[dom.index()].kernel.n_threads() > 0
+                && self.guests[dom.index()].kernel.all_exited()
+            {
+                return Some(self.queue.now());
+            }
+            let Some(t) = self.queue.peek_time() else {
+                return None;
+            };
+            if t > deadline {
+                return None;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.handle(ev, now);
+        }
+    }
+
+    fn handle(&mut self, ev: Ev, now: SimTime) {
+        match ev {
+            Ev::HvTick(p) => {
+                let evs = self.hv.on_tick(p, now);
+                self.apply_sched(evs, now);
+                self.queue
+                    .schedule(now + self.config.credit.tick, Ev::HvTick(p));
+            }
+            Ev::HvAcct => {
+                let evs = self.hv.on_acct(now);
+                self.apply_sched(evs, now);
+                let acct = self.config.credit.tick * u64::from(self.config.credit.ticks_per_acct);
+                self.queue.schedule(now + acct, Ev::HvAcct);
+            }
+            Ev::ExtendTick => {
+                self.hv.on_extend_tick(now);
+                self.queue
+                    .schedule(now + self.config.credit.extend_period, Ev::ExtendTick);
+            }
+            Ev::SliceEnd { pcpu, gen } => {
+                if self.hv.pcpu_gen(pcpu) == gen {
+                    let evs = self.hv.slice_expired(pcpu, now);
+                    self.apply_sched(evs, now);
+                }
+            }
+            Ev::Plan { dom, vcpu } => {
+                self.plan_handles[dom.index()][vcpu.index()] = None;
+                let mut fx = Vec::new();
+                self.guests[dom.index()]
+                    .kernel
+                    .on_plan_point(vcpu, now, &mut fx);
+                self.route(dom, fx, now);
+                self.replan(dom, vcpu, now);
+            }
+            Ev::IpiDeliver { dom, vcpu } => {
+                let gv = GlobalVcpu::new(dom, vcpu);
+                if self.hv.where_running(gv).is_some() {
+                    let mut fx = Vec::new();
+                    self.guests[dom.index()]
+                        .kernel
+                        .on_resched_ipi(vcpu, now, &mut fx);
+                    self.route(dom, fx, now);
+                    self.replan(dom, vcpu, now);
+                } else {
+                    // Target lost its pCPU while the IPI was in flight.
+                    self.guests[dom.index()].kernel.pend_resched(vcpu);
+                    let evs = self.hv.vcpu_wake(gv, now);
+                    self.apply_sched(evs, now);
+                }
+            }
+            Ev::SleepWake { dom, tid } => {
+                let mut fx = Vec::new();
+                self.guests[dom.index()]
+                    .kernel
+                    .wake_thread(tid, None, now, &mut fx);
+                self.route(dom, fx, now);
+            }
+            Ev::DaemonTimer { dom } => {
+                self.daemon_timer(dom, now);
+            }
+            Ev::IoArrival { dom, port, items } => {
+                self.io_arrival(dom, port, items, now);
+            }
+            Ev::NicDrained { dom } => {
+                self.guests[dom.index()].nic_completions.push(now);
+            }
+            Ev::HotplugDone { dom, vcpu, online } => {
+                let mut fx = Vec::new();
+                self.guests[dom.index()]
+                    .kernel
+                    .set_online(vcpu, online, now, &mut fx);
+                self.guests[dom.index()].daemon.reconfigs += 1;
+                self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
+                let active = self.guests[dom.index()].kernel.active_vcpus();
+                self.guests[dom.index()].active_trace.push((now, active));
+                self.route(dom, fx, now);
+            }
+        }
+    }
+
+    /// Applies hypervisor scheduling events, cascading guest reactions.
+    fn apply_sched(&mut self, evs: Vec<SchedEvent>, now: SimTime) {
+        let ops = evs.into_iter().map(Op::Sched).collect();
+        self.drain(ops, now);
+    }
+
+    /// Routes guest effects produced by a direct call into a guest kernel
+    /// (tests and tools that bypass the daemon), at the current time.
+    pub fn apply_guest_effects(&mut self, dom: DomId, fx: Vec<GuestEffect>) {
+        let now = self.queue.now();
+        self.route(dom, fx, now);
+    }
+
+    /// Routes guest effects from `dom`, cascading.
+    fn route(&mut self, dom: DomId, fx: Vec<GuestEffect>, now: SimTime) {
+        let ops = fx.into_iter().map(|e| Op::Guest(dom, e)).collect();
+        self.drain(ops, now);
+    }
+
+    /// The central routing loop: processes scheduling events and guest
+    /// effects until quiescent, collecting vCPUs whose plans went stale.
+    fn drain(&mut self, mut ops: VecDeque<Op>, now: SimTime) {
+        let mut dirty: Vec<(DomId, VcpuId)> = Vec::new();
+        let mut guard = 0u32;
+        while let Some(op) = ops.pop_front() {
+            guard += 1;
+            assert!(guard < 100_000, "routing did not quiesce");
+            match op {
+                Op::Sched(SchedEvent::Run { pcpu, vcpu }) => {
+                    if self.trace.is_enabled() {
+                        self.trace.push(now, "hv", format!("run {vcpu} on {pcpu}"));
+                    }
+                    let mut fx = Vec::new();
+                    self.guests[vcpu.dom.index()]
+                        .kernel
+                        .vcpu_start(vcpu.vcpu, now, &mut fx);
+                    // Deliver any pending event-channel interrupts.
+                    let pending = self.guests[vcpu.dom.index()].evtchn.pending_for(vcpu.vcpu);
+                    for port in pending {
+                        self.deliver_port(vcpu.dom, port, now, &mut fx);
+                    }
+                    for e in fx {
+                        ops.push_back(Op::Guest(vcpu.dom, e));
+                    }
+                    // Arm the slice-expiry for this assignment.
+                    let gen = self.hv.pcpu_gen(pcpu);
+                    self.queue
+                        .schedule(now + self.config.credit.slice, Ev::SliceEnd { pcpu, gen });
+                    dirty.push((vcpu.dom, vcpu.vcpu));
+                }
+                Op::Sched(SchedEvent::Desched { pcpu, vcpu }) => {
+                    if self.trace.is_enabled() {
+                        self.trace
+                            .push(now, "hv", format!("desched {vcpu} off {pcpu}"));
+                    }
+                    self.guests[vcpu.dom.index()]
+                        .kernel
+                        .vcpu_stop(vcpu.vcpu, now);
+                    dirty.push((vcpu.dom, vcpu.vcpu));
+                }
+                Op::Sched(SchedEvent::Idle { .. }) => {}
+                Op::Guest(dom, e) => self.guest_effect(dom, e, now, &mut ops, &mut dirty),
+            }
+        }
+        for (dom, vcpu) in dirty {
+            self.replan(dom, vcpu, now);
+        }
+    }
+
+    fn guest_effect(
+        &mut self,
+        dom: DomId,
+        e: GuestEffect,
+        now: SimTime,
+        ops: &mut VecDeque<Op>,
+        dirty: &mut Vec<(DomId, VcpuId)>,
+    ) {
+        match e {
+            GuestEffect::VcpuIdle(v) => {
+                if self.guests[dom.index()].kernel.wants_block(v) {
+                    let evs = self.hv.vcpu_block(GlobalVcpu::new(dom, v), now);
+                    ops.extend(evs.into_iter().map(Op::Sched));
+                } else {
+                    dirty.push((dom, v));
+                }
+            }
+            GuestEffect::VcpuPvBlock(v) => {
+                let evs = self.hv.vcpu_block(GlobalVcpu::new(dom, v), now);
+                ops.extend(evs.into_iter().map(Op::Sched));
+            }
+            GuestEffect::SendResched { from, to } => {
+                dirty.push((dom, from));
+                let gv = GlobalVcpu::new(dom, to);
+                if self.hv.where_running(gv).is_some() {
+                    self.queue.schedule(
+                        now + self.config.ipi_latency,
+                        Ev::IpiDeliver { dom, vcpu: to },
+                    );
+                } else {
+                    self.guests[dom.index()].kernel.pend_resched(to);
+                    let evs = self.hv.vcpu_wake(gv, now);
+                    ops.extend(evs.into_iter().map(Op::Sched));
+                }
+            }
+            GuestEffect::PvKick(v) => {
+                let evs = self.hv.vcpu_wake(GlobalVcpu::new(dom, v), now);
+                ops.extend(evs.into_iter().map(Op::Sched));
+            }
+            GuestEffect::SetFrozen { vcpu, frozen } => {
+                if self.trace.is_enabled() {
+                    let what = if frozen { "freeze" } else { "unfreeze" };
+                    self.trace
+                        .push(now, "daemon", format!("{what} {dom}.{vcpu}"));
+                }
+                self.hv.set_frozen(GlobalVcpu::new(dom, vcpu), frozen);
+                let active = self.guests[dom.index()].kernel.active_vcpus();
+                self.guests[dom.index()].active_trace.push((now, active));
+            }
+            GuestEffect::KickVcpu(v) => {
+                let evs = self.hv.kick_vcpu(GlobalVcpu::new(dom, v), now);
+                ops.extend(evs.into_iter().map(Op::Sched));
+                dirty.push((dom, v));
+            }
+            GuestEffect::NicSend { bytes, .. } => {
+                let g = &mut self.guests[dom.index()];
+                let wire = SimDuration::from_ns(bytes * 8 * 1_000_000_000 / self.config.nic_bps);
+                let start = g.nic_busy_until.max(now);
+                g.nic_busy_until = start + wire;
+                g.nic_seq += 1;
+                self.queue
+                    .schedule(g.nic_busy_until, Ev::NicDrained { dom });
+            }
+            GuestEffect::SleepUntil { tid, wake_at } => {
+                self.queue.schedule(wake_at, Ev::SleepWake { dom, tid });
+            }
+            GuestEffect::ThreadExited(_) => {
+                self.guests[dom.index()].exited_threads += 1;
+            }
+            GuestEffect::KernelWorkDone { vcpu, tag } => {
+                self.daemon_work_done(dom, vcpu, tag, now, ops, dirty);
+            }
+            GuestEffect::Replan(v) => {
+                dirty.push((dom, v));
+            }
+        }
+    }
+
+    /// Recomputes and rearms the plan event for one vCPU.
+    fn replan(&mut self, dom: DomId, vcpu: VcpuId, now: SimTime) {
+        if let Some(h) = self.plan_handles[dom.index()][vcpu.index()].take() {
+            self.queue.cancel(h);
+        }
+        if self.hv.where_running(GlobalVcpu::new(dom, vcpu)).is_none() {
+            return;
+        }
+        if let Some(t) = self.guests[dom.index()].kernel.next_plan(vcpu, now) {
+            if t != SimTime::MAX {
+                let h = self.queue.schedule(t, Ev::Plan { dom, vcpu });
+                self.plan_handles[dom.index()][vcpu.index()] = Some(h);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // I/O path.
+    // ------------------------------------------------------------------
+
+    fn io_arrival(&mut self, dom: DomId, port: PortId, items: u64, now: SimTime) {
+        self.guests[dom.index()].io_arrivals.push(now);
+        // vScale migrates interrupts when they occur: consult the guest.
+        let bound = self.guests[dom.index()].evtchn.port(port).bound_vcpu;
+        let (target, redirected) = self.guests[dom.index()].kernel.irq_target(bound);
+        if redirected {
+            let cost = self.guests[dom.index()].evtchn.rebind(port, target);
+            // The rebind hypercall is charged on the new target vCPU.
+            self.guests[dom.index()]
+                .kernel
+                .push_kwork(target, now, cost, None);
+        }
+        self.guests[dom.index()].port_pending[port.0].1 += items;
+        let notify = self.guests[dom.index()].evtchn.send(port);
+        let gv = GlobalVcpu::new(dom, target);
+        if self.hv.where_running(gv).is_some() {
+            // Deliver right away.
+            let mut fx = Vec::new();
+            self.deliver_port(dom, port, now, &mut fx);
+            self.route(dom, fx, now);
+            self.replan(dom, target, now);
+        } else if notify.is_some() {
+            // Wake the vCPU through the hypervisor; delivery happens at
+            // vcpu_start (the Figure 1(c) delay when pCPUs are contended).
+            let evs = self.hv.vcpu_wake(gv, now);
+            self.apply_sched(evs, now);
+        }
+    }
+
+    /// Delivers one pending port to its bound vCPU (which holds a pCPU).
+    fn deliver_port(&mut self, dom: DomId, port: PortId, now: SimTime, fx: &mut Vec<GuestEffect>) {
+        let g = &mut self.guests[dom.index()];
+        if !g.evtchn.deliver(port) {
+            return;
+        }
+        let vcpu = g.evtchn.port(port).bound_vcpu;
+        let (q, items) = {
+            let entry = &mut g.port_pending[port.0];
+            let out = (entry.0, entry.1);
+            entry.1 = 0;
+            out
+        };
+        if items == 0 {
+            return;
+        }
+        for _ in 0..items {
+            g.io_deliveries.push(now);
+        }
+        g.kernel.deliver_io_irq(vcpu, q, items, now, fx);
+    }
+
+    // ------------------------------------------------------------------
+    // The daemon (vScale or hotplug baseline).
+    // ------------------------------------------------------------------
+
+    fn daemon_timer(&mut self, dom: DomId, now: SimTime) {
+        let period = self.guests[dom.index()].daemon.config.period;
+        self.queue.schedule(now + period, Ev::DaemonTimer { dom });
+        if matches!(self.guests[dom.index()].scaling, ScalingMode::Fixed) {
+            return;
+        }
+        if self.guests[dom.index()].daemon.phase != DaemonPhase::Idle {
+            return; // Previous operation still in flight.
+        }
+        // Queue the channel read on vCPU0 (RT-class daemon work).
+        self.guests[dom.index()].daemon.phase = DaemonPhase::Reading;
+        let cost = self.guests[dom.index()]
+            .kernel
+            .config()
+            .costs
+            .channel_read_total();
+        self.guests[dom.index()]
+            .kernel
+            .push_kwork(VcpuId(0), now, cost, Some(TAG_READ));
+        // vCPU0 may be idle-blocked: kick it so the daemon runs.
+        let gv = GlobalVcpu::new(dom, VcpuId(0));
+        if self.hv.where_running(gv).is_none() {
+            let evs = self.hv.vcpu_wake(gv, now);
+            self.apply_sched(evs, now);
+        } else {
+            self.replan(dom, VcpuId(0), now);
+        }
+    }
+
+    fn daemon_work_done(
+        &mut self,
+        dom: DomId,
+        _vcpu: VcpuId,
+        tag: u64,
+        now: SimTime,
+        ops: &mut VecDeque<Op>,
+        dirty: &mut Vec<(DomId, VcpuId)>,
+    ) {
+        if tag == TAG_READ {
+            self.guests[dom.index()].daemon.reads += 1;
+            let info: ExtendInfo = self.hv.extendability(dom);
+            let kernel = &self.guests[dom.index()].kernel;
+            let active = kernel.active_vcpus();
+            let n_vcpus = kernel.n_vcpus();
+            let ext_raw = match self.guests[dom.index()].scaling {
+                // VCPU-Bal sizes from the weight-derived fair share only,
+                // ignoring consumption (not work-conserving, §2.3).
+                ScalingMode::VcpuBal(_) => info.fair.ratio(info.period),
+                // vScale: Algorithm 1's extendability, floored by measured
+                // consumption — a witness of obtainable allocation, since
+                // slack apportioned to competitors that cannot spend it
+                // flows back work-conservingly.
+                _ => info.ext_pcpus().max(info.consumed_pcpus()),
+            };
+            let ext_smoothed = self.guests[dom.index()].daemon.smooth(ext_raw);
+            // Algorithm 1's ceiling rule, applied to the smoothed value.
+            let n_opt = (ext_smoothed.ceil() as usize).clamp(1, n_vcpus);
+            let step = self.guests[dom.index()]
+                .daemon
+                .decide(n_opt, ext_smoothed, active);
+            match step {
+                Some(1) => self.begin_grow(dom, now, dirty),
+                Some(-1) => self.begin_shrink(dom, now, dirty),
+                _ => {
+                    self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
+                }
+            }
+        } else if (TAG_FREEZE_BASE..TAG_UNFREEZE_BASE).contains(&tag) {
+            let target = VcpuId((tag - TAG_FREEZE_BASE) as usize);
+            let mut fx = Vec::new();
+            self.guests[dom.index()]
+                .kernel
+                .freeze_vcpu(target, now, &mut fx);
+            ops.extend(fx.into_iter().map(|e| Op::Guest(dom, e)));
+            self.guests[dom.index()].daemon.reconfigs += 1;
+            self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
+        } else if (TAG_UNFREEZE_BASE..TAG_HOTPLUG_BASE).contains(&tag) {
+            let target = VcpuId((tag - TAG_UNFREEZE_BASE) as usize);
+            let mut fx = Vec::new();
+            self.guests[dom.index()]
+                .kernel
+                .unfreeze_vcpu(target, now, &mut fx);
+            ops.extend(fx.into_iter().map(|e| Op::Guest(dom, e)));
+            self.guests[dom.index()].daemon.reconfigs += 1;
+            self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
+        }
+    }
+
+    /// Starts activating one more vCPU.
+    fn begin_grow(&mut self, dom: DomId, now: SimTime, dirty: &mut Vec<(DomId, VcpuId)>) {
+        let g = &mut self.guests[dom.index()];
+        if let Some(hp) = g.hotplug.clone() {
+            // Hotplug add: no stop_machine, but a long notifier chain on
+            // the initiating vCPU, then the vCPU comes online.
+            let Some(target) = g.kernel.freeze_mask().lowest_frozen() else {
+                g.daemon.phase = DaemonPhase::Idle;
+                return;
+            };
+            let latency = hp.sample_add(&mut self.rng);
+            g.daemon.phase = DaemonPhase::Reconfiguring {
+                target,
+                freeze: false,
+            };
+            self.queue.schedule(
+                now + latency,
+                Ev::HotplugDone {
+                    dom,
+                    vcpu: target,
+                    online: true,
+                },
+            );
+            return;
+        }
+        let Some(target) = g.kernel.freeze_mask().lowest_frozen() else {
+            g.daemon.phase = DaemonPhase::Idle;
+            return;
+        };
+        g.daemon.phase = DaemonPhase::Reconfiguring {
+            target,
+            freeze: false,
+        };
+        let cost = g.kernel.config().costs.freeze_master_total();
+        g.kernel.push_kwork(
+            VcpuId(0),
+            now,
+            cost,
+            Some(TAG_UNFREEZE_BASE + target.index() as u64),
+        );
+        dirty.push((dom, VcpuId(0)));
+    }
+
+    /// Starts deactivating one vCPU (never vCPU0).
+    fn begin_shrink(&mut self, dom: DomId, now: SimTime, dirty: &mut Vec<(DomId, VcpuId)>) {
+        let g = &mut self.guests[dom.index()];
+        let Some(target) = g.kernel.freeze_mask().highest_active() else {
+            g.daemon.phase = DaemonPhase::Idle;
+            return;
+        };
+        if target.index() == 0 {
+            g.daemon.phase = DaemonPhase::Idle;
+            return; // The master vCPU stays.
+        }
+        if let Some(hp) = g.hotplug.clone() {
+            // Hotplug remove: stop_machine stalls the whole guest for a
+            // chunk of the latency, then the vCPU goes offline.
+            let latency = hp.sample_remove(&mut self.rng);
+            let (stop, local) = hp.split_remove(latency);
+            let mut fx = Vec::new();
+            g.kernel.stall_all(now, now + stop, &mut fx);
+            g.daemon.phase = DaemonPhase::Reconfiguring {
+                target,
+                freeze: true,
+            };
+            self.queue.schedule(
+                now + stop + local,
+                Ev::HotplugDone {
+                    dom,
+                    vcpu: target,
+                    online: false,
+                },
+            );
+            self.route(dom, fx, now);
+            return;
+        }
+        g.daemon.phase = DaemonPhase::Reconfiguring {
+            target,
+            freeze: true,
+        };
+        let cost = g.kernel.config().costs.freeze_master_total();
+        g.kernel.push_kwork(
+            VcpuId(0),
+            now,
+            cost,
+            Some(TAG_FREEZE_BASE + target.index() as u64),
+        );
+        dirty.push((dom, VcpuId(0)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use guest_kernel::thread::{OneShot, Script, ThreadAction, ThreadKind};
+
+    fn compute_ms(ms: u64) -> Box<OneShot> {
+        Box::new(OneShot::new(SimDuration::from_ms(ms)))
+    }
+
+    #[test]
+    fn single_domain_runs_to_completion() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            ..MachineConfig::default()
+        });
+        let d = m.add_domain(DomainSpec::fixed(2));
+        let t0 = m.guest_mut(d).spawn(ThreadKind::User, compute_ms(50));
+        let t1 = m.guest_mut(d).spawn(ThreadKind::User, compute_ms(50));
+        m.start_thread(d, t0);
+        m.start_thread(d, t1);
+        let done = m.run_until_exited(d, SimTime::from_secs(5));
+        let done = done.expect("workload finishes");
+        // Two vCPUs on two pCPUs: ~50 ms wall, small overheads.
+        assert!(done >= SimTime::from_ms(50));
+        assert!(done < SimTime::from_ms(60), "took {done}");
+        let st = m.domain_stats(d);
+        assert!(st.run_total >= SimDuration::from_ms(100));
+        assert_eq!(st.wait_total, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn overcommit_halves_throughput_and_accumulates_waiting() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 1,
+            ..MachineConfig::default()
+        });
+        let a = m.add_domain(DomainSpec::fixed(1));
+        let b = m.add_domain(DomainSpec::fixed(1));
+        let ta = m.guest_mut(a).spawn(ThreadKind::User, compute_ms(100));
+        let tb = m.guest_mut(b).spawn(ThreadKind::User, compute_ms(100));
+        m.start_thread(a, ta);
+        m.start_thread(b, tb);
+        m.run_until(SimTime::from_secs(5));
+        assert!(m.guest(a).all_exited());
+        assert!(m.guest(b).all_exited());
+        // 200 ms of work on one pCPU: finishes no earlier than 200 ms.
+        assert!(m.now() >= SimTime::from_ms(200));
+        // Each domain waited roughly as long as it ran.
+        let sa = m.domain_stats(a);
+        assert!(
+            sa.wait_total >= SimDuration::from_ms(60),
+            "waiting {} too small",
+            sa.wait_total
+        );
+    }
+
+    #[test]
+    fn fair_share_is_proportional_to_weight() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 1,
+            ..MachineConfig::default()
+        });
+        let heavy = m.add_domain(DomainSpec::fixed(1).with_weight(512));
+        let light = m.add_domain(DomainSpec::fixed(1).with_weight(256));
+        let th = m
+            .guest_mut(heavy)
+            .spawn(ThreadKind::User, compute_ms(10_000));
+        let tl = m
+            .guest_mut(light)
+            .spawn(ThreadKind::User, compute_ms(10_000));
+        m.start_thread(heavy, th);
+        m.start_thread(light, tl);
+        m.run_until(SimTime::from_secs(3));
+        let rh = m.domain_stats(heavy).run_total.as_ms_f64();
+        let rl = m.domain_stats(light).run_total.as_ms_f64();
+        let ratio = rh / rl;
+        assert!(
+            (1.6..2.4).contains(&ratio),
+            "2:1 weights should give ~2:1 time, got {ratio:.2} ({rh:.0} vs {rl:.0})"
+        );
+    }
+
+    #[test]
+    fn vscale_shrinks_under_competition_and_grows_back() {
+        // A 4-vCPU vScale VM shares 2 pCPUs with a competing 2-vCPU VM.
+        // Its extendability is ~1 pCPU, so the daemon should freeze down
+        // to 1-2 active vCPUs; when the competitor exits, it should grow
+        // back to its fair use of both pCPUs.
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            ..MachineConfig::default()
+        });
+        let vm = m.add_domain(SystemConfig::VScale.domain_spec(4));
+        let bg = m.add_domain(DomainSpec::fixed(2));
+        for _ in 0..4 {
+            let t = m.guest_mut(vm).spawn(ThreadKind::User, compute_ms(2_000));
+            m.start_thread(vm, t);
+        }
+        for _ in 0..2 {
+            let t = m.guest_mut(bg).spawn(ThreadKind::User, compute_ms(400));
+            m.start_thread(bg, t);
+        }
+        m.run_until(SimTime::from_ms(300));
+        let active_mid = m.guest(vm).active_vcpus();
+        assert!(
+            active_mid <= 2,
+            "with a busy competitor the VM should shrink, still at {active_mid}"
+        );
+        let st = m.domain_stats(vm);
+        assert!(st.daemon_reads > 0, "daemon must be polling");
+        assert!(st.reconfigs >= 2, "freezes happened");
+        // Let the background VM finish; the vScale VM should grow back.
+        m.run_until(SimTime::from_ms(1_200));
+        let active_late = m.guest(vm).active_vcpus();
+        assert!(
+            active_late >= 2,
+            "after the competitor exits the VM should grow, still at {active_late}"
+        );
+        // The trace records the changes (Figure 8 data).
+        assert!(m.active_trace(vm).len() >= 3);
+    }
+
+    #[test]
+    fn fixed_domain_never_reconfigures() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 1,
+            ..MachineConfig::default()
+        });
+        let vm = m.add_domain(DomainSpec::fixed(4));
+        let bg = m.add_domain(DomainSpec::fixed(2));
+        for _ in 0..4 {
+            let t = m.guest_mut(vm).spawn(ThreadKind::User, compute_ms(200));
+            m.start_thread(vm, t);
+        }
+        let t = m.guest_mut(bg).spawn(ThreadKind::User, compute_ms(200));
+        m.start_thread(bg, t);
+        m.run_until(SimTime::from_ms(500));
+        assert_eq!(m.guest(vm).active_vcpus(), 4);
+        assert_eq!(m.domain_stats(vm).reconfigs, 0);
+    }
+
+    #[test]
+    fn io_requests_flow_through_irq_worker_and_nic() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            ..MachineConfig::default()
+        });
+        let d = m.add_domain(DomainSpec::fixed(2));
+        let q = m.guest_mut(d).new_io_queue();
+        let port = m.bind_io_port(d, q, VcpuId(0));
+        let worker = m.guest_mut(d).spawn(
+            ThreadKind::User,
+            Box::new(Script::new(vec![
+                ThreadAction::IoWait(q),
+                ThreadAction::Compute(SimDuration::from_us(50)),
+                ThreadAction::NicSend { bytes: 16_384 },
+                ThreadAction::IoWait(q),
+                ThreadAction::Compute(SimDuration::from_us(50)),
+                ThreadAction::NicSend { bytes: 16_384 },
+            ])),
+        );
+        m.start_thread(d, worker);
+        m.inject_io(d, port, SimTime::from_ms(1), 1);
+        m.inject_io(d, port, SimTime::from_ms(2), 1);
+        m.run_until_exited(d, SimTime::from_secs(1))
+            .expect("worker finishes");
+        // Let the in-flight NIC transmission drain.
+        let drain = m.now() + SimDuration::from_ms(1);
+        m.run_until(drain);
+        let (arr, del, nic) = m.io_logs(d);
+        assert_eq!(arr.len(), 2);
+        assert_eq!(del.len(), 2);
+        assert_eq!(nic.len(), 2);
+        // Uncontended: delivery follows arrival within tens of µs.
+        for (a, dl) in arr.iter().zip(del) {
+            let lat = dl.since(*a);
+            assert!(lat < SimDuration::from_ms(1), "delivery latency {lat}");
+        }
+        // 16 KB on 1 GbE needs ~131 µs of wire time after processing.
+        assert!(nic[0].since(del[0]) >= SimDuration::from_us(100));
+    }
+
+    #[test]
+    fn irq_redirects_away_from_frozen_vcpu() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            ..MachineConfig::default()
+        });
+        let d = m.add_domain(SystemConfig::VScale.domain_spec(2));
+        let bg = m.add_domain(DomainSpec::fixed(2));
+        // Busy competitor forces the vScale VM to shrink to 1 vCPU.
+        for _ in 0..2 {
+            let t = m.guest_mut(bg).spawn(ThreadKind::User, compute_ms(2_000));
+            m.start_thread(bg, t);
+        }
+        let q = m.guest_mut(d).new_io_queue();
+        let port = m.bind_io_port(d, q, VcpuId(1)); // Bound to the one that will freeze.
+        let worker = m.guest_mut(d).spawn(
+            ThreadKind::User,
+            Box::new(Script::new(vec![
+                ThreadAction::Compute(SimDuration::from_ms(100)),
+                ThreadAction::IoWait(q),
+                ThreadAction::Compute(SimDuration::from_us(50)),
+            ])),
+        );
+        m.start_thread(d, worker);
+        m.run_until(SimTime::from_ms(150));
+        assert_eq!(m.guest(d).active_vcpus(), 1, "VM should have shrunk");
+        assert!(m.guest(d).freeze_mask().is_frozen(VcpuId(1)));
+        // Inject a request bound to the frozen vCPU1: must be redirected.
+        m.inject_io(d, port, m.now() + SimDuration::from_ms(1), 1);
+        m.run_until_exited(d, SimTime::from_secs(2))
+            .expect("worker must still get its I/O");
+        assert_eq!(m.guest(d).io_irqs(VcpuId(1)), 0, "frozen vCPU got the IRQ");
+    }
+
+    #[test]
+    fn deterministic_replay_of_a_contended_run() {
+        let run = || {
+            let mut m = Machine::new(MachineConfig {
+                n_pcpus: 2,
+                seed: 99,
+                ..MachineConfig::default()
+            });
+            let vm = m.add_domain(SystemConfig::VScale.domain_spec(4));
+            let bg = m.add_domain(DomainSpec::fixed(2));
+            for _ in 0..4 {
+                let t = m.guest_mut(vm).spawn(ThreadKind::User, compute_ms(300));
+                m.start_thread(vm, t);
+            }
+            for _ in 0..2 {
+                let t = m.guest_mut(bg).spawn(ThreadKind::User, compute_ms(200));
+                m.start_thread(bg, t);
+            }
+            m.run_until(SimTime::from_secs(2));
+            let st = m.domain_stats(vm);
+            (
+                m.now(),
+                st.wait_total,
+                st.run_total,
+                st.reconfigs,
+                m.guest(vm).stats().context_switches,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sleeping_guest_consumes_no_cpu() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 1,
+            ..MachineConfig::default()
+        });
+        let d = m.add_domain(DomainSpec::fixed(1));
+        let t = m.guest_mut(d).spawn(
+            ThreadKind::User,
+            Box::new(Script::new(vec![
+                ThreadAction::Sleep(SimDuration::from_ms(100)),
+                ThreadAction::Compute(SimDuration::from_ms(1)),
+            ])),
+        );
+        m.start_thread(d, t);
+        m.run_until_exited(d, SimTime::from_secs(1)).expect("done");
+        let st = m.domain_stats(d);
+        assert!(
+            st.run_total < SimDuration::from_ms(5),
+            "sleeping VM burned {}",
+            st.run_total
+        );
+    }
+}
+
+#[cfg(test)]
+mod pv_tests {
+    use super::*;
+    use crate::config::{DomainSpec, SystemConfig};
+    use guest_kernel::thread::{Script, ThreadAction, ThreadKind};
+
+    /// Kernel-lock contention with a preempted holder: plain ticket locks
+    /// burn the contender's slices; pv-spinlock yields the vCPU to the
+    /// hypervisor and gets kicked on release.
+    fn run_klock_contention(pvlock: bool) -> (f64, u64, sim_core::time::SimDuration) {
+        let cfg = if pvlock {
+            SystemConfig::Pvlock
+        } else {
+            SystemConfig::Baseline
+        };
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 1, // One pCPU: holder and waiter cannot run together.
+            seed: 21,
+            ..MachineConfig::default()
+        });
+        let vm = m.add_domain(cfg.domain_spec(2));
+        let l = m.guest_mut(vm).klocks.alloc();
+        let holder = m.guest_mut(vm).spawn(
+            ThreadKind::User,
+            Box::new(Script::new(vec![
+                // Longer than one 30 ms slice: the holder is guaranteed
+                // to be descheduled mid-critical-section.
+                ThreadAction::KernelOp {
+                    lock: l,
+                    hold: SimDuration::from_ms(50),
+                },
+                ThreadAction::Compute(SimDuration::from_ms(1)),
+            ])),
+        );
+        let waiter = m.guest_mut(vm).spawn(
+            ThreadKind::User,
+            Box::new(Script::new(vec![
+                ThreadAction::Compute(SimDuration::from_us(200)),
+                ThreadAction::KernelOp {
+                    lock: l,
+                    hold: SimDuration::from_us(10),
+                },
+            ])),
+        );
+        m.start_thread(vm, holder);
+        m.start_thread(vm, waiter);
+        let end = m
+            .run_until_exited(vm, SimTime::from_secs(10))
+            .expect("finishes");
+        (
+            end.as_secs_f64(),
+            m.guest(vm).stats().pv_yields,
+            m.guest(vm).spin_waste(),
+        )
+    }
+
+    #[test]
+    fn pv_spinlock_yields_instead_of_spinning() {
+        let (_plain_end, plain_yields, plain_waste) = run_klock_contention(false);
+        let (_pv_end, pv_yields, pv_waste) = run_klock_contention(true);
+        assert_eq!(plain_yields, 0);
+        assert!(pv_yields >= 1, "pv waiter must yield");
+        assert!(
+            pv_waste < plain_waste,
+            "pv-spinlock should spin less: {pv_waste} vs {plain_waste}"
+        );
+    }
+
+    #[test]
+    fn cap_through_machine_limits_a_hog() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            seed: 22,
+            ..MachineConfig::default()
+        });
+        let capped = m.add_domain(DomainSpec {
+            cap_pcpus: Some(0.5),
+            ..DomainSpec::fixed(1)
+        });
+        let t = m.guest_mut(capped).spawn(
+            ThreadKind::User,
+            Box::new(guest_kernel::thread::OneShot::new(SimDuration::from_secs(
+                5,
+            ))),
+        );
+        m.start_thread(capped, t);
+        m.run_until(SimTime::from_secs(2));
+        let used = m.domain_stats(capped).run_total.as_secs_f64();
+        assert!(
+            used < 1.4,
+            "cap 0.5 must bound use over 2 s to ~1 s, got {used:.2}"
+        );
+        assert!(used > 0.4, "capped domain still progresses, got {used:.2}");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use guest_kernel::thread::{OneShot, ThreadKind};
+
+    #[test]
+    fn trace_records_scheduling_and_reconfiguration() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            seed: 31,
+            ..MachineConfig::default()
+        });
+        m.enable_trace(4096);
+        let vm = m.add_domain(SystemConfig::VScale.domain_spec(4));
+        let bg = m.add_domain(DomainSpec::fixed(2));
+        for _ in 0..4 {
+            let t = m.guest_mut(vm).spawn(
+                ThreadKind::User,
+                Box::new(OneShot::new(SimDuration::from_ms(400))),
+            );
+            m.start_thread(vm, t);
+        }
+        for _ in 0..2 {
+            let t = m.guest_mut(bg).spawn(
+                ThreadKind::User,
+                Box::new(OneShot::new(SimDuration::from_ms(300))),
+            );
+            m.start_thread(bg, t);
+        }
+        m.run_until(SimTime::from_ms(400));
+        let trace = m.trace();
+        assert!(trace.filter("hv").count() > 10, "scheduling traced");
+        assert!(
+            trace.filter("daemon").count() >= 1,
+            "reconfigurations traced: {}",
+            trace.dump()
+        );
+        assert!(trace.dump().contains("run dom"));
+    }
+
+    #[test]
+    fn trace_disabled_by_default_costs_nothing() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 1,
+            seed: 32,
+            ..MachineConfig::default()
+        });
+        let vm = m.add_domain(DomainSpec::fixed(1));
+        let t = m.guest_mut(vm).spawn(
+            ThreadKind::User,
+            Box::new(OneShot::new(SimDuration::from_ms(10))),
+        );
+        m.start_thread(vm, t);
+        m.run_until_exited(vm, SimTime::from_secs(1)).expect("done");
+        assert!(m.trace().is_empty());
+        assert_eq!(m.trace().total_pushed(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The vScale balancer's coordination state (**Algorithm 2**).
+//!
+//! vScale adds exactly one variable to the kernel: the global
+//! `cpu_freeze_mask`. Every load-balancing decision point consults it:
+//!
+//! - `select_task_rq` (fork/wakeup balance) never picks a frozen vCPU;
+//! - `idle_balance` is disabled on a frozen vCPU (it must not pull);
+//! - periodic balance skips frozen vCPUs as destinations;
+//! - `schedule()` on a vCPU whose bit is set migrates every migratable
+//!   thread away and lets the vCPU fall idle.
+//!
+//! The mask operations are the master-side steps (1)–(2) of Algorithm 2;
+//! the target-side evacuation lives in
+//! [`GuestKernel`](crate::kernel::GuestKernel). This module also tracks the
+//! paper's freeze/unfreeze operation counts for the Table 3 bench.
+
+use sim_core::ids::VcpuId;
+
+/// The global `cpu_freeze_mask`: one bit per vCPU.
+///
+/// # Examples
+///
+/// ```
+/// use guest_kernel::balancer::FreezeMask;
+/// use sim_core::ids::VcpuId;
+///
+/// let mut mask = FreezeMask::new(4);
+/// // The daemon freezes top-down, sparing the master vCPU0.
+/// mask.freeze(mask.highest_active().unwrap());
+/// assert_eq!(mask.active_count(), 3);
+/// assert!(mask.is_frozen(VcpuId(3)));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FreezeMask {
+    bits: Vec<bool>,
+    freezes: u64,
+    unfreezes: u64,
+}
+
+impl FreezeMask {
+    /// Creates a mask for `n_vcpus` vCPUs, all active.
+    pub fn new(n_vcpus: usize) -> Self {
+        FreezeMask {
+            bits: vec![false; n_vcpus],
+            freezes: 0,
+            unfreezes: 0,
+        }
+    }
+
+    /// Number of vCPUs covered.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// True if the mask covers no vCPUs.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Whether `v`'s bit is set (vCPU is frozen or freezing).
+    pub fn is_frozen(&self, v: VcpuId) -> bool {
+        self.bits[v.index()]
+    }
+
+    /// Sets `v`'s bit. Returns `true` if the bit changed.
+    pub fn freeze(&mut self, v: VcpuId) -> bool {
+        let changed = !self.bits[v.index()];
+        if changed {
+            self.bits[v.index()] = true;
+            self.freezes += 1;
+        }
+        changed
+    }
+
+    /// Clears `v`'s bit. Returns `true` if the bit changed.
+    pub fn unfreeze(&mut self, v: VcpuId) -> bool {
+        let changed = self.bits[v.index()];
+        if changed {
+            self.bits[v.index()] = false;
+            self.unfreezes += 1;
+        }
+        changed
+    }
+
+    /// Number of active (unfrozen) vCPUs.
+    pub fn active_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| !b).count()
+    }
+
+    /// Iterator over active vCPU ids.
+    pub fn active(&self) -> impl Iterator<Item = VcpuId> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| !b)
+            .map(|(i, _)| VcpuId(i))
+    }
+
+    /// Iterator over frozen vCPU ids.
+    pub fn frozen(&self) -> impl Iterator<Item = VcpuId> + '_ {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| VcpuId(i))
+    }
+
+    /// The highest-indexed active vCPU — Algorithm 2 freezes from the top
+    /// down so vCPU0 (the master) is never frozen.
+    pub fn highest_active(&self) -> Option<VcpuId> {
+        self.bits.iter().rposition(|&b| !b).map(VcpuId)
+    }
+
+    /// The lowest-indexed frozen vCPU — unfreezing goes bottom-up.
+    pub fn lowest_frozen(&self) -> Option<VcpuId> {
+        self.bits.iter().position(|&b| b).map(VcpuId)
+    }
+
+    /// Total freeze operations performed.
+    pub fn freeze_count(&self) -> u64 {
+        self.freezes
+    }
+
+    /// Total unfreeze operations performed.
+    pub fn unfreeze_count(&self) -> u64 {
+        self.unfreezes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freeze_and_unfreeze_toggle_bits() {
+        let mut m = FreezeMask::new(4);
+        assert_eq!(m.active_count(), 4);
+        assert!(m.freeze(VcpuId(3)));
+        assert!(!m.freeze(VcpuId(3)), "double freeze is a no-op");
+        assert!(m.is_frozen(VcpuId(3)));
+        assert_eq!(m.active_count(), 3);
+        assert!(m.unfreeze(VcpuId(3)));
+        assert!(!m.unfreeze(VcpuId(3)));
+        assert_eq!(m.active_count(), 4);
+        assert_eq!(m.freeze_count(), 1);
+        assert_eq!(m.unfreeze_count(), 1);
+    }
+
+    #[test]
+    fn freeze_order_is_top_down_sparing_vcpu0() {
+        let mut m = FreezeMask::new(4);
+        assert_eq!(m.highest_active(), Some(VcpuId(3)));
+        m.freeze(VcpuId(3));
+        assert_eq!(m.highest_active(), Some(VcpuId(2)));
+        m.freeze(VcpuId(2));
+        m.freeze(VcpuId(1));
+        assert_eq!(m.highest_active(), Some(VcpuId(0)));
+        // vCPU0 is the last one standing: the daemon never freezes it.
+    }
+
+    #[test]
+    fn unfreeze_order_is_bottom_up() {
+        let mut m = FreezeMask::new(4);
+        m.freeze(VcpuId(1));
+        m.freeze(VcpuId(2));
+        m.freeze(VcpuId(3));
+        assert_eq!(m.lowest_frozen(), Some(VcpuId(1)));
+        m.unfreeze(VcpuId(1));
+        assert_eq!(m.lowest_frozen(), Some(VcpuId(2)));
+    }
+
+    #[test]
+    fn active_iter_lists_unfrozen() {
+        let mut m = FreezeMask::new(3);
+        m.freeze(VcpuId(1));
+        let active: Vec<_> = m.active().collect();
+        assert_eq!(active, vec![VcpuId(0), VcpuId(2)]);
+        let frozen: Vec<_> = m.frozen().collect();
+        assert_eq!(frozen, vec![VcpuId(1)]);
+    }
+}

@@ -1,0 +1,202 @@
+//! The Linux CPU-hotplug baseline (Figure 5 + §6 of the paper).
+//!
+//! Linux's CPU hotplug is the only stock mechanism for changing a guest's
+//! active vCPU count, and it is what dom0-driven approaches (VCPU-Bal) must
+//! use. It runs a long notifier chain and, for removal, `stop_machine()` —
+//! which halts *every* CPU with interrupts disabled for the duration. The
+//! paper measured 100 add/remove cycles on four kernel versions (Figure 5):
+//! removals cost several ms to over 100 ms; additions range from ~350–500 µs
+//! (best case, Linux 3.14.15) to tens of ms on other versions.
+//!
+//! [`HotplugModel`] reproduces those latency distributions with log-normal
+//! fits per kernel version, and exposes the `stop_machine` fraction of a
+//! removal so the simulator can stall the whole guest for it — the
+//! disruption that makes hotplug unusable for real-time scaling.
+
+use sim_core::rng::SimRng;
+use sim_core::time::SimDuration;
+
+/// The kernel versions the paper measured (Figure 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KernelVersion {
+    /// Linux 2.6.32.
+    V2_6_32,
+    /// Linux 3.2.60.
+    V3_2_60,
+    /// Linux 3.14.15 (the paper's guest kernel).
+    V3_14_15,
+    /// Linux 4.2.
+    V4_2,
+}
+
+impl KernelVersion {
+    /// All measured versions, oldest first.
+    pub const ALL: [KernelVersion; 4] = [
+        KernelVersion::V2_6_32,
+        KernelVersion::V3_2_60,
+        KernelVersion::V3_14_15,
+        KernelVersion::V4_2,
+    ];
+
+    /// Human-readable label, matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelVersion::V2_6_32 => "v-2.6.32",
+            KernelVersion::V3_2_60 => "v-3.2.60",
+            KernelVersion::V3_14_15 => "v-3.14.15",
+            KernelVersion::V4_2 => "v-4.2",
+        }
+    }
+
+    /// `(median_ms, sigma)` of the log-normal fit for *adding* a vCPU.
+    fn add_params(self) -> (f64, f64) {
+        match self {
+            KernelVersion::V2_6_32 => (35.0, 0.55),
+            KernelVersion::V3_2_60 => (22.0, 0.50),
+            // The paper's best case: 350–500 µs.
+            KernelVersion::V3_14_15 => (0.42, 0.12),
+            KernelVersion::V4_2 => (14.0, 0.50),
+        }
+    }
+
+    /// `(median_ms, sigma)` of the log-normal fit for *removing* a vCPU.
+    fn remove_params(self) -> (f64, f64) {
+        match self {
+            KernelVersion::V2_6_32 => (85.0, 0.45),
+            KernelVersion::V3_2_60 => (48.0, 0.50),
+            KernelVersion::V3_14_15 => (9.0, 0.70),
+            KernelVersion::V4_2 => (28.0, 0.55),
+        }
+    }
+}
+
+/// Latency model for Linux CPU hotplug.
+#[derive(Clone, Debug)]
+pub struct HotplugModel {
+    /// The guest kernel version.
+    pub version: KernelVersion,
+    /// Fraction of a removal spent inside `stop_machine()` with all CPUs
+    /// halted (the globally disruptive part).
+    pub stop_machine_fraction: f64,
+}
+
+impl HotplugModel {
+    /// Creates a model for the given kernel version.
+    pub fn new(version: KernelVersion) -> Self {
+        HotplugModel {
+            version,
+            stop_machine_fraction: 0.35,
+        }
+    }
+
+    /// Samples the latency of onlining one vCPU (`hotplug`).
+    pub fn sample_add(&self, rng: &mut SimRng) -> SimDuration {
+        let (median_ms, sigma) = self.version.add_params();
+        SimDuration::from_us_f64(rng.log_normal(median_ms * 1e3, sigma))
+    }
+
+    /// Samples the latency of offlining one vCPU (`unhotplug`).
+    pub fn sample_remove(&self, rng: &mut SimRng) -> SimDuration {
+        let (median_ms, sigma) = self.version.remove_params();
+        SimDuration::from_us_f64(rng.log_normal(median_ms * 1e3, sigma))
+    }
+
+    /// Splits a removal latency into `(stop_machine, local)` parts: the
+    /// first stalls every vCPU of the guest, the second only the one
+    /// performing the operation.
+    pub fn split_remove(&self, total: SimDuration) -> (SimDuration, SimDuration) {
+        let stop = total.mul_f64(self.stop_machine_fraction);
+        (stop, total.saturating_sub(stop))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legend() {
+        assert_eq!(KernelVersion::V2_6_32.label(), "v-2.6.32");
+        assert_eq!(KernelVersion::V3_14_15.label(), "v-3.14.15");
+    }
+
+    #[test]
+    fn best_case_add_is_sub_millisecond() {
+        let m = HotplugModel::new(KernelVersion::V3_14_15);
+        let mut rng = SimRng::new(1);
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for _ in 0..100 {
+            let s = m.sample_add(&mut rng).as_us();
+            min = min.min(s);
+            max = max.max(s);
+        }
+        assert!(min >= 250, "min add {min} µs");
+        assert!(max <= 700, "max add {max} µs");
+    }
+
+    #[test]
+    fn removals_are_milliseconds_to_hundreds() {
+        let mut rng = SimRng::new(2);
+        for v in KernelVersion::ALL {
+            let m = HotplugModel::new(v);
+            for _ in 0..100 {
+                let s = m.sample_remove(&mut rng);
+                assert!(
+                    s >= SimDuration::from_ms(1),
+                    "{}: removal {s} too fast",
+                    v.label()
+                );
+                assert!(
+                    s <= SimDuration::from_ms(400),
+                    "{}: removal {s} implausibly slow",
+                    v.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oldest_kernel_is_slowest_on_median() {
+        let mut rng = SimRng::new(3);
+        let mut median = |v: KernelVersion| {
+            let m = HotplugModel::new(v);
+            let mut xs: Vec<u64> = (0..201)
+                .map(|_| m.sample_remove(&mut rng).as_us())
+                .collect();
+            xs.sort_unstable();
+            xs[100]
+        };
+        let old = median(KernelVersion::V2_6_32);
+        let new = median(KernelVersion::V3_14_15);
+        assert!(
+            old > new * 3,
+            "2.6.32 ({old} µs) should be much slower than 3.14.15 ({new} µs)"
+        );
+    }
+
+    #[test]
+    fn hotplug_is_orders_slower_than_vscale() {
+        // The paper's headline: 100x to 100,000x slower than vScale's
+        // ~2 µs freeze.
+        let mut rng = SimRng::new(4);
+        let vscale_freeze = SimDuration::from_ns(2_100);
+        for v in KernelVersion::ALL {
+            let m = HotplugModel::new(v);
+            let s = m.sample_remove(&mut rng);
+            let ratio = s.as_ns() / vscale_freeze.as_ns();
+            assert!(ratio >= 100, "{}: ratio only {ratio}", v.label());
+            assert!(ratio <= 200_000, "{}: ratio {ratio}", v.label());
+        }
+    }
+
+    #[test]
+    fn split_remove_partitions_total() {
+        let m = HotplugModel::new(KernelVersion::V3_14_15);
+        let total = SimDuration::from_ms(10);
+        let (stop, local) = m.split_remove(total);
+        assert_eq!(stop + local, total);
+        assert!(stop > SimDuration::ZERO);
+        assert!(stop < total);
+    }
+}

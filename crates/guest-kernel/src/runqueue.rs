@@ -1,0 +1,174 @@
+//! Per-vCPU run queues with CFS-style virtual-runtime ordering.
+//!
+//! Each vCPU owns one [`RunQueue`]. Threads are ordered by accumulated
+//! *vruntime*; the scheduler picks the smallest. A freshly woken thread's
+//! vruntime is clamped to just below the queue minimum so sleepers get a
+//! modest latency advantage without starving the queue (Linux's
+//! `place_entity` behaviour, simplified to equal load weights).
+
+use std::collections::BTreeSet;
+
+use sim_core::ids::ThreadId;
+use sim_core::time::SimDuration;
+
+/// CFS-like ready queue for one vCPU.
+#[derive(Clone, Debug, Default)]
+pub struct RunQueue {
+    /// Ready threads ordered by `(vruntime_ns, tid)`.
+    queue: BTreeSet<(u64, ThreadId)>,
+    /// Monotone floor for placing woken threads.
+    min_vruntime: u64,
+}
+
+impl RunQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        RunQueue::default()
+    }
+
+    /// Number of ready (queued, not running) threads.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if no thread is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The queue's minimum-vruntime floor.
+    pub fn min_vruntime(&self) -> u64 {
+        self.min_vruntime
+    }
+
+    /// Enqueues a ready thread at its current vruntime.
+    pub fn enqueue(&mut self, tid: ThreadId, vruntime: u64) {
+        let inserted = self.queue.insert((vruntime, tid));
+        debug_assert!(inserted, "thread {tid} double-enqueued");
+    }
+
+    /// Places a *woken* thread: clamps its vruntime to
+    /// `max(own, min_vruntime − sleeper_bonus)` and enqueues it.
+    /// Returns the effective vruntime used.
+    pub fn place_woken(&mut self, tid: ThreadId, vruntime: u64, sleeper_bonus: SimDuration) -> u64 {
+        let floor = self.min_vruntime.saturating_sub(sleeper_bonus.as_ns());
+        let v = vruntime.max(floor);
+        self.enqueue(tid, v);
+        v
+    }
+
+    /// Removes and returns the leftmost (smallest-vruntime) thread.
+    pub fn pick_next(&mut self) -> Option<(u64, ThreadId)> {
+        let entry = *self.queue.iter().next()?;
+        self.queue.remove(&entry);
+        self.min_vruntime = self.min_vruntime.max(entry.0);
+        Some(entry)
+    }
+
+    /// The smallest queued vruntime, without removal.
+    pub fn peek_min(&self) -> Option<(u64, ThreadId)> {
+        self.queue.iter().next().copied()
+    }
+
+    /// Removes a specific thread (migration / exit from queue).
+    /// Returns `true` if it was present.
+    pub fn remove(&mut self, tid: ThreadId, vruntime: u64) -> bool {
+        self.queue.remove(&(vruntime, tid))
+    }
+
+    /// Removes and returns the thread with the *largest* vruntime — the
+    /// cheapest one to migrate (it was going to run last anyway).
+    pub fn steal_back(&mut self) -> Option<(u64, ThreadId)> {
+        let entry = *self.queue.iter().next_back()?;
+        self.queue.remove(&entry);
+        Some(entry)
+    }
+
+    /// Iterates over queued `(vruntime, tid)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, ThreadId)> + '_ {
+        self.queue.iter().copied()
+    }
+
+    /// Drains the whole queue (vCPU evacuation), smallest vruntime first.
+    pub fn drain(&mut self) -> Vec<(u64, ThreadId)> {
+        let all: Vec<_> = self.queue.iter().copied().collect();
+        self.queue.clear();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn picks_smallest_vruntime() {
+        let mut rq = RunQueue::new();
+        rq.enqueue(t(1), 300);
+        rq.enqueue(t(2), 100);
+        rq.enqueue(t(3), 200);
+        assert_eq!(rq.pick_next(), Some((100, t(2))));
+        assert_eq!(rq.pick_next(), Some((200, t(3))));
+        assert_eq!(rq.pick_next(), Some((300, t(1))));
+        assert_eq!(rq.pick_next(), None);
+    }
+
+    #[test]
+    fn min_vruntime_is_monotone() {
+        let mut rq = RunQueue::new();
+        rq.enqueue(t(1), 500);
+        rq.pick_next();
+        assert_eq!(rq.min_vruntime(), 500);
+        rq.enqueue(t(2), 100);
+        rq.pick_next();
+        // Floor never moves backwards.
+        assert_eq!(rq.min_vruntime(), 500);
+    }
+
+    #[test]
+    fn place_woken_clamps_to_floor() {
+        let mut rq = RunQueue::new();
+        rq.enqueue(t(1), 10_000_000);
+        rq.pick_next(); // min_vruntime = 10ms.
+        let v = rq.place_woken(t(2), 0, SimDuration::from_ms(3));
+        assert_eq!(v, 7_000_000, "woken thread placed at floor - bonus");
+        // A thread with larger vruntime keeps it.
+        let v = rq.place_woken(t(3), 20_000_000, SimDuration::from_ms(3));
+        assert_eq!(v, 20_000_000);
+    }
+
+    #[test]
+    fn steal_back_takes_largest() {
+        let mut rq = RunQueue::new();
+        rq.enqueue(t(1), 100);
+        rq.enqueue(t(2), 900);
+        rq.enqueue(t(3), 500);
+        assert_eq!(rq.steal_back(), Some((900, t(2))));
+        assert_eq!(rq.len(), 2);
+    }
+
+    #[test]
+    fn remove_specific_thread() {
+        let mut rq = RunQueue::new();
+        rq.enqueue(t(1), 100);
+        rq.enqueue(t(2), 200);
+        assert!(rq.remove(t(1), 100));
+        assert!(!rq.remove(t(1), 100));
+        assert_eq!(rq.pick_next(), Some((200, t(2))));
+    }
+
+    #[test]
+    fn drain_returns_everything_in_order() {
+        let mut rq = RunQueue::new();
+        rq.enqueue(t(3), 30);
+        rq.enqueue(t(1), 10);
+        rq.enqueue(t(2), 20);
+        let all = rq.drain();
+        assert_eq!(all, vec![(10, t(1)), (20, t(2)), (30, t(3))]);
+        assert!(rq.is_empty());
+    }
+}

@@ -1,0 +1,273 @@
+//! Threads, schedulable-entity taxonomy, and the workload program interface.
+//!
+//! The paper's Figure 3 classifies Linux's schedulable entities into
+//! migratable and non-migratable ones; [`ThreadKind`] mirrors that taxonomy.
+//! Application behaviour is supplied by implementations of
+//! [`ThreadProgram`]: a thread is a state machine that, each time its
+//! previous action completes, asks its program for the next
+//! [`ThreadAction`]. The guest kernel executes actions — computing,
+//! synchronizing, blocking — and charges their costs in virtual time.
+
+use sim_core::ids::{ThreadId, VcpuId};
+use sim_core::time::{SimDuration, SimTime};
+
+/// Identifier of a user-level barrier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BarrierId(pub usize);
+
+/// Identifier of a user-level (futex-backed) mutex.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MutexId(pub usize);
+
+/// Identifier of a user-level condition variable.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CondId(pub usize);
+
+/// Identifier of a user-level pure-busy-wait spinlock.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SpinId(pub usize);
+
+/// Identifier of a counting semaphore.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SemId(pub usize);
+
+/// Identifier of a kernel spinlock (futex hash bucket, mm semaphore, ...).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct KLockId(pub usize);
+
+/// Identifier of an I/O wait queue (e.g. a listening socket's accept queue).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct IoQueueId(pub usize);
+
+/// The taxonomy of schedulable entities from Figure 3 of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadKind {
+    /// A user-level thread: encapsulates application work; migratable.
+    User,
+    /// A system-wide kernel thread (`rcu_sched`, `kauditd`, ext4 daemons):
+    /// serves the whole OS; migratable.
+    KthreadGlobal,
+    /// A per-CPU kernel thread (`ksoftirqd`, `kworker`, `swapper`):
+    /// statically bound to one vCPU; **not** migratable — vScale leaves
+    /// them in place and they quiesce when their vCPU has no work.
+    KthreadPerCpu(VcpuId),
+}
+
+impl ThreadKind {
+    /// Whether vScale's balancer may move this entity to another vCPU.
+    pub fn migratable(self) -> bool {
+        !matches!(self, ThreadKind::KthreadPerCpu(_))
+    }
+}
+
+/// One step of application behaviour, returned by a [`ThreadProgram`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThreadAction {
+    /// Burn CPU for the given duration.
+    Compute(SimDuration),
+    /// Arrive at a barrier and wait for all participants (spin-then-futex
+    /// per the barrier's configured spin budget — GOMP_SPINCOUNT
+    /// semantics).
+    BarrierWait(BarrierId),
+    /// Acquire a futex-backed mutex (sleeps if contended).
+    MutexLock(MutexId),
+    /// Release a futex-backed mutex (hands off to the first waiter).
+    MutexUnlock(MutexId),
+    /// Atomically release the mutex and wait on the condition variable;
+    /// re-acquires the mutex before continuing (pthread semantics).
+    CondWait(CondId, MutexId),
+    /// Wake one waiter of the condition variable (it is re-queued onto the
+    /// mutex, as `futex_requeue` does).
+    CondSignal(CondId),
+    /// Wake all waiters of the condition variable.
+    CondBroadcast(CondId),
+    /// Acquire a pure user-space busy-wait lock (lu's ad-hoc sync; OpenMP
+    /// ACTIVE-policy critical sections). Never blocks — only spins.
+    UserSpinLock(SpinId),
+    /// Release a pure user-space busy-wait lock.
+    UserSpinUnlock(SpinId),
+    /// Down a counting semaphore (blocks at zero).
+    SemWait(SemId),
+    /// Up a counting semaphore (wakes one waiter).
+    SemPost(SemId),
+    /// Enter the kernel and hold a kernel spinlock for `hold` — the
+    /// critical sections whose preemption causes kernel-level LHP, which
+    /// pv-spinlock mitigates.
+    KernelOp {
+        /// The lock taken.
+        lock: KLockId,
+        /// Time spent in the critical section.
+        hold: SimDuration,
+    },
+    /// Block until one item is available on the I/O queue (e.g. an
+    /// accepted connection).
+    IoWait(IoQueueId),
+    /// Hand `bytes` to the virtual NIC for transmission (non-blocking;
+    /// serialization happens at the NIC).
+    NicSend {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Sleep for the given duration (timer-based wakeup).
+    Sleep(SimDuration),
+    /// Voluntarily yield the CPU to the next runnable thread.
+    Yield,
+    /// Terminate the thread.
+    Exit,
+}
+
+/// Context handed to a program when asking for its next action.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgramCtx {
+    /// The asking thread.
+    pub tid: ThreadId,
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The vCPU the thread currently runs on.
+    pub vcpu: VcpuId,
+    /// The VM's current *effective parallelism*: its active (unfrozen,
+    /// online) vCPU count. This is the paper's §7 future-work interface —
+    /// letting applications see the VM's real computing power so they can
+    /// size their own work distribution.
+    pub active_vcpus: usize,
+}
+
+/// A workload behaviour: a deterministic generator of [`ThreadAction`]s.
+///
+/// Programs own whatever state (and RNG) they need; the kernel calls
+/// [`ThreadProgram::next`] exactly once per completed action.
+pub trait ThreadProgram {
+    /// Produces the thread's next action.
+    fn next(&mut self, ctx: ProgramCtx) -> ThreadAction;
+
+    /// A short label for traces and debugging.
+    fn label(&self) -> &str {
+        "thread"
+    }
+}
+
+/// A trivial program that computes once and exits — useful in tests.
+#[derive(Clone, Debug)]
+pub struct OneShot {
+    work: Option<SimDuration>,
+}
+
+impl OneShot {
+    /// Creates a program that computes for `work` then exits.
+    pub fn new(work: SimDuration) -> Self {
+        OneShot { work: Some(work) }
+    }
+}
+
+impl ThreadProgram for OneShot {
+    fn next(&mut self, _ctx: ProgramCtx) -> ThreadAction {
+        match self.work.take() {
+            Some(w) => ThreadAction::Compute(w),
+            None => ThreadAction::Exit,
+        }
+    }
+
+    fn label(&self) -> &str {
+        "oneshot"
+    }
+}
+
+/// A program built from a fixed script of actions — the main test fixture.
+#[derive(Debug)]
+pub struct Script {
+    actions: std::vec::IntoIter<ThreadAction>,
+}
+
+impl Script {
+    /// Creates a program that plays `actions` in order, then exits.
+    pub fn new(actions: Vec<ThreadAction>) -> Self {
+        Script {
+            actions: actions.into_iter(),
+        }
+    }
+}
+
+impl ThreadProgram for Script {
+    fn next(&mut self, _ctx: ProgramCtx) -> ThreadAction {
+        self.actions.next().unwrap_or(ThreadAction::Exit)
+    }
+
+    fn label(&self) -> &str {
+        "script"
+    }
+}
+
+/// A program that repeats a closure-provided action sequence forever.
+pub struct Looping<F>
+where
+    F: FnMut(ProgramCtx) -> ThreadAction,
+{
+    f: F,
+    label: &'static str,
+}
+
+impl<F> Looping<F>
+where
+    F: FnMut(ProgramCtx) -> ThreadAction,
+{
+    /// Creates a program that delegates every step to `f`.
+    pub fn new(label: &'static str, f: F) -> Self {
+        Looping { f, label }
+    }
+}
+
+impl<F> ThreadProgram for Looping<F>
+where
+    F: FnMut(ProgramCtx) -> ThreadAction,
+{
+    fn next(&mut self, ctx: ProgramCtx) -> ThreadAction {
+        (self.f)(ctx)
+    }
+
+    fn label(&self) -> &str {
+        self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_migratability_matches_figure3() {
+        assert!(ThreadKind::User.migratable());
+        assert!(ThreadKind::KthreadGlobal.migratable());
+        assert!(!ThreadKind::KthreadPerCpu(VcpuId(0)).migratable());
+    }
+
+    #[test]
+    fn oneshot_computes_then_exits() {
+        let mut p = OneShot::new(SimDuration::from_ms(5));
+        let ctx = ProgramCtx {
+            tid: ThreadId(0),
+            now: SimTime::ZERO,
+            vcpu: VcpuId(0),
+            active_vcpus: 1,
+        };
+        assert_eq!(p.next(ctx), ThreadAction::Compute(SimDuration::from_ms(5)));
+        assert_eq!(p.next(ctx), ThreadAction::Exit);
+        assert_eq!(p.next(ctx), ThreadAction::Exit);
+    }
+
+    #[test]
+    fn script_plays_in_order_then_exits() {
+        let mut p = Script::new(vec![
+            ThreadAction::Compute(SimDuration::from_us(1)),
+            ThreadAction::Yield,
+        ]);
+        let ctx = ProgramCtx {
+            tid: ThreadId(1),
+            now: SimTime::ZERO,
+            vcpu: VcpuId(0),
+            active_vcpus: 1,
+        };
+        assert_eq!(p.next(ctx), ThreadAction::Compute(SimDuration::from_us(1)));
+        assert_eq!(p.next(ctx), ThreadAction::Yield);
+        assert_eq!(p.next(ctx), ThreadAction::Exit);
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment records and report rendering.
+//!
+//! The benches regenerate every table and figure of the paper as ASCII
+//! tables/series. This crate holds the shared formatting helpers and the
+//! paper's reported values ([`paper`]) so each bench can print
+//! paper-vs-measured side by side (the data EXPERIMENTS.md records).
+
+pub mod paper;
+pub mod report;
+
+pub use report::{Series, Table};

@@ -1,0 +1,149 @@
+//! The paper's reported numbers, for paper-vs-measured comparisons.
+//!
+//! These are the headline values the evaluation section reports (as read
+//! from the text and figures of the paper), encoded as data so the benches
+//! and EXPERIMENTS.md can show both columns. Where a figure gives a curve
+//! rather than a number, we record the salient feature (peak, crossover,
+//! saturation point).
+
+/// Table 1: overhead of reading from the vScale channel, microseconds.
+pub mod table1 {
+    /// System-call component.
+    pub const SYSCALL_US: f64 = 0.69;
+    /// Added hypercall component.
+    pub const HYPERCALL_US: f64 = 0.22;
+    /// End-to-end read.
+    pub const TOTAL_US: f64 = 0.91;
+}
+
+/// Figure 4: libxl monitoring from dom0.
+pub mod fig4 {
+    /// Approximate per-VM read cost with an idle dom0, microseconds.
+    pub const PER_VM_US: f64 = 480.0;
+    /// Reading 50 VMs under network I/O load takes over 6 ms on average.
+    pub const NET_50VM_AVG_MS: f64 = 6.0;
+    /// ... with maxima approaching 30 ms.
+    pub const NET_50VM_MAX_MS: f64 = 30.0;
+}
+
+/// Table 2: interrupt counts before/after freezing vCPU3 (kernel-build,
+/// 1000 Hz guest).
+pub mod table2 {
+    /// Timer interrupts per second on an active vCPU.
+    pub const TIMER_ACTIVE_PER_S: f64 = 1000.0;
+    /// Timer interrupts per second on the frozen vCPU.
+    pub const TIMER_FROZEN_PER_S: f64 = 0.0;
+    /// Reschedule IPIs per second per vCPU with all vCPUs active (~21).
+    pub const IPI_ALL_ACTIVE_PER_S: f64 = 21.0;
+    /// Reschedule IPIs per second per remaining vCPU after the freeze
+    /// (~28: the same wakeups over three vCPUs).
+    pub const IPI_AFTER_FREEZE_PER_S: f64 = 28.0;
+}
+
+/// Table 3: cost of freezing one vCPU.
+pub mod table3 {
+    /// Master-side total, microseconds.
+    pub const MASTER_TOTAL_US: f64 = 2.10;
+    /// Per-thread migration cost band, microseconds.
+    pub const THREAD_MIGRATION_US: (f64, f64) = (0.9, 1.1);
+    /// Device-interrupt migration cost band, microseconds.
+    pub const IRQ_MIGRATION_US: (f64, f64) = (0.8, 1.2);
+}
+
+/// Figure 5: Linux CPU hotplug latency.
+pub mod fig5 {
+    /// Best-case add latency band (Linux 3.14.15), microseconds.
+    pub const BEST_ADD_US: (f64, f64) = (350.0, 500.0);
+    /// Removals range from a few ms to over 100 ms.
+    pub const REMOVE_RANGE_MS: (f64, f64) = (1.0, 200.0);
+    /// Headline: hotplug is 100x to 100,000x slower than vScale.
+    pub const SLOWDOWN_VS_VSCALE: (f64, f64) = (100.0, 100_000.0);
+}
+
+/// Figures 6/7: NPB-OMP normalized execution time under vScale relative
+/// to Xen/Linux, 4-vCPU VM at GOMP_SPINCOUNT = 30 G (Figure 6a). Values
+/// are the paper's reported reductions (fraction of baseline time saved).
+pub mod fig6 {
+    /// (app, reported reduction of execution time under vScale).
+    pub const REDUCTION_30G: [(&str, f64); 5] = [
+        ("bt", 0.39),
+        ("cg", 0.51),
+        ("lu", 0.73),
+        ("sp", 0.59),
+        ("ua", 0.78),
+    ];
+    /// Apps the paper calls insensitive (little synchronization).
+    pub const INSENSITIVE: [&str; 3] = ["ep", "ft", "is"];
+    /// lu improves by over 60% regardless of the waiting policy.
+    pub const LU_MIN_REDUCTION_ANY_POLICY: f64 = 0.60;
+}
+
+/// Figure 9: waiting-time reduction across NPB.
+pub mod fig9 {
+    /// vCPU waiting time is reduced by over 90% in all applications.
+    pub const MIN_REDUCTION: f64 = 0.90;
+}
+
+/// Figure 10: NPB virtual-IPI rates (per vCPU per second), baseline.
+pub mod fig10 {
+    /// The profile peaks around 1080 IPIs/vCPU/s (ua at spincount 0).
+    pub const PEAK_PER_S: f64 = 1080.0;
+    /// Heavy spinning produces almost no IPIs.
+    pub const ACTIVE_POLICY_MAX_PER_S: f64 = 30.0;
+}
+
+/// Figures 11/12: PARSEC improvements with vScale (4-vCPU VM).
+pub mod fig11 {
+    /// (app, reported reduction of execution time under vScale).
+    pub const REDUCTION: [(&str, f64); 4] = [
+        ("dedup", 0.20),
+        ("bodytrack", 0.10),
+        ("streamcluster", 0.10),
+        ("vips", 0.10),
+    ];
+    /// Apps with marginal benefit.
+    pub const MARGINAL: [&str; 4] = ["ferret", "freqmine", "raytrace", "swaptions"];
+}
+
+/// Figure 13: PARSEC virtual-IPI rates (per vCPU per second), baseline.
+pub mod fig13 {
+    /// dedup's rate.
+    pub const DEDUP_PER_S: f64 = 940.0;
+    /// streamcluster's rate.
+    pub const STREAMCLUSTER_PER_S: f64 = 183.0;
+}
+
+/// Figure 14: Apache/httperf.
+pub mod fig14 {
+    /// Baseline reply rate grows linearly to ~4 K/s then degrades past
+    /// ~6 K/s.
+    pub const BASELINE_BREAK_REQ_PER_S: f64 = 6_000.0;
+    /// pv-spinlock peak reply rate.
+    pub const PVLOCK_PEAK_PER_S: f64 = 5_300.0;
+    /// vScale peak reply rate.
+    pub const VSCALE_PEAK_PER_S: f64 = 6_600.0;
+    /// vScale + pvlock peak reply rate (near link saturation ~7 K/s).
+    pub const VSCALE_PVLOCK_PEAK_PER_S: f64 = 6_900.0;
+    /// The 1 GbE link saturates around 7 K replies/s for 16 KB files.
+    pub const LINK_SATURATION_PER_S: f64 = 7_000.0;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_components_sum() {
+        assert!(
+            (super::table1::SYSCALL_US + super::table1::HYPERCALL_US - super::table1::TOTAL_US)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn fig14_ordering_is_consistent() {
+        use super::fig14::*;
+        assert!(PVLOCK_PEAK_PER_S < VSCALE_PEAK_PER_S);
+        assert!(VSCALE_PEAK_PER_S < VSCALE_PVLOCK_PEAK_PER_S);
+        assert!(VSCALE_PVLOCK_PEAK_PER_S <= LINK_SATURATION_PER_S);
+    }
+}

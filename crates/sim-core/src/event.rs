@@ -1,0 +1,361 @@
+//! Cancellable discrete-event queue with deterministic tie-breaking.
+//!
+//! Events are ordered by `(time, sequence)` where the sequence number is the
+//! order of insertion: two events scheduled for the same instant fire in the
+//! order they were scheduled. This makes the whole simulation deterministic
+//! given a deterministic producer.
+//!
+//! Cancellation is *logical*: [`EventQueue::cancel`] marks the handle dead and
+//! the entry is dropped when it reaches the head of the heap. This is the
+//! standard lazy-deletion pattern and keeps both operations `O(log n)` /
+//! `O(1)`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::SimTime;
+
+/// An opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventHandle(u64);
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime::from_ms(5), "late");
+/// q.schedule(SimTime::from_ms(1), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_ms(1), "early"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation clock: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of live (not cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of events delivered so far (monotonic).
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current clock — scheduling into
+    /// the past is always a simulation bug.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+        EventHandle(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled. Cancelling a fired event is harmless.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        if handle.0 >= self.next_seq {
+            return false;
+        }
+        // Only record a cancellation if the event may still be in the heap;
+        // the set is drained as entries surface.
+        self.cancelled.insert(handle.0)
+    }
+
+    /// Removes and returns the earliest live event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.time >= self.now);
+            self.now = entry.time;
+            self.popped += 1;
+            return Some((entry.time, entry.payload));
+        }
+        None
+    }
+
+    /// The timestamp of the next live event, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drain cancelled entries off the top so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.time);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(3), 3u32);
+        q.schedule(SimTime::from_ms(1), 1u32);
+        q.schedule(SimTime::from_ms(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(7);
+        for i in 0..10u32 {
+            q.schedule(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(2), "b");
+        assert!(q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_ms(1), "a");
+        assert!(q.pop().is_some());
+        // The handle's seq is below next_seq but no longer in the heap; the
+        // cancellation record is inserted and later ignored harmlessly.
+        q.cancel(h);
+        q.schedule(SimTime::from_ms(2), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(5), ());
+        q.schedule(SimTime::from_ms(9), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ms(5));
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ms(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn scheduling_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ms(5), ());
+        q.pop();
+        q.schedule(SimTime::from_ms(1), ());
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(4), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(4)));
+    }
+
+    #[test]
+    fn delivered_counts_only_live_events() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(SimTime::from_ms(1), ());
+        q.schedule(SimTime::from_ms(2), ());
+        q.cancel(h);
+        while q.pop().is_some() {}
+        assert_eq!(q.delivered(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Operations driven against both the queue and a reference model.
+    #[derive(Clone, Debug)]
+    enum Op {
+        Schedule(u64),
+        Cancel(usize),
+        Pop,
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u64..10_000).prop_map(Op::Schedule),
+            (0usize..64).prop_map(Op::Cancel),
+            Just(Op::Pop),
+        ]
+    }
+
+    proptest! {
+        /// The queue delivers exactly the non-cancelled events, in
+        /// (time, insertion-order) order, against a naive reference.
+        #[test]
+        fn matches_reference_model(ops in prop::collection::vec(arb_op(), 0..200)) {
+            let mut q: EventQueue<usize> = EventQueue::new();
+            // Reference: (time, seq, id, cancelled).
+            let mut reference: Vec<(u64, usize, bool)> = Vec::new();
+            let mut handles: Vec<EventHandle> = Vec::new();
+            let mut delivered_q: Vec<usize> = Vec::new();
+            let mut now = 0u64;
+            for op in ops {
+                match op {
+                    Op::Schedule(dt) => {
+                        let t = now + dt;
+                        let id = reference.len();
+                        let h = q.schedule(SimTime::from_ns(t), id);
+                        handles.push(h);
+                        reference.push((t, id, false));
+                    }
+                    Op::Cancel(i) => {
+                        if i < handles.len() {
+                            q.cancel(handles[i]);
+                            reference[i].2 = true;
+                        }
+                    }
+                    Op::Pop => {
+                        if let Some((t, id)) = q.pop() {
+                            now = t.as_ns();
+                            delivered_q.push(id);
+                            // Mark as consumed in the reference.
+                            reference[id].2 = true;
+                        }
+                    }
+                }
+            }
+            // Drain the rest.
+            while let Some((_, id)) = q.pop() {
+                delivered_q.push(id);
+                reference[id].2 = true;
+            }
+            // Every event was delivered exactly once or cancelled.
+            prop_assert!(reference.iter().all(|&(_, _, done)| done));
+            // Delivery order is sorted by (time, seq).
+            let mut last = (0u64, 0usize);
+            for &id in &delivered_q {
+                let key = (reference[id].0, id);
+                prop_assert!(key >= last, "out of order: {key:?} after {last:?}");
+                last = key;
+            }
+        }
+
+        /// `len` always equals live events; `pop` count matches.
+        #[test]
+        fn len_is_consistent(times in prop::collection::vec(0u64..1_000, 0..100),
+                             cancel_every in 1usize..5) {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut live = 0usize;
+            let mut handles = Vec::new();
+            for &t in &times {
+                handles.push(q.schedule(SimTime::from_ns(t), t));
+                live += 1;
+            }
+            for (i, h) in handles.iter().enumerate() {
+                if i % cancel_every == 0 {
+                    if q.cancel(*h) {
+                        live -= 1;
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), live);
+            let mut popped = 0;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert_eq!(popped, live);
+        }
+    }
+}

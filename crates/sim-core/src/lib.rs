@@ -1,0 +1,34 @@
+//! Deterministic discrete-event simulation substrate.
+//!
+//! Every layer of the vScale reproduction — the Xen-style hypervisor
+//! scheduler, the Linux-style guest kernel, and the workload models — runs on
+//! top of this crate. It provides:
+//!
+//! - [`time`] — nanosecond-resolution simulated time ([`SimTime`]) and
+//!   durations ([`SimDuration`]).
+//! - [`event`] — a cancellable, deterministically tie-broken event queue
+//!   ([`EventQueue`]).
+//! - [`rng`] — seedable, reproducible random number generation
+//!   ([`SimRng`]) with common distributions.
+//! - [`stats`] — online statistics, log-bucketed histograms and CDFs used by
+//!   the experiment harnesses.
+//! - [`trace`] — a bounded trace ring for debugging simulations
+//!   ([`TraceRing`]).
+//! - [`ids`] — small typed-index helpers shared by the other crates.
+//!
+//! The simulation is fully deterministic: runs with the same seed and
+//! configuration produce bit-identical results, which the property tests
+//! assert.
+
+pub mod event;
+pub mod ids;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::{EventHandle, EventQueue};
+pub use rng::SimRng;
+pub use stats::{Cdf, Histogram, OnlineStats};
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, TraceRing};

@@ -1,0 +1,163 @@
+//! A bounded in-memory trace ring for simulation debugging.
+//!
+//! Components push timestamped, labelled entries; the ring keeps the most
+//! recent `capacity` of them. When a simulation misbehaves, dumping the
+//! ring gives the last few thousand scheduling decisions without paying
+//! for unbounded logging during long runs.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::time::SimTime;
+
+/// One trace entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Component tag (e.g. `"hv"`, `"dom1"`).
+    pub tag: &'static str,
+    /// Event description.
+    pub message: String,
+}
+
+/// A fixed-capacity ring of trace entries.
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    entries: VecDeque<TraceEntry>,
+    capacity: usize,
+    /// Total entries ever pushed (including evicted ones).
+    pushed: u64,
+    enabled: bool,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` entries, enabled.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        TraceRing {
+            entries: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            pushed: 0,
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled ring (pushes become no-ops) — the zero-overhead
+    /// default for production runs.
+    pub fn disabled() -> Self {
+        TraceRing {
+            entries: VecDeque::new(),
+            capacity: 1,
+            pushed: 0,
+            enabled: false,
+        }
+    }
+
+    /// Turns tracing on or off.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether pushes are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an entry (no-op when disabled).
+    pub fn push(&mut self, at: SimTime, tag: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            at,
+            tag,
+            message: message.into(),
+        });
+        self.pushed += 1;
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Renders the ring as text, one entry per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "[{:>12}] {:<6} {}",
+                format!("{}", e.at),
+                e.tag,
+                e.message
+            );
+        }
+        out
+    }
+
+    /// Retained entries whose tag matches.
+    pub fn filter<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.tag == tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = TraceRing::new(3);
+        for i in 0..5u64 {
+            r.push(SimTime::from_ms(i), "t", format!("e{i}"));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_pushed(), 5);
+        let msgs: Vec<&str> = r.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn disabled_ring_records_nothing() {
+        let mut r = TraceRing::disabled();
+        r.push(SimTime::ZERO, "t", "ignored");
+        assert!(r.is_empty());
+        assert_eq!(r.total_pushed(), 0);
+        r.set_enabled(true);
+        r.push(SimTime::ZERO, "t", "kept");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn dump_and_filter() {
+        let mut r = TraceRing::new(10);
+        r.push(SimTime::from_ms(1), "hv", "run dom0.vcpu0 on pcpu0");
+        r.push(SimTime::from_ms(2), "dom0", "freeze vcpu3");
+        let dump = r.dump();
+        assert!(dump.contains("run dom0.vcpu0"));
+        assert!(dump.contains("freeze vcpu3"));
+        assert_eq!(r.filter("hv").count(), 1);
+        assert_eq!(r.filter("dom0").count(), 1);
+        assert_eq!(r.filter("nope").count(), 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Workload models for the vScale evaluation.
+//!
+//! Each module reproduces the *behavioural signature* of one workload from
+//! the paper's §5.2 — its computation granularity, synchronization style
+//! and intensity, kernel-lock usage and I/O profile — which is what
+//! determines how it reacts to vCPU scheduling delays:
+//!
+//! - [`spin`] — the OpenMP `GOMP_SPINCOUNT` policy mapping (30 G / 300 K /
+//!   0 spin iterations before futex).
+//! - [`npb`] — the ten NAS Parallel Benchmarks (OpenMP): barrier-iterative
+//!   kernels, with lu's ad-hoc always-busy-wait synchronization.
+//! - [`parsec`] — the thirteen PARSEC applications (pthread): pipeline
+//!   (dedup, ferret, x264, vips), condvar-barrier (streamcluster,
+//!   bodytrack, fluidanimate, facesim, canneal) and data-parallel
+//!   (blackscholes, swaptions, raytrace, freqmine) templates.
+//! - [`apache`] — Apache httpd workers serving a 16 KB file, driven by an
+//!   httperf-style constant-rate client over a 1 GbE link.
+//! - [`kbuild`] — parallel kernel-build (the Table 2 workload).
+//! - [`desktop`] — the "photo-slideshow" virtual-desktop background VMs
+//!   that generate the fluctuating competing load of §5.2.1.
+//! - [`adaptive`] — the paper's §7 future work: an application that sizes
+//!   its work split from the VM's vScale-exported effective parallelism.
+
+pub mod adaptive;
+pub mod apache;
+pub mod desktop;
+pub mod kbuild;
+pub mod npb;
+pub mod parsec;
+pub mod spin;
+
+pub use spin::SpinPolicy;

@@ -1,0 +1,479 @@
+//! **Algorithm 1**: calculation of VM CPU extendability.
+//!
+//! The paper defines a VM's *CPU extendability* as the maximum amount of CPU
+//! it would be able to receive from the hypervisor under fair,
+//! work-conserving sharing. Every extendability period `t` (10 ms by
+//! default) the pool master classifies each domain:
+//!
+//! - **Releaser** — consumed less than its fair share `s_fair = w_i/Σw · t·P`.
+//!   Its unused portion (`s_fair − s_i`) is added to the machine-wide slack
+//!   `c_slack`, and its extendability is pinned at its fair share so it can
+//!   always ramp back up to its deserved parallelism.
+//! - **Competitor** — consumed at least its fair share. Its extendability is
+//!   its fair share plus a weight-proportional cut of the slack:
+//!   `s_ext = w_i/Σ_S w_j · c_slack + s_fair`.
+//!
+//! The optimal vCPU count is `n_i = ceil(s_ext / t)` — how many *full*
+//! pCPUs the domain could keep busy, with one extra vCPU for a partial
+//! allocation. Reservation and cap bounds clamp `s_ext` before the ceiling.
+//!
+//! The function here is pure — it is exercised directly by unit and property
+//! tests — and is driven by
+//! [`CreditScheduler::on_extend_tick`](crate::credit::CreditScheduler::on_extend_tick).
+
+use sim_core::time::{SimDuration, SimTime};
+
+/// Per-domain inputs to Algorithm 1 for one period.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtendParams {
+    /// Proportional-share weight `w_i`.
+    pub weight: u32,
+    /// Measured consumption `s_i(t)` in the elapsed window.
+    pub consumed: SimDuration,
+    /// Optional upper bound in pCPUs (Xen `cap`/100).
+    pub cap_pcpus: Option<f64>,
+    /// Optional lower bound in pCPUs.
+    pub reservation_pcpus: Option<f64>,
+    /// Number of vCPUs the domain owns (UP domains are not scaled).
+    pub n_vcpus: usize,
+}
+
+/// Algorithm 1 output for one domain, published through the vScale channel.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExtendInfo {
+    /// The domain's fair share `s_fair(t)` for the window.
+    pub fair: SimDuration,
+    /// The domain's extendability `s_ext(t)` for the window.
+    pub ext: SimDuration,
+    /// The domain's measured consumption `s_i(t)` in the window — a
+    /// lower-bound witness of what the domain can obtain (used by the
+    /// daemon as a floor on the extendability estimate, since slack
+    /// apportioned to competitors that cannot use it is reclaimed by
+    /// whoever can).
+    pub consumed: SimDuration,
+    /// The optimal active-vCPU count `n_i = ceil(s_ext / t)`.
+    pub n_opt: usize,
+    /// Whether the domain was classified as a competitor.
+    pub competitor: bool,
+    /// When this value was computed.
+    pub computed_at: SimTime,
+    /// The window length `t` the values refer to.
+    pub period: SimDuration,
+}
+
+impl ExtendInfo {
+    /// The value a domain holds before the first ticker pass: all its vCPUs
+    /// are assumed usable.
+    pub fn initial(n_vcpus: usize) -> Self {
+        ExtendInfo {
+            fair: SimDuration::ZERO,
+            ext: SimDuration::ZERO,
+            consumed: SimDuration::ZERO,
+            n_opt: n_vcpus,
+            competitor: false,
+            computed_at: SimTime::ZERO,
+            period: SimDuration::ZERO,
+        }
+    }
+
+    /// Extendability expressed in pCPUs (`s_ext / t`).
+    pub fn ext_pcpus(&self) -> f64 {
+        self.ext.ratio(self.period)
+    }
+
+    /// Measured consumption expressed in pCPUs (`s_i / t`).
+    pub fn consumed_pcpus(&self) -> f64 {
+        self.consumed.ratio(self.period)
+    }
+}
+
+/// Runs Algorithm 1 over all domains of a pool.
+///
+/// `n_pcpus` is `P`, `window` is the elapsed period `t`, and `now` stamps
+/// the result. Returns one [`ExtendInfo`] per input, in order.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::time::{SimDuration, SimTime};
+/// use xen_sched::extend::{compute_extendability, ExtendParams};
+///
+/// // A busy 4-vCPU VM next to an idle desktop on 4 pCPUs: the busy VM
+/// // can extend into the desktop's slack while the desktop keeps its
+/// // fair share for ramp-up.
+/// let busy = ExtendParams {
+///     weight: 256, consumed: SimDuration::from_ms(20),
+///     cap_pcpus: None, reservation_pcpus: None, n_vcpus: 4,
+/// };
+/// let idle = ExtendParams { consumed: SimDuration::ZERO, n_vcpus: 2, ..busy };
+/// let out = compute_extendability(&[busy, idle], 4, SimDuration::from_ms(10), SimTime::ZERO);
+/// assert_eq!(out[0].n_opt, 4);
+/// assert_eq!(out[1].n_opt, 2);
+/// ```
+pub fn compute_extendability(
+    domains: &[ExtendParams],
+    n_pcpus: usize,
+    window: SimDuration,
+    now: SimTime,
+) -> Vec<ExtendInfo> {
+    let t_ns = window.as_ns() as f64;
+    let capacity_ns = t_ns * n_pcpus as f64;
+    let weight_sum: f64 = domains.iter().map(|d| f64::from(d.weight)).sum();
+
+    // Pass 1: fair shares, slack accumulation, competitor set.
+    let mut c_slack = 0.0f64;
+    let mut competitor_weight = 0.0f64;
+    let mut fair = vec![0.0f64; domains.len()];
+    let mut is_competitor = vec![false; domains.len()];
+    for (i, d) in domains.iter().enumerate() {
+        fair[i] = if weight_sum > 0.0 {
+            f64::from(d.weight) / weight_sum * capacity_ns
+        } else {
+            0.0
+        };
+        let consumed = d.consumed.as_ns() as f64;
+        if consumed < fair[i] {
+            c_slack += fair[i] - consumed;
+        } else {
+            is_competitor[i] = true;
+            competitor_weight += f64::from(d.weight);
+        }
+    }
+
+    // Pass 2: extendability per domain, clamped to reservation/cap, then
+    // the optimal vCPU count.
+    domains
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let mut ext_ns = if is_competitor[i] && competitor_weight > 0.0 {
+                f64::from(d.weight) / competitor_weight * c_slack + fair[i]
+            } else {
+                fair[i]
+            };
+            if let Some(cap) = d.cap_pcpus {
+                ext_ns = ext_ns.min(cap * t_ns);
+            }
+            if let Some(resv) = d.reservation_pcpus {
+                ext_ns = ext_ns.max(resv * t_ns);
+            }
+            // No domain can exceed whole-machine capacity.
+            ext_ns = ext_ns.min(capacity_ns);
+            let n_opt = if d.n_vcpus <= 1 {
+                // UP domains have no room for scaling; leave them alone.
+                d.n_vcpus
+            } else {
+                let ratio = if t_ns > 0.0 { ext_ns / t_ns } else { 0.0 };
+                (ratio.ceil() as usize).clamp(1, d.n_vcpus)
+            };
+            ExtendInfo {
+                fair: SimDuration::from_ns(fair[i].round() as u64),
+                ext: SimDuration::from_ns(ext_ns.round() as u64),
+                consumed: d.consumed,
+                n_opt,
+                competitor: is_competitor[i],
+                computed_at: now,
+                period: window,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: SimDuration = SimDuration::from_ms(10);
+
+    fn params(weight: u32, consumed_ms_tenths: u64, n_vcpus: usize) -> ExtendParams {
+        ExtendParams {
+            weight,
+            consumed: SimDuration::from_us(consumed_ms_tenths * 100),
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus,
+        }
+    }
+
+    #[test]
+    fn single_busy_domain_gets_whole_machine() {
+        // One 4-vCPU domain on 4 pCPUs, consuming everything.
+        let d = [ExtendParams {
+            weight: 256,
+            consumed: SimDuration::from_ms(40),
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 4,
+        }];
+        let out = compute_extendability(&d, 4, T, SimTime::ZERO);
+        assert_eq!(out[0].n_opt, 4);
+        assert!(out[0].competitor);
+        assert_eq!(out[0].ext, SimDuration::from_ms(40));
+    }
+
+    #[test]
+    fn idle_colocated_vm_donates_slack() {
+        // Paper's motivating case: an HPC VM next to a mostly idle desktop.
+        // 4 pCPUs, equal weights. Desktop consumed 0.5 pCPU-periods.
+        let hpc = ExtendParams {
+            weight: 256,
+            consumed: SimDuration::from_ms(20), // Its full fair share.
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 4,
+        };
+        let desktop = ExtendParams {
+            weight: 256,
+            consumed: SimDuration::from_ms(5),
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 2,
+        };
+        let out = compute_extendability(&[hpc, desktop], 4, T, SimTime::ZERO);
+        // HPC: fair 20 ms + slack 15 ms = 35 ms -> ceil(3.5) = 4 vCPUs.
+        assert!(out[0].competitor);
+        assert_eq!(out[0].ext, SimDuration::from_ms(35));
+        assert_eq!(out[0].n_opt, 4);
+        // Desktop keeps its fair share (releaser): 20 ms -> 2 vCPUs.
+        assert!(!out[1].competitor);
+        assert_eq!(out[1].ext, SimDuration::from_ms(20));
+        assert_eq!(out[1].n_opt, 2);
+    }
+
+    #[test]
+    fn two_competitors_split_slack_by_weight() {
+        // 3 domains on 6 pCPUs: one releaser using nothing, two competitors
+        // with weights 2:1.
+        let releaser = params(256, 0, 2);
+        let heavy = ExtendParams {
+            weight: 512,
+            consumed: SimDuration::from_ms(30), // Exactly its fair share.
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 8,
+        };
+        let light = ExtendParams {
+            weight: 256,
+            consumed: SimDuration::from_ms(15), // Exactly its fair share.
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 8,
+        };
+        let out = compute_extendability(&[releaser, heavy, light], 6, T, SimTime::ZERO);
+        // Fair shares of 60 ms capacity: 15 / 30 / 15 ms.
+        // Releaser consumed 0 -> slack 15 ms.
+        // heavy: 30 + (2/3)*15 = 40 ms -> 4 vCPUs.
+        // light: 15 + (1/3)*15 = 20 ms -> 2 vCPUs.
+        assert_eq!(out[1].ext, SimDuration::from_ms(40));
+        assert_eq!(out[1].n_opt, 4);
+        assert_eq!(out[2].ext, SimDuration::from_ms(20));
+        assert_eq!(out[2].n_opt, 2);
+    }
+
+    #[test]
+    fn releaser_keeps_fair_share_for_rampup() {
+        // Even a fully idle SMP VM must keep its deserved parallelism.
+        let idle = params(256, 0, 4);
+        let busy = ExtendParams {
+            weight: 256,
+            consumed: SimDuration::from_ms(20),
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 4,
+        };
+        let out = compute_extendability(&[idle, busy], 4, T, SimTime::ZERO);
+        assert_eq!(out[0].ext, SimDuration::from_ms(20));
+        assert_eq!(out[0].n_opt, 2, "fair share is 2 of 4 pCPUs");
+    }
+
+    #[test]
+    fn cap_clamps_extendability() {
+        let d = [ExtendParams {
+            weight: 256,
+            consumed: SimDuration::from_ms(40),
+            cap_pcpus: Some(1.5),
+            reservation_pcpus: None,
+            n_vcpus: 4,
+        }];
+        let out = compute_extendability(&d, 4, T, SimTime::ZERO);
+        assert_eq!(out[0].ext, SimDuration::from_ms(15));
+        assert_eq!(out[0].n_opt, 2, "ceil(1.5) = 2");
+    }
+
+    #[test]
+    fn reservation_floors_extendability() {
+        let quiet = ExtendParams {
+            weight: 1, // Tiny weight -> tiny fair share.
+            consumed: SimDuration::ZERO,
+            cap_pcpus: None,
+            reservation_pcpus: Some(2.0),
+            n_vcpus: 4,
+        };
+        let hog = ExtendParams {
+            weight: 10_000,
+            consumed: SimDuration::from_ms(40),
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 4,
+        };
+        let out = compute_extendability(&[quiet, hog], 4, T, SimTime::ZERO);
+        assert!(out[0].ext >= SimDuration::from_ms(20));
+        assert!(out[0].n_opt >= 2);
+    }
+
+    #[test]
+    fn up_domains_are_not_scaled() {
+        let d = [params(256, 0, 1)];
+        let out = compute_extendability(&d, 8, T, SimTime::ZERO);
+        assert_eq!(out[0].n_opt, 1);
+    }
+
+    #[test]
+    fn partial_allocation_earns_one_extra_vcpu() {
+        // 2 equal domains on 3 pCPUs, both competitors: 15 ms each ->
+        // ceil(1.5) = 2 vCPUs (the paper's ceiling rule).
+        let a = ExtendParams {
+            weight: 256,
+            consumed: SimDuration::from_ms(15),
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 4,
+        };
+        let out = compute_extendability(&[a, a], 3, T, SimTime::ZERO);
+        assert_eq!(out[0].n_opt, 2);
+        assert_eq!(out[1].n_opt, 2);
+    }
+
+    #[test]
+    fn n_opt_never_exceeds_owned_vcpus() {
+        let d = [ExtendParams {
+            weight: 256,
+            consumed: SimDuration::from_ms(160),
+            cap_pcpus: None,
+            reservation_pcpus: None,
+            n_vcpus: 2,
+        }];
+        let out = compute_extendability(&d, 16, T, SimTime::ZERO);
+        assert_eq!(out[0].n_opt, 2);
+    }
+
+    #[test]
+    fn extendability_is_work_conserving() {
+        // Total extendability across competitors + releasers' fair shares
+        // never exceeds machine capacity when slack is claimed fully.
+        let doms = [
+            params(256, 100, 4), // Competitor (consumed 10 ms = fair+).
+            params(256, 10, 4),
+            params(256, 0, 4),
+            params(256, 300, 4),
+        ];
+        let out = compute_extendability(&doms, 4, T, SimTime::ZERO);
+        let total_ext_of_competitors: u64 = out
+            .iter()
+            .filter(|o| o.competitor)
+            .map(|o| o.ext.as_ns())
+            .sum();
+        let consumed_by_releasers: u64 = doms
+            .iter()
+            .zip(&out)
+            .filter(|(_, o)| !o.competitor)
+            .map(|(d, _)| d.consumed.as_ns())
+            .sum();
+        let capacity = (T * 4).as_ns();
+        assert!(
+            total_ext_of_competitors + consumed_by_releasers <= capacity + 1000,
+            "{total_ext_of_competitors} + {consumed_by_releasers} > {capacity}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_domain() -> impl Strategy<Value = ExtendParams> {
+        (1u32..1024, 0u64..50_000, 1usize..16).prop_map(|(weight, consumed_us, n_vcpus)| {
+            ExtendParams {
+                weight,
+                consumed: SimDuration::from_us(consumed_us),
+                cap_pcpus: None,
+                reservation_pcpus: None,
+                n_vcpus,
+            }
+        })
+    }
+
+    proptest! {
+        /// Every domain's extendability is at least its fair share.
+        #[test]
+        fn ext_at_least_fair(doms in prop::collection::vec(arb_domain(), 1..8),
+                             n_pcpus in 1usize..16) {
+            let out = compute_extendability(&doms, n_pcpus, SimDuration::from_ms(10), SimTime::ZERO);
+            for o in &out {
+                prop_assert!(o.ext >= o.fair, "ext {} < fair {}", o.ext, o.fair);
+            }
+        }
+
+        /// No domain's extendability exceeds machine capacity, and n_opt is
+        /// within [1, n_vcpus].
+        #[test]
+        fn ext_bounded_by_capacity(doms in prop::collection::vec(arb_domain(), 1..8),
+                                   n_pcpus in 1usize..16) {
+            let t = SimDuration::from_ms(10);
+            let out = compute_extendability(&doms, n_pcpus, t, SimTime::ZERO);
+            let cap = t * n_pcpus as u64;
+            for (d, o) in doms.iter().zip(&out) {
+                prop_assert!(o.ext <= cap);
+                prop_assert!(o.n_opt >= 1);
+                prop_assert!(o.n_opt <= d.n_vcpus.max(1));
+            }
+        }
+
+        /// Fair shares sum to machine capacity (within rounding).
+        #[test]
+        fn fair_shares_sum_to_capacity(doms in prop::collection::vec(arb_domain(), 1..8),
+                                       n_pcpus in 1usize..16) {
+            let t = SimDuration::from_ms(10);
+            let out = compute_extendability(&doms, n_pcpus, t, SimTime::ZERO);
+            let total: u64 = out.iter().map(|o| o.fair.as_ns()).sum();
+            let cap = (t * n_pcpus as u64).as_ns();
+            let tolerance = out.len() as u64; // Rounding, 1 ns per domain.
+            prop_assert!(total <= cap + tolerance && total + tolerance >= cap,
+                         "fair sum {total} vs capacity {cap}");
+        }
+
+        /// Weight monotonicity: among competitors with identical consumption,
+        /// a higher weight never yields lower extendability.
+        #[test]
+        fn weight_monotone(w1 in 1u32..512, w2 in 1u32..512) {
+            let t = SimDuration::from_ms(10);
+            let busy = SimDuration::from_ms(100);
+            let mk = |w| ExtendParams {
+                weight: w, consumed: busy, cap_pcpus: None,
+                reservation_pcpus: None, n_vcpus: 8,
+            };
+            // A third, idle domain provides slack.
+            let idle = ExtendParams {
+                weight: 256, consumed: SimDuration::ZERO, cap_pcpus: None,
+                reservation_pcpus: None, n_vcpus: 8,
+            };
+            let out = compute_extendability(&[mk(w1), mk(w2), idle], 8, t, SimTime::ZERO);
+            if w1 >= w2 {
+                prop_assert!(out[0].ext >= out[1].ext);
+            } else {
+                prop_assert!(out[0].ext <= out[1].ext);
+            }
+        }
+
+        /// Determinism: same inputs, same outputs.
+        #[test]
+        fn deterministic(doms in prop::collection::vec(arb_domain(), 1..8),
+                         n_pcpus in 1usize..16) {
+            let t = SimDuration::from_ms(10);
+            let a = compute_extendability(&doms, n_pcpus, t, SimTime::ZERO);
+            let b = compute_extendability(&doms, n_pcpus, t, SimTime::ZERO);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

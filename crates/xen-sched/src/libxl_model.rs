@@ -1,0 +1,215 @@
+//! Model of the centralized dom0/libxl monitoring path (Figure 4).
+//!
+//! VCPU-Bal monitored every guest's CPU consumption from dom0 through the
+//! `libxl` toolstack. Each per-VM read walks XenStore and issues sysctl
+//! hypercalls through dom0, costing ~480 µs, and — critically — it is
+//! *serialized inside dom0*, which is also the I/O proxy for every guest.
+//! When dom0 is busy forwarding disk or network traffic, monitoring requests
+//! queue behind I/O work, so reading 50 VMs can take many milliseconds with
+//! multi-tens-of-millisecond outliers.
+//!
+//! This module models dom0 as a single FIFO server shared between two task
+//! classes:
+//!
+//! - **monitor reads** — one per VM per sweep, fixed ~480 µs service time;
+//! - **I/O forwarding work** — Poisson arrivals at a load-dependent rate,
+//!   short service times, processed ahead of whatever queue has formed.
+//!
+//! It is driven directly by the `fig4_libxl` bench and by unit tests; it is
+//! deliberately independent of the credit scheduler (the whole point of
+//! vScale's channel is to bypass this path entirely).
+
+use sim_core::rng::SimRng;
+use sim_core::stats::OnlineStats;
+use sim_core::time::{SimDuration, SimTime};
+
+/// Background I/O activity in dom0 while monitoring runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Dom0Load {
+    /// All VMs idle: monitor reads have dom0 to themselves.
+    Idle,
+    /// One VM does disk I/O (`dd`): moderate event rate, larger requests.
+    DiskIo,
+    /// One VM streams over the network (`netperf`): high event rate.
+    NetworkIo,
+}
+
+impl Dom0Load {
+    /// Mean I/O-event arrival rate into dom0, per second.
+    fn arrival_rate(self) -> f64 {
+        match self {
+            Dom0Load::Idle => 0.0,
+            // ~64 KiB dd requests at ~120 MB/s -> ~2k backend ops/s.
+            Dom0Load::DiskIo => 2_000.0,
+            // GbE at ~64 KiB batched TX -> ~8k backend ops/s (netback +
+            // bridge + copy work dominates).
+            Dom0Load::NetworkIo => 9_000.0,
+        }
+    }
+
+    /// Mean per-event service time in dom0.
+    fn service_us(self) -> f64 {
+        match self {
+            Dom0Load::Idle => 0.0,
+            Dom0Load::DiskIo => 55.0,
+            Dom0Load::NetworkIo => 70.0,
+        }
+    }
+}
+
+/// Parameters of the libxl monitoring model.
+#[derive(Clone, Debug)]
+pub struct LibxlModel {
+    /// Base service time of one per-VM libxl read (paper: ~480 µs).
+    pub read_service: SimDuration,
+    /// Jitter applied to each read's service time (fractional sigma).
+    pub read_jitter: f64,
+    /// Background load class.
+    pub load: Dom0Load,
+}
+
+impl Default for LibxlModel {
+    fn default() -> Self {
+        LibxlModel {
+            read_service: SimDuration::from_us(480),
+            read_jitter: 0.08,
+            load: Dom0Load::Idle,
+        }
+    }
+}
+
+/// Result of one simulated monitoring sweep over `n_vms` domains.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepResult {
+    /// Wall-clock duration of the whole sweep.
+    pub total: SimDuration,
+}
+
+impl LibxlModel {
+    /// Simulates one sweep reading all `n_vms` domains' CPU consumption,
+    /// FIFO-interleaved with background I/O work in dom0.
+    pub fn sweep(&self, n_vms: usize, rng: &mut SimRng) -> SweepResult {
+        let mut now = SimTime::ZERO;
+        let rate = self.load.arrival_rate();
+        let svc_us = self.load.service_us();
+        // Next background I/O arrival (Poisson).
+        let mut next_io = if rate > 0.0 {
+            SimTime::ZERO + SimDuration::from_us_f64(rng.exponential(1e6 / rate))
+        } else {
+            SimTime::MAX
+        };
+        for _ in 0..n_vms {
+            // Before this read starts, dom0 drains every I/O event that
+            // arrived up to `now`, and keeps getting interrupted by ones
+            // arriving while it works (dom0 softirq work preempts the
+            // long-running toolstack path).
+            loop {
+                if next_io <= now {
+                    // Service the backlog item.
+                    let s = SimDuration::from_us_f64(rng.exponential(svc_us).max(1.0));
+                    now = now.max(next_io) + s;
+                    next_io = next_io + SimDuration::from_us_f64(rng.exponential(1e6 / rate));
+                    continue;
+                }
+                break;
+            }
+            // Perform the libxl read; I/O arriving mid-read delays its
+            // completion (it shares the same core).
+            let jitter = 1.0 + self.read_jitter * rng.normal(0.0, 1.0);
+            let mut remaining = self.read_service.mul_f64(jitter.max(0.5));
+            while !remaining.is_zero() {
+                if next_io > now + remaining {
+                    now = now + remaining;
+                    remaining = SimDuration::ZERO;
+                } else {
+                    // Run until the interruption, then service the I/O.
+                    let ran = next_io.since(now);
+                    remaining = remaining.saturating_sub(ran);
+                    let s = SimDuration::from_us_f64(rng.exponential(svc_us).max(1.0));
+                    now = next_io + s;
+                    next_io = next_io + SimDuration::from_us_f64(rng.exponential(1e6 / rate));
+                }
+            }
+        }
+        SweepResult {
+            total: now.since(SimTime::ZERO),
+        }
+    }
+
+    /// Runs `iterations` sweeps and returns min/avg/max statistics of the
+    /// sweep duration in milliseconds — the series of Figure 4.
+    pub fn measure(&self, n_vms: usize, iterations: usize, rng: &mut SimRng) -> OnlineStats {
+        let mut stats = OnlineStats::new();
+        for _ in 0..iterations {
+            let r = self.sweep(n_vms, rng);
+            stats.record(r.total.as_ms_f64());
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_sweep_is_linear_in_vm_count() {
+        let m = LibxlModel::default();
+        let mut rng = SimRng::new(1);
+        let s1 = m.measure(1, 200, &mut rng);
+        let s50 = m.measure(50, 50, &mut rng);
+        // ~480 µs per VM.
+        assert!((0.3..0.7).contains(&s1.mean()), "1 VM: {} ms", s1.mean());
+        assert!(
+            (20.0..30.0).contains(&s50.mean()),
+            "50 VMs: {} ms",
+            s50.mean()
+        );
+        let per_vm = s50.mean() / 50.0;
+        assert!((per_vm - s1.mean()).abs() < 0.1, "linearity violated");
+    }
+
+    #[test]
+    fn io_load_inflates_sweep_time() {
+        let mut rng = SimRng::new(2);
+        let idle = LibxlModel::default().measure(50, 50, &mut rng);
+        let net = LibxlModel {
+            load: Dom0Load::NetworkIo,
+            ..LibxlModel::default()
+        }
+        .measure(50, 50, &mut rng);
+        assert!(
+            net.mean() > idle.mean() * 1.5,
+            "network I/O should inflate monitoring: idle {} ms vs net {} ms",
+            idle.mean(),
+            net.mean()
+        );
+    }
+
+    #[test]
+    fn network_worse_than_disk() {
+        let mut rng = SimRng::new(3);
+        let disk = LibxlModel {
+            load: Dom0Load::DiskIo,
+            ..LibxlModel::default()
+        }
+        .measure(50, 50, &mut rng);
+        let net = LibxlModel {
+            load: Dom0Load::NetworkIo,
+            ..LibxlModel::default()
+        }
+        .measure(50, 50, &mut rng);
+        assert!(net.mean() > disk.mean());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = LibxlModel {
+            load: Dom0Load::NetworkIo,
+            ..LibxlModel::default()
+        };
+        let a = m.sweep(20, &mut SimRng::new(7)).total;
+        let b = m.sweep(20, &mut SimRng::new(7)).total;
+        assert_eq!(a, b);
+    }
+}

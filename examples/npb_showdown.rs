@@ -1,0 +1,83 @@
+//! Runs one NPB application (default `lu`) in the paper's §5.2.1 setting
+//! under all four system configurations and prints the Figure 6-style
+//! normalized comparison.
+//!
+//! Run with: `cargo run --release --example npb_showdown [app] [spin]`
+//! where `app` is one of bt cg dc ep ft is lu mg sp ua and `spin` is one
+//! of `active`, `default`, `passive`.
+
+use vscale_repro::apps::desktop::{self, SlideshowConfig};
+use vscale_repro::apps::npb;
+use vscale_repro::apps::spin::SpinPolicy;
+use vscale_repro::core::config::{MachineConfig, SystemConfig};
+use vscale_repro::core::machine::Machine;
+use vscale_repro::sim::time::SimTime;
+use vscale_repro::stats::Table;
+
+fn run_one(cfg: SystemConfig, app: npb::NpbApp, policy: SpinPolicy, seed: u64) -> f64 {
+    let vm_vcpus = 4;
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: vm_vcpus,
+        seed,
+        ..MachineConfig::default()
+    });
+    let vm = m.add_domain(cfg.domain_spec(vm_vcpus).with_weight(128 * vm_vcpus as u32));
+    let n_desktops = desktop::desktops_for_overcommit(vm_vcpus, vm_vcpus);
+    desktop::add_desktops(&mut m, n_desktops, SlideshowConfig::default());
+    // Shorten the run: a quarter of the calibrated iterations.
+    let app = npb::NpbApp {
+        iterations: (app.iterations / 4).max(8),
+        ..app
+    };
+    npb::install(&mut m, vm, app, vm_vcpus, policy);
+    let start = m.now();
+    let end = m
+        .run_until_exited(vm, SimTime::from_secs(120))
+        .expect("application finishes");
+    end.since(start).as_secs_f64()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app_name = args.get(1).map(String::as_str).unwrap_or("lu");
+    let policy = match args.get(2).map(String::as_str) {
+        Some("default") => SpinPolicy::Default,
+        Some("passive") => SpinPolicy::Passive,
+        _ => SpinPolicy::Active,
+    };
+    let app = npb::app(app_name).unwrap_or_else(|| {
+        eprintln!("unknown app {app_name}; expected one of bt cg dc ep ft is lu mg sp ua");
+        std::process::exit(1);
+    });
+    println!(
+        "running NPB {} with {} in a 4-vCPU VM, 2:1 overcommit (3 seeds)...",
+        app.name,
+        policy.label()
+    );
+    let seeds = [3u64, 7, 11];
+    let avg = |cfg: SystemConfig| -> f64 {
+        seeds
+            .iter()
+            .map(|&s| run_one(cfg, app, policy, s))
+            .sum::<f64>()
+            / seeds.len() as f64
+    };
+    let base = avg(SystemConfig::Baseline);
+    let mut t = Table::new(
+        format!("NPB {} ({})", app.name, policy.label()),
+        &["configuration", "exec (s)", "normalized"],
+    );
+    for cfg in SystemConfig::ALL {
+        let secs = if cfg == SystemConfig::Baseline {
+            base
+        } else {
+            avg(cfg)
+        };
+        t.row(&[
+            cfg.label().into(),
+            format!("{secs:.2}"),
+            format!("{:.2}", secs / base),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,88 @@
+//! Quickstart: build a host, add a vScale-managed VM next to a noisy
+//! neighbour, run a small parallel workload, and watch the VM resize
+//! itself.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vscale_repro::apps::desktop::{self, SlideshowConfig};
+use vscale_repro::core::config::{DomainSpec, MachineConfig, SystemConfig};
+use vscale_repro::core::machine::Machine;
+use vscale_repro::guest::thread::{OneShot, ThreadKind};
+use vscale_repro::sim::time::{SimDuration, SimTime};
+
+fn main() {
+    // A host with 4 pCPUs in the guest pool.
+    let mut machine = Machine::new(MachineConfig {
+        n_pcpus: 4,
+        ..MachineConfig::default()
+    });
+
+    // The test VM: 4 vCPUs, managed by vScale (daemon + channel +
+    // balancer). `SystemConfig` also offers Baseline / Pvlock /
+    // VScalePvlock variants.
+    let vm = machine.add_domain(SystemConfig::VScale.domain_spec(4).with_weight(512));
+
+    // A noisy neighbour: a 2-vCPU virtual desktop running a photo
+    // slideshow (CPU spikes separated by think time).
+    let _desktop = desktop::add_desktop_vm(&mut machine, SlideshowConfig::default());
+    let _desktop2 = desktop::add_desktop_vm(&mut machine, SlideshowConfig::default());
+
+    // Give the VM four CPU-bound threads, one second of work each.
+    for _ in 0..4 {
+        let tid = machine.guest_mut(vm).spawn(
+            ThreadKind::User,
+            Box::new(OneShot::new(SimDuration::from_secs(1))),
+        );
+        machine.start_thread(vm, tid);
+    }
+
+    // Run to completion (or a 30-second deadline).
+    let done = machine
+        .run_until_exited(vm, SimTime::from_secs(30))
+        .expect("workload finishes");
+
+    let stats = machine.domain_stats(vm);
+    println!("workload finished at {done}");
+    println!(
+        "VM CPU time {:.2}s, waiting time {:.2}s, daemon reads {}, reconfigurations {}",
+        stats.run_total.as_secs_f64(),
+        stats.wait_total.as_secs_f64(),
+        stats.daemon_reads,
+        stats.reconfigs
+    );
+    println!("\nactive-vCPU trace (time, count):");
+    for (t, n) in machine.active_trace(vm) {
+        println!("  {:>8.3}s  {}", t.as_secs_f64(), n);
+    }
+    println!(
+        "\nThe daemon polled the VM's CPU extendability every 10 ms through\n\
+         the vScale channel and froze/unfroze vCPUs to match — each\n\
+         reconfiguration costing ~2 µs instead of CPU-hotplug's 10-100 ms."
+    );
+
+    // Compare against a fixed-size run of the same workload.
+    let mut fixed = Machine::new(MachineConfig {
+        n_pcpus: 4,
+        ..MachineConfig::default()
+    });
+    let fvm = fixed.add_domain(DomainSpec::fixed(4).with_weight(512));
+    desktop::add_desktop_vm(&mut fixed, SlideshowConfig::default());
+    desktop::add_desktop_vm(&mut fixed, SlideshowConfig::default());
+    for _ in 0..4 {
+        let tid = fixed.guest_mut(fvm).spawn(
+            ThreadKind::User,
+            Box::new(OneShot::new(SimDuration::from_secs(1))),
+        );
+        fixed.start_thread(fvm, tid);
+    }
+    let fixed_done = fixed
+        .run_until_exited(fvm, SimTime::from_secs(30))
+        .expect("workload finishes");
+    let fstats = fixed.domain_stats(fvm);
+    println!(
+        "\nfixed 4-vCPU baseline: finished at {fixed_done}, waiting time {:.2}s\n\
+         (vScale waiting time was {:.2}s)",
+        fstats.wait_total.as_secs_f64(),
+        stats.wait_total.as_secs_f64()
+    );
+}

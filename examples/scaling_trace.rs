@@ -1,0 +1,82 @@
+//! Watch Algorithm 1 + Algorithm 2 work in real time: prints an ASCII
+//! strip chart of a VM's active vCPU count while its neighbours' load
+//! fluctuates (the paper's Figure 8).
+//!
+//! Run with: `cargo run --release --example scaling_trace`
+
+use vscale_repro::apps::desktop::{self, SlideshowConfig};
+use vscale_repro::apps::npb;
+use vscale_repro::apps::spin::SpinPolicy;
+use vscale_repro::core::config::{MachineConfig, SystemConfig};
+use vscale_repro::core::machine::Machine;
+use vscale_repro::sim::time::SimTime;
+
+fn main() {
+    let vm_vcpus = 4;
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: vm_vcpus,
+        seed: 0x7ace,
+        ..MachineConfig::default()
+    });
+    let vm = m.add_domain(
+        SystemConfig::VScale
+            .domain_spec(vm_vcpus)
+            .with_weight(128 * vm_vcpus as u32),
+    );
+    desktop::add_desktops(
+        &mut m,
+        desktop::desktops_for_overcommit(vm_vcpus, vm_vcpus),
+        SlideshowConfig::default(),
+    );
+    let app = npb::NpbApp {
+        iterations: 2_000,
+        ..npb::app("bt").expect("bt exists")
+    };
+    npb::install(&mut m, vm, app, vm_vcpus, SpinPolicy::Active);
+    let end = m
+        .run_until_exited(vm, SimTime::from_secs(60))
+        .expect("bt finishes");
+
+    println!("bt finished at {end}; active-vCPU strip chart (50 ms buckets):\n");
+    // Sample the trace into fixed buckets and draw one char per bucket.
+    let trace = m.active_trace(vm);
+    let total = end.as_secs_f64();
+    let buckets = 120usize;
+    let dt = total / buckets as f64;
+    let mut row = String::new();
+    let mut idx = 0;
+    for b in 0..buckets {
+        let t = b as f64 * dt;
+        while idx + 1 < trace.len() && trace[idx + 1].0.as_secs_f64() <= t {
+            idx += 1;
+        }
+        row.push(char::from_digit(trace[idx].1 as u32, 10).unwrap_or('?'));
+    }
+    for level in (1..=vm_vcpus).rev() {
+        let line: String = row
+            .chars()
+            .map(|c| {
+                let v = c.to_digit(10).unwrap_or(0) as usize;
+                if v >= level {
+                    '#'
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        println!("{level} |{line}|");
+    }
+    println!("  +{}+", "-".repeat(buckets));
+    println!(
+        "   0s{:>width$}",
+        format!("{total:.1}s"),
+        width = buckets - 2
+    );
+    let st = m.domain_stats(vm);
+    println!(
+        "\ndaemon reads: {}, reconfigurations: {}, total waiting {:.2}s",
+        st.daemon_reads,
+        st.reconfigs,
+        st.wait_total.as_secs_f64()
+    );
+}

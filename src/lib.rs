@@ -1,0 +1,23 @@
+//! Umbrella crate for the vScale reproduction workspace.
+//!
+//! This crate re-exports the public surface of every workspace member so
+//! that examples and integration tests can use a single import root. The
+//! actual implementation lives in the member crates:
+//!
+//! - [`sim`] — deterministic discrete-event simulation substrate.
+//! - [`hv`] — the Xen-style credit scheduler hypervisor with the vScale
+//!   extendability extension (Algorithm 1 of the paper).
+//! - [`guest`] — the Linux-style guest kernel with the vScale balancer
+//!   (Algorithm 2 of the paper).
+//! - [`core`] — the cross-layer machine, daemon, and scenario builders.
+//! - [`apps`] — workload models (NPB, PARSEC, Apache, kernel-build, ...).
+//! - [`stats`] — experiment records and report rendering.
+
+pub use guest_kernel as guest;
+pub use metrics as stats;
+pub use sim_core as sim;
+pub use vscale as core;
+pub use workloads as apps;
+pub use xen_sched as hv;
+
+pub use sim_core::ids::{DomId, GlobalVcpu, PcpuId, ThreadId, VcpuId};

@@ -1,0 +1,279 @@
+//! Full-stack integration tests: hypervisor + guest kernel + daemon +
+//! workloads running through the machine, asserting the paper's headline
+//! behaviours end to end.
+
+use vscale_repro::apps::desktop::{self, SlideshowConfig};
+use vscale_repro::apps::npb;
+use vscale_repro::apps::spin::SpinPolicy;
+use vscale_repro::core::config::{DomainSpec, MachineConfig, ScalingMode, SystemConfig};
+use vscale_repro::core::machine::Machine;
+use vscale_repro::guest::thread::{OneShot, ThreadKind};
+use vscale_repro::guest::KernelVersion;
+use vscale_repro::sim::time::{SimDuration, SimTime};
+use vscale_repro::VcpuId;
+
+/// The §5.2.1 host: test VM + overcommitting desktops.
+fn paper_host(cfg: SystemConfig, vm_vcpus: usize, seed: u64) -> (Machine, vscale_repro::DomId) {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: vm_vcpus,
+        seed,
+        ..MachineConfig::default()
+    });
+    let vm = m.add_domain(cfg.domain_spec(vm_vcpus).with_weight(128 * vm_vcpus as u32));
+    desktop::add_desktops(
+        &mut m,
+        desktop::desktops_for_overcommit(vm_vcpus, vm_vcpus),
+        SlideshowConfig::default(),
+    );
+    (m, vm)
+}
+
+fn run_npb(cfg: SystemConfig, name: &str, policy: SpinPolicy, seed: u64) -> (f64, f64) {
+    let (mut m, vm) = paper_host(cfg, 4, seed);
+    let app = npb::NpbApp {
+        iterations: npb::app(name).expect("app exists").iterations / 5,
+        ..npb::app(name).expect("app exists")
+    };
+    npb::install(&mut m, vm, app, 4, policy);
+    let start = m.now();
+    let end = m
+        .run_until_exited(vm, SimTime::from_secs(120))
+        .expect("app finishes");
+    let st = m.domain_stats(vm);
+    (end.since(start).as_secs_f64(), st.wait_total.as_secs_f64())
+}
+
+#[test]
+fn vscale_accelerates_spin_heavy_apps_under_overcommit() {
+    // The paper's headline (Figure 6a): lu and ua, whose synchronization
+    // busy-waits, improve substantially. Average over seeds to tame
+    // background-phase variance.
+    for name in ["lu", "ua"] {
+        let seeds = [3u64, 7, 11];
+        let base: f64 = seeds
+            .iter()
+            .map(|&s| run_npb(SystemConfig::Baseline, name, SpinPolicy::Active, s).0)
+            .sum::<f64>()
+            / seeds.len() as f64;
+        let vs: f64 = seeds
+            .iter()
+            .map(|&s| run_npb(SystemConfig::VScale, name, SpinPolicy::Active, s).0)
+            .sum::<f64>()
+            / seeds.len() as f64;
+        assert!(
+            vs < 0.8 * base,
+            "{name}: vScale {vs:.2}s should beat baseline {base:.2}s by >20%"
+        );
+    }
+}
+
+#[test]
+fn vscale_slashes_vcpu_waiting_time() {
+    // Figure 9: the VM's waiting time drops dramatically.
+    let (_, base_wait) = run_npb(SystemConfig::Baseline, "lu", SpinPolicy::Active, 7);
+    let (_, vs_wait) = run_npb(SystemConfig::VScale, "lu", SpinPolicy::Active, 7);
+    assert!(
+        vs_wait < 0.4 * base_wait,
+        "waiting {vs_wait:.2}s vs baseline {base_wait:.2}s"
+    );
+}
+
+#[test]
+fn insensitive_apps_are_not_penalized_much() {
+    // Figure 6: ep has almost no synchronization; vScale must not wreck it.
+    let seeds = [3u64, 7, 11];
+    let base: f64 = seeds
+        .iter()
+        .map(|&s| run_npb(SystemConfig::Baseline, "ep", SpinPolicy::Active, s).0)
+        .sum::<f64>()
+        / seeds.len() as f64;
+    let vs: f64 = seeds
+        .iter()
+        .map(|&s| run_npb(SystemConfig::VScale, "ep", SpinPolicy::Active, s).0)
+        .sum::<f64>()
+        / seeds.len() as f64;
+    assert!(
+        vs < 1.25 * base,
+        "ep under vScale {vs:.2}s vs baseline {base:.2}s"
+    );
+}
+
+#[test]
+fn lu_gains_are_policy_independent() {
+    // lu's ad-hoc spin is outside OpenMP's control: its baseline time and
+    // its vScale gain barely move across GOMP_SPINCOUNT settings.
+    let a = run_npb(SystemConfig::Baseline, "lu", SpinPolicy::Active, 7).0;
+    let p = run_npb(SystemConfig::Baseline, "lu", SpinPolicy::Passive, 7).0;
+    let rel = (a - p).abs() / a;
+    assert!(rel < 0.05, "lu baseline varies {rel:.2} across policies");
+}
+
+#[test]
+fn daemon_tracks_background_fluctuation() {
+    let (mut m, vm) = paper_host(SystemConfig::VScale, 4, 5);
+    let app = npb::NpbApp {
+        iterations: 600,
+        ..npb::app("bt").expect("bt")
+    };
+    npb::install(&mut m, vm, app, 4, SpinPolicy::Active);
+    m.run_until_exited(vm, SimTime::from_secs(120))
+        .expect("bt finishes");
+    let st = m.domain_stats(vm);
+    assert!(st.daemon_reads > 50, "daemon polled {}", st.daemon_reads);
+    assert!(st.reconfigs >= 4, "daemon reconfigured {}", st.reconfigs);
+    // The trace touched both shrunken and full configurations.
+    let counts: Vec<usize> = m.active_trace(vm).iter().map(|&(_, n)| n).collect();
+    assert!(counts.iter().any(|&n| n <= 3), "never shrank: {counts:?}");
+    assert!(counts.iter().any(|&n| n == 4), "never grew back");
+}
+
+#[test]
+fn hotplug_mode_reconfigures_but_slower() {
+    // The VCPU-Bal-style baseline: same monitoring, reconfiguration via
+    // CPU hotplug with stop_machine stalls.
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed: 9,
+        ..MachineConfig::default()
+    });
+    let vm = m.add_domain(DomainSpec {
+        scaling: ScalingMode::Hotplug {
+            daemon: vscale_repro::core::daemon::DaemonConfig::default(),
+            version: KernelVersion::V3_14_15,
+        },
+        ..DomainSpec::fixed(4)
+    });
+    let bg = m.add_domain(DomainSpec::fixed(2));
+    for _ in 0..4 {
+        let t = m.guest_mut(vm).spawn(
+            ThreadKind::User,
+            Box::new(OneShot::new(SimDuration::from_ms(2_000))),
+        );
+        m.start_thread(vm, t);
+    }
+    for _ in 0..2 {
+        let t = m.guest_mut(bg).spawn(
+            ThreadKind::User,
+            Box::new(OneShot::new(SimDuration::from_ms(1_500))),
+        );
+        m.start_thread(bg, t);
+    }
+    m.run_until(SimTime::from_ms(800));
+    let st = m.domain_stats(vm);
+    assert!(st.reconfigs >= 1, "hotplug mode never reconfigured");
+    assert!(
+        m.guest(vm).active_vcpus() < 4,
+        "hotplug mode should have taken vCPUs offline"
+    );
+}
+
+#[test]
+fn four_configs_are_deterministic_and_distinct_seeds_vary() {
+    let a = run_npb(SystemConfig::VScale, "cg", SpinPolicy::Active, 42);
+    let b = run_npb(SystemConfig::VScale, "cg", SpinPolicy::Active, 42);
+    assert_eq!(a, b, "same seed must replay identically");
+    let c = run_npb(SystemConfig::VScale, "cg", SpinPolicy::Active, 43);
+    assert_ne!(a, c, "different seeds should differ");
+}
+
+#[test]
+fn weights_preserved_when_vcpus_freeze() {
+    // §4.2: per-VM weight — freezing vCPUs must not shrink the VM's
+    // total allocation. Two identical CPU-hog VMs, one frozen to half
+    // its vCPUs, must still split the machine evenly.
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed: 1,
+        ..MachineConfig::default()
+    });
+    let a = m.add_domain(DomainSpec::fixed(2).with_weight(256));
+    let b = m.add_domain(DomainSpec::fixed(2).with_weight(256));
+    for dom in [a, b] {
+        for _ in 0..2 {
+            let t = m.guest_mut(dom).spawn(
+                ThreadKind::User,
+                Box::new(OneShot::new(SimDuration::from_secs(10))),
+            );
+            m.start_thread(dom, t);
+        }
+    }
+    // Freeze one of B's vCPUs.
+    let now = m.now();
+    let mut fx = Vec::new();
+    m.guest_mut(b).freeze_vcpu(VcpuId(1), now, &mut fx);
+    m.apply_guest_effects(b, fx);
+    m.run_until(SimTime::from_secs(2));
+    let ra = m.domain_stats(a).run_total.as_secs_f64();
+    let rb = m.domain_stats(b).run_total.as_secs_f64();
+    let ratio = ra / rb;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "equal weights must mean equal CPU: {ra:.2}s vs {rb:.2}s"
+    );
+}
+
+#[test]
+fn eight_vcpu_vm_shows_larger_gains() {
+    // Figure 7: in the 8-vCPU VM the spin-heavy kernels improve even more
+    // than at 4 vCPUs (more stacking surface for the baseline).
+    let run8 = |cfg: SystemConfig, seed: u64| -> f64 {
+        let (mut m, vm) = paper_host(cfg, 8, seed);
+        let app = npb::NpbApp {
+            iterations: npb::app("lu").expect("lu").iterations / 8,
+            ..npb::app("lu").expect("lu")
+        };
+        npb::install(&mut m, vm, app, 8, SpinPolicy::Active);
+        let start = m.now();
+        m.run_until_exited(vm, SimTime::from_secs(240))
+            .expect("lu finishes")
+            .since(start)
+            .as_secs_f64()
+    };
+    let seeds = [3u64, 7];
+    let base: f64 = seeds
+        .iter()
+        .map(|&s| run8(SystemConfig::Baseline, s))
+        .sum::<f64>()
+        / 2.0;
+    let vs: f64 = seeds
+        .iter()
+        .map(|&s| run8(SystemConfig::VScale, s))
+        .sum::<f64>()
+        / 2.0;
+    assert!(
+        vs < 0.6 * base,
+        "8-vCPU lu: vScale {vs:.2}s vs baseline {base:.2}s"
+    );
+}
+
+#[test]
+fn adaptive_application_uses_effective_parallelism() {
+    // §7 future work end-to-end: the parallelism-aware app outperforms the
+    // fixed pool under vScale in the fluctuating host.
+    use vscale_repro::apps::adaptive::{self, AdaptiveConfig};
+    let run = |adaptive_flag: bool, seed: u64| -> f64 {
+        let (mut m, vm) = paper_host(SystemConfig::VScale, 4, seed);
+        adaptive::install(
+            &mut m,
+            vm,
+            AdaptiveConfig {
+                iterations: 300,
+                adaptive: adaptive_flag,
+                ..AdaptiveConfig::default()
+            },
+            4,
+        );
+        let start = m.now();
+        m.run_until_exited(vm, SimTime::from_secs(240))
+            .expect("app finishes")
+            .since(start)
+            .as_secs_f64()
+    };
+    let seeds = [3u64, 7, 11];
+    let fixed: f64 = seeds.iter().map(|&s| run(false, s)).sum::<f64>() / 3.0;
+    let aware: f64 = seeds.iter().map(|&s| run(true, s)).sum::<f64>() / 3.0;
+    assert!(
+        aware < fixed,
+        "parallelism-aware app should win: {aware:.2}s vs {fixed:.2}s"
+    );
+}

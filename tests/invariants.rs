@@ -1,0 +1,145 @@
+//! Property-based invariants over random full-stack scenarios: no
+//! panics, CPU conservation, deterministic replay, fairness, and the
+//! guest's internal sanity under arbitrary freeze/unfreeze sequences.
+
+use proptest::prelude::*;
+
+use vscale_repro::core::config::{DomainSpec, MachineConfig, SystemConfig};
+use vscale_repro::core::machine::Machine;
+use vscale_repro::guest::thread::{OneShot, Script, ThreadAction, ThreadKind};
+use vscale_repro::sim::time::{SimDuration, SimTime};
+use vscale_repro::VcpuId;
+
+/// Builds a random small host and runs it to a deadline; returns
+/// per-domain run totals and the end time.
+fn run_scenario(
+    seed: u64,
+    n_pcpus: usize,
+    domain_sizes: &[usize],
+    work_ms: &[u64],
+    vscale_mask: u8,
+) -> (Vec<f64>, f64, u64) {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus,
+        seed,
+        ..MachineConfig::default()
+    });
+    let mut doms = Vec::new();
+    for (i, &n) in domain_sizes.iter().enumerate() {
+        let cfg = if vscale_mask & (1 << i) != 0 {
+            SystemConfig::VScale
+        } else {
+            SystemConfig::Baseline
+        };
+        let d = m.add_domain(cfg.domain_spec(n).with_weight(128 * n as u32));
+        doms.push(d);
+    }
+    for (di, &d) in doms.iter().enumerate() {
+        for (wi, &w) in work_ms.iter().enumerate() {
+            let w = 1 + (w + di as u64 * 7 + wi as u64 * 13) % 120;
+            let t = m.guest_mut(d).spawn(
+                ThreadKind::User,
+                Box::new(OneShot::new(SimDuration::from_ms(w))),
+            );
+            m.start_thread(d, t);
+        }
+    }
+    m.run_until(SimTime::from_secs(3));
+    let runs: Vec<f64> = doms
+        .iter()
+        .map(|&d| m.domain_stats(d).run_total.as_secs_f64())
+        .collect();
+    let reconfigs: u64 = doms.iter().map(|&d| m.domain_stats(d).reconfigs).sum();
+    (runs, m.now().as_secs_f64(), reconfigs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Total CPU handed out never exceeds machine capacity, and the
+    /// simulation neither panics nor runs away.
+    #[test]
+    fn cpu_is_conserved(
+        seed in 0u64..1000,
+        n_pcpus in 1usize..5,
+        sizes in prop::collection::vec(1usize..5, 1..4),
+        work in prop::collection::vec(1u64..120, 1..5),
+        mask in 0u8..8,
+    ) {
+        let (runs, end, _) = run_scenario(seed, n_pcpus, &sizes, &work, mask);
+        let total: f64 = runs.iter().sum();
+        let capacity = end * n_pcpus as f64;
+        prop_assert!(
+            total <= capacity * 1.001 + 0.001,
+            "handed out {total:.3}s on {capacity:.3}s of capacity"
+        );
+    }
+
+    /// Bit-identical replay under the same seed.
+    #[test]
+    fn replay_is_deterministic(
+        seed in 0u64..1000,
+        n_pcpus in 1usize..4,
+        sizes in prop::collection::vec(1usize..4, 1..3),
+        work in prop::collection::vec(1u64..80, 1..4),
+        mask in 0u8..4,
+    ) {
+        let a = run_scenario(seed, n_pcpus, &sizes, &work, mask);
+        let b = run_scenario(seed, n_pcpus, &sizes, &work, mask);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Arbitrary freeze/unfreeze sequences never wedge the guest: all
+    /// threads eventually finish once everything is unfrozen.
+    #[test]
+    fn freeze_sequences_never_lose_threads(
+        seed in 0u64..500,
+        ops in prop::collection::vec((1usize..4, prop::bool::ANY), 0..12),
+    ) {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 4,
+            seed,
+            ..MachineConfig::default()
+        });
+        let vm = m.add_domain(DomainSpec::fixed(4));
+        for _ in 0..6 {
+            let t = m.guest_mut(vm).spawn(
+                ThreadKind::User,
+                Box::new(Script::new(vec![
+                    ThreadAction::Compute(SimDuration::from_ms(30)),
+                    ThreadAction::Yield,
+                    ThreadAction::Compute(SimDuration::from_ms(30)),
+                ])),
+            );
+            m.start_thread(vm, t);
+        }
+        // Interleave freezes/unfreezes with execution.
+        let mut at = SimTime::from_ms(2);
+        for (v, freeze) in ops {
+            m.run_until(at);
+            let now = m.now();
+            let mut fx = Vec::new();
+            if freeze {
+                m.guest_mut(vm).freeze_vcpu(VcpuId(v), now, &mut fx);
+            } else {
+                m.guest_mut(vm).unfreeze_vcpu(VcpuId(v), now, &mut fx);
+            }
+            m.apply_guest_effects(vm, fx);
+            at = at + SimDuration::from_ms(2);
+        }
+        // Unfreeze everything and let it drain.
+        m.run_until(at);
+        let now = m.now();
+        for v in 1..4 {
+            let mut fx = Vec::new();
+            m.guest_mut(vm).unfreeze_vcpu(VcpuId(v), now, &mut fx);
+            m.apply_guest_effects(vm, fx);
+        }
+        let done = m.run_until_exited(vm, SimTime::from_secs(30));
+        prop_assert!(done.is_some(), "threads wedged after freeze sequence");
+    }
+}

@@ -1,0 +1,108 @@
+//! Smoke tests: every workload model runs to completion on a dedicated
+//! (uncontended) machine and exhibits its expected gross characteristics.
+
+use vscale_repro::apps::npb::{self, NPB_APPS};
+use vscale_repro::apps::parsec::{self, PARSEC_APPS};
+use vscale_repro::apps::spin::SpinPolicy;
+use vscale_repro::core::config::{DomainSpec, MachineConfig};
+use vscale_repro::core::machine::Machine;
+use vscale_repro::sim::time::SimTime;
+
+fn dedicated_machine(seed: u64) -> (Machine, vscale_repro::DomId) {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 4,
+        seed,
+        ..MachineConfig::default()
+    });
+    let vm = m.add_domain(DomainSpec::fixed(4));
+    (m, vm)
+}
+
+#[test]
+fn every_npb_app_completes_uncontended() {
+    for (i, app) in NPB_APPS.iter().enumerate() {
+        let (mut m, vm) = dedicated_machine(100 + i as u64);
+        let scaled = npb::NpbApp {
+            iterations: (app.iterations / 20).max(4),
+            ..*app
+        };
+        npb::install(&mut m, vm, scaled, 4, SpinPolicy::Default);
+        let done = m.run_until_exited(vm, SimTime::from_secs(60));
+        assert!(done.is_some(), "{} did not finish", app.name);
+        // Uncontended, the run should be within 3x of the ideal serial
+        // fraction (barrier imbalance + overheads).
+        let ideal = npb::ideal_runtime(&scaled).as_secs_f64();
+        let took = done.unwrap().as_secs_f64();
+        assert!(
+            took < 3.0 * ideal + 0.2,
+            "{}: took {took:.2}s vs ideal {ideal:.2}s",
+            app.name
+        );
+        // All four vCPUs participated.
+        let st = m.domain_stats(vm);
+        assert!(
+            st.timer_ints.iter().all(|&t| t > 0),
+            "{}: some vCPU never ran",
+            app.name
+        );
+    }
+}
+
+#[test]
+fn every_parsec_app_completes_uncontended() {
+    for (i, app) in PARSEC_APPS.iter().enumerate() {
+        let (mut m, vm) = dedicated_machine(200 + i as u64);
+        let scaled = parsec::ParsecApp {
+            rounds: (app.rounds / 20).max(4),
+            ..*app
+        };
+        parsec::install(&mut m, vm, scaled, 4);
+        let done = m.run_until_exited(vm, SimTime::from_secs(60));
+        assert!(done.is_some(), "{} did not finish", app.name);
+    }
+}
+
+#[test]
+fn pipeline_apps_flow_items_in_order() {
+    // dedup's stages hand items downstream through bounded buffers; the
+    // final stage must consume exactly `rounds` items.
+    let (mut m, vm) = dedicated_machine(300);
+    let app = parsec::ParsecApp {
+        rounds: 40,
+        ..parsec::app("dedup").expect("dedup")
+    };
+    parsec::install(&mut m, vm, app, 4);
+    m.run_until_exited(vm, SimTime::from_secs(60))
+        .expect("pipeline drains");
+    // Every stage thread exited => every item passed through every stage.
+    assert_eq!(m.exited_threads(vm), 4);
+}
+
+#[test]
+fn npb_scales_with_parallelism_uncontended() {
+    // The same 4 ep worker threads should run ~2x faster in a 4-vCPU VM
+    // than in a 2-vCPU VM on a dedicated host (NPB work is per thread).
+    let run = |n_vcpus: usize| -> f64 {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 4,
+            seed: 400,
+            ..MachineConfig::default()
+        });
+        let vm = m.add_domain(DomainSpec::fixed(n_vcpus));
+        let app = npb::NpbApp {
+            iterations: 4,
+            ..npb::app("ep").expect("ep")
+        };
+        npb::install(&mut m, vm, app, 4, SpinPolicy::Default);
+        m.run_until_exited(vm, SimTime::from_secs(60))
+            .expect("ep finishes")
+            .as_secs_f64()
+    };
+    let two = run(2);
+    let four = run(4);
+    let speedup = two / four;
+    assert!(
+        (1.6..2.4).contains(&speedup),
+        "ep 2->4 vCPU speedup {speedup:.2}"
+    );
+}
