@@ -287,9 +287,11 @@ fn ablation_future_work() {
 }
 
 fn main() {
+    let session = vscale_bench::session("ablations");
     ablation_sizing_policy();
     ablation_mechanism();
     ablation_boost();
     ablation_daemon_period();
     ablation_future_work();
+    session.finish();
 }

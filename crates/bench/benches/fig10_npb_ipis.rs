@@ -13,6 +13,7 @@ use workloads::npb::NPB_APPS;
 use workloads::spin::SpinPolicy;
 
 fn main() {
+    let session = vscale_bench::session("fig10_npb_ipis");
     let scale = ExperimentScale::from_env();
     let mut series: Vec<Series> = SpinPolicy::ALL
         .iter()
@@ -38,4 +39,5 @@ fn main() {
         fig10::PEAK_PER_S,
         fig10::ACTIVE_POLICY_MAX_PER_S
     );
+    session.finish();
 }

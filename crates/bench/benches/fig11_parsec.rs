@@ -7,6 +7,7 @@ use vscale_bench::experiment::{parsec_experiment_avg, ExperimentScale};
 use workloads::parsec::PARSEC_APPS;
 
 fn main() {
+    let session = vscale_bench::session("fig11_parsec");
     let scale = ExperimentScale::from_env();
     let mut series: Vec<Series> = SystemConfig::ALL
         .iter()
@@ -40,4 +41,5 @@ fn main() {
         println!("  {app}: >{:.0}%", red * 100.0);
     }
     println!("marginal: {:?}", fig11::MARGINAL);
+    session.finish();
 }

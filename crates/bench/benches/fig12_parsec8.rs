@@ -6,6 +6,7 @@ use vscale_bench::experiment::{parsec_experiment_avg, ExperimentScale};
 use workloads::parsec::PARSEC_APPS;
 
 fn main() {
+    let session = vscale_bench::session("fig12_parsec8");
     let scale = ExperimentScale::from_env();
     let mut series: Vec<Series> = SystemConfig::ALL
         .iter()
@@ -34,4 +35,5 @@ fn main() {
         )
     );
     println!("apps by index: {names:?}");
+    session.finish();
 }

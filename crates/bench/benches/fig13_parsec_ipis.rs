@@ -11,6 +11,7 @@ use vscale_bench::experiment::{parsec_experiment_avg, ExperimentScale};
 use workloads::parsec::PARSEC_APPS;
 
 fn main() {
+    let session = vscale_bench::session("fig13_parsec_ipis");
     let scale = ExperimentScale::from_env();
     let mut t = Table::new(
         "Figure 13: PARSEC reschedule IPIs per vCPU per second (Xen/Linux)",
@@ -34,4 +35,5 @@ fn main() {
         fig13::DEDUP_PER_S,
         fig13::STREAMCLUSTER_PER_S
     );
+    session.finish();
 }

@@ -11,6 +11,7 @@ use vscale::config::SystemConfig;
 use vscale_bench::experiment::{apache_experiment, ExperimentScale};
 
 fn main() {
+    let session = vscale_bench::session("fig14_apache");
     let scale = ExperimentScale::from_env();
     let seed = 0xf14e;
     let rates: Vec<f64> = vec![
@@ -76,4 +77,5 @@ fn main() {
         fig14::VSCALE_PVLOCK_PEAK_PER_S / 1e3,
         fig14::LINK_SATURATION_PER_S / 1e3
     );
+    session.finish();
 }

@@ -11,6 +11,7 @@ use sim_core::rng::SimRng;
 use xen_sched::libxl_model::{Dom0Load, LibxlModel};
 
 fn main() {
+    let session = vscale_bench::session("fig4_libxl");
     let vm_counts = [1usize, 10, 20, 30, 40, 50];
     let loads = [
         ("w/o workload", Dom0Load::Idle),
@@ -49,4 +50,5 @@ fn main() {
         fig4::NET_50VM_AVG_MS,
         fig4::NET_50VM_MAX_MS
     );
+    session.finish();
 }

@@ -12,6 +12,7 @@ use sim_core::rng::SimRng;
 use sim_core::stats::Cdf;
 
 fn main() {
+    let session = vscale_bench::session("fig5_hotplug");
     let mut rng = SimRng::new(0xf1605);
     let points_ms: Vec<f64> = vec![0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 150.0, 200.0];
 
@@ -72,4 +73,5 @@ fn main() {
         fig5::SLOWDOWN_VS_VSCALE.0,
         fig5::SLOWDOWN_VS_VSCALE.1
     );
+    session.finish();
 }

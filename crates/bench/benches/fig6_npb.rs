@@ -13,6 +13,7 @@ use workloads::npb::NPB_APPS;
 use workloads::spin::SpinPolicy;
 
 fn main() {
+    let session = vscale_bench::session("fig6_npb");
     let scale = ExperimentScale::from_env();
     for policy in SpinPolicy::ALL {
         let mut series: Vec<Series> = SystemConfig::ALL
@@ -57,4 +58,5 @@ fn main() {
         fig6::INSENSITIVE,
         fig6::LU_MIN_REDUCTION_ANY_POLICY * 100.0
     );
+    session.finish();
 }

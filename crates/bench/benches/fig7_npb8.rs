@@ -8,6 +8,7 @@ use workloads::npb::NPB_APPS;
 use workloads::spin::SpinPolicy;
 
 fn main() {
+    let session = vscale_bench::session("fig7_npb8");
     let scale = ExperimentScale::from_env();
     for policy in SpinPolicy::ALL {
         let mut series: Vec<Series> = SystemConfig::ALL
@@ -41,4 +42,5 @@ fn main() {
         );
         println!();
     }
+    session.finish();
 }

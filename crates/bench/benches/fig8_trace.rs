@@ -10,6 +10,7 @@ use workloads::npb;
 use workloads::spin::SpinPolicy;
 
 fn main() {
+    let session = vscale_bench::session("fig8_trace");
     let scale = ExperimentScale::from_env();
     for vm_vcpus in [4usize, 8] {
         let r = npb_experiment(
@@ -54,4 +55,5 @@ fn main() {
         "paper: the VM adaptively bounces between 2 and its full vCPU count\n\
          as the background desktops' consumption fluctuates."
     );
+    session.finish();
 }

@@ -13,6 +13,7 @@ use workloads::npb::NPB_APPS;
 use workloads::spin::SpinPolicy;
 
 fn main() {
+    let session = vscale_bench::session("fig9_waiting");
     let scale = ExperimentScale::from_env();
     let policy = SpinPolicy::Active;
     let mut t = Table::new(
@@ -48,4 +49,5 @@ fn main() {
          with or without pv-spinlock. worst measured here: {worst:.1}%.",
         fig9::MIN_REDUCTION * 100.0
     );
+    session.finish();
 }

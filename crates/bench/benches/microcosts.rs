@@ -1,21 +1,23 @@
-//! Criterion microbenchmarks of the hot mechanism paths.
+//! Microbenchmarks of the hot mechanism paths (testkit bench runner).
 //!
 //! These measure the real wall-clock cost of the data-structure work the
 //! paper's mechanisms wrap: the Algorithm 1 computation, credit-scheduler
 //! transitions, the freeze/unfreeze state machine, event-queue churn.
+//! Mean/p50/p99 per call are printed as a table plus one JSON line per
+//! benchmark; `VSCALE_BENCH_SCALE=full` lengthens the timed phase.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
 use guest_kernel::{GuestConfig, GuestKernel, VcpuId};
 use sim_core::event::EventQueue;
 use sim_core::ids::{GlobalVcpu, PcpuId};
 use sim_core::time::{SimDuration, SimTime};
+use testkit::bench::BenchRunner;
 use xen_sched::channel::{ChannelCosts, VscaleChannel};
 use xen_sched::credit::{CreditConfig, CreditScheduler};
 use xen_sched::extend::{compute_extendability, ExtendParams};
 
-fn bench_extendability(c: &mut Criterion) {
+fn bench_extendability(r: &mut BenchRunner) {
     let domains: Vec<ExtendParams> = (0..16)
         .map(|i| ExtendParams {
             weight: 256,
@@ -25,111 +27,101 @@ fn bench_extendability(c: &mut Criterion) {
             n_vcpus: 4,
         })
         .collect();
-    c.bench_function("algorithm1_extendability_16_domains", |b| {
-        b.iter(|| {
-            compute_extendability(
-                black_box(&domains),
-                black_box(12),
-                SimDuration::from_ms(10),
-                SimTime::ZERO,
-            )
-        })
+    r.bench("algorithm1_extendability_16_domains", || {
+        compute_extendability(
+            black_box(&domains),
+            black_box(12),
+            SimDuration::from_ms(10),
+            SimTime::ZERO,
+        )
     });
 }
 
-fn bench_channel_read(c: &mut Criterion) {
+fn bench_channel_read(r: &mut BenchRunner) {
     let mut sched = CreditScheduler::new(CreditConfig::default(), 4);
     let dom = sched.create_domain(256, 4, None, None);
     sched.wake_domain(dom, SimTime::ZERO);
     sched.on_extend_tick(SimTime::from_ms(10));
     let costs = ChannelCosts::default();
-    c.bench_function("vscale_channel_read", |b| {
-        let mut ch = VscaleChannel::new();
-        b.iter(|| black_box(ch.read(&sched, dom, &costs)))
+    let mut ch = VscaleChannel::new();
+    r.bench("vscale_channel_read", || {
+        black_box(ch.read(&sched, dom, &costs))
     });
 }
 
-fn bench_freeze_unfreeze(c: &mut Criterion) {
-    c.bench_function("balancer_freeze_unfreeze", |b| {
-        let mut k = GuestKernel::new(GuestConfig::new(4));
-        let mut fx = Vec::with_capacity(4);
-        b.iter(|| {
-            fx.clear();
-            k.freeze_vcpu(VcpuId(3), SimTime::ZERO, &mut fx);
-            fx.clear();
-            k.unfreeze_vcpu(VcpuId(3), SimTime::ZERO, &mut fx);
-        })
+fn bench_freeze_unfreeze(r: &mut BenchRunner) {
+    let mut k = GuestKernel::new(GuestConfig::new(4));
+    let mut fx = Vec::with_capacity(4);
+    r.bench("balancer_freeze_unfreeze", || {
+        fx.clear();
+        k.freeze_vcpu(VcpuId(3), SimTime::ZERO, &mut fx);
+        fx.clear();
+        k.unfreeze_vcpu(VcpuId(3), SimTime::ZERO, &mut fx);
     });
 }
 
-fn bench_credit_wake_block(c: &mut Criterion) {
-    c.bench_function("credit_wake_block_cycle", |b| {
-        b.iter_batched(
-            || {
-                let mut s = CreditScheduler::new(CreditConfig::default(), 4);
-                let dom = s.create_domain(256, 4, None, None);
-                (s, GlobalVcpu::new(dom, sim_core::ids::VcpuId(0)))
-            },
-            |(mut s, gv)| {
-                for i in 0..100u64 {
-                    let t = SimTime::from_us(i * 10);
-                    s.vcpu_wake(gv, t);
-                    s.vcpu_block(gv, t);
-                }
-                black_box(s.migrations())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_1k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(SimTime::from_ns((i * 7919) % 100_000), i);
+fn bench_credit_wake_block(r: &mut BenchRunner) {
+    r.bench_with_setup(
+        "credit_wake_block_cycle",
+        || {
+            let mut s = CreditScheduler::new(CreditConfig::default(), 4);
+            let dom = s.create_domain(256, 4, None, None);
+            (s, GlobalVcpu::new(dom, sim_core::ids::VcpuId(0)))
+        },
+        |(mut s, gv)| {
+            for i in 0..100u64 {
+                let t = SimTime::from_us(i * 10);
+                s.vcpu_wake(gv, t);
+                s.vcpu_block(gv, t);
             }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
+            black_box(s.migrations())
+        },
+    );
+}
+
+fn bench_event_queue(r: &mut BenchRunner) {
+    r.bench("event_queue_schedule_pop_1k", || {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::from_ns((i * 7919) % 100_000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, e)) = q.pop() {
+            acc = acc.wrapping_add(e);
+        }
+        black_box(acc)
+    });
+}
+
+fn bench_tick_path(r: &mut BenchRunner) {
+    r.bench_with_setup(
+        "credit_on_tick_4_pcpus",
+        || {
+            let mut s = CreditScheduler::new(CreditConfig::default(), 4);
+            for _ in 0..4 {
+                let d = s.create_domain(256, 2, None, None);
+                s.wake_domain(d, SimTime::ZERO);
             }
-            black_box(acc)
-        })
-    });
+            s
+        },
+        |mut s| {
+            for k in 1..=10u64 {
+                for p in 0..4 {
+                    black_box(s.on_tick(PcpuId(p), SimTime::from_ms(10 * k)));
+                }
+            }
+            s
+        },
+    );
 }
 
-fn bench_tick_path(c: &mut Criterion) {
-    c.bench_function("credit_on_tick_4_pcpus", |b| {
-        b.iter_batched(
-            || {
-                let mut s = CreditScheduler::new(CreditConfig::default(), 4);
-                for _ in 0..4 {
-                    let d = s.create_domain(256, 2, None, None);
-                    s.wake_domain(d, SimTime::ZERO);
-                }
-                s
-            },
-            |mut s| {
-                for k in 1..=10u64 {
-                    for p in 0..4 {
-                        black_box(s.on_tick(PcpuId(p), SimTime::from_ms(10 * k)));
-                    }
-                }
-                s
-            },
-            BatchSize::SmallInput,
-        )
-    });
+fn main() {
+    let mut r = BenchRunner::new("microcosts");
+    bench_extendability(&mut r);
+    bench_channel_read(&mut r);
+    bench_freeze_unfreeze(&mut r);
+    bench_credit_wake_block(&mut r);
+    bench_event_queue(&mut r);
+    bench_tick_path(&mut r);
+    r.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_extendability,
-    bench_channel_read,
-    bench_freeze_unfreeze,
-    bench_credit_wake_block,
-    bench_event_queue,
-    bench_tick_path
-);
-criterion_main!(benches);

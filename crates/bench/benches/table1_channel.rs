@@ -17,6 +17,7 @@ use xen_sched::channel::{ChannelCosts, VscaleChannel};
 use xen_sched::credit::{CreditConfig, CreditScheduler};
 
 fn main() {
+    let session = vscale_bench::session("table1_channel");
     let costs = ChannelCosts::default();
     let mut t = Table::new(
         "Table 1: overhead of reading from the vScale channel",
@@ -68,4 +69,5 @@ fn main() {
         "(the paper's 0.91 us/read is dominated by the syscall+hypercall\n\
          boundary crossings, which the cost model charges in virtual time)"
     );
+    session.finish();
 }

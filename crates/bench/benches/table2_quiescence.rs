@@ -24,6 +24,7 @@ fn rates(m: &Machine, dom: vscale::DomId, window: SimDuration) -> (Vec<f64>, Vec
 }
 
 fn main() {
+    let session = vscale_bench::session("table2_quiescence");
     // The paper runs this on an uncontended host: the VM has the pCPUs
     // to itself so the 1000 Hz tick is cleanly visible.
     let mut m = Machine::new(MachineConfig {
@@ -102,4 +103,5 @@ fn main() {
         "frozen vCPU must be quiescent, saw {:.1} ticks/s",
         timer_after[3]
     );
+    session.finish();
 }

@@ -17,6 +17,7 @@ use metrics::Table;
 use sim_core::time::SimTime;
 
 fn main() {
+    let session = vscale_bench::session("table3_freeze");
     let costs = guest_kernel::GuestCosts::default();
     let mut t = Table::new(
         "Table 3: freezing one vCPU (master side, vCPU0)",
@@ -110,4 +111,5 @@ fn main() {
         "compare: Linux CPU hotplug costs milliseconds to >100 ms per\n\
          operation (Figure 5) — 100x to 100,000x the vScale balancer."
     );
+    session.finish();
 }

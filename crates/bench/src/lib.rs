@@ -5,7 +5,9 @@
 //! tables/series. Everything here is deterministic given the seed.
 
 pub mod experiment;
+pub mod session;
 
 pub use experiment::{
     apache_experiment, npb_experiment, parsec_experiment, AppResult, ExperimentScale,
 };
+pub use session::{session, BenchSession};

@@ -1,0 +1,70 @@
+//! Per-target run envelope for the experiment benches.
+//!
+//! Every table/figure target wraps its driver loop in a [`BenchSession`]
+//! so scripted runs (`scripts/verify.sh`, CI) get one machine-readable
+//! JSON line per target — name, scale, seed count, wall-clock — in
+//! addition to the human-readable paper-comparison tables. Micro-level
+//! per-call statistics live in `testkit::bench`; this records the
+//! envelope of a whole experiment regeneration.
+
+use std::time::Instant;
+
+use crate::experiment::{seeds_from_env, ExperimentScale};
+
+/// A running bench target; created at the top of `main`, finished at the
+/// bottom.
+pub struct BenchSession {
+    target: &'static str,
+    start: Instant,
+    scale: ExperimentScale,
+    n_seeds: usize,
+}
+
+/// Starts a session and prints the run header.
+pub fn session(target: &'static str) -> BenchSession {
+    let scale = ExperimentScale::from_env();
+    let n_seeds = seeds_from_env().len();
+    println!(
+        "## {target} (scale: {}, seeds: {n_seeds})\n",
+        scale_label(scale)
+    );
+    BenchSession {
+        target,
+        start: Instant::now(),
+        scale,
+        n_seeds,
+    }
+}
+
+fn scale_label(scale: ExperimentScale) -> &'static str {
+    match scale {
+        ExperimentScale::Quick => "quick",
+        ExperimentScale::Full => "full",
+    }
+}
+
+impl BenchSession {
+    /// Prints the closing JSON line.
+    pub fn finish(self) {
+        println!(
+            "\n{{\"bench\":\"{}\",\"scale\":\"{}\",\"seeds\":{},\"wall_ms\":{:.1}}}",
+            self.target,
+            scale_label(self.scale),
+            self.n_seeds,
+            self.start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_reports_target_and_timing() {
+        let s = session("smoke_target");
+        assert_eq!(s.target, "smoke_target");
+        assert!(s.n_seeds >= 1);
+        s.finish();
+    }
+}

@@ -262,29 +262,31 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use testkit::{just, one_of, prop_assert, prop_assert_eq, run_prop, u64_in, usize_in, vec_of};
+    use testkit::{tuple2, Config, Gen};
 
     /// Operations driven against both the queue and a reference model.
-    #[derive(Clone, Debug)]
+    #[derive(Clone, Copy, Debug)]
     enum Op {
         Schedule(u64),
         Cancel(usize),
         Pop,
     }
 
-    fn arb_op() -> impl Strategy<Value = Op> {
-        prop_oneof![
-            (0u64..10_000).prop_map(Op::Schedule),
-            (0usize..64).prop_map(Op::Cancel),
-            Just(Op::Pop),
-        ]
+    fn arb_op() -> Gen<Op> {
+        one_of(vec![
+            u64_in(0..10_000).map(Op::Schedule),
+            usize_in(0..64).map(Op::Cancel),
+            just(Op::Pop),
+        ])
     }
 
-    proptest! {
-        /// The queue delivers exactly the non-cancelled events, in
-        /// (time, insertion-order) order, against a naive reference.
-        #[test]
-        fn matches_reference_model(ops in prop::collection::vec(arb_op(), 0..200)) {
+    /// The queue delivers exactly the non-cancelled events, in
+    /// (time, insertion-order) order, against a naive reference.
+    #[test]
+    fn matches_reference_model() {
+        let gen = vec_of(arb_op(), 0..200);
+        run_prop("matches_reference_model", Config::default(), &gen, |ops| {
             let mut q: EventQueue<usize> = EventQueue::new();
             // Reference: (time, seq, id, cancelled).
             let mut reference: Vec<(u64, usize, bool)> = Vec::new();
@@ -292,7 +294,7 @@ mod proptests {
             let mut delivered_q: Vec<usize> = Vec::new();
             let mut now = 0u64;
             for op in ops {
-                match op {
+                match *op {
                     Op::Schedule(dt) => {
                         let t = now + dt;
                         let id = reference.len();
@@ -330,32 +332,39 @@ mod proptests {
                 prop_assert!(key >= last, "out of order: {key:?} after {last:?}");
                 last = key;
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// `len` always equals live events; `pop` count matches.
-        #[test]
-        fn len_is_consistent(times in prop::collection::vec(0u64..1_000, 0..100),
-                             cancel_every in 1usize..5) {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            let mut live = 0usize;
-            let mut handles = Vec::new();
-            for &t in &times {
-                handles.push(q.schedule(SimTime::from_ns(t), t));
-                live += 1;
-            }
-            for (i, h) in handles.iter().enumerate() {
-                if i % cancel_every == 0 {
-                    if q.cancel(*h) {
+    /// `len` always equals live events; `pop` count matches.
+    #[test]
+    fn len_is_consistent() {
+        let gen = tuple2(vec_of(u64_in(0..1_000), 0..100), usize_in(1..5));
+        run_prop(
+            "len_is_consistent",
+            Config::default(),
+            &gen,
+            |(times, cancel_every)| {
+                let mut q: EventQueue<u64> = EventQueue::new();
+                let mut live = 0usize;
+                let mut handles = Vec::new();
+                for &t in times {
+                    handles.push(q.schedule(SimTime::from_ns(t), t));
+                    live += 1;
+                }
+                for (i, h) in handles.iter().enumerate() {
+                    if i % cancel_every == 0 && q.cancel(*h) {
                         live -= 1;
                     }
                 }
-            }
-            prop_assert_eq!(q.len(), live);
-            let mut popped = 0;
-            while q.pop().is_some() {
-                popped += 1;
-            }
-            prop_assert_eq!(popped, live);
-        }
+                prop_assert_eq!(q.len(), live);
+                let mut popped = 0;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                prop_assert_eq!(popped, live);
+                Ok(())
+            },
+        );
     }
 }

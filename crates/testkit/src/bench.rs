@@ -1,0 +1,304 @@
+//! A mini benchmark runner (the workspace's criterion replacement).
+//!
+//! Wall-clock measurement with warmup and batched timed iterations;
+//! summaries (mean/p50/p99/min/max) come from `sim-core::stats`
+//! ([`OnlineStats`] + [`Histogram`]). Output is an aligned ASCII table
+//! plus one machine-readable JSON line per benchmark, so scripted runs
+//! can scrape results without a parser dependency.
+//!
+//! `VSCALE_BENCH_SCALE=full` lengthens the timed phase (the same knob the
+//! experiment harnesses honor); the default quick scale keeps the whole
+//! suite in the low seconds.
+
+use std::time::Instant;
+
+use sim_core::stats::{Histogram, OnlineStats};
+
+/// Timing budget for one benchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct BenchConfig {
+    /// Target wall-clock for the timed phase, nanoseconds.
+    pub target_total_ns: u64,
+    /// Ceiling on timed samples (batches).
+    pub max_samples: u32,
+    /// Minimum wall-clock per timed sample; cheap functions are batched
+    /// until one sample reaches this, so timer overhead stays small.
+    pub min_sample_ns: u64,
+}
+
+impl BenchConfig {
+    /// Quick scale (default): ~100 ms timed per benchmark.
+    pub fn quick() -> Self {
+        BenchConfig {
+            target_total_ns: 100_000_000,
+            max_samples: 200,
+            min_sample_ns: 20_000,
+        }
+    }
+
+    /// Full scale: ~1 s timed per benchmark.
+    pub fn full() -> Self {
+        BenchConfig {
+            target_total_ns: 1_000_000_000,
+            max_samples: 1_000,
+            min_sample_ns: 20_000,
+        }
+    }
+
+    /// Reads the scale from `VSCALE_BENCH_SCALE` (`full` or quick).
+    pub fn from_env() -> Self {
+        match std::env::var("VSCALE_BENCH_SCALE").as_deref() {
+            Ok("full") => BenchConfig::full(),
+            _ => BenchConfig::quick(),
+        }
+    }
+
+    fn scale_label(&self) -> &'static str {
+        if self.target_total_ns >= BenchConfig::full().target_total_ns {
+            "full"
+        } else {
+            "quick"
+        }
+    }
+}
+
+/// Summary of one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Total timed calls (samples × batch).
+    pub calls: u64,
+    /// Calls per timed sample.
+    pub batch: u64,
+    /// Mean ns per call.
+    pub mean_ns: f64,
+    /// Median ns per call (log-bucket resolution ~4.4%).
+    pub p50_ns: u64,
+    /// 99th-percentile ns per call.
+    pub p99_ns: u64,
+    /// Fastest sample, ns per call.
+    pub min_ns: f64,
+    /// Slowest sample, ns per call.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    /// One JSON object on one line (hand-rolled; no serde in the tree).
+    pub fn to_json(&self, suite: &str, scale: &str) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"bench\":\"{}\",\"scale\":\"{}\",\"calls\":{},\"batch\":{},\
+             \"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+            suite,
+            self.name,
+            scale,
+            self.calls,
+            self.batch,
+            self.mean_ns,
+            self.p50_ns,
+            self.p99_ns,
+            self.min_ns,
+            self.max_ns
+        )
+    }
+}
+
+/// Runs a suite of benchmarks and renders the combined report.
+pub struct BenchRunner {
+    suite: String,
+    cfg: BenchConfig,
+    results: Vec<BenchResult>,
+}
+
+impl BenchRunner {
+    /// A runner configured from the environment.
+    pub fn new(suite: impl Into<String>) -> Self {
+        BenchRunner {
+            suite: suite.into(),
+            cfg: BenchConfig::from_env(),
+            results: Vec::new(),
+        }
+    }
+
+    /// A runner with an explicit budget (tests use tiny ones).
+    pub fn with_config(suite: impl Into<String>, cfg: BenchConfig) -> Self {
+        BenchRunner {
+            suite: suite.into(),
+            cfg,
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `f`, which is called repeatedly with no arguments.
+    /// Return a value derived from the work so the optimizer cannot
+    /// delete it (the runner black-boxes it).
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &BenchResult {
+        // Estimate cost with one untimed call, then pick the batch size.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let est_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        let batch = (self.cfg.min_sample_ns / est_ns).clamp(1, 1_000_000);
+        let samples =
+            (self.cfg.target_total_ns / (est_ns * batch)).clamp(10, self.cfg.max_samples as u64);
+        // Warmup: a tenth of the timed phase, at least one batch.
+        for _ in 0..(samples / 10 + 1) * batch {
+            std::hint::black_box(f());
+        }
+        let mut stats = OnlineStats::new();
+        let mut hist = Histogram::new();
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let per_call = t.elapsed().as_nanos() as f64 / batch as f64;
+            stats.record(per_call);
+            hist.record(per_call.round() as u64);
+        }
+        self.results.push(BenchResult {
+            name: name.into(),
+            calls: samples * batch,
+            batch,
+            mean_ns: stats.mean(),
+            p50_ns: hist.median(),
+            p99_ns: hist.quantile(0.99),
+            min_ns: stats.min(),
+            max_ns: stats.max(),
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// Benchmarks a function that consumes fresh state per call
+    /// (criterion `iter_batched` analogue): `setup` is untimed, `f` is
+    /// timed with batch size 1.
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut f: impl FnMut(S) -> R,
+    ) -> &BenchResult {
+        // Setup cost forces batch = 1; estimate from one round.
+        let s = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(f(s));
+        let est_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        let samples = (self.cfg.target_total_ns / est_ns).clamp(10, self.cfg.max_samples as u64);
+        for _ in 0..samples / 10 + 1 {
+            let s = setup();
+            std::hint::black_box(f(s));
+        }
+        let mut stats = OnlineStats::new();
+        let mut hist = Histogram::new();
+        for _ in 0..samples {
+            let s = setup();
+            let t = Instant::now();
+            std::hint::black_box(f(s));
+            let ns = t.elapsed().as_nanos() as f64;
+            stats.record(ns);
+            hist.record(ns.round() as u64);
+        }
+        self.results.push(BenchResult {
+            name: name.into(),
+            calls: samples,
+            batch: 1,
+            mean_ns: stats.mean(),
+            p50_ns: hist.median(),
+            p99_ns: hist.quantile(0.99),
+            min_ns: stats.min(),
+            max_ns: stats.max(),
+        });
+        self.results.last().expect("just pushed")
+    }
+
+    /// Renders the table + JSON report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let scale = self.cfg.scale_label();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== bench suite '{}' (scale: {scale}, ns/call) ==",
+            self.suite
+        );
+        let name_w = self
+            .results
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(
+            out,
+            "{:name_w$}  {:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+            "name", "mean", "p50", "p99", "min", "max", "calls"
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{:name_w$}  {:>12.1} {:>12} {:>12} {:>12.1} {:>12.1} {:>10}",
+                r.name, r.mean_ns, r.p50_ns, r.p99_ns, r.min_ns, r.max_ns, r.calls
+            );
+        }
+        for r in &self.results {
+            let _ = writeln!(out, "{}", r.to_json(&self.suite, scale));
+        }
+        out
+    }
+
+    /// Prints the report to stdout.
+    pub fn finish(self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> BenchConfig {
+        BenchConfig {
+            target_total_ns: 200_000,
+            max_samples: 20,
+            min_sample_ns: 2_000,
+        }
+    }
+
+    #[test]
+    fn bench_produces_sane_summary() {
+        let mut r = BenchRunner::with_config("t", tiny());
+        let res = r.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(res.calls >= 10);
+        assert!(res.mean_ns > 0.0);
+        assert!(res.min_ns <= res.mean_ns && res.mean_ns <= res.max_ns);
+    }
+
+    #[test]
+    fn bench_with_setup_runs() {
+        let mut r = BenchRunner::with_config("t", tiny());
+        let res = r.bench_with_setup("consume", || vec![1u64; 64], |v| v.into_iter().sum::<u64>());
+        assert_eq!(res.batch, 1);
+        assert!(res.calls >= 10);
+    }
+
+    #[test]
+    fn report_contains_table_and_json() {
+        let mut r = BenchRunner::with_config("suite-x", tiny());
+        r.bench("noop", || 1u32);
+        let s = r.render();
+        assert!(s.contains("bench suite 'suite-x'"));
+        assert!(s.contains("\"suite\":\"suite-x\",\"bench\":\"noop\""));
+        assert!(s.contains("\"p99_ns\":"));
+    }
+
+    #[test]
+    fn scale_label_tracks_config() {
+        assert_eq!(BenchConfig::quick().scale_label(), "quick");
+        assert_eq!(BenchConfig::full().scale_label(), "full");
+    }
+}

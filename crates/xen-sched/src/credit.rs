@@ -1379,30 +1379,8 @@ mod scheduler_behaviour_tests {
 #[cfg(test)]
 mod scheduler_proptests {
     use super::*;
-    use proptest::prelude::*;
-
-    #[derive(Clone, Debug)]
-    enum SchedOp {
-        Wake(usize),
-        Block(usize),
-        Yield(usize),
-        Tick(usize),
-        SliceEnd(usize),
-        Acct,
-        Freeze(usize, bool),
-    }
-
-    fn arb_op(n_vcpus: usize, n_pcpus: usize) -> impl Strategy<Value = SchedOp> {
-        prop_oneof![
-            (0..n_vcpus).prop_map(SchedOp::Wake),
-            (0..n_vcpus).prop_map(SchedOp::Block),
-            (0..n_vcpus).prop_map(SchedOp::Yield),
-            (0..n_pcpus).prop_map(SchedOp::Tick),
-            (0..n_pcpus).prop_map(SchedOp::SliceEnd),
-            Just(SchedOp::Acct),
-            ((0..n_vcpus), prop::bool::ANY).prop_map(|(v, f)| SchedOp::Freeze(v, f)),
-        ]
-    }
+    use testkit::Config;
+    use testkit::{bool_any, prop_assert, run_prop, tuple2, tuple3, u8_in, usize_in, vec_of};
 
     /// Structural invariants that must hold after every operation:
     /// - each pCPU runs at most one vCPU, and that vCPU's state agrees;
@@ -1438,60 +1416,76 @@ mod scheduler_proptests {
         Ok(())
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn random_op_sequences_preserve_invariants(
-            n_pcpus in 1usize..4,
-            ops in prop::collection::vec((0u8..7, 0usize..8, prop::bool::ANY), 1..120),
-        ) {
-            let mut s = CreditScheduler::new(CreditConfig::default(), n_pcpus);
-            // Two domains, 2 vCPUs each.
-            let doms = [(0usize, 2usize), (1, 2)];
-            s.create_domain(256, 2, None, None);
-            s.create_domain(512, 2, Some(1.5), None);
-            let mut t = SimTime::ZERO;
-            let mut prev_run = SimDuration::ZERO;
-            let mut prev_wait = SimDuration::ZERO;
-            for (kind, idx, flag) in ops {
-                t = t + SimDuration::from_us(500);
-                let gv = GlobalVcpu::new(DomId(idx % 2), VcpuId(idx / 2 % 2));
-                match kind {
-                    0 => { s.vcpu_wake(gv, t); }
-                    1 => { s.vcpu_block(gv, t); }
-                    2 => { s.vcpu_yield(gv, t); }
-                    3 => { s.on_tick(PcpuId(idx % n_pcpus), t); }
-                    4 => { s.slice_expired(PcpuId(idx % n_pcpus), t); }
-                    5 => { s.on_acct(t); }
-                    _ => {
-                        // Never freeze vcpu0 of a domain (mirrors the
-                        // daemon's rule) and only via the guest path.
-                        if idx / 2 % 2 == 1 {
-                            s.set_frozen(gv, flag);
+    #[test]
+    fn random_op_sequences_preserve_invariants() {
+        let gen = tuple2(
+            usize_in(1..4),
+            vec_of(tuple3(u8_in(0..7), usize_in(0..8), bool_any()), 1..120),
+        );
+        run_prop(
+            "random_op_sequences_preserve_invariants",
+            Config::with_cases(64),
+            &gen,
+            |(n_pcpus, ops)| {
+                let n_pcpus = *n_pcpus;
+                let mut s = CreditScheduler::new(CreditConfig::default(), n_pcpus);
+                // Two domains, 2 vCPUs each.
+                let doms = [(0usize, 2usize), (1, 2)];
+                s.create_domain(256, 2, None, None);
+                s.create_domain(512, 2, Some(1.5), None);
+                let mut t = SimTime::ZERO;
+                let mut prev_run = SimDuration::ZERO;
+                let mut prev_wait = SimDuration::ZERO;
+                for &(kind, idx, flag) in ops {
+                    t = t + SimDuration::from_us(500);
+                    let gv = GlobalVcpu::new(DomId(idx % 2), VcpuId(idx / 2 % 2));
+                    match kind {
+                        0 => {
+                            s.vcpu_wake(gv, t);
+                        }
+                        1 => {
+                            s.vcpu_block(gv, t);
+                        }
+                        2 => {
+                            s.vcpu_yield(gv, t);
+                        }
+                        3 => {
+                            s.on_tick(PcpuId(idx % n_pcpus), t);
+                        }
+                        4 => {
+                            s.slice_expired(PcpuId(idx % n_pcpus), t);
+                        }
+                        5 => {
+                            s.on_acct(t);
+                        }
+                        _ => {
+                            // Never freeze vcpu0 of a domain (mirrors the
+                            // daemon's rule) and only via the guest path.
+                            if idx / 2 % 2 == 1 {
+                                s.set_frozen(gv, flag);
+                            }
                         }
                     }
+                    check_invariants(&s, &doms).map_err(|e| format!("after {kind}/{idx}: {e}"))?;
+                    // Totals are monotone.
+                    let run: SimDuration = doms
+                        .iter()
+                        .map(|&(d, _)| s.domain_run_total(DomId(d)))
+                        .fold(SimDuration::ZERO, |a, b| a + b);
+                    let wait: SimDuration = doms
+                        .iter()
+                        .map(|&(d, _)| s.domain_wait_total(DomId(d)))
+                        .fold(SimDuration::ZERO, |a, b| a + b);
+                    prop_assert!(run >= prev_run, "run total went backwards");
+                    prop_assert!(wait >= prev_wait, "wait total went backwards");
+                    prev_run = run;
+                    prev_wait = wait;
                 }
-                check_invariants(&s, &doms).map_err(|e| {
-                    TestCaseError::fail(format!("after {kind}/{idx}: {e}"))
-                })?;
-                // Totals are monotone.
-                let run: SimDuration = doms
-                    .iter()
-                    .map(|&(d, _)| s.domain_run_total(DomId(d)))
-                    .fold(SimDuration::ZERO, |a, b| a + b);
-                let wait: SimDuration = doms
-                    .iter()
-                    .map(|&(d, _)| s.domain_wait_total(DomId(d)))
-                    .fold(SimDuration::ZERO, |a, b| a + b);
-                prop_assert!(run >= prev_run, "run total went backwards");
-                prop_assert!(wait >= prev_wait, "wait total went backwards");
-                prev_run = run;
-                prev_wait = wait;
-            }
-            // CPU conservation: total run time <= elapsed * pcpus.
-            let elapsed = t.since(SimTime::ZERO);
-            prop_assert!(prev_run <= elapsed * n_pcpus as u64 + SimDuration::from_us(1));
-        }
+                // CPU conservation: total run time <= elapsed * pcpus.
+                let elapsed = t.since(SimTime::ZERO);
+                prop_assert!(prev_run <= elapsed * n_pcpus as u64 + SimDuration::from_us(1));
+                Ok(())
+            },
+        );
     }
 }

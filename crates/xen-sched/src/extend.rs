@@ -390,73 +390,109 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use testkit::{prop_assert, prop_assert_eq, run_prop, tuple2, tuple3, vec_of};
+    use testkit::{u32_in, u64_in, usize_in, Config, Gen};
 
-    fn arb_domain() -> impl Strategy<Value = ExtendParams> {
-        (1u32..1024, 0u64..50_000, 1usize..16).prop_map(|(weight, consumed_us, n_vcpus)| {
-            ExtendParams {
+    fn arb_domain() -> Gen<ExtendParams> {
+        tuple3(u32_in(1..1024), u64_in(0..50_000), usize_in(1..16)).map(
+            |(weight, consumed_us, n_vcpus)| ExtendParams {
                 weight,
                 consumed: SimDuration::from_us(consumed_us),
                 cap_pcpus: None,
                 reservation_pcpus: None,
                 n_vcpus,
-            }
-        })
+            },
+        )
     }
 
-    proptest! {
-        /// Every domain's extendability is at least its fair share.
-        #[test]
-        fn ext_at_least_fair(doms in prop::collection::vec(arb_domain(), 1..8),
-                             n_pcpus in 1usize..16) {
-            let out = compute_extendability(&doms, n_pcpus, SimDuration::from_ms(10), SimTime::ZERO);
-            for o in &out {
-                prop_assert!(o.ext >= o.fair, "ext {} < fair {}", o.ext, o.fair);
-            }
-        }
+    fn arb_doms_and_pcpus() -> Gen<(Vec<ExtendParams>, usize)> {
+        tuple2(vec_of(arb_domain(), 1..8), usize_in(1..16))
+    }
 
-        /// No domain's extendability exceeds machine capacity, and n_opt is
-        /// within [1, n_vcpus].
-        #[test]
-        fn ext_bounded_by_capacity(doms in prop::collection::vec(arb_domain(), 1..8),
-                                   n_pcpus in 1usize..16) {
-            let t = SimDuration::from_ms(10);
-            let out = compute_extendability(&doms, n_pcpus, t, SimTime::ZERO);
-            let cap = t * n_pcpus as u64;
-            for (d, o) in doms.iter().zip(&out) {
-                prop_assert!(o.ext <= cap);
-                prop_assert!(o.n_opt >= 1);
-                prop_assert!(o.n_opt <= d.n_vcpus.max(1));
-            }
-        }
+    /// Every domain's extendability is at least its fair share.
+    #[test]
+    fn ext_at_least_fair() {
+        run_prop(
+            "ext_at_least_fair",
+            Config::default(),
+            &arb_doms_and_pcpus(),
+            |(doms, n_pcpus)| {
+                let out =
+                    compute_extendability(doms, *n_pcpus, SimDuration::from_ms(10), SimTime::ZERO);
+                for o in &out {
+                    prop_assert!(o.ext >= o.fair, "ext {} < fair {}", o.ext, o.fair);
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// Fair shares sum to machine capacity (within rounding).
-        #[test]
-        fn fair_shares_sum_to_capacity(doms in prop::collection::vec(arb_domain(), 1..8),
-                                       n_pcpus in 1usize..16) {
-            let t = SimDuration::from_ms(10);
-            let out = compute_extendability(&doms, n_pcpus, t, SimTime::ZERO);
-            let total: u64 = out.iter().map(|o| o.fair.as_ns()).sum();
-            let cap = (t * n_pcpus as u64).as_ns();
-            let tolerance = out.len() as u64; // Rounding, 1 ns per domain.
-            prop_assert!(total <= cap + tolerance && total + tolerance >= cap,
-                         "fair sum {total} vs capacity {cap}");
-        }
+    /// No domain's extendability exceeds machine capacity, and n_opt is
+    /// within [1, n_vcpus].
+    #[test]
+    fn ext_bounded_by_capacity() {
+        run_prop(
+            "ext_bounded_by_capacity",
+            Config::default(),
+            &arb_doms_and_pcpus(),
+            |(doms, n_pcpus)| {
+                let t = SimDuration::from_ms(10);
+                let out = compute_extendability(doms, *n_pcpus, t, SimTime::ZERO);
+                let cap = t * *n_pcpus as u64;
+                for (d, o) in doms.iter().zip(&out) {
+                    prop_assert!(o.ext <= cap);
+                    prop_assert!(o.n_opt >= 1);
+                    prop_assert!(o.n_opt <= d.n_vcpus.max(1));
+                }
+                Ok(())
+            },
+        );
+    }
 
-        /// Weight monotonicity: among competitors with identical consumption,
-        /// a higher weight never yields lower extendability.
-        #[test]
-        fn weight_monotone(w1 in 1u32..512, w2 in 1u32..512) {
+    /// Fair shares sum to machine capacity (within rounding).
+    #[test]
+    fn fair_shares_sum_to_capacity() {
+        run_prop(
+            "fair_shares_sum_to_capacity",
+            Config::default(),
+            &arb_doms_and_pcpus(),
+            |(doms, n_pcpus)| {
+                let t = SimDuration::from_ms(10);
+                let out = compute_extendability(doms, *n_pcpus, t, SimTime::ZERO);
+                let total: u64 = out.iter().map(|o| o.fair.as_ns()).sum();
+                let cap = (t * *n_pcpus as u64).as_ns();
+                let tolerance = out.len() as u64; // Rounding, 1 ns per domain.
+                prop_assert!(
+                    total <= cap + tolerance && total + tolerance >= cap,
+                    "fair sum {total} vs capacity {cap}"
+                );
+                Ok(())
+            },
+        );
+    }
+
+    /// Weight monotonicity: among competitors with identical consumption,
+    /// a higher weight never yields lower extendability.
+    #[test]
+    fn weight_monotone() {
+        let gen = tuple2(u32_in(1..512), u32_in(1..512));
+        run_prop("weight_monotone", Config::default(), &gen, |&(w1, w2)| {
             let t = SimDuration::from_ms(10);
             let busy = SimDuration::from_ms(100);
             let mk = |w| ExtendParams {
-                weight: w, consumed: busy, cap_pcpus: None,
-                reservation_pcpus: None, n_vcpus: 8,
+                weight: w,
+                consumed: busy,
+                cap_pcpus: None,
+                reservation_pcpus: None,
+                n_vcpus: 8,
             };
             // A third, idle domain provides slack.
             let idle = ExtendParams {
-                weight: 256, consumed: SimDuration::ZERO, cap_pcpus: None,
-                reservation_pcpus: None, n_vcpus: 8,
+                weight: 256,
+                consumed: SimDuration::ZERO,
+                cap_pcpus: None,
+                reservation_pcpus: None,
+                n_vcpus: 8,
             };
             let out = compute_extendability(&[mk(w1), mk(w2), idle], 8, t, SimTime::ZERO);
             if w1 >= w2 {
@@ -464,16 +500,24 @@ mod proptests {
             } else {
                 prop_assert!(out[0].ext <= out[1].ext);
             }
-        }
+            Ok(())
+        });
+    }
 
-        /// Determinism: same inputs, same outputs.
-        #[test]
-        fn deterministic(doms in prop::collection::vec(arb_domain(), 1..8),
-                         n_pcpus in 1usize..16) {
-            let t = SimDuration::from_ms(10);
-            let a = compute_extendability(&doms, n_pcpus, t, SimTime::ZERO);
-            let b = compute_extendability(&doms, n_pcpus, t, SimTime::ZERO);
-            prop_assert_eq!(a, b);
-        }
+    /// Determinism: same inputs, same outputs.
+    #[test]
+    fn deterministic() {
+        run_prop(
+            "deterministic",
+            Config::default(),
+            &arb_doms_and_pcpus(),
+            |(doms, n_pcpus)| {
+                let t = SimDuration::from_ms(10);
+                let a = compute_extendability(doms, *n_pcpus, t, SimTime::ZERO);
+                let b = compute_extendability(doms, *n_pcpus, t, SimTime::ZERO);
+                prop_assert_eq!(a, b);
+                Ok(())
+            },
+        );
     }
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Hermetic tier-1 verification, usable as CI. The workspace has zero
+# external dependencies, so everything runs with --offline: no registry,
+# no network, no vendor directory.
+#
+#   ./scripts/verify.sh          # build + full test suite + bench smoke
+#   VSCALE_BENCH_SCALE=full ./scripts/verify.sh   # paper-length smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build (offline) =="
+cargo build --release --offline
+
+echo "== tier-1: tests (offline) =="
+cargo test -q --offline
+cargo test -q --offline --workspace
+
+echo "== bench smoke: table1_channel + fig6_npb (quick scale) =="
+VSCALE_BENCH_SCALE="${VSCALE_BENCH_SCALE:-quick}" VSCALE_BENCH_SEEDS="${VSCALE_BENCH_SEEDS:-1}" \
+    cargo bench -q --offline -p vscale-bench --bench table1_channel
+VSCALE_BENCH_SCALE="${VSCALE_BENCH_SCALE:-quick}" VSCALE_BENCH_SEEDS="${VSCALE_BENCH_SEEDS:-1}" \
+    cargo bench -q --offline -p vscale-bench --bench fig6_npb
+
+echo "== verify: OK =="

@@ -2,7 +2,8 @@
 //! panics, CPU conservation, deterministic replay, fairness, and the
 //! guest's internal sanity under arbitrary freeze/unfreeze sequences.
 
-use proptest::prelude::*;
+use testkit::{bool_any, prop_assert, prop_assert_eq, run_prop, tuple2, tuple5, vec_of};
+use testkit::{u64_in, u8_in, usize_in, Config};
 
 use vscale_repro::core::config::{DomainSpec, MachineConfig, SystemConfig};
 use vscale_repro::core::machine::Machine;
@@ -53,93 +54,120 @@ fn run_scenario(
     (runs, m.now().as_secs_f64(), reconfigs)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Total CPU handed out never exceeds machine capacity, and the
-    /// simulation neither panics nor runs away.
-    #[test]
-    fn cpu_is_conserved(
-        seed in 0u64..1000,
-        n_pcpus in 1usize..5,
-        sizes in prop::collection::vec(1usize..5, 1..4),
-        work in prop::collection::vec(1u64..120, 1..5),
-        mask in 0u8..8,
-    ) {
-        let (runs, end, _) = run_scenario(seed, n_pcpus, &sizes, &work, mask);
-        let total: f64 = runs.iter().sum();
-        let capacity = end * n_pcpus as f64;
-        prop_assert!(
-            total <= capacity * 1.001 + 0.001,
-            "handed out {total:.3}s on {capacity:.3}s of capacity"
-        );
-    }
-
-    /// Bit-identical replay under the same seed.
-    #[test]
-    fn replay_is_deterministic(
-        seed in 0u64..1000,
-        n_pcpus in 1usize..4,
-        sizes in prop::collection::vec(1usize..4, 1..3),
-        work in prop::collection::vec(1u64..80, 1..4),
-        mask in 0u8..4,
-    ) {
-        let a = run_scenario(seed, n_pcpus, &sizes, &work, mask);
-        let b = run_scenario(seed, n_pcpus, &sizes, &work, mask);
-        prop_assert_eq!(a, b);
-    }
+/// The generator shared by the two scenario properties:
+/// (seed, n_pcpus, domain sizes, work durations, vScale mask).
+#[allow(clippy::type_complexity)]
+fn arb_scenario(
+    pcpu_hi: usize,
+    size_hi: usize,
+    sizes_hi: usize,
+    work_hi: u64,
+    works_hi: usize,
+    mask_hi: u8,
+) -> testkit::Gen<(u64, usize, Vec<usize>, Vec<u64>, u8)> {
+    tuple5(
+        u64_in(0..1000),
+        usize_in(1..pcpu_hi),
+        vec_of(usize_in(1..size_hi), 1..sizes_hi),
+        vec_of(u64_in(1..work_hi), 1..works_hi),
+        u8_in(0..mask_hi),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Arbitrary freeze/unfreeze sequences never wedge the guest: all
-    /// threads eventually finish once everything is unfrozen.
-    #[test]
-    fn freeze_sequences_never_lose_threads(
-        seed in 0u64..500,
-        ops in prop::collection::vec((1usize..4, prop::bool::ANY), 0..12),
-    ) {
-        let mut m = Machine::new(MachineConfig {
-            n_pcpus: 4,
-            seed,
-            ..MachineConfig::default()
-        });
-        let vm = m.add_domain(DomainSpec::fixed(4));
-        for _ in 0..6 {
-            let t = m.guest_mut(vm).spawn(
-                ThreadKind::User,
-                Box::new(Script::new(vec![
-                    ThreadAction::Compute(SimDuration::from_ms(30)),
-                    ThreadAction::Yield,
-                    ThreadAction::Compute(SimDuration::from_ms(30)),
-                ])),
+/// Total CPU handed out never exceeds machine capacity, and the
+/// simulation neither panics nor runs away.
+#[test]
+fn cpu_is_conserved() {
+    let gen = arb_scenario(5, 5, 4, 120, 5, 8);
+    run_prop(
+        "cpu_is_conserved",
+        Config::with_cases(12),
+        &gen,
+        |(seed, n_pcpus, sizes, work, mask)| {
+            let (runs, end, _) = run_scenario(*seed, *n_pcpus, sizes, work, *mask);
+            let total: f64 = runs.iter().sum();
+            let capacity = end * *n_pcpus as f64;
+            prop_assert!(
+                total <= capacity * 1.001 + 0.001,
+                "handed out {total:.3}s on {capacity:.3}s of capacity"
             );
-            m.start_thread(vm, t);
-        }
-        // Interleave freezes/unfreezes with execution.
-        let mut at = SimTime::from_ms(2);
-        for (v, freeze) in ops {
+            Ok(())
+        },
+    );
+}
+
+/// Bit-identical replay under the same seed.
+#[test]
+fn replay_is_deterministic() {
+    let gen = arb_scenario(4, 4, 3, 80, 4, 4);
+    run_prop(
+        "replay_is_deterministic",
+        Config::with_cases(12),
+        &gen,
+        |(seed, n_pcpus, sizes, work, mask)| {
+            let a = run_scenario(*seed, *n_pcpus, sizes, work, *mask);
+            let b = run_scenario(*seed, *n_pcpus, sizes, work, *mask);
+            prop_assert_eq!(a, b);
+            Ok(())
+        },
+    );
+}
+
+/// Arbitrary freeze/unfreeze sequences never wedge the guest: all
+/// threads eventually finish once everything is unfrozen.
+#[test]
+fn freeze_sequences_never_lose_threads() {
+    let gen = tuple2(
+        u64_in(0..500),
+        vec_of(tuple2(usize_in(1..4), bool_any()), 0..12),
+    );
+    run_prop(
+        "freeze_sequences_never_lose_threads",
+        Config::with_cases(16),
+        &gen,
+        |(seed, ops)| {
+            let mut m = Machine::new(MachineConfig {
+                n_pcpus: 4,
+                seed: *seed,
+                ..MachineConfig::default()
+            });
+            let vm = m.add_domain(DomainSpec::fixed(4));
+            for _ in 0..6 {
+                let t = m.guest_mut(vm).spawn(
+                    ThreadKind::User,
+                    Box::new(Script::new(vec![
+                        ThreadAction::Compute(SimDuration::from_ms(30)),
+                        ThreadAction::Yield,
+                        ThreadAction::Compute(SimDuration::from_ms(30)),
+                    ])),
+                );
+                m.start_thread(vm, t);
+            }
+            // Interleave freezes/unfreezes with execution.
+            let mut at = SimTime::from_ms(2);
+            for &(v, freeze) in ops {
+                m.run_until(at);
+                let now = m.now();
+                let mut fx = Vec::new();
+                if freeze {
+                    m.guest_mut(vm).freeze_vcpu(VcpuId(v), now, &mut fx);
+                } else {
+                    m.guest_mut(vm).unfreeze_vcpu(VcpuId(v), now, &mut fx);
+                }
+                m.apply_guest_effects(vm, fx);
+                at = at + SimDuration::from_ms(2);
+            }
+            // Unfreeze everything and let it drain.
             m.run_until(at);
             let now = m.now();
-            let mut fx = Vec::new();
-            if freeze {
-                m.guest_mut(vm).freeze_vcpu(VcpuId(v), now, &mut fx);
-            } else {
+            for v in 1..4 {
+                let mut fx = Vec::new();
                 m.guest_mut(vm).unfreeze_vcpu(VcpuId(v), now, &mut fx);
+                m.apply_guest_effects(vm, fx);
             }
-            m.apply_guest_effects(vm, fx);
-            at = at + SimDuration::from_ms(2);
-        }
-        // Unfreeze everything and let it drain.
-        m.run_until(at);
-        let now = m.now();
-        for v in 1..4 {
-            let mut fx = Vec::new();
-            m.guest_mut(vm).unfreeze_vcpu(VcpuId(v), now, &mut fx);
-            m.apply_guest_effects(vm, fx);
-        }
-        let done = m.run_until_exited(vm, SimTime::from_secs(30));
-        prop_assert!(done.is_some(), "threads wedged after freeze sequence");
-    }
+            let done = m.run_until_exited(vm, SimTime::from_secs(30));
+            prop_assert!(done.is_some(), "threads wedged after freeze sequence");
+            Ok(())
+        },
+    );
 }
