@@ -5,12 +5,18 @@
 //! transitions, the freeze/unfreeze state machine, event-queue churn.
 //! Mean/p50/p99 per call are printed as a table plus one JSON line per
 //! benchmark; `VSCALE_BENCH_SCALE=full` lengthens the timed phase.
+//!
+//! The `event_queue_churn_*` pair runs the same tick/IPI/timeout mix
+//! through both queue backends (timing wheel vs the reference binary
+//! heap) and reports `events_per_sec`, so `scripts/bench_snapshot.sh`
+//! records the wheel-vs-heap throughput ratio over time.
 
 use std::hint::black_box;
 
 use guest_kernel::{GuestConfig, GuestKernel, VcpuId};
-use sim_core::event::EventQueue;
+use sim_core::event::{EventHandle, EventQueue, EventQueueApi, HeapQueue};
 use sim_core::ids::{GlobalVcpu, PcpuId};
+use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
 use testkit::bench::BenchRunner;
 use xen_sched::channel::{ChannelCosts, VscaleChannel};
@@ -40,7 +46,7 @@ fn bench_extendability(r: &mut BenchRunner) {
 fn bench_channel_read(r: &mut BenchRunner) {
     let mut sched = CreditScheduler::new(CreditConfig::default(), 4);
     let dom = sched.create_domain(256, 4, None, None);
-    sched.wake_domain(dom, SimTime::ZERO);
+    sched.wake_domain(dom, SimTime::ZERO, &mut Vec::new());
     sched.on_extend_tick(SimTime::from_ms(10));
     let costs = ChannelCosts::default();
     let mut ch = VscaleChannel::new();
@@ -66,13 +72,18 @@ fn bench_credit_wake_block(r: &mut BenchRunner) {
         || {
             let mut s = CreditScheduler::new(CreditConfig::default(), 4);
             let dom = s.create_domain(256, 4, None, None);
-            (s, GlobalVcpu::new(dom, sim_core::ids::VcpuId(0)))
+            (
+                s,
+                GlobalVcpu::new(dom, sim_core::ids::VcpuId(0)),
+                Vec::new(),
+            )
         },
-        |(mut s, gv)| {
+        |(mut s, gv, mut ev)| {
             for i in 0..100u64 {
                 let t = SimTime::from_us(i * 10);
-                s.vcpu_wake(gv, t);
-                s.vcpu_block(gv, t);
+                ev.clear();
+                s.vcpu_wake(gv, t, &mut ev);
+                s.vcpu_block(gv, t, &mut ev);
             }
             black_box(s.migrations())
         },
@@ -93,21 +104,127 @@ fn bench_event_queue(r: &mut BenchRunner) {
     });
 }
 
+// -----------------------------------------------------------------
+// Event-queue churn: the steady-state mix a real simulation drives.
+// -----------------------------------------------------------------
+
+/// Events delivered per timed call of the churn benchmark.
+const CHURN_POPS: u64 = 10_000;
+/// Standing armed-timeout population; beyond it the oldest arm is
+/// cancelled. The cancel-before-fire lifetime this implies (tens of ms)
+/// is far shorter than the armed duration, which is exactly how
+/// futex/IPI timeouts behave: almost all are cancelled, not delivered.
+const TIMEOUT_CAP: usize = 512;
+
+const TAG_PCPU_TICK: u32 = 0; // ..4: 10 ms Xen ticks, one per pCPU
+const TAG_GUEST_TICK: u32 = 4; // ..12: 1 ms (1000 Hz) guest ticks
+const TAG_ACCT: u32 = 12; // 30 ms accounting
+const TAG_TIMEOUT: u32 = 13; // futex/IPI timeouts, usually cancelled
+
+/// Arms one timeout (100–500 ms out); at the cap, eagerly cancels the
+/// oldest armed one first — the re-arm pattern of a futex wait.
+fn arm_timeout<Q: EventQueueApi<u32>>(
+    q: &mut Q,
+    handles: &mut std::collections::VecDeque<EventHandle>,
+    rng: &mut SimRng,
+) {
+    if handles.len() >= TIMEOUT_CAP {
+        let h = handles.pop_front().expect("cap > 0");
+        q.cancel(h); // false on the rare timeout that already fired
+    }
+    let dt = SimDuration::from_us(rng.range(100_000, 500_000));
+    handles.push_back(q.schedule(q.now() + dt, TAG_TIMEOUT));
+}
+
+/// Primes `q` with the periodic sources plus a standing timeout
+/// population, mirroring a 4-pCPU / 8-vCPU overcommit scenario.
+fn churn_prime<Q: EventQueueApi<u32>>(
+    q: &mut Q,
+    handles: &mut std::collections::VecDeque<EventHandle>,
+    rng: &mut SimRng,
+) {
+    for p in 0..4u32 {
+        q.schedule(SimTime::from_ms(10), TAG_PCPU_TICK + p);
+    }
+    for v in 0..8u32 {
+        q.schedule(SimTime::from_ms(1), TAG_GUEST_TICK + v);
+    }
+    q.schedule(SimTime::from_ms(30), TAG_ACCT);
+    for _ in 0..TIMEOUT_CAP {
+        arm_timeout(q, handles, rng);
+    }
+}
+
+/// Delivers [`CHURN_POPS`] events, rescheduling each periodic source and
+/// re-arming/cancelling timeouts as they churn. The queue stays in steady
+/// state across calls, so the timing covers schedule + cancel + pop at a
+/// realistic pending population.
+fn churn_step<Q: EventQueueApi<u32>>(
+    q: &mut Q,
+    handles: &mut std::collections::VecDeque<EventHandle>,
+    rng: &mut SimRng,
+) -> u64 {
+    for _ in 0..CHURN_POPS {
+        let (t, tag) = q.pop().expect("churn queue never drains");
+        match tag {
+            TAG_ACCT => {
+                q.schedule(t + SimDuration::from_ms(30), tag);
+            }
+            t4 if t4 < TAG_GUEST_TICK => {
+                q.schedule(t + SimDuration::from_ms(10), tag);
+            }
+            t12 if t12 < TAG_ACCT => {
+                // A guest tick re-arms timer wheels: two fresh timeouts,
+                // typically displacing (cancelling) older ones.
+                q.schedule(t + SimDuration::from_ms(1), tag);
+                arm_timeout(q, handles, rng);
+                arm_timeout(q, handles, rng);
+            }
+            _ => {
+                // A timeout actually fired (futex wait expired): re-arm.
+                arm_timeout(q, handles, rng);
+            }
+        }
+    }
+    q.delivered()
+}
+
+fn bench_event_queue_churn(r: &mut BenchRunner) {
+    let mut wheel: EventQueue<u32> = EventQueue::new();
+    let mut wheel_handles = std::collections::VecDeque::new();
+    let mut wheel_rng = SimRng::new(42);
+    churn_prime(&mut wheel, &mut wheel_handles, &mut wheel_rng);
+    r.bench_throughput("event_queue_churn_wheel", CHURN_POPS, || {
+        churn_step(&mut wheel, &mut wheel_handles, &mut wheel_rng)
+    });
+
+    let mut heap: HeapQueue<u32> = HeapQueue::new();
+    let mut heap_handles = std::collections::VecDeque::new();
+    let mut heap_rng = SimRng::new(42);
+    churn_prime(&mut heap, &mut heap_handles, &mut heap_rng);
+    r.bench_throughput("event_queue_churn_heap_baseline", CHURN_POPS, || {
+        churn_step(&mut heap, &mut heap_handles, &mut heap_rng)
+    });
+}
+
 fn bench_tick_path(r: &mut BenchRunner) {
     r.bench_with_setup(
         "credit_on_tick_4_pcpus",
         || {
             let mut s = CreditScheduler::new(CreditConfig::default(), 4);
+            let mut ev = Vec::new();
             for _ in 0..4 {
                 let d = s.create_domain(256, 2, None, None);
-                s.wake_domain(d, SimTime::ZERO);
+                s.wake_domain(d, SimTime::ZERO, &mut ev);
             }
-            s
+            (s, ev)
         },
-        |mut s| {
+        |(mut s, mut ev)| {
             for k in 1..=10u64 {
                 for p in 0..4 {
-                    black_box(s.on_tick(PcpuId(p), SimTime::from_ms(10 * k)));
+                    ev.clear();
+                    s.on_tick(PcpuId(p), SimTime::from_ms(10 * k), &mut ev);
+                    black_box(&ev);
                 }
             }
             s
@@ -122,6 +239,7 @@ fn main() {
     bench_freeze_unfreeze(&mut r);
     bench_credit_wake_block(&mut r);
     bench_event_queue(&mut r);
+    bench_event_queue_churn(&mut r);
     bench_tick_path(&mut r);
     r.finish();
 }

@@ -43,9 +43,10 @@ fn main() {
     // Measure the real data-structure read path, one million times.
     let mut sched = CreditScheduler::new(CreditConfig::default(), 4);
     let dom = sched.create_domain(256, 4, None, None);
-    sched.wake_domain(dom, SimTime::ZERO);
+    let mut ev = Vec::new();
+    sched.wake_domain(dom, SimTime::ZERO, &mut ev);
     for p in 0..4 {
-        sched.on_tick(PcpuId(p), SimTime::from_ms(10));
+        sched.on_tick(PcpuId(p), SimTime::from_ms(10), &mut ev);
     }
     sched.on_extend_tick(SimTime::from_ms(10));
     let mut ch = VscaleChannel::new();

@@ -216,7 +216,9 @@ pub fn averaged(mut runs: Vec<AppResult>) -> AppResult {
     }
 }
 
-/// Seed-averaged NPB run.
+/// Seed-averaged NPB run. Seeds fan out across `VSCALE_THREADS` workers
+/// (each seed's simulation stays single-threaded); results merge in seed
+/// order, so the average is identical at any thread count.
 pub fn npb_experiment_avg(
     cfg: SystemConfig,
     app: NpbApp,
@@ -224,27 +226,24 @@ pub fn npb_experiment_avg(
     policy: SpinPolicy,
     scale: ExperimentScale,
 ) -> AppResult {
-    averaged(
-        seeds_from_env()
-            .into_iter()
-            .map(|s| npb_experiment(cfg, app, vm_vcpus, policy, scale, s))
-            .collect(),
-    )
+    averaged(testkit::parallel::run_seeds_parallel(
+        &seeds_from_env(),
+        |s| npb_experiment(cfg, app, vm_vcpus, policy, scale, s),
+    ))
 }
 
-/// Seed-averaged PARSEC run.
+/// Seed-averaged PARSEC run (parallel over seeds like
+/// [`npb_experiment_avg`]).
 pub fn parsec_experiment_avg(
     cfg: SystemConfig,
     app: ParsecApp,
     vm_vcpus: usize,
     scale: ExperimentScale,
 ) -> AppResult {
-    averaged(
-        seeds_from_env()
-            .into_iter()
-            .map(|s| parsec_experiment(cfg, app, vm_vcpus, scale, s))
-            .collect(),
-    )
+    averaged(testkit::parallel::run_seeds_parallel(
+        &seeds_from_env(),
+        |s| parsec_experiment(cfg, app, vm_vcpus, scale, s),
+    ))
 }
 
 /// Convenience: the four-config comparison the application figures plot.

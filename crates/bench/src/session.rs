@@ -18,12 +18,16 @@ pub struct BenchSession {
     start: Instant,
     scale: ExperimentScale,
     n_seeds: usize,
+    threads: usize,
 }
 
 /// Starts a session and prints the run header.
 pub fn session(target: &'static str) -> BenchSession {
     let scale = ExperimentScale::from_env();
     let n_seeds = seeds_from_env().len();
+    let threads = testkit::parallel::threads_from_env();
+    // The header stays thread-count-free so parallel-vs-serial smoke
+    // diffs only have to strip the wall_ms JSON line.
     println!(
         "## {target} (scale: {}, seeds: {n_seeds})\n",
         scale_label(scale)
@@ -33,6 +37,7 @@ pub fn session(target: &'static str) -> BenchSession {
         start: Instant::now(),
         scale,
         n_seeds,
+        threads,
     }
 }
 
@@ -44,13 +49,16 @@ fn scale_label(scale: ExperimentScale) -> &'static str {
 }
 
 impl BenchSession {
-    /// Prints the closing JSON line.
+    /// Prints the closing JSON line. `threads` and `wall_ms` share the
+    /// line, so smoke diffs that strip `wall_ms` lines also strip the
+    /// (legitimately thread-count-dependent) fields.
     pub fn finish(self) {
         println!(
-            "\n{{\"bench\":\"{}\",\"scale\":\"{}\",\"seeds\":{},\"wall_ms\":{:.1}}}",
+            "\n{{\"bench\":\"{}\",\"scale\":\"{}\",\"seeds\":{},\"threads\":{},\"wall_ms\":{:.1}}}",
             self.target,
             scale_label(self.scale),
             self.n_seeds,
+            self.threads,
             self.start.elapsed().as_secs_f64() * 1e3
         );
     }

@@ -132,6 +132,24 @@ pub struct Machine {
     /// Optional scheduling-decision trace (disabled by default; enable
     /// with [`Machine::enable_trace`]).
     trace: TraceRing,
+    // Scratch buffers, taken/restored around each use so the steady-state
+    // event loop performs no per-dispatch heap allocation. Each is empty
+    // whenever it sits in the struct. Rare re-entrant paths (the hotplug
+    // daemon routing mid-drain) see an already-taken buffer and fall back
+    // to a fresh empty one — correct, just not allocation-free.
+    /// Sink for sink-style [`CreditScheduler`] calls.
+    sched_buf: Vec<SchedEvent>,
+    /// The routing work queue of [`Machine::drain`].
+    ops_buf: VecDeque<Op>,
+    /// vCPUs whose plan events went stale during a drain.
+    dirty_buf: Vec<(DomId, VcpuId)>,
+    /// Guest-effect sink for top-level event handlers.
+    fx_buf: Vec<GuestEffect>,
+    /// Guest-effect sink for the `Run` dispatch arm (live while `fx_buf`
+    /// may be held by the outer handler).
+    run_fx_buf: Vec<GuestEffect>,
+    /// Pending event-channel ports collected at vCPU entry.
+    ports_buf: Vec<PortId>,
 }
 
 impl Machine {
@@ -168,6 +186,12 @@ impl Machine {
             rng,
             plan_handles: Vec::new(),
             trace: TraceRing::disabled(),
+            sched_buf: Vec::new(),
+            ops_buf: VecDeque::new(),
+            dirty_buf: Vec::new(),
+            fx_buf: Vec::new(),
+            run_fx_buf: Vec::new(),
+            ports_buf: Vec::new(),
         }
     }
 
@@ -244,11 +268,12 @@ impl Machine {
     /// Starts a spawned thread (fork balance + wake path).
     pub fn start_thread(&mut self, dom: DomId, tid: ThreadId) {
         let now = self.queue.now();
-        let mut fx = Vec::new();
+        let mut fx = std::mem::take(&mut self.fx_buf);
         self.guests[dom.index()]
             .kernel
             .start_thread(tid, now, &mut fx);
-        self.route(dom, fx, now);
+        self.route(dom, &mut fx, now);
+        self.fx_buf = fx;
     }
 
     /// Binds an I/O queue to an event-channel port delivered to `vcpu`.
@@ -320,9 +345,7 @@ impl Machine {
             {
                 return Some(self.queue.now());
             }
-            let Some(t) = self.queue.peek_time() else {
-                return None;
-            };
+            let t = self.queue.peek_time()?;
             if t > deadline {
                 return None;
             }
@@ -334,14 +357,12 @@ impl Machine {
     fn handle(&mut self, ev: Ev, now: SimTime) {
         match ev {
             Ev::HvTick(p) => {
-                let evs = self.hv.on_tick(p, now);
-                self.apply_sched(evs, now);
+                self.hv_and_drain(now, |hv, ev| hv.on_tick(p, now, ev));
                 self.queue
                     .schedule(now + self.config.credit.tick, Ev::HvTick(p));
             }
             Ev::HvAcct => {
-                let evs = self.hv.on_acct(now);
-                self.apply_sched(evs, now);
+                self.hv_and_drain(now, |hv, ev| hv.on_acct(now, ev));
                 let acct = self.config.credit.tick * u64::from(self.config.credit.ticks_per_acct);
                 self.queue.schedule(now + acct, Ev::HvAcct);
             }
@@ -352,41 +373,42 @@ impl Machine {
             }
             Ev::SliceEnd { pcpu, gen } => {
                 if self.hv.pcpu_gen(pcpu) == gen {
-                    let evs = self.hv.slice_expired(pcpu, now);
-                    self.apply_sched(evs, now);
+                    self.hv_and_drain(now, |hv, ev| hv.slice_expired(pcpu, now, ev));
                 }
             }
             Ev::Plan { dom, vcpu } => {
                 self.plan_handles[dom.index()][vcpu.index()] = None;
-                let mut fx = Vec::new();
+                let mut fx = std::mem::take(&mut self.fx_buf);
                 self.guests[dom.index()]
                     .kernel
                     .on_plan_point(vcpu, now, &mut fx);
-                self.route(dom, fx, now);
+                self.route(dom, &mut fx, now);
+                self.fx_buf = fx;
                 self.replan(dom, vcpu, now);
             }
             Ev::IpiDeliver { dom, vcpu } => {
                 let gv = GlobalVcpu::new(dom, vcpu);
                 if self.hv.where_running(gv).is_some() {
-                    let mut fx = Vec::new();
+                    let mut fx = std::mem::take(&mut self.fx_buf);
                     self.guests[dom.index()]
                         .kernel
                         .on_resched_ipi(vcpu, now, &mut fx);
-                    self.route(dom, fx, now);
+                    self.route(dom, &mut fx, now);
+                    self.fx_buf = fx;
                     self.replan(dom, vcpu, now);
                 } else {
                     // Target lost its pCPU while the IPI was in flight.
                     self.guests[dom.index()].kernel.pend_resched(vcpu);
-                    let evs = self.hv.vcpu_wake(gv, now);
-                    self.apply_sched(evs, now);
+                    self.hv_and_drain(now, |hv, ev| hv.vcpu_wake(gv, now, ev));
                 }
             }
             Ev::SleepWake { dom, tid } => {
-                let mut fx = Vec::new();
+                let mut fx = std::mem::take(&mut self.fx_buf);
                 self.guests[dom.index()]
                     .kernel
                     .wake_thread(tid, None, now, &mut fx);
-                self.route(dom, fx, now);
+                self.route(dom, &mut fx, now);
+                self.fx_buf = fx;
             }
             Ev::DaemonTimer { dom } => {
                 self.daemon_timer(dom, now);
@@ -398,7 +420,7 @@ impl Machine {
                 self.guests[dom.index()].nic_completions.push(now);
             }
             Ev::HotplugDone { dom, vcpu, online } => {
-                let mut fx = Vec::new();
+                let mut fx = std::mem::take(&mut self.fx_buf);
                 self.guests[dom.index()]
                     .kernel
                     .set_online(vcpu, online, now, &mut fx);
@@ -406,34 +428,56 @@ impl Machine {
                 self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
                 let active = self.guests[dom.index()].kernel.active_vcpus();
                 self.guests[dom.index()].active_trace.push((now, active));
-                self.route(dom, fx, now);
+                self.route(dom, &mut fx, now);
+                self.fx_buf = fx;
             }
         }
     }
 
-    /// Applies hypervisor scheduling events, cascading guest reactions.
-    fn apply_sched(&mut self, evs: Vec<SchedEvent>, now: SimTime) {
-        let ops = evs.into_iter().map(Op::Sched).collect();
+    /// Runs one sink-style scheduler call and appends the produced events
+    /// to `ops` as routing work, via the reusable scratch sink.
+    fn hv_into_ops(
+        &mut self,
+        ops: &mut VecDeque<Op>,
+        f: impl FnOnce(&mut CreditScheduler, &mut Vec<SchedEvent>),
+    ) {
+        let mut buf = std::mem::take(&mut self.sched_buf);
+        f(&mut self.hv, &mut buf);
+        ops.extend(buf.drain(..).map(Op::Sched));
+        self.sched_buf = buf;
+    }
+
+    /// Runs one sink-style scheduler call and drains the resulting cascade
+    /// of guest reactions.
+    fn hv_and_drain(
+        &mut self,
+        now: SimTime,
+        f: impl FnOnce(&mut CreditScheduler, &mut Vec<SchedEvent>),
+    ) {
+        let mut ops = std::mem::take(&mut self.ops_buf);
+        self.hv_into_ops(&mut ops, f);
         self.drain(ops, now);
     }
 
     /// Routes guest effects produced by a direct call into a guest kernel
     /// (tests and tools that bypass the daemon), at the current time.
-    pub fn apply_guest_effects(&mut self, dom: DomId, fx: Vec<GuestEffect>) {
+    pub fn apply_guest_effects(&mut self, dom: DomId, mut fx: Vec<GuestEffect>) {
         let now = self.queue.now();
-        self.route(dom, fx, now);
+        self.route(dom, &mut fx, now);
     }
 
-    /// Routes guest effects from `dom`, cascading.
-    fn route(&mut self, dom: DomId, fx: Vec<GuestEffect>, now: SimTime) {
-        let ops = fx.into_iter().map(|e| Op::Guest(dom, e)).collect();
+    /// Routes guest effects from `dom`, cascading. Drains `fx`.
+    fn route(&mut self, dom: DomId, fx: &mut Vec<GuestEffect>, now: SimTime) {
+        let mut ops = std::mem::take(&mut self.ops_buf);
+        ops.extend(fx.drain(..).map(|e| Op::Guest(dom, e)));
         self.drain(ops, now);
     }
 
     /// The central routing loop: processes scheduling events and guest
     /// effects until quiescent, collecting vCPUs whose plans went stale.
+    /// `ops` returns to [`Machine::ops_buf`] (empty) when the loop ends.
     fn drain(&mut self, mut ops: VecDeque<Op>, now: SimTime) {
-        let mut dirty: Vec<(DomId, VcpuId)> = Vec::new();
+        let mut dirty = std::mem::take(&mut self.dirty_buf);
         let mut guard = 0u32;
         while let Some(op) = ops.pop_front() {
             guard += 1;
@@ -443,18 +487,21 @@ impl Machine {
                     if self.trace.is_enabled() {
                         self.trace.push(now, "hv", format!("run {vcpu} on {pcpu}"));
                     }
-                    let mut fx = Vec::new();
+                    let mut fx = std::mem::take(&mut self.run_fx_buf);
                     self.guests[vcpu.dom.index()]
                         .kernel
                         .vcpu_start(vcpu.vcpu, now, &mut fx);
                     // Deliver any pending event-channel interrupts.
-                    let pending = self.guests[vcpu.dom.index()].evtchn.pending_for(vcpu.vcpu);
-                    for port in pending {
+                    let mut pending = std::mem::take(&mut self.ports_buf);
+                    self.guests[vcpu.dom.index()]
+                        .evtchn
+                        .pending_for_into(vcpu.vcpu, &mut pending);
+                    for port in pending.drain(..) {
                         self.deliver_port(vcpu.dom, port, now, &mut fx);
                     }
-                    for e in fx {
-                        ops.push_back(Op::Guest(vcpu.dom, e));
-                    }
+                    self.ports_buf = pending;
+                    ops.extend(fx.drain(..).map(|e| Op::Guest(vcpu.dom, e)));
+                    self.run_fx_buf = fx;
                     // Arm the slice-expiry for this assignment.
                     let gen = self.hv.pcpu_gen(pcpu);
                     self.queue
@@ -475,9 +522,11 @@ impl Machine {
                 Op::Guest(dom, e) => self.guest_effect(dom, e, now, &mut ops, &mut dirty),
             }
         }
-        for (dom, vcpu) in dirty {
+        for (dom, vcpu) in dirty.drain(..) {
             self.replan(dom, vcpu, now);
         }
+        self.dirty_buf = dirty;
+        self.ops_buf = ops;
     }
 
     fn guest_effect(
@@ -491,15 +540,13 @@ impl Machine {
         match e {
             GuestEffect::VcpuIdle(v) => {
                 if self.guests[dom.index()].kernel.wants_block(v) {
-                    let evs = self.hv.vcpu_block(GlobalVcpu::new(dom, v), now);
-                    ops.extend(evs.into_iter().map(Op::Sched));
+                    self.hv_into_ops(ops, |hv, ev| hv.vcpu_block(GlobalVcpu::new(dom, v), now, ev));
                 } else {
                     dirty.push((dom, v));
                 }
             }
             GuestEffect::VcpuPvBlock(v) => {
-                let evs = self.hv.vcpu_block(GlobalVcpu::new(dom, v), now);
-                ops.extend(evs.into_iter().map(Op::Sched));
+                self.hv_into_ops(ops, |hv, ev| hv.vcpu_block(GlobalVcpu::new(dom, v), now, ev));
             }
             GuestEffect::SendResched { from, to } => {
                 dirty.push((dom, from));
@@ -511,13 +558,11 @@ impl Machine {
                     );
                 } else {
                     self.guests[dom.index()].kernel.pend_resched(to);
-                    let evs = self.hv.vcpu_wake(gv, now);
-                    ops.extend(evs.into_iter().map(Op::Sched));
+                    self.hv_into_ops(ops, |hv, ev| hv.vcpu_wake(gv, now, ev));
                 }
             }
             GuestEffect::PvKick(v) => {
-                let evs = self.hv.vcpu_wake(GlobalVcpu::new(dom, v), now);
-                ops.extend(evs.into_iter().map(Op::Sched));
+                self.hv_into_ops(ops, |hv, ev| hv.vcpu_wake(GlobalVcpu::new(dom, v), now, ev));
             }
             GuestEffect::SetFrozen { vcpu, frozen } => {
                 if self.trace.is_enabled() {
@@ -530,8 +575,7 @@ impl Machine {
                 self.guests[dom.index()].active_trace.push((now, active));
             }
             GuestEffect::KickVcpu(v) => {
-                let evs = self.hv.kick_vcpu(GlobalVcpu::new(dom, v), now);
-                ops.extend(evs.into_iter().map(Op::Sched));
+                self.hv_into_ops(ops, |hv, ev| hv.kick_vcpu(GlobalVcpu::new(dom, v), now, ev));
                 dirty.push((dom, v));
             }
             GuestEffect::NicSend { bytes, .. } => {
@@ -595,15 +639,15 @@ impl Machine {
         let gv = GlobalVcpu::new(dom, target);
         if self.hv.where_running(gv).is_some() {
             // Deliver right away.
-            let mut fx = Vec::new();
+            let mut fx = std::mem::take(&mut self.fx_buf);
             self.deliver_port(dom, port, now, &mut fx);
-            self.route(dom, fx, now);
+            self.route(dom, &mut fx, now);
+            self.fx_buf = fx;
             self.replan(dom, target, now);
         } else if notify.is_some() {
             // Wake the vCPU through the hypervisor; delivery happens at
             // vcpu_start (the Figure 1(c) delay when pCPUs are contended).
-            let evs = self.hv.vcpu_wake(gv, now);
-            self.apply_sched(evs, now);
+            self.hv_and_drain(now, |hv, ev| hv.vcpu_wake(gv, now, ev));
         }
     }
 
@@ -655,8 +699,7 @@ impl Machine {
         // vCPU0 may be idle-blocked: kick it so the daemon runs.
         let gv = GlobalVcpu::new(dom, VcpuId(0));
         if self.hv.where_running(gv).is_none() {
-            let evs = self.hv.vcpu_wake(gv, now);
-            self.apply_sched(evs, now);
+            self.hv_and_drain(now, |hv, ev| hv.vcpu_wake(gv, now, ev));
         } else {
             self.replan(dom, VcpuId(0), now);
         }
@@ -702,20 +745,24 @@ impl Machine {
             }
         } else if (TAG_FREEZE_BASE..TAG_UNFREEZE_BASE).contains(&tag) {
             let target = VcpuId((tag - TAG_FREEZE_BASE) as usize);
-            let mut fx = Vec::new();
+            let mut fx = std::mem::take(&mut self.fx_buf);
+            fx.clear();
             self.guests[dom.index()]
                 .kernel
                 .freeze_vcpu(target, now, &mut fx);
-            ops.extend(fx.into_iter().map(|e| Op::Guest(dom, e)));
+            ops.extend(fx.drain(..).map(|e| Op::Guest(dom, e)));
+            self.fx_buf = fx;
             self.guests[dom.index()].daemon.reconfigs += 1;
             self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
         } else if (TAG_UNFREEZE_BASE..TAG_HOTPLUG_BASE).contains(&tag) {
             let target = VcpuId((tag - TAG_UNFREEZE_BASE) as usize);
-            let mut fx = Vec::new();
+            let mut fx = std::mem::take(&mut self.fx_buf);
+            fx.clear();
             self.guests[dom.index()]
                 .kernel
                 .unfreeze_vcpu(target, now, &mut fx);
-            ops.extend(fx.into_iter().map(|e| Op::Guest(dom, e)));
+            ops.extend(fx.drain(..).map(|e| Op::Guest(dom, e)));
+            self.fx_buf = fx;
             self.guests[dom.index()].daemon.reconfigs += 1;
             self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
         }
@@ -781,8 +828,10 @@ impl Machine {
             let latency = hp.sample_remove(&mut self.rng);
             let (stop, local) = hp.split_remove(latency);
             let mut fx = Vec::new();
-            g.kernel.stall_all(now, now + stop, &mut fx);
-            g.daemon.phase = DaemonPhase::Reconfiguring {
+            self.guests[dom.index()]
+                .kernel
+                .stall_all(now, now + stop, &mut fx);
+            self.guests[dom.index()].daemon.phase = DaemonPhase::Reconfiguring {
                 target,
                 freeze: true,
             };
@@ -794,7 +843,7 @@ impl Machine {
                     online: false,
                 },
             );
-            self.route(dom, fx, now);
+            self.route(dom, &mut fx, now);
             return;
         }
         g.daemon.phase = DaemonPhase::Reconfiguring {

@@ -691,7 +691,7 @@ impl GuestKernel {
         self.schedule_loop(v, now, fx);
     }
 
-    fn fire_tick(&mut self, v: VcpuId, now: SimTime, fx: &mut Vec<GuestEffect>) {
+    fn fire_tick(&mut self, v: VcpuId, now: SimTime, fx: &mut [GuestEffect]) {
         let vi = v.index();
         self.vcpus[vi].timer_ints += 1;
         self.vcpus[vi].next_tick = now + self.config.tick_period;
@@ -775,10 +775,8 @@ impl GuestKernel {
                     });
                 }
             }
-            Activity::UserSpin { lock } => {
-                if self.sync.spinlocks[lock.0].held_by(tid) {
-                    self.threads[tid.index()].activity = None;
-                }
+            Activity::UserSpin { lock } if self.sync.spinlocks[lock.0].held_by(tid) => {
+                self.threads[tid.index()].activity = None;
             }
             Activity::KernelSpin { lock, hold, budget } => {
                 if self.klocks.lock_ref(lock).held_by(tid) {
@@ -1426,7 +1424,7 @@ impl GuestKernel {
         // it (and Linux's idle_balance has the same guard).
         let busiest = (0..self.vcpus.len())
             .map(VcpuId)
-            .filter(|&o| o != v && self.vcpus[o.index()].rq.len() >= 1 && self.load(o) >= 2)
+            .filter(|&o| o != v && !self.vcpus[o.index()].rq.is_empty() && self.load(o) >= 2)
             .max_by_key(|&o| self.load(o));
         let Some(src) = busiest else {
             return false;

@@ -25,9 +25,10 @@ use sim_core::time::SimDuration;
 use crate::thread::KLockId;
 
 /// How a contender waits on a kernel spinlock.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum KlockPolicy {
     /// Plain ticket lock: spin until ownership arrives.
+    #[default]
     TicketSpin,
     /// Paravirtualized: spin up to the threshold, then yield the vCPU to
     /// the hypervisor and wait for a kick.
@@ -114,12 +115,6 @@ pub struct KlockTable {
     locks: Vec<KernelLock>,
     /// The waiting policy in force (pv-spinlock on/off).
     pub policy: KlockPolicy,
-}
-
-impl Default for KlockPolicy {
-    fn default() -> Self {
-        KlockPolicy::TicketSpin
-    }
 }
 
 impl KlockTable {

@@ -140,6 +140,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // the point is checking the constants
     fn fig14_ordering_is_consistent() {
         use super::fig14::*;
         assert!(PVLOCK_PEAK_PER_S < VSCALE_PEAK_PER_S);

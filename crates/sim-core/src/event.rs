@@ -5,10 +5,31 @@
 //! order they were scheduled. This makes the whole simulation deterministic
 //! given a deterministic producer.
 //!
-//! Cancellation is *logical*: [`EventQueue::cancel`] marks the handle dead and
-//! the entry is dropped when it reaches the head of the heap. This is the
-//! standard lazy-deletion pattern and keeps both operations `O(log n)` /
-//! `O(1)`.
+//! Two backends implement the same [`EventQueueApi`]:
+//!
+//! - [`EventQueue`] — a **hierarchical timing wheel** (4 levels × 256 slots,
+//!   level-0 granularity 2^18 ns ≈ 262 µs, roughly ¼ of the guest's 1 ms
+//!   tick) with an overflow heap for events beyond the wheel horizon
+//!   (~13 simulated days). `schedule` and `cancel` are O(1); `pop` is O(1)
+//!   amortized plus a small heap operation over the events of the current
+//!   slot. Cancellation is *eager*: the payload is dropped immediately and
+//!   the slot entry becomes a tombstone reclaimed when it surfaces, so there
+//!   is no unbounded cancelled-set. This is the simulator's production
+//!   queue — the paper figures are emergent properties of millions of timer
+//!   events pushed through it.
+//! - [`HeapQueue`] — the original `BinaryHeap` + lazy-deletion backend, kept
+//!   as the executable reference model for differential tests and as the
+//!   baseline in the `microcosts` throughput bench.
+//!
+//! # Determinism under slot draining
+//!
+//! The wheel never delivers straight from a slot. Advancing moves the whole
+//! earliest slot into a small `(time, seq)`-ordered *near* heap and only
+//! pops from that heap while its minimum is provably earlier than the start
+//! of every occupied slot and of the overflow minimum. Since any event in a
+//! slot is no earlier than the slot's start, the heap minimum is the global
+//! `(time, seq)` minimum — delivery order is bit-identical to a single
+//! global priority queue, which the cross-backend proptests pin down.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -19,6 +40,444 @@ use crate::time::SimTime;
 /// An opaque handle identifying a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct EventHandle(u64);
+
+/// The operations both queue backends provide; differential tests and the
+/// throughput benches are written against this trait.
+pub trait EventQueueApi<E> {
+    /// Schedules `payload` at absolute `time`; panics if `time` is in the
+    /// past.
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle;
+    /// Cancels a pending event. Returns `true` only if it was still
+    /// pending (not yet fired, not already cancelled).
+    fn cancel(&mut self, handle: EventHandle) -> bool;
+    /// Removes and returns the earliest live event, advancing the clock.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+    /// The timestamp of the next live event, without popping it.
+    fn peek_time(&mut self) -> Option<SimTime>;
+    /// The current simulation clock: the timestamp of the last popped event.
+    fn now(&self) -> SimTime;
+    /// The number of live (not cancelled) events still queued.
+    fn len(&self) -> usize;
+    /// True if no live events remain.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total number of events delivered so far (monotonic).
+    fn delivered(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------
+// Timing-wheel backend.
+// ---------------------------------------------------------------------
+
+/// log2 of the level-0 slot width in nanoseconds: 2^18 ns ≈ 262 µs,
+/// ~¼ of the guest kernel's 1 ms (1000 Hz) tick. IPI latencies (tens of
+/// µs) land in the near heap or the next slot; 10 ms hypervisor ticks and
+/// 30 ms slices spread across level 0/1 slots.
+const GRANULARITY_BITS: u32 = 18;
+/// log2 of the slot count per level.
+const SLOT_BITS: u32 = 8;
+const SLOTS: usize = 1 << SLOT_BITS;
+const SLOT_MASK: u64 = (SLOTS - 1) as u64;
+const LEVELS: usize = 4;
+
+/// One slab entry. The payload doubles as the liveness flag: `None` is a
+/// cancelled (or delivered) tombstone awaiting reclamation.
+struct Node<E> {
+    time: SimTime,
+    seq: u64,
+    /// Bumped every time the slab index is reclaimed, so stale handles
+    /// (after fire or double-cancel) fail the generation check in O(1).
+    gen: u32,
+    payload: Option<E>,
+}
+
+/// Min-ordering entry for the near/overflow heaps: `(time, seq)` with the
+/// comparison reversed because `BinaryHeap` is a max-heap.
+struct HeapEntry {
+    time: SimTime,
+    seq: u64,
+    idx: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events (timing-wheel
+/// backend).
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::{EventQueue, SimTime};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimTime::from_ms(5), "late");
+/// q.schedule(SimTime::from_ms(1), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_ms(1), "early"));
+/// ```
+pub struct EventQueue<E> {
+    nodes: Vec<Node<E>>,
+    free: Vec<u32>,
+    /// `levels[l][i]` holds slab indices of events whose level-`l` absolute
+    /// slot is congruent to `i` mod 256. The placement rule keeps every
+    /// occupied slot within 255 slots of the wheel position, so the
+    /// in-array index determines the absolute slot uniquely.
+    levels: [Vec<Vec<u32>>; LEVELS],
+    /// One bit per slot per level: fast next-occupied-slot scans.
+    occupancy: [[u64; SLOTS / 64]; LEVELS],
+    /// Events of the current (and past) level-0 slots plus overflow
+    /// refugees, ordered by `(time, seq)`. Always holds the global minimum
+    /// once [`EventQueue::settle`] returns true.
+    near: BinaryHeap<HeapEntry>,
+    /// Events beyond the level-3 horizon (~13 simulated days out).
+    overflow: BinaryHeap<HeapEntry>,
+    /// Wheel position: the absolute level-0 slot such that every event
+    /// still in a wheel slot is in a strictly later slot.
+    pos: u64,
+    /// Scratch for draining slots without losing their capacity.
+    drain_buf: Vec<u32>,
+    live: usize,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            levels: std::array::from_fn(|_| (0..SLOTS).map(|_| Vec::new()).collect()),
+            occupancy: [[0; SLOTS / 64]; LEVELS],
+            near: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            pos: 0,
+            drain_buf: Vec::new(),
+            live: 0,
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation clock: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The number of live (not cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total number of events delivered so far (monotonic).
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` to fire at absolute time `time`. O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is earlier than the current clock — scheduling into
+    /// the past is always a simulation bug.
+    pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        assert!(
+            time >= self.now,
+            "scheduling into the past: {time} < now {}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let n = &mut self.nodes[i as usize];
+                n.time = time;
+                n.seq = seq;
+                n.payload = Some(payload);
+                i
+            }
+            None => {
+                let i = u32::try_from(self.nodes.len()).expect("slab overflow");
+                self.nodes.push(Node {
+                    time,
+                    seq,
+                    gen: 0,
+                    payload: Some(payload),
+                });
+                i
+            }
+        };
+        self.live += 1;
+        self.place(idx, time, seq);
+        EventHandle(u64::from(idx) | (u64::from(self.nodes[idx as usize].gen) << 32))
+    }
+
+    /// Cancels a previously scheduled event. O(1), eager: the payload is
+    /// dropped immediately; the slot entry is reclaimed when it surfaces.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired or was already cancelled. Cancelling a fired event is harmless.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        let idx = (handle.0 & 0xFFFF_FFFF) as usize;
+        let gen = (handle.0 >> 32) as u32;
+        let Some(node) = self.nodes.get_mut(idx) else {
+            return false;
+        };
+        if node.gen != gen || node.payload.is_none() {
+            return false;
+        }
+        node.payload = None;
+        self.live -= 1;
+        true
+    }
+
+    /// Removes and returns the earliest live event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if !self.settle() {
+            return None;
+        }
+        let e = self.near.pop().expect("settle guarantees a live near event");
+        let node = &mut self.nodes[e.idx as usize];
+        let payload = node.payload.take().expect("settle strips tombstones");
+        debug_assert!(e.time >= self.now);
+        self.now = e.time;
+        self.popped += 1;
+        self.live -= 1;
+        self.release(e.idx);
+        Some((e.time, payload))
+    }
+
+    /// The timestamp of the next live event, without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.settle() {
+            self.near.peek().map(|e| e.time)
+        } else {
+            None
+        }
+    }
+
+    // -- internals ----------------------------------------------------
+
+    /// Returns the slab index to the free list for reuse and invalidates
+    /// outstanding handles to it.
+    fn release(&mut self, idx: u32) {
+        let node = &mut self.nodes[idx as usize];
+        debug_assert!(node.payload.is_none());
+        node.gen = node.gen.wrapping_add(1);
+        self.free.push(idx);
+    }
+
+    /// Files a slab entry into the near heap, a wheel slot, or overflow.
+    fn place(&mut self, idx: u32, time: SimTime, seq: u64) {
+        let s0 = time.as_ns() >> GRANULARITY_BITS;
+        if s0 <= self.pos {
+            self.near.push(HeapEntry { time, seq, idx });
+            return;
+        }
+        for l in 0..LEVELS {
+            let shift = SLOT_BITS * l as u32;
+            let d = (s0 >> shift) - (self.pos >> shift);
+            if d < SLOTS as u64 {
+                let i = ((s0 >> shift) & SLOT_MASK) as usize;
+                self.levels[l][i].push(idx);
+                self.occupancy[l][i / 64] |= 1 << (i % 64);
+                return;
+            }
+        }
+        self.overflow.push(HeapEntry { time, seq, idx });
+    }
+
+    /// The earliest occupied wheel slot across all levels, as
+    /// `(slot_start_ns, level, in_array_index)`, or `None` if the wheel
+    /// proper is empty. Any event in the returned slot has
+    /// `time >= slot_start_ns`.
+    fn earliest_slot(&self) -> Option<(u64, usize, usize)> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for l in 0..LEVELS {
+            let shift = SLOT_BITS * l as u32;
+            let pos_l = self.pos >> shift;
+            let cur = (pos_l & SLOT_MASK) as usize;
+            // Occupied slots live in [pos_l, pos_l + 255]: placement only
+            // files at distance 1..=255, but advancing the cursor to a
+            // drained slot's start can leave a same-start slot of another
+            // level at distance 0 — it must stay visible. The 256-wide
+            // window keeps in-array indices unambiguous either way.
+            let Some(step) = self.next_occupied(l, cur) else {
+                continue;
+            };
+            let abs = pos_l + step as u64;
+            let start = abs << (GRANULARITY_BITS + shift);
+            // Strictly-less keeps the preference for lower levels on ties:
+            // draining level 0 straight to the near heap beats cascading.
+            if best.is_none_or(|(b, _, _)| start < b) {
+                best = Some((start, l, (abs & SLOT_MASK) as usize));
+            }
+        }
+        best
+    }
+
+    /// Distance (0..=255) from `cur` to the first occupied slot of level
+    /// `l`, scanning cyclically starting *at* `cur`; `None` if the level
+    /// is empty.
+    fn next_occupied(&self, l: usize, cur: usize) -> Option<usize> {
+        let occ = &self.occupancy[l];
+        let words = SLOTS / 64;
+        for k in 0..=words {
+            let wi = (cur / 64 + k) % words;
+            let mut word = occ[wi];
+            if k == 0 {
+                // First pass over cur's word: bits at or after cur only.
+                word &= !0u64 << (cur % 64);
+            } else if k == words {
+                // Wrapped back to cur's word: bits strictly before cur.
+                word &= (1u64 << (cur % 64)) - 1;
+            }
+            if word != 0 {
+                let slot = wi * 64 + word.trailing_zeros() as usize;
+                return Some((slot + SLOTS - cur) % SLOTS);
+            }
+        }
+        None
+    }
+
+    /// Advances the wheel until the global minimum `(time, seq)` event sits
+    /// live at the top of the near heap. Returns `false` when no live
+    /// events remain anywhere.
+    fn settle(&mut self) -> bool {
+        loop {
+            // Strip tombstones off both heap tops so their minima are real.
+            while let Some(top) = self.near.peek() {
+                if self.nodes[top.idx as usize].payload.is_some() {
+                    break;
+                }
+                let idx = self.near.pop().expect("peeked").idx;
+                self.release(idx);
+            }
+            while let Some(top) = self.overflow.peek() {
+                if self.nodes[top.idx as usize].payload.is_some() {
+                    break;
+                }
+                let idx = self.overflow.pop().expect("peeked").idx;
+                self.release(idx);
+            }
+            let wheel = self.earliest_slot();
+            let over_ns = self.overflow.peek().map(|e| e.time.as_ns());
+            // The earliest instant an event outside `near` could occupy.
+            let boundary = match (wheel, over_ns) {
+                (Some((w, _, _)), Some(o)) => w.min(o),
+                (Some((w, _, _)), None) => w,
+                (None, Some(o)) => o,
+                (None, None) => u64::MAX,
+            };
+            if let Some(top) = self.near.peek() {
+                // Strict: an equal-time slot event could carry a lower seq.
+                if top.time.as_ns() < boundary {
+                    return true;
+                }
+            }
+            if boundary == u64::MAX {
+                return false;
+            }
+            if over_ns.is_some_and(|o| wheel.is_none_or(|(w, _, _)| o <= w)) {
+                // Overflow minimum fires next (or ties): bring it into the
+                // near heap, jumping the wheel position to its slot — the
+                // slots skipped over are provably empty.
+                let e = self.overflow.pop().expect("peeked");
+                self.pos = self.pos.max(e.time.as_ns() >> GRANULARITY_BITS);
+                self.near.push(e);
+                continue;
+            }
+            let (start, l, i) = wheel.expect("boundary came from the wheel");
+            self.pos = self.pos.max(start >> GRANULARITY_BITS);
+            self.occupancy[l][i / 64] &= !(1 << (i % 64));
+            let mut buf = std::mem::take(&mut self.drain_buf);
+            buf.clear();
+            std::mem::swap(&mut buf, &mut self.levels[l][i]);
+            // `levels[l][i]` is now the (empty) old drain_buf; `buf` holds
+            // the slot entries and returns to drain_buf with its capacity.
+            for &idx in &buf {
+                let node = &self.nodes[idx as usize];
+                if node.payload.is_none() {
+                    self.release(idx);
+                } else if l == 0 {
+                    self.near.push(HeapEntry {
+                        time: node.time,
+                        seq: node.seq,
+                        idx,
+                    });
+                } else {
+                    // Cascade one level down (or into the near heap).
+                    let (t, s) = (node.time, node.seq);
+                    self.place(idx, t, s);
+                }
+            }
+            self.drain_buf = buf;
+        }
+    }
+}
+
+impl<E> EventQueueApi<E> for EventQueue<E> {
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        EventQueue::schedule(self, time, payload)
+    }
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        EventQueue::cancel(self, handle)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        EventQueue::peek_time(self)
+    }
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn delivered(&self) -> u64 {
+        EventQueue::delivered(self)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference heap backend.
+// ---------------------------------------------------------------------
 
 struct Entry<E> {
     time: SimTime,
@@ -50,39 +509,35 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// A deterministic priority queue of timestamped events.
+/// The original `BinaryHeap` + lazy-deletion queue, kept as the reference
+/// model the timing wheel is differentially tested against, and as the
+/// baseline of the `microcosts` event-throughput bench.
 ///
-/// # Examples
-///
-/// ```
-/// use sim_core::{EventQueue, SimTime};
-///
-/// let mut q: EventQueue<&str> = EventQueue::new();
-/// q.schedule(SimTime::from_ms(5), "late");
-/// q.schedule(SimTime::from_ms(1), "early");
-/// let (t, e) = q.pop().unwrap();
-/// assert_eq!((t, e), (SimTime::from_ms(1), "early"));
-/// ```
-pub struct EventQueue<E> {
+/// A `pending` membership set makes `cancel` report the truth for handles
+/// of already-fired events (the seed version recorded such cancellations
+/// forever, leaking memory and corrupting `len`).
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     cancelled: HashSet<u64>,
+    pending: HashSet<u64>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             cancelled: HashSet::new(),
+            pending: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -96,12 +551,12 @@ impl<E> EventQueue<E> {
 
     /// The number of live (not cancelled) events still queued.
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// True if no live events remain.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.pending.is_empty()
     }
 
     /// Total number of events delivered so far (monotonic).
@@ -113,8 +568,7 @@ impl<E> EventQueue<E> {
     ///
     /// # Panics
     ///
-    /// Panics if `time` is earlier than the current clock — scheduling into
-    /// the past is always a simulation bug.
+    /// Panics if `time` is earlier than the current clock.
     pub fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
         assert!(
             time >= self.now,
@@ -124,20 +578,21 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Entry { time, seq, payload });
+        self.pending.insert(seq);
         EventHandle(seq)
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was still pending, `false` if it already
-    /// fired or was already cancelled. Cancelling a fired event is harmless.
+    /// fired or was already cancelled. Cancelling a fired event is harmless
+    /// and records nothing.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
+        if !self.pending.remove(&handle.0) {
             return false;
         }
-        // Only record a cancellation if the event may still be in the heap;
-        // the set is drained as entries surface.
-        self.cancelled.insert(handle.0)
+        self.cancelled.insert(handle.0);
+        true
     }
 
     /// Removes and returns the earliest live event, advancing the clock.
@@ -147,6 +602,7 @@ impl<E> EventQueue<E> {
                 continue;
             }
             debug_assert!(entry.time >= self.now);
+            self.pending.remove(&entry.seq);
             self.now = entry.time;
             self.popped += 1;
             return Some((entry.time, entry.payload));
@@ -170,18 +626,81 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E> EventQueueApi<E> for HeapQueue<E> {
+    fn schedule(&mut self, time: SimTime, payload: E) -> EventHandle {
+        HeapQueue::schedule(self, time, payload)
+    }
+    fn cancel(&mut self, handle: EventHandle) -> bool {
+        HeapQueue::cancel(self, handle)
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        HeapQueue::pop(self)
+    }
+    fn peek_time(&mut self) -> Option<SimTime> {
+        HeapQueue::peek_time(self)
+    }
+    fn now(&self) -> SimTime {
+        HeapQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        HeapQueue::len(self)
+    }
+    fn delivered(&self) -> u64 {
+        HeapQueue::delivered(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Runs the shared behavioral suite against one backend.
+    fn suite<Q: EventQueueApi<&'static str> + Default>() {
+        // pops_in_time_order + clock advance.
+        let mut q = Q::default();
+        q.schedule(SimTime::from_ms(3), "c");
+        q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(2), "b");
+        assert_eq!(q.pop().map(|(_, e)| e), Some("a"));
+        assert_eq!(q.now(), SimTime::from_ms(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert_eq!(q.pop().map(|(_, e)| e), Some("c"));
+        assert_eq!(q.now(), SimTime::from_ms(3));
+        assert!(q.pop().is_none());
+
+        // cancel_prevents_delivery.
+        let mut q = Q::default();
+        let h1 = q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(2), "b");
+        assert!(q.cancel(h1));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        assert!(q.pop().is_none());
+
+        // peek_skips_cancelled.
+        let mut q = Q::default();
+        let h = q.schedule(SimTime::from_ms(1), "a");
+        q.schedule(SimTime::from_ms(4), "b");
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ms(4)));
+
+        // delivered_counts_only_live_events.
+        let mut q = Q::default();
+        let h = q.schedule(SimTime::from_ms(1), "x");
+        q.schedule(SimTime::from_ms(2), "y");
+        q.cancel(h);
+        while q.pop().is_some() {}
+        assert_eq!(q.delivered(), 1);
+    }
+
     #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_ms(3), 3u32);
-        q.schedule(SimTime::from_ms(1), 1u32);
-        q.schedule(SimTime::from_ms(2), 2u32);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+    fn wheel_passes_shared_suite() {
+        suite::<EventQueue<&'static str>>();
+    }
+
+    #[test]
+    fn heap_passes_shared_suite() {
+        suite::<HeapQueue<&'static str>>();
     }
 
     #[test]
@@ -195,27 +714,42 @@ mod tests {
         assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
-    #[test]
-    fn cancel_prevents_delivery() {
-        let mut q = EventQueue::new();
-        let h1 = q.schedule(SimTime::from_ms(1), "a");
+    /// The satellite fix: cancelling an already-fired handle must return
+    /// `false`, leave `len()` untouched, and leak nothing — on both
+    /// backends.
+    fn cancel_after_fire<Q: EventQueueApi<&'static str> + Default>() {
+        let mut q = Q::default();
+        let h = q.schedule(SimTime::from_ms(1), "a");
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(h), "cancel after fire must report false");
+        assert_eq!(q.len(), 0, "fired-handle cancel must not corrupt len");
         q.schedule(SimTime::from_ms(2), "b");
-        assert!(q.cancel(h1));
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
-        assert!(q.pop().is_none());
+        // Double-cancel is also a reported no-op.
+        let h2 = q.schedule(SimTime::from_ms(3), "c");
+        assert!(q.cancel(h2));
+        assert!(!q.cancel(h2));
+        assert_eq!(q.len(), 0);
     }
 
     #[test]
     fn cancel_after_fire_is_noop() {
-        let mut q = EventQueue::new();
-        let h = q.schedule(SimTime::from_ms(1), "a");
-        assert!(q.pop().is_some());
-        // The handle's seq is below next_seq but no longer in the heap; the
-        // cancellation record is inserted and later ignored harmlessly.
-        q.cancel(h);
-        q.schedule(SimTime::from_ms(2), "b");
-        assert_eq!(q.pop().map(|(_, e)| e), Some("b"));
+        cancel_after_fire::<EventQueue<&'static str>>();
+        cancel_after_fire::<HeapQueue<&'static str>>();
+    }
+
+    #[test]
+    fn stale_handle_after_slab_reuse_is_rejected() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let h = q.schedule(SimTime::from_ms(1), 1);
+        q.pop();
+        // The slab slot is free; a new event may reuse it. The old handle
+        // must still be dead (generation counter).
+        let h2 = q.schedule(SimTime::from_ms(2), 2);
+        assert!(!q.cancel(h));
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(h2));
     }
 
     #[test]
@@ -240,22 +774,67 @@ mod tests {
     }
 
     #[test]
-    fn peek_skips_cancelled() {
+    fn far_future_goes_through_overflow() {
         let mut q = EventQueue::new();
-        let h = q.schedule(SimTime::from_ms(1), "a");
-        q.schedule(SimTime::from_ms(4), "b");
-        q.cancel(h);
-        assert_eq!(q.peek_time(), Some(SimTime::from_ms(4)));
+        // Beyond the level-3 horizon (~2^50 ns): overflow heap territory.
+        let far = SimTime::from_secs(40_000_000); // ~463 days
+        let farther = SimTime::from_secs(50_000_000);
+        q.schedule(farther, 3u32);
+        q.schedule(far, 2u32);
+        q.schedule(SimTime::from_ms(1), 1u32);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(3));
+        assert!(q.pop().is_none());
     }
 
     #[test]
-    fn delivered_counts_only_live_events() {
+    fn slot_boundary_times_order_correctly() {
+        let g = 1u64 << GRANULARITY_BITS;
         let mut q = EventQueue::new();
-        let h = q.schedule(SimTime::from_ms(1), ());
-        q.schedule(SimTime::from_ms(2), ());
-        q.cancel(h);
-        while q.pop().is_some() {}
-        assert_eq!(q.delivered(), 1);
+        // Times straddling level-0 and level-1 slot boundaries, scheduled
+        // out of order.
+        let times = [g, g - 1, g + 1, 2 * g, 256 * g, 256 * g - 1, 256 * g + 1];
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_ns(t), i);
+        }
+        let mut popped: Vec<u64> = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            popped.push(t.as_ns());
+        }
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn cancel_then_reschedule_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ms(10);
+        let h = q.schedule(t, "old");
+        q.schedule(t, "other");
+        assert!(q.cancel(h));
+        q.schedule(t, "new");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        // Insertion order among the survivors at the same instant.
+        assert_eq!(order, vec!["other", "new"]);
+    }
+
+    #[test]
+    fn long_idle_gap_is_skipped_not_walked() {
+        // One event hours out (level 2/3): pop must find it without the
+        // clock walking every empty slot — this completes instantly if the
+        // jump logic works and effectively hangs if it regresses to
+        // slot-by-slot stepping of ~2^20 slots per pop.
+        let mut q = EventQueue::new();
+        for hour in 1..=50u64 {
+            q.schedule(SimTime::from_secs(hour * 3600), hour);
+        }
+        for hour in 1..=50u64 {
+            let (t, e) = q.pop().expect("event");
+            assert_eq!(e, hour);
+            assert_eq!(t, SimTime::from_secs(hour * 3600));
+        }
     }
 }
 
@@ -281,62 +860,171 @@ mod proptests {
         ])
     }
 
+    /// Deltas spanning slot boundaries, whole levels, and the overflow
+    /// horizon — the regime where wheel placement/cascade bugs live.
+    fn arb_wide_op() -> Gen<Op> {
+        let g = 1u64 << GRANULARITY_BITS;
+        one_of(vec![
+            u64_in(0..4 * g).map(Op::Schedule),
+            u64_in(0..(1 << (GRANULARITY_BITS + 10))).map(Op::Schedule),
+            u64_in(0..(1 << (GRANULARITY_BITS + 20))).map(Op::Schedule),
+            // Near and past the level-3 horizon: overflow heap.
+            u64_in((1 << 49)..(1 << 52)).map(Op::Schedule),
+            usize_in(0..64).map(Op::Cancel),
+            just(Op::Pop),
+            just(Op::Pop),
+        ])
+    }
+
     /// The queue delivers exactly the non-cancelled events, in
     /// (time, insertion-order) order, against a naive reference.
+    fn check_against_reference<Q: EventQueueApi<usize> + Default>(ops: &[Op]) -> Result<(), String> {
+        let mut q = Q::default();
+        // Reference: (time, id, cancelled-or-delivered).
+        let mut reference: Vec<(u64, usize, bool)> = Vec::new();
+        let mut handles: Vec<EventHandle> = Vec::new();
+        let mut delivered_q: Vec<usize> = Vec::new();
+        let mut now = 0u64;
+        for op in ops {
+            match *op {
+                Op::Schedule(dt) => {
+                    let t = now.saturating_add(dt);
+                    let id = reference.len();
+                    let h = q.schedule(SimTime::from_ns(t), id);
+                    handles.push(h);
+                    reference.push((t, id, false));
+                }
+                Op::Cancel(i) => {
+                    if i < handles.len() {
+                        let was_pending = !reference[i].2;
+                        let reported = q.cancel(handles[i]);
+                        prop_assert_eq!(reported, was_pending);
+                        reference[i].2 = true;
+                    }
+                }
+                Op::Pop => {
+                    if let Some((t, id)) = q.pop() {
+                        now = t.as_ns();
+                        delivered_q.push(id);
+                        // Mark as consumed in the reference.
+                        reference[id].2 = true;
+                    }
+                }
+            }
+        }
+        // Drain the rest.
+        while let Some((_, id)) = q.pop() {
+            delivered_q.push(id);
+            reference[id].2 = true;
+        }
+        // Every event was delivered exactly once or cancelled.
+        prop_assert!(reference.iter().all(|&(_, _, done)| done));
+        // Delivery order is sorted by (time, seq).
+        let mut last = (0u64, 0usize);
+        for &id in &delivered_q {
+            let key = (reference[id].0, id);
+            prop_assert!(key >= last, "out of order: {key:?} after {last:?}");
+            last = key;
+        }
+        Ok(())
+    }
+
     #[test]
     fn matches_reference_model() {
         let gen = vec_of(arb_op(), 0..200);
         run_prop("matches_reference_model", Config::default(), &gen, |ops| {
-            let mut q: EventQueue<usize> = EventQueue::new();
-            // Reference: (time, seq, id, cancelled).
-            let mut reference: Vec<(u64, usize, bool)> = Vec::new();
-            let mut handles: Vec<EventHandle> = Vec::new();
-            let mut delivered_q: Vec<usize> = Vec::new();
+            check_against_reference::<EventQueue<usize>>(ops)?;
+            check_against_reference::<HeapQueue<usize>>(ops)
+        });
+    }
+
+    #[test]
+    fn matches_reference_model_wide_times() {
+        let gen = vec_of(arb_wide_op(), 0..200);
+        run_prop(
+            "matches_reference_model_wide_times",
+            Config::default(),
+            &gen,
+            |ops| check_against_reference::<EventQueue<usize>>(ops),
+        );
+    }
+
+    /// Both backends, fed the same op stream, produce byte-identical
+    /// delivery sequences and agree on every `cancel` return, `len`, and
+    /// `peek_time` along the way.
+    #[test]
+    fn backends_are_equivalent() {
+        let gen = vec_of(arb_wide_op(), 0..250);
+        run_prop("backends_are_equivalent", Config::default(), &gen, |ops| {
+            let mut wheel: EventQueue<usize> = EventQueue::new();
+            let mut heap: HeapQueue<usize> = HeapQueue::new();
+            let mut wh: Vec<EventHandle> = Vec::new();
+            let mut hh: Vec<EventHandle> = Vec::new();
             let mut now = 0u64;
             for op in ops {
                 match *op {
                     Op::Schedule(dt) => {
-                        let t = now + dt;
-                        let id = reference.len();
-                        let h = q.schedule(SimTime::from_ns(t), id);
-                        handles.push(h);
-                        reference.push((t, id, false));
+                        let t = SimTime::from_ns(now.saturating_add(dt));
+                        wh.push(wheel.schedule(t, wh.len()));
+                        hh.push(heap.schedule(t, hh.len()));
                     }
                     Op::Cancel(i) => {
-                        if i < handles.len() {
-                            q.cancel(handles[i]);
-                            reference[i].2 = true;
+                        if i < wh.len() {
+                            prop_assert_eq!(wheel.cancel(wh[i]), heap.cancel(hh[i]));
                         }
                     }
                     Op::Pop => {
-                        if let Some((t, id)) = q.pop() {
+                        prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                        let a = wheel.pop();
+                        let b = heap.pop();
+                        prop_assert_eq!(a, b);
+                        if let Some((t, _)) = a {
                             now = t.as_ns();
-                            delivered_q.push(id);
-                            // Mark as consumed in the reference.
-                            reference[id].2 = true;
                         }
                     }
                 }
+                prop_assert_eq!(wheel.len(), heap.len());
             }
-            // Drain the rest.
-            while let Some((_, id)) = q.pop() {
-                delivered_q.push(id);
-                reference[id].2 = true;
+            loop {
+                let a = wheel.pop();
+                let b = heap.pop();
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
             }
-            // Every event was delivered exactly once or cancelled.
-            prop_assert!(reference.iter().all(|&(_, _, done)| done));
-            // Delivery order is sorted by (time, seq).
-            let mut last = (0u64, 0usize);
-            for &id in &delivered_q {
-                let key = (reference[id].0, id);
-                prop_assert!(key >= last, "out of order: {key:?} after {last:?}");
-                last = key;
-            }
+            prop_assert_eq!(wheel.delivered(), heap.delivered());
             Ok(())
         });
     }
 
-    /// `len` always equals live events; `pop` count matches.
+    /// `len` always equals live events; `pop` count matches — both
+    /// backends.
+    fn len_consistency<Q: EventQueueApi<u64> + Default>(
+        times: &[u64],
+        cancel_every: usize,
+    ) -> Result<(), String> {
+        let mut q = Q::default();
+        let mut live = 0usize;
+        let mut handles = Vec::new();
+        for &t in times {
+            handles.push(q.schedule(SimTime::from_ns(t), t));
+            live += 1;
+        }
+        for (i, h) in handles.iter().enumerate() {
+            if i % cancel_every == 0 && q.cancel(*h) {
+                live -= 1;
+            }
+        }
+        prop_assert_eq!(q.len(), live);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, live);
+        Ok(())
+    }
+
     #[test]
     fn len_is_consistent() {
         let gen = tuple2(vec_of(u64_in(0..1_000), 0..100), usize_in(1..5));
@@ -345,25 +1033,8 @@ mod proptests {
             Config::default(),
             &gen,
             |(times, cancel_every)| {
-                let mut q: EventQueue<u64> = EventQueue::new();
-                let mut live = 0usize;
-                let mut handles = Vec::new();
-                for &t in times {
-                    handles.push(q.schedule(SimTime::from_ns(t), t));
-                    live += 1;
-                }
-                for (i, h) in handles.iter().enumerate() {
-                    if i % cancel_every == 0 && q.cancel(*h) {
-                        live -= 1;
-                    }
-                }
-                prop_assert_eq!(q.len(), live);
-                let mut popped = 0;
-                while q.pop().is_some() {
-                    popped += 1;
-                }
-                prop_assert_eq!(popped, live);
-                Ok(())
+                len_consistency::<EventQueue<u64>>(times, *cancel_every)?;
+                len_consistency::<HeapQueue<u64>>(times, *cancel_every)
             },
         );
     }

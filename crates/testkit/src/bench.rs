@@ -81,14 +81,39 @@ pub struct BenchResult {
     pub min_ns: f64,
     /// Slowest sample, ns per call.
     pub max_ns: f64,
+    /// Work items processed per call (0 unless registered through
+    /// [`BenchRunner::bench_throughput`]); lets the report derive an
+    /// items-per-second rate from the per-call timings.
+    pub items_per_call: u64,
 }
 
 impl BenchResult {
+    /// Items (e.g. events) per second, derived from `items_per_call` and
+    /// the mean per-call time. Zero for non-throughput benchmarks.
+    pub fn items_per_sec(&self) -> f64 {
+        if self.items_per_call == 0 || self.mean_ns <= 0.0 {
+            0.0
+        } else {
+            self.items_per_call as f64 / self.mean_ns * 1e9
+        }
+    }
+
     /// One JSON object on one line (hand-rolled; no serde in the tree).
+    /// Throughput benchmarks gain `items_per_call`/`events_per_sec`
+    /// fields; plain benchmarks keep the original shape.
     pub fn to_json(&self, suite: &str, scale: &str) -> String {
+        let throughput = if self.items_per_call > 0 {
+            format!(
+                ",\"items_per_call\":{},\"events_per_sec\":{:.0}",
+                self.items_per_call,
+                self.items_per_sec()
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{{\"suite\":\"{}\",\"bench\":\"{}\",\"scale\":\"{}\",\"calls\":{},\"batch\":{},\
-             \"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{:.1},\"max_ns\":{:.1}}}",
+             \"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{},\"min_ns\":{:.1},\"max_ns\":{:.1}{}}}",
             suite,
             self.name,
             scale,
@@ -98,7 +123,8 @@ impl BenchResult {
             self.p50_ns,
             self.p99_ns,
             self.min_ns,
-            self.max_ns
+            self.max_ns,
+            throughput
         )
     }
 }
@@ -164,7 +190,24 @@ impl BenchRunner {
             p99_ns: hist.quantile(0.99),
             min_ns: stats.min(),
             max_ns: stats.max(),
+            items_per_call: 0,
         });
+        self.results.last().expect("just pushed")
+    }
+
+    /// Benchmarks `f` like [`BenchRunner::bench`], declaring that every
+    /// call processes `items_per_call` work items (events popped, requests
+    /// served, …). The report then includes a derived `events_per_sec`
+    /// throughput figure alongside the per-call latency summary.
+    pub fn bench_throughput<R>(
+        &mut self,
+        name: &str,
+        items_per_call: u64,
+        f: impl FnMut() -> R,
+    ) -> &BenchResult {
+        self.bench(name, f);
+        let r = self.results.last_mut().expect("just pushed");
+        r.items_per_call = items_per_call;
         self.results.last().expect("just pushed")
     }
 
@@ -206,6 +249,7 @@ impl BenchRunner {
             p99_ns: hist.quantile(0.99),
             min_ns: stats.min(),
             max_ns: stats.max(),
+            items_per_call: 0,
         });
         self.results.last().expect("just pushed")
     }
@@ -238,6 +282,17 @@ impl BenchRunner {
                 "{:name_w$}  {:>12.1} {:>12} {:>12} {:>12.1} {:>12.1} {:>10}",
                 r.name, r.mean_ns, r.p50_ns, r.p99_ns, r.min_ns, r.max_ns, r.calls
             );
+        }
+        for r in &self.results {
+            if r.items_per_call > 0 {
+                let _ = writeln!(
+                    out,
+                    "{}: {:.2} M events/s ({} items/call)",
+                    r.name,
+                    r.items_per_sec() / 1e6,
+                    r.items_per_call
+                );
+            }
         }
         for r in &self.results {
             let _ = writeln!(out, "{}", r.to_json(&self.suite, scale));
@@ -294,6 +349,31 @@ mod tests {
         assert!(s.contains("bench suite 'suite-x'"));
         assert!(s.contains("\"suite\":\"suite-x\",\"bench\":\"noop\""));
         assert!(s.contains("\"p99_ns\":"));
+    }
+
+    #[test]
+    fn throughput_bench_reports_events_per_sec() {
+        let mut r = BenchRunner::with_config("t", tiny());
+        let res = r.bench_throughput("churn", 1_000, || {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(res.items_per_call, 1_000);
+        assert!(res.items_per_sec() > 0.0);
+        let s = r.render();
+        assert!(s.contains("\"items_per_call\":1000"));
+        assert!(s.contains("\"events_per_sec\":"));
+        assert!(s.contains("M events/s"));
+    }
+
+    #[test]
+    fn plain_bench_json_has_no_throughput_fields() {
+        let mut r = BenchRunner::with_config("t", tiny());
+        r.bench("noop", || 1u32);
+        assert!(!r.render().contains("items_per_call"));
     }
 
     #[test]

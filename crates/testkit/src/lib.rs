@@ -13,6 +13,10 @@
 //! - [`bench`] — a mini benchmark runner: warmup, batched timed
 //!   iterations, mean/p50/p99 via `sim-core::stats`, and table + JSON
 //!   output honoring `VSCALE_BENCH_SCALE`.
+//! - [`parallel`] — a `std::thread`-scoped seed-sweep runner
+//!   ([`parallel::run_seeds_parallel`], honoring `VSCALE_THREADS`) that
+//!   merges results in seed order so sweep output is byte-stable at any
+//!   thread count.
 //!
 //! # Shrinking model
 //!
@@ -27,6 +31,7 @@
 
 pub mod bench;
 pub mod gen;
+pub mod parallel;
 pub mod runner;
 pub mod source;
 

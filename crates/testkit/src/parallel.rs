@@ -1,0 +1,140 @@
+//! A seed-sweep parallel runner for the multi-seed bench targets.
+//!
+//! Every figure/table experiment averages a handful of seeds, and each
+//! seed's simulation is single-threaded and deterministic. The seeds are
+//! embarrassingly parallel, so this module fans them out across OS
+//! threads (`std::thread::scope`, no external executor) while keeping
+//! the *output* independent of the thread count:
+//!
+//! - each seed runs exactly the closure it would run serially, on one
+//!   thread, with no shared mutable state;
+//! - results land in a pre-sized slot table indexed by seed position, so
+//!   the returned `Vec` is always in input order — JSON emitted from it
+//!   is byte-stable whether `VSCALE_THREADS` is 1 or 64;
+//! - a panic in any worker propagates out of `std::thread::scope` after
+//!   the remaining workers finish their current seed.
+//!
+//! The thread count comes from `VSCALE_THREADS` (default: available
+//! cores). `VSCALE_THREADS=1` gives a strictly serial run with no thread
+//! spawned at all — the smoke test in `scripts/verify.sh` diffs that
+//! against a 4-thread run to hold the byte-stability property.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parses a `VSCALE_THREADS`-style value; `None`/empty/garbage/0 fall
+/// back to `default`.
+pub fn parse_threads(val: Option<&str>, default: usize) -> usize {
+    match val.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => default.max(1),
+    }
+}
+
+/// Number of worker threads for seed sweeps: `VSCALE_THREADS` if set,
+/// otherwise the number of available cores.
+pub fn threads_from_env() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    parse_threads(std::env::var("VSCALE_THREADS").ok().as_deref(), cores)
+}
+
+/// Runs `f` once per index in `0..n` across `threads` workers and
+/// returns the results in index order. The core of [`run_seeds_parallel`];
+/// exposed for callers whose work items are not literally seeds.
+pub fn run_indexed_parallel<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker exited without storing a result")
+        })
+        .collect()
+}
+
+/// Runs `f` once per seed, fanning out across [`threads_from_env`]
+/// workers, and returns the results **in seed order** regardless of
+/// thread count or completion order.
+pub fn run_seeds_parallel<R, F>(seeds: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    run_indexed_parallel(seeds.len(), threads_from_env(), |i| f(seeds[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_threads_handles_all_inputs() {
+        assert_eq!(parse_threads(None, 8), 8);
+        assert_eq!(parse_threads(Some(""), 8), 8);
+        assert_eq!(parse_threads(Some("abc"), 8), 8);
+        assert_eq!(parse_threads(Some("0"), 8), 8);
+        assert_eq!(parse_threads(Some("3"), 8), 3);
+        assert_eq!(parse_threads(Some(" 12 "), 8), 12);
+        assert_eq!(parse_threads(None, 0), 1, "default floors at 1");
+    }
+
+    #[test]
+    fn results_are_in_input_order_at_any_thread_count() {
+        let seeds: Vec<u64> = (0..17).map(|i| 1000 + 7 * i).collect();
+        let serial: Vec<u64> = seeds.iter().map(|s| s * s + 1).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            let got = run_indexed_parallel(seeds.len(), threads, |i| {
+                let s = seeds[i];
+                // Stagger completion so out-of-order finishes are likely.
+                std::thread::sleep(std::time::Duration::from_micros(
+                    (seeds.len() - i) as u64 * 10,
+                ));
+                s * s + 1
+            });
+            assert_eq!(got, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        let empty: Vec<u64> = run_indexed_parallel(0, 4, |_| unreachable!());
+        assert!(empty.is_empty());
+        assert_eq!(run_indexed_parallel(1, 4, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            run_indexed_parallel(4, 2, |i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(r.is_err());
+    }
+}

@@ -27,7 +27,7 @@ pub struct Config {
 
 /// Default seed; chosen once so failures reproduce across runs and
 /// machines unless `TESTKIT_SEED` overrides it.
-const DEFAULT_SEED: u64 = 0x5CA1E_CA5E;
+const DEFAULT_SEED: u64 = 0x5_CA1E_CA5E;
 
 impl Default for Config {
     fn default() -> Self {

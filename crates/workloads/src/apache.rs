@@ -167,7 +167,7 @@ pub fn run_client(
     let mut n = 0;
     loop {
         let gap = SimDuration::from_us_f64(rng.exponential(1e6 / rate_per_sec));
-        t = t + gap;
+        t += gap;
         if t >= end {
             break;
         }

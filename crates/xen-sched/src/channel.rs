@@ -96,11 +96,11 @@ mod tests {
     fn read_returns_latest_extendability_and_counts() {
         let mut sched = CreditScheduler::new(CreditConfig::default(), 2);
         let dom = sched.create_domain(256, 2, None, None);
-        sched.vcpu_wake(GlobalVcpu::new(dom, VcpuId(0)), SimTime::ZERO);
-        sched.vcpu_wake(GlobalVcpu::new(dom, VcpuId(1)), SimTime::ZERO);
+        sched.vcpu_wake(GlobalVcpu::new(dom, VcpuId(0)), SimTime::ZERO, &mut Vec::new());
+        sched.vcpu_wake(GlobalVcpu::new(dom, VcpuId(1)), SimTime::ZERO, &mut Vec::new());
         // Let it consume a full window, then tick the extendability.
-        sched.on_tick(sim_core::ids::PcpuId(0), SimTime::from_ms(10));
-        sched.on_tick(sim_core::ids::PcpuId(1), SimTime::from_ms(10));
+        sched.on_tick(sim_core::ids::PcpuId(0), SimTime::from_ms(10), &mut Vec::new());
+        sched.on_tick(sim_core::ids::PcpuId(1), SimTime::from_ms(10), &mut Vec::new());
         sched.on_extend_tick(SimTime::from_ms(10));
 
         let mut ch = VscaleChannel::new();

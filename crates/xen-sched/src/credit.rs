@@ -208,6 +208,12 @@ impl Pcpu {
 }
 
 /// The credit scheduler: all domains, vCPUs and pCPUs of one CPU pool.
+///
+/// All state-changing entry points append the resulting [`SchedEvent`]s to
+/// a caller-provided sink instead of returning a fresh `Vec`, so the
+/// embedding machine's steady-state event loop performs no per-dispatch
+/// heap allocation. The sink is *appended to*, never cleared — the caller
+/// owns its lifecycle.
 pub struct CreditScheduler {
     config: CreditConfig,
     pcpus: Vec<Pcpu>,
@@ -216,6 +222,14 @@ pub struct CreditScheduler {
     extend_window_start: SimTime,
     /// Number of vCPU migrations across pCPUs (stealing).
     migrations: u64,
+    /// Scratch for [`CreditScheduler::on_acct`] cap decisions (reused
+    /// across calls so the 30 ms pass allocates nothing in steady state).
+    park_buf: Vec<GlobalVcpu>,
+    unpark_buf: Vec<GlobalVcpu>,
+    /// Scratch for the per-domain activity flags of the accounting pass.
+    active_buf: Vec<bool>,
+    /// Scratch for [`CreditScheduler::on_extend_tick`] Algorithm 1 inputs.
+    params_buf: Vec<ExtendParams>,
 }
 
 impl CreditScheduler {
@@ -228,6 +242,10 @@ impl CreditScheduler {
             domains: Vec::new(),
             extend_window_start: SimTime::ZERO,
             migrations: 0,
+            park_buf: Vec::new(),
+            unpark_buf: Vec::new(),
+            active_buf: Vec::new(),
+            params_buf: Vec::new(),
         }
     }
 
@@ -398,9 +416,9 @@ impl CreditScheduler {
     }
 
     /// Per-pCPU tick (every [`CreditConfig::tick`]): burn credits, demote
-    /// BOOST, and preempt if a higher-priority vCPU is waiting.
-    pub fn on_tick(&mut self, pcpu: PcpuId, now: SimTime) -> Vec<SchedEvent> {
-        let mut events = Vec::new();
+    /// BOOST, and preempt if a higher-priority vCPU is waiting. Resulting
+    /// assignment changes are appended to `events`.
+    pub fn on_tick(&mut self, pcpu: PcpuId, now: SimTime, events: &mut Vec<SchedEvent>) {
         self.burn(pcpu, now);
         if let Some(gv) = self.pcpus[pcpu.index()].current {
             // Xen demotes a boosted vCPU back to its credit-derived priority
@@ -418,16 +436,15 @@ impl CreditScheduler {
             if self.config.tick_preemption {
                 let cur_prio = self.vcpu(gv).prio;
                 if self.best_waiting_prio(pcpu) < cur_prio as usize {
-                    self.deschedule_current(pcpu, now, /* requeue= */ true, &mut events);
-                    self.reschedule(pcpu, now, &mut events);
+                    self.deschedule_current(pcpu, now, /* requeue= */ true, events);
+                    self.reschedule(pcpu, now, events);
                 }
             }
         } else {
             // Idle pCPU: a tick is a natural point to look for work that
             // appeared without a wakeup kick reaching us.
-            self.reschedule(pcpu, now, &mut events);
+            self.reschedule(pcpu, now, events);
         }
-        events
     }
 
     fn best_waiting_prio(&self, pcpu: PcpuId) -> usize {
@@ -445,9 +462,8 @@ impl CreditScheduler {
     /// enforces per-domain caps — a capped domain that over-consumed its
     /// budget has its vCPUs *parked* (Xen's `CSCHED_FLAG_VCPU_PARKED`)
     /// until the next pass; caps are the one deliberately
-    /// non-work-conserving knob.
-    pub fn on_acct(&mut self, now: SimTime) -> Vec<SchedEvent> {
-        let mut events = Vec::new();
+    /// non-work-conserving knob. Assignment changes go to `events`.
+    pub fn on_acct(&mut self, now: SimTime, events: &mut Vec<SchedEvent>) {
         // Burn everyone up to `now` first so consumption is current.
         for p in 0..self.pcpus.len() {
             self.burn(PcpuId(p), now);
@@ -458,9 +474,11 @@ impl CreditScheduler {
         let floor_ns = -cap_ns; // At most one full period over-drawn.
 
         // Cap enforcement decisions, applied after the credit loop so the
-        // domain iteration below stays simple.
-        let mut to_park: Vec<GlobalVcpu> = Vec::new();
-        let mut to_unpark: Vec<GlobalVcpu> = Vec::new();
+        // domain iteration below stays simple. The decision lists are
+        // scheduler-owned scratch (empty outside this call).
+        let mut to_park = std::mem::take(&mut self.park_buf);
+        let mut to_unpark = std::mem::take(&mut self.unpark_buf);
+        debug_assert!(to_park.is_empty() && to_unpark.is_empty());
         for (di, d) in self.domains.iter().enumerate() {
             let Some(cap) = d.cap_pcpus else { continue };
             let budget = SimDuration::from_ns((period.as_ns() as f64 * cap) as u64);
@@ -477,16 +495,14 @@ impl CreditScheduler {
 
         // A domain is active if it consumed anything this window or has
         // runnable/running vCPUs right now.
-        let active: Vec<bool> = self
-            .domains
-            .iter()
-            .map(|d| {
-                !d.consumed_acct.is_zero()
-                    || d.vcpus
-                        .iter()
-                        .any(|v| !matches!(v.state, VcpuState::Blocked { .. }))
-            })
-            .collect();
+        let mut active = std::mem::take(&mut self.active_buf);
+        active.clear();
+        active.extend(self.domains.iter().map(|d| {
+            !d.consumed_acct.is_zero()
+                || d.vcpus
+                    .iter()
+                    .any(|v| !matches!(v.state, VcpuState::Blocked { .. }))
+        }));
         let weight_sum: u64 = self
             .domains
             .iter()
@@ -519,13 +535,15 @@ impl CreditScheduler {
                 }
             }
         }
-        for gv in to_park {
-            self.park(gv, now, &mut events);
+        for gv in to_park.drain(..) {
+            self.park(gv, now, events);
         }
-        for gv in to_unpark {
-            self.unpark(gv, now, &mut events);
+        for gv in to_unpark.drain(..) {
+            self.unpark(gv, now, events);
         }
-        events
+        self.park_buf = to_park;
+        self.unpark_buf = to_unpark;
+        self.active_buf = active;
     }
 
     /// Parks a vCPU (cap exceeded): it leaves its pCPU/queue and will not
@@ -550,8 +568,7 @@ impl CreditScheduler {
     /// revalidates whether the guest actually has work for it.
     fn unpark(&mut self, gv: GlobalVcpu, now: SimTime, events: &mut Vec<SchedEvent>) {
         self.vcpu_mut(gv).parked = false;
-        let evs = self.vcpu_wake(gv, now);
-        events.extend(evs);
+        self.vcpu_wake(gv, now, events);
     }
 
     /// Whether `gv` is parked by cap enforcement.
@@ -576,18 +593,17 @@ impl CreditScheduler {
         if window.is_zero() {
             return;
         }
-        let params: Vec<ExtendParams> = self
-            .domains
-            .iter()
-            .map(|d| ExtendParams {
-                weight: d.weight,
-                consumed: d.consumed_extend,
-                cap_pcpus: d.cap_pcpus,
-                reservation_pcpus: d.reservation_pcpus,
-                n_vcpus: d.vcpus.len(),
-            })
-            .collect();
+        let mut params = std::mem::take(&mut self.params_buf);
+        params.clear();
+        params.extend(self.domains.iter().map(|d| ExtendParams {
+            weight: d.weight,
+            consumed: d.consumed_extend,
+            cap_pcpus: d.cap_pcpus,
+            reservation_pcpus: d.reservation_pcpus,
+            n_vcpus: d.vcpus.len(),
+        }));
         let infos = crate::extend::compute_extendability(&params, self.pcpus.len(), window, now);
+        self.params_buf = params;
         for (d, info) in self.domains.iter_mut().zip(infos) {
             d.consumed_extend = SimDuration::ZERO;
             d.extend = info;
@@ -708,13 +724,13 @@ impl CreditScheduler {
     }
 
     /// A vCPU blocks voluntarily (guest idle / HLT / `SCHEDOP_poll`).
-    pub fn vcpu_block(&mut self, gv: GlobalVcpu, now: SimTime) -> Vec<SchedEvent> {
-        let mut events = Vec::new();
+    /// Assignment changes are appended to `events`.
+    pub fn vcpu_block(&mut self, gv: GlobalVcpu, now: SimTime, events: &mut Vec<SchedEvent>) {
         match self.vcpu(gv).state {
             VcpuState::Running { pcpu, .. } => {
-                self.deschedule_current(pcpu, now, false, &mut events);
+                self.deschedule_current(pcpu, now, false, events);
                 self.vcpu_mut(gv).state = VcpuState::Blocked { since: now };
-                self.reschedule(pcpu, now, &mut events);
+                self.reschedule(pcpu, now, events);
             }
             VcpuState::Runnable { .. } => {
                 // Raced: it was preempted and now blocks from the queue.
@@ -723,7 +739,6 @@ impl CreditScheduler {
             }
             VcpuState::Blocked { .. } => {}
         }
-        events
     }
 
     fn remove_from_queue(&mut self, gv: GlobalVcpu, now: SimTime) {
@@ -744,14 +759,13 @@ impl CreditScheduler {
     /// An UNDER vCPU is promoted to BOOST (if enabled) so it reaches a pCPU
     /// quickly; it may preempt the current occupant of its home pCPU if that
     /// occupant has run at least the ratelimit and has lower priority.
-    pub fn vcpu_wake(&mut self, gv: GlobalVcpu, now: SimTime) -> Vec<SchedEvent> {
-        let mut events = Vec::new();
+    pub fn vcpu_wake(&mut self, gv: GlobalVcpu, now: SimTime, events: &mut Vec<SchedEvent>) {
         if !matches!(self.vcpu(gv).state, VcpuState::Blocked { .. }) {
-            return events;
+            return;
         }
         if self.vcpu(gv).parked {
             // Cap-parked: stays off pCPUs until the next accounting pass.
-            return events;
+            return;
         }
         if self.config.boost && self.vcpu(gv).credits_ns >= 0 {
             self.vcpu_mut(gv).prio = Prio::Boost;
@@ -760,8 +774,7 @@ impl CreditScheduler {
         let home = self.vcpu(gv).last_pcpu;
         let target = self.idle_pcpu().unwrap_or(home);
         self.enqueue(gv, target, now);
-        self.maybe_preempt(target, now, &mut events);
-        events
+        self.maybe_preempt(target, now, events);
     }
 
     fn idle_pcpu(&self) -> Option<PcpuId> {
@@ -791,23 +804,19 @@ impl CreditScheduler {
 
     /// The running vCPU on `pcpu` yields (pv-spinlock `SCHEDOP_yield`):
     /// it goes to the back of its priority queue.
-    pub fn vcpu_yield(&mut self, gv: GlobalVcpu, now: SimTime) -> Vec<SchedEvent> {
-        let mut events = Vec::new();
+    pub fn vcpu_yield(&mut self, gv: GlobalVcpu, now: SimTime, events: &mut Vec<SchedEvent>) {
         if let VcpuState::Running { pcpu, .. } = self.vcpu(gv).state {
-            self.deschedule_current(pcpu, now, true, &mut events);
-            self.reschedule(pcpu, now, &mut events);
+            self.deschedule_current(pcpu, now, true, events);
+            self.reschedule(pcpu, now, events);
         }
-        events
     }
 
     /// End of the 30 ms quantum on `pcpu`: round-robin to the next vCPU.
-    pub fn slice_expired(&mut self, pcpu: PcpuId, now: SimTime) -> Vec<SchedEvent> {
-        let mut events = Vec::new();
+    pub fn slice_expired(&mut self, pcpu: PcpuId, now: SimTime, events: &mut Vec<SchedEvent>) {
         if self.pcpus[pcpu.index()].current.is_some() {
-            self.deschedule_current(pcpu, now, true, &mut events);
-            self.reschedule(pcpu, now, &mut events);
+            self.deschedule_current(pcpu, now, true, events);
+            self.reschedule(pcpu, now, events);
         }
-        events
     }
 
     /// Marks `gv` frozen/unfrozen (the `SCHEDOP_freezecpu` hypercall).
@@ -824,8 +833,7 @@ impl CreditScheduler {
     /// priority and preempts aggressively so Algorithm 2's target-side work
     /// happens promptly (§4.2: the hypervisor "tickles the reconfigured
     /// vCPU and prioritizes its scheduling").
-    pub fn kick_vcpu(&mut self, gv: GlobalVcpu, now: SimTime) -> Vec<SchedEvent> {
-        let mut events = Vec::new();
+    pub fn kick_vcpu(&mut self, gv: GlobalVcpu, now: SimTime, events: &mut Vec<SchedEvent>) {
         match self.vcpu(gv).state {
             VcpuState::Blocked { .. } => {
                 self.vcpu_mut(gv).prio = Prio::Boost;
@@ -833,10 +841,10 @@ impl CreditScheduler {
                 self.enqueue(gv, target, now);
                 // Reconfiguration kicks bypass the ratelimit.
                 match self.pcpus[target.index()].current {
-                    None => self.reschedule(target, now, &mut events),
+                    None => self.reschedule(target, now, events),
                     Some(cur) if self.vcpu(cur).prio > Prio::Boost => {
-                        self.deschedule_current(target, now, true, &mut events);
-                        self.reschedule(target, now, &mut events);
+                        self.deschedule_current(target, now, true, events);
+                        self.reschedule(target, now, events);
                     }
                     Some(_) => {}
                 }
@@ -846,11 +854,10 @@ impl CreditScheduler {
                 self.remove_from_queue(gv, now);
                 self.vcpu_mut(gv).prio = Prio::Boost;
                 self.enqueue(gv, pcpu, now);
-                self.maybe_preempt(pcpu, now, &mut events);
+                self.maybe_preempt(pcpu, now, events);
             }
             VcpuState::Running { .. } => {}
         }
-        events
     }
 
     /// Signed credit balance of `gv`, in nanoseconds (test/inspection hook).
@@ -864,14 +871,21 @@ impl CreditScheduler {
     }
 
     /// Convenience: wake every vCPU of a domain (used at guest boot).
-    pub fn wake_domain(&mut self, dom: DomId, now: SimTime) -> Vec<SchedEvent> {
+    pub fn wake_domain(&mut self, dom: DomId, now: SimTime, events: &mut Vec<SchedEvent>) {
         let n = self.domains[dom.index()].vcpus.len();
-        let mut events = Vec::new();
         for i in 0..n {
-            events.extend(self.vcpu_wake(GlobalVcpu::new(dom, VcpuId(i)), now));
+            self.vcpu_wake(GlobalVcpu::new(dom, VcpuId(i)), now, events);
         }
-        events
     }
+}
+
+/// Test helper: runs a sink-style scheduler call and returns the events it
+/// appended, restoring the `Vec`-returning shape the assertions read best in.
+#[cfg(test)]
+fn collect(f: impl FnOnce(&mut Vec<SchedEvent>)) -> Vec<SchedEvent> {
+    let mut out = Vec::new();
+    f(&mut out);
+    out
 }
 
 #[cfg(test)]
@@ -890,7 +904,7 @@ mod tests {
     fn wake_places_vcpu_on_idle_pcpu() {
         let mut s = sched(2);
         s.create_domain(256, 1, None, None);
-        let ev = s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        let ev = collect(|ev| s.vcpu_wake(gv(0, 0), SimTime::ZERO, ev));
         assert!(ev.contains(&SchedEvent::Run {
             pcpu: PcpuId(0),
             vcpu: gv(0, 0)
@@ -902,8 +916,8 @@ mod tests {
     fn two_vcpus_spread_over_two_pcpus() {
         let mut s = sched(2);
         s.create_domain(256, 2, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.vcpu_wake(gv(0, 1), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
         assert_eq!(s.running_on(PcpuId(0)), Some(gv(0, 0)));
         assert_eq!(s.running_on(PcpuId(1)), Some(gv(0, 1)));
     }
@@ -912,10 +926,10 @@ mod tests {
     fn block_frees_pcpu_and_next_runs() {
         let mut s = sched(1);
         s.create_domain(256, 2, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.vcpu_wake(gv(0, 1), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
         assert_eq!(s.running_on(PcpuId(0)), Some(gv(0, 0)));
-        let ev = s.vcpu_block(gv(0, 0), SimTime::from_ms(5));
+        let ev = collect(|ev| s.vcpu_block(gv(0, 0), SimTime::from_ms(5), ev));
         assert!(ev.contains(&SchedEvent::Run {
             pcpu: PcpuId(0),
             vcpu: gv(0, 1)
@@ -926,14 +940,14 @@ mod tests {
     fn slice_expiry_round_robins() {
         let mut s = sched(1);
         s.create_domain(256, 2, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.vcpu_wake(gv(0, 1), SimTime::ZERO);
-        let ev = s.slice_expired(PcpuId(0), SimTime::from_ms(30));
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
+        let ev = collect(|ev| s.slice_expired(PcpuId(0), SimTime::from_ms(30), ev));
         assert!(ev.contains(&SchedEvent::Run {
             pcpu: PcpuId(0),
             vcpu: gv(0, 1)
         }));
-        let ev = s.slice_expired(PcpuId(0), SimTime::from_ms(60));
+        let ev = collect(|ev| s.slice_expired(PcpuId(0), SimTime::from_ms(60), ev));
         assert!(ev.contains(&SchedEvent::Run {
             pcpu: PcpuId(0),
             vcpu: gv(0, 0)
@@ -944,9 +958,9 @@ mod tests {
     fn burning_credits_demotes_to_over() {
         let mut s = sched(1);
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         // Run 10 ms with zero starting credits -> negative balance -> OVER.
-        s.on_tick(PcpuId(0), SimTime::from_ms(10));
+        s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new());
         assert_eq!(s.vcpu_prio(gv(0, 0)), Prio::Over);
         assert!(s.credits_ns(gv(0, 0)) < 0);
     }
@@ -956,9 +970,9 @@ mod tests {
         let mut s = sched(1);
         s.create_domain(512, 1, None, None); // Double weight.
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.vcpu_wake(gv(1, 0), SimTime::ZERO);
-        s.on_acct(SimTime::from_ms(30));
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(1, 0), SimTime::ZERO, &mut Vec::new());
+        s.on_acct(SimTime::from_ms(30), &mut Vec::new());
         let c0 = s.credits_ns(gv(0, 0));
         let c1 = s.credits_ns(gv(1, 0));
         // dom0 ran the whole 30 ms (burn 30 ms) then got 20 ms; dom1 got
@@ -972,9 +986,9 @@ mod tests {
     fn frozen_vcpu_earns_nothing_and_siblings_earn_more() {
         let mut s = sched(2);
         s.create_domain(256, 2, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         s.set_frozen(gv(0, 1), true);
-        s.on_acct(SimTime::from_ms(30));
+        s.on_acct(SimTime::from_ms(30), &mut Vec::new());
         // Whole domain share (2 pcpus * 30ms = 60ms worth) goes to vcpu0,
         // clipped at the +30 ms cap; vcpu1 gets nothing.
         assert_eq!(s.credits_ns(gv(0, 1)), 0);
@@ -990,12 +1004,12 @@ mod tests {
         let mut s = sched(1);
         s.create_domain(256, 1, None, None);
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         // Burn dom0 down to OVER.
-        s.on_tick(PcpuId(0), SimTime::from_ms(10));
+        s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new());
         assert_eq!(s.vcpu_prio(gv(0, 0)), Prio::Over);
         // dom1 wakes with zero credits (>= 0 -> boost).
-        let ev = s.vcpu_wake(gv(1, 0), SimTime::from_ms(15));
+        let ev = collect(|ev| s.vcpu_wake(gv(1, 0), SimTime::from_ms(15), ev));
         assert!(
             ev.contains(&SchedEvent::Run {
                 pcpu: PcpuId(0),
@@ -1016,18 +1030,18 @@ mod tests {
         );
         s.create_domain(256, 1, None, None);
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.on_tick(PcpuId(0), SimTime::from_ms(10)); // dom0 -> OVER.
-        s.slice_expired(PcpuId(0), SimTime::from_ms(10)); // Restart run_since.
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new()); // dom0 -> OVER.
+        s.slice_expired(PcpuId(0), SimTime::from_ms(10), &mut Vec::new()); // Restart run_since.
                                                           // Wake 0.5 ms into dom0's new run: below the 1 ms ratelimit.
-        let ev = s.vcpu_wake(gv(1, 0), SimTime::from_ms(10) + SimDuration::from_us(500));
+        let ev = collect(|ev| s.vcpu_wake(gv(1, 0), SimTime::from_ms(10) + SimDuration::from_us(500), ev));
         assert!(
             !ev.iter()
                 .any(|e| matches!(e, SchedEvent::Run { vcpu, .. } if *vcpu == gv(1, 0))),
             "preemption should be deferred by ratelimit: {ev:?}"
         );
         // The next tick lets it through.
-        let ev = s.on_tick(PcpuId(0), SimTime::from_ms(20));
+        let ev = collect(|ev| s.on_tick(PcpuId(0), SimTime::from_ms(20), ev));
         assert!(ev
             .iter()
             .any(|e| matches!(e, SchedEvent::Run { vcpu, .. } if *vcpu == gv(1, 0))));
@@ -1039,13 +1053,13 @@ mod tests {
         s.create_domain(256, 2, None, None);
         // Force both vcpus onto pcpu0's queue by waking while pcpu1 busy.
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(1, 0), SimTime::ZERO); // Takes pcpu0.
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO); // Takes pcpu1.
-        s.vcpu_wake(gv(0, 1), SimTime::ZERO); // Queued somewhere.
+        s.vcpu_wake(gv(1, 0), SimTime::ZERO, &mut Vec::new()); // Takes pcpu0.
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new()); // Takes pcpu1.
+        s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new()); // Queued somewhere.
                                               // Now block the vcpu on pcpu1; it must steal gv(0,1) from pcpu0's
                                               // queue rather than idle.
         let running_p1 = s.running_on(PcpuId(1)).unwrap();
-        let ev = s.vcpu_block(running_p1, SimTime::from_ms(1));
+        let ev = collect(|ev| s.vcpu_block(running_p1, SimTime::from_ms(1), ev));
         assert!(
             ev.iter().any(|e| matches!(
                 e,
@@ -1062,10 +1076,10 @@ mod tests {
     fn waiting_time_accumulates_while_queued() {
         let mut s = sched(1);
         s.create_domain(256, 2, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.vcpu_wake(gv(0, 1), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
         // vcpu1 waits 30 ms for the slice to expire.
-        s.slice_expired(PcpuId(0), SimTime::from_ms(30));
+        s.slice_expired(PcpuId(0), SimTime::from_ms(30), &mut Vec::new());
         assert_eq!(s.vcpu_wait_total(gv(0, 1)), SimDuration::from_ms(30));
         assert_eq!(s.vcpu_wait_total(gv(0, 0)), SimDuration::ZERO);
         assert_eq!(s.domain_wait_total(DomId(0)), SimDuration::from_ms(30));
@@ -1075,9 +1089,9 @@ mod tests {
     fn run_total_tracks_cpu_time() {
         let mut s = sched(1);
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.on_tick(PcpuId(0), SimTime::from_ms(10));
-        s.on_tick(PcpuId(0), SimTime::from_ms(20));
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new());
+        s.on_tick(PcpuId(0), SimTime::from_ms(20), &mut Vec::new());
         assert_eq!(s.vcpu_run_total(gv(0, 0)), SimDuration::from_ms(20));
     }
 
@@ -1086,14 +1100,14 @@ mod tests {
         let mut s = sched(1);
         s.create_domain(256, 3, None, None);
         for i in 0..3 {
-            s.vcpu_wake(gv(0, i), SimTime::ZERO);
+            s.vcpu_wake(gv(0, i), SimTime::ZERO, &mut Vec::new());
         }
         // Order now: running vcpu0; queue [vcpu1, vcpu2].
-        let ev = s.vcpu_yield(gv(0, 0), SimTime::from_ms(1));
+        let ev = collect(|ev| s.vcpu_yield(gv(0, 0), SimTime::from_ms(1), ev));
         assert!(ev
             .iter()
             .any(|e| matches!(e, SchedEvent::Run { vcpu, .. } if *vcpu == gv(0, 1))));
-        let ev = s.vcpu_yield(gv(0, 1), SimTime::from_ms(2));
+        let ev = collect(|ev| s.vcpu_yield(gv(0, 1), SimTime::from_ms(2), ev));
         assert!(ev
             .iter()
             .any(|e| matches!(e, SchedEvent::Run { vcpu, .. } if *vcpu == gv(0, 2))));
@@ -1104,12 +1118,12 @@ mod tests {
         let mut s = sched(1);
         s.create_domain(256, 1, None, None);
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         // Demote dom0's boost with a tick, then kick dom1's blocked vCPU
         // shortly after — within the ratelimit window: still preempts
         // (the reconfiguration path bypasses the ratelimit).
-        s.on_tick(PcpuId(0), SimTime::from_ms(10));
-        let ev = s.kick_vcpu(gv(1, 0), SimTime::from_ms(10) + SimDuration::from_us(100));
+        s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new());
+        let ev = collect(|ev| s.kick_vcpu(gv(1, 0), SimTime::from_ms(10) + SimDuration::from_us(100), ev));
         assert!(
             ev.iter()
                 .any(|e| matches!(e, SchedEvent::Run { vcpu, .. } if *vcpu == gv(1, 0))),
@@ -1122,13 +1136,13 @@ mod tests {
         let mut s = sched(1);
         s.create_domain(256, 2, None, None);
         let g0 = s.pcpu_gen(PcpuId(0));
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         assert!(s.pcpu_gen(PcpuId(0)) > g0);
         let g1 = s.pcpu_gen(PcpuId(0));
-        s.vcpu_wake(gv(0, 1), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
         // No preemption (same prio): gen unchanged.
         assert_eq!(s.pcpu_gen(PcpuId(0)), g1);
-        s.slice_expired(PcpuId(0), SimTime::from_ms(30));
+        s.slice_expired(PcpuId(0), SimTime::from_ms(30), &mut Vec::new());
         assert!(s.pcpu_gen(PcpuId(0)) > g1);
     }
 
@@ -1136,8 +1150,8 @@ mod tests {
     fn blocked_wake_is_idempotent() {
         let mut s = sched(1);
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        let ev = s.vcpu_wake(gv(0, 0), SimTime::from_ms(1));
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        let ev = collect(|ev| s.vcpu_wake(gv(0, 0), SimTime::from_ms(1), ev));
         assert!(ev.is_empty(), "waking a running vcpu is a no-op");
     }
 }
@@ -1157,10 +1171,10 @@ mod cap_tests {
             for k in 1..=3u64 {
                 t = SimTime::from_ms((w - 1) * 30 + k * 10);
                 for p in 0..s.n_pcpus() {
-                    s.on_tick(PcpuId(p), t);
+                    s.on_tick(PcpuId(p), t, &mut Vec::new());
                 }
             }
-            s.on_acct(t);
+            s.on_acct(t, &mut Vec::new());
         }
         t
     }
@@ -1170,7 +1184,7 @@ mod cap_tests {
         let mut s = CreditScheduler::new(CreditConfig::default(), 1);
         // Cap at half a pCPU.
         s.create_domain(256, 1, Some(0.5), None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         // First window: consumed 30 ms > 15 ms budget -> parked.
         let t = run_windows(&mut s, 1);
         assert!(s.is_parked(gv(0, 0)), "over-cap vCPU must be parked");
@@ -1179,11 +1193,11 @@ mod cap_tests {
             "parked vCPU leaves the pCPU"
         );
         // Wakes while parked are refused.
-        let ev = s.vcpu_wake(gv(0, 0), t + SimDuration::from_ms(1));
+        let ev = collect(|ev| s.vcpu_wake(gv(0, 0), t + SimDuration::from_ms(1), ev));
         assert!(ev.is_empty());
         // Next acct (no consumption this window): unparked and running.
         let t2 = SimTime::from_ms(60);
-        let ev = s.on_acct(t2);
+        let ev = collect(|ev| s.on_acct(t2, ev));
         assert!(!s.is_parked(gv(0, 0)));
         assert!(
             ev.iter()
@@ -1196,7 +1210,7 @@ mod cap_tests {
     fn cap_limits_long_run_share() {
         let mut s = CreditScheduler::new(CreditConfig::default(), 1);
         s.create_domain(256, 1, Some(0.5), None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         // Alternating park/unpark over many windows: consumption well
         // under 100%.
         let mut wakes = 0;
@@ -1204,7 +1218,7 @@ mod cap_tests {
             let t = run_windows_from(&mut s, w);
             if !s.is_parked(gv(0, 0)) && matches!(s.vcpu_state(gv(0, 0)), VcpuState::Blocked { .. })
             {
-                s.vcpu_wake(gv(0, 0), t);
+                s.vcpu_wake(gv(0, 0), t, &mut Vec::new());
                 wakes += 1;
             }
         }
@@ -1222,10 +1236,10 @@ mod cap_tests {
         for k in 1..=3u64 {
             t = SimTime::from_ms((window - 1) * 30 + k * 10);
             for p in 0..s.n_pcpus() {
-                s.on_tick(PcpuId(p), t);
+                s.on_tick(PcpuId(p), t, &mut Vec::new());
             }
         }
-        s.on_acct(t);
+        s.on_acct(t, &mut Vec::new());
         t
     }
 
@@ -1233,7 +1247,7 @@ mod cap_tests {
     fn uncapped_domain_never_parks() {
         let mut s = CreditScheduler::new(CreditConfig::default(), 1);
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         run_windows(&mut s, 5);
         assert!(!s.is_parked(gv(0, 0)));
         assert_eq!(s.vcpu_run_total(gv(0, 0)), SimDuration::from_ms(150));
@@ -1252,9 +1266,9 @@ mod scheduler_behaviour_tests {
     fn boost_is_demoted_at_first_tick() {
         let mut s = CreditScheduler::new(CreditConfig::default(), 1);
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         assert_eq!(s.vcpu_prio(gv(0, 0)), Prio::Boost);
-        s.on_tick(PcpuId(0), SimTime::from_ms(10));
+        s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new());
         assert_ne!(s.vcpu_prio(gv(0, 0)), Prio::Boost);
     }
 
@@ -1268,7 +1282,7 @@ mod scheduler_behaviour_tests {
             1,
         );
         s.create_domain(256, 1, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         assert_eq!(s.vcpu_prio(gv(0, 0)), Prio::Under);
     }
 
@@ -1279,22 +1293,22 @@ mod scheduler_behaviour_tests {
         s.create_domain(256, 1, None, None); // Stays UNDER (fresh).
         s.create_domain(256, 1, None, None); // Occupies pcpu1.
                                              // dom0 runs on pcpu0 and overdraws.
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.vcpu_wake(gv(2, 0), SimTime::ZERO); // pcpu1.
-        s.on_tick(PcpuId(0), SimTime::from_ms(10)); // dom0 -> OVER.
-        s.on_tick(PcpuId(1), SimTime::from_ms(10));
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(2, 0), SimTime::ZERO, &mut Vec::new()); // pcpu1.
+        s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new()); // dom0 -> OVER.
+        s.on_tick(PcpuId(1), SimTime::from_ms(10), &mut Vec::new());
         // Preempt dom0 with a boosted wake; dom0 requeues OVER, dom1
         // queues UNDER behind it... place both in pcpu0's queues.
-        s.vcpu_yield(gv(0, 0), SimTime::from_ms(11)); // Requeue at OVER.
+        s.vcpu_yield(gv(0, 0), SimTime::from_ms(11), &mut Vec::new()); // Requeue at OVER.
                                                       // dom0 immediately rescheduled (only local); now wake dom1 onto
                                                       // the same pcpu by blocking... simpler: force dom1 runnable while
                                                       // pcpu0 busy with dom0.
-        s.vcpu_wake(gv(1, 0), SimTime::from_ms(11));
+        s.vcpu_wake(gv(1, 0), SimTime::from_ms(11), &mut Vec::new());
         // dom1 is boosted: it should have preempted dom0 on pcpu0 or
         // taken an idle pcpu; either way a runnable OVER dom0 remains.
         // Now block dom2 on pcpu1: pcpu1 must steal the best waiting
         // vcpu, which is whichever has higher priority.
-        let ev = s.vcpu_block(gv(2, 0), SimTime::from_ms(12));
+        let ev = collect(|ev| s.vcpu_block(gv(2, 0), SimTime::from_ms(12), ev));
         let ran: Vec<_> = ev
             .iter()
             .filter_map(|e| match e {
@@ -1324,7 +1338,7 @@ mod scheduler_behaviour_tests {
     fn slice_expiry_on_idle_pcpu_is_harmless() {
         let mut s = CreditScheduler::new(CreditConfig::default(), 1);
         s.create_domain(256, 1, None, None);
-        let ev = s.slice_expired(PcpuId(0), SimTime::from_ms(30));
+        let ev = collect(|ev| s.slice_expired(PcpuId(0), SimTime::from_ms(30), ev));
         assert!(ev.is_empty());
     }
 
@@ -1334,12 +1348,12 @@ mod scheduler_behaviour_tests {
         // waiting span.
         let mut s = CreditScheduler::new(CreditConfig::default(), 2);
         s.create_domain(256, 3, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.vcpu_wake(gv(0, 1), SimTime::ZERO);
-        s.vcpu_wake(gv(0, 2), SimTime::ZERO); // Queued somewhere.
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(0, 2), SimTime::ZERO, &mut Vec::new()); // Queued somewhere.
                                               // Block one running vcpu at 7 ms: the queued one is stolen/run.
         let running = s.running_on(PcpuId(1)).unwrap();
-        s.vcpu_block(running, SimTime::from_ms(7));
+        s.vcpu_block(running, SimTime::from_ms(7), &mut Vec::new());
         assert_eq!(
             s.vcpu_wait_total(gv(0, 2)),
             SimDuration::from_ms(7),
@@ -1351,11 +1365,11 @@ mod scheduler_behaviour_tests {
     fn scheduled_count_tracks_placements() {
         let mut s = CreditScheduler::new(CreditConfig::default(), 1);
         s.create_domain(256, 2, None, None);
-        s.vcpu_wake(gv(0, 0), SimTime::ZERO);
-        s.vcpu_wake(gv(0, 1), SimTime::ZERO);
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
+        s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
         assert_eq!(s.scheduled_count(gv(0, 0)), 1);
-        s.slice_expired(PcpuId(0), SimTime::from_ms(30));
-        s.slice_expired(PcpuId(0), SimTime::from_ms(60));
+        s.slice_expired(PcpuId(0), SimTime::from_ms(30), &mut Vec::new());
+        s.slice_expired(PcpuId(0), SimTime::from_ms(60), &mut Vec::new());
         assert_eq!(s.scheduled_count(gv(0, 0)), 2);
         assert_eq!(s.scheduled_count(gv(0, 1)), 1);
         assert!(s.switches(PcpuId(0)) >= 3);
@@ -1366,9 +1380,9 @@ mod scheduler_behaviour_tests {
         let mut s = CreditScheduler::new(CreditConfig::default(), 4);
         s.create_domain(1, 4, None, Some(2.0)); // Tiny weight, 2-pCPU floor.
         s.create_domain(10_000, 4, None, None);
-        s.vcpu_wake(gv(1, 0), SimTime::ZERO);
+        s.vcpu_wake(gv(1, 0), SimTime::ZERO, &mut Vec::new());
         for p in 0..4 {
-            s.on_tick(PcpuId(p), SimTime::from_ms(10));
+            s.on_tick(PcpuId(p), SimTime::from_ms(10), &mut Vec::new());
         }
         s.on_extend_tick(SimTime::from_ms(10));
         let info = s.extendability(DomId(0));
@@ -1437,26 +1451,26 @@ mod scheduler_proptests {
                 let mut prev_run = SimDuration::ZERO;
                 let mut prev_wait = SimDuration::ZERO;
                 for &(kind, idx, flag) in ops {
-                    t = t + SimDuration::from_us(500);
+                    t += SimDuration::from_us(500);
                     let gv = GlobalVcpu::new(DomId(idx % 2), VcpuId(idx / 2 % 2));
                     match kind {
                         0 => {
-                            s.vcpu_wake(gv, t);
+                            s.vcpu_wake(gv, t, &mut Vec::new());
                         }
                         1 => {
-                            s.vcpu_block(gv, t);
+                            s.vcpu_block(gv, t, &mut Vec::new());
                         }
                         2 => {
-                            s.vcpu_yield(gv, t);
+                            s.vcpu_yield(gv, t, &mut Vec::new());
                         }
                         3 => {
-                            s.on_tick(PcpuId(idx % n_pcpus), t);
+                            s.on_tick(PcpuId(idx % n_pcpus), t, &mut Vec::new());
                         }
                         4 => {
-                            s.slice_expired(PcpuId(idx % n_pcpus), t);
+                            s.slice_expired(PcpuId(idx % n_pcpus), t, &mut Vec::new());
                         }
                         5 => {
-                            s.on_acct(t);
+                            s.on_acct(t, &mut Vec::new());
                         }
                         _ => {
                             // Never freeze vcpu0 of a domain (mirrors the

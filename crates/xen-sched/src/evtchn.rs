@@ -127,12 +127,21 @@ impl EvtchnTable {
 
     /// All pending unmasked ports bound to `vcpu` (scanned at vCPU entry).
     pub fn pending_for(&self, vcpu: VcpuId) -> Vec<PortId> {
-        self.ports
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.pending && !p.masked && p.bound_vcpu == vcpu)
-            .map(|(i, _)| PortId(i))
-            .collect()
+        let mut out = Vec::new();
+        self.pending_for_into(vcpu, &mut out);
+        out
+    }
+
+    /// Appends the pending unmasked ports bound to `vcpu` to `out` —
+    /// allocation-free variant for the machine's dispatch hot path.
+    pub fn pending_for_into(&self, vcpu: VcpuId, out: &mut Vec<PortId>) {
+        out.extend(
+            self.ports
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.pending && !p.masked && p.bound_vcpu == vcpu)
+                .map(|(i, _)| PortId(i)),
+        );
     }
 
     /// Rebinds a port to a different vCPU (`EVTCHNOP_bind_vcpu`). Returns

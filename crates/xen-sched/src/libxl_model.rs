@@ -108,7 +108,7 @@ impl LibxlModel {
                     // Service the backlog item.
                     let s = SimDuration::from_us_f64(rng.exponential(svc_us).max(1.0));
                     now = now.max(next_io) + s;
-                    next_io = next_io + SimDuration::from_us_f64(rng.exponential(1e6 / rate));
+                    next_io += SimDuration::from_us_f64(rng.exponential(1e6 / rate));
                     continue;
                 }
                 break;
@@ -119,7 +119,7 @@ impl LibxlModel {
             let mut remaining = self.read_service.mul_f64(jitter.max(0.5));
             while !remaining.is_zero() {
                 if next_io > now + remaining {
-                    now = now + remaining;
+                    now += remaining;
                     remaining = SimDuration::ZERO;
                 } else {
                     // Run until the interruption, then service the I/O.
@@ -127,7 +127,7 @@ impl LibxlModel {
                     remaining = remaining.saturating_sub(ran);
                     let s = SimDuration::from_us_f64(rng.exponential(svc_us).max(1.0));
                     now = next_io + s;
-                    next_io = next_io + SimDuration::from_us_f64(rng.exponential(1e6 / rate));
+                    next_io += SimDuration::from_us_f64(rng.exponential(1e6 / rate));
                 }
             }
         }

@@ -15,10 +15,28 @@ echo "== tier-1: tests (offline) =="
 cargo test -q --offline
 cargo test -q --offline --workspace
 
+echo "== tier-1: clippy (offline, -D warnings) =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
 echo "== bench smoke: table1_channel + fig6_npb (quick scale) =="
 VSCALE_BENCH_SCALE="${VSCALE_BENCH_SCALE:-quick}" VSCALE_BENCH_SEEDS="${VSCALE_BENCH_SEEDS:-1}" \
     cargo bench -q --offline -p vscale-bench --bench table1_channel
 VSCALE_BENCH_SCALE="${VSCALE_BENCH_SCALE:-quick}" VSCALE_BENCH_SEEDS="${VSCALE_BENCH_SEEDS:-1}" \
     cargo bench -q --offline -p vscale-bench --bench fig6_npb
+
+echo "== parallel smoke: seed sweep must be byte-stable across thread counts =="
+# Same 4-seed sweep at 1 and 4 threads; everything except the wall-clock
+# session line (wall_ms, which also carries the thread count) must match
+# byte for byte.
+sweep_t1="$(mktemp)"; sweep_t4="$(mktemp)"
+trap 'rm -f "$sweep_t1" "$sweep_t4"' EXIT
+VSCALE_THREADS=1 VSCALE_BENCH_SEEDS=4 \
+    cargo bench -q --offline -p vscale-bench --bench seed_sweep_smoke \
+    | grep -v wall_ms > "$sweep_t1"
+VSCALE_THREADS=4 VSCALE_BENCH_SEEDS=4 \
+    cargo bench -q --offline -p vscale-bench --bench seed_sweep_smoke \
+    | grep -v wall_ms > "$sweep_t4"
+diff -u "$sweep_t1" "$sweep_t4"
+echo "   byte-identical at VSCALE_THREADS=1 and =4"
 
 echo "== verify: OK =="

@@ -54,8 +54,10 @@ fn apache_serves_through_frozen_irq_vcpu() {
         ..MachineConfig::default()
     });
     let vm = m.add_domain(DomainSpec::fixed(2));
-    let mut cfg = ApacheConfig::default();
-    cfg.workers = 4;
+    let cfg = ApacheConfig {
+        workers: 4,
+        ..ApacheConfig::default()
+    };
     let q = m.guest_mut(vm).new_io_queue();
     m.guest_mut(vm).set_io_queue_capacity(q, 64);
     let port = m.bind_io_port(vm, q, VcpuId(1));

@@ -155,7 +155,7 @@ fn freeze_sequences_never_lose_threads() {
                     m.guest_mut(vm).unfreeze_vcpu(VcpuId(v), now, &mut fx);
                 }
                 m.apply_guest_effects(vm, fx);
-                at = at + SimDuration::from_ms(2);
+                at += SimDuration::from_ms(2);
             }
             // Unfreeze everything and let it drain.
             m.run_until(at);
