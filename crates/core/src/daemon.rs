@@ -116,6 +116,20 @@ pub struct DaemonState {
     pub reads: u64,
     /// Reconfiguration operations completed.
     pub reconfigs: u64,
+    /// Crash-restarts survived (fault injection).
+    pub crashes: u64,
+    /// Extendability samples discarded as invalid (torn channel reads
+    /// caught by validation) or orphaned by a crash.
+    pub discarded_reads: u64,
+    /// Hotplug removals that aborted mid-`stop_machine` (fault injection).
+    pub hotplug_aborts: u64,
+    /// Reads issued before a crash that are still in flight: their
+    /// completions must be discarded, because the restarted daemon never
+    /// asked for them (the in-flight `ExtendInfo` snapshot dies with the
+    /// process). A counter, not a flag — kernel work completes FIFO on
+    /// vCPU0, so each orphaned completion consumes one unit before any
+    /// post-restart read can complete.
+    pub orphaned_reads: u64,
 }
 
 impl DaemonState {
@@ -129,7 +143,30 @@ impl DaemonState {
             ext_ema: None,
             reads: 0,
             reconfigs: 0,
+            crashes: 0,
+            discarded_reads: 0,
+            hotplug_aborts: 0,
+            orphaned_reads: 0,
         }
+    }
+
+    /// Crash-and-restart: the process dies and is respawned by init within
+    /// the same period. All soft state — the EMA, both hysteresis streaks,
+    /// the phase machine, and any in-flight read snapshot — is lost;
+    /// lifetime counters survive because they are *our* bookkeeping, not
+    /// the daemon's memory. A reconfiguration whose master-side work was
+    /// already queued still completes (the kernel work was already
+    /// submitted); only its tracking is forgotten, so the restarted daemon
+    /// re-reads and re-converges from scratch.
+    pub fn crash_restart(&mut self) {
+        if self.phase == DaemonPhase::Reading {
+            self.orphaned_reads += 1;
+        }
+        self.phase = DaemonPhase::Idle;
+        self.shrink_streak = 0;
+        self.grow_streak = 0;
+        self.ext_ema = None;
+        self.crashes += 1;
     }
 
     /// Feeds one extendability sample (pCPUs) into the smoother and
@@ -272,5 +309,34 @@ mod tests {
         assert_eq!(d.decide(2, 2.0, 4), None);
         assert_eq!(d.decide(5, 5.0, 4), Some(1));
         assert_eq!(d.decide(2, 2.0, 4), None);
+    }
+
+    #[test]
+    fn crash_restart_loses_soft_state_keeps_counters() {
+        let mut d = DaemonState::new(DaemonConfig {
+            shrink_patience: 3,
+            ..DaemonConfig::default()
+        });
+        d.smooth(3.0);
+        d.decide(1, 1.0, 4);
+        d.reads = 7;
+        d.reconfigs = 2;
+        d.phase = DaemonPhase::Reading;
+        assert!(d.ext_ema.is_some());
+        assert_eq!(d.shrink_streak, 1);
+
+        d.crash_restart();
+        assert_eq!(d.phase, DaemonPhase::Idle);
+        assert_eq!(d.ext_ema, None, "EMA dies with the process");
+        assert_eq!(d.shrink_streak, 0);
+        assert_eq!(d.grow_streak, 0);
+        assert_eq!(d.orphaned_reads, 1, "the in-flight read is orphaned");
+        assert_eq!(d.crashes, 1);
+        assert_eq!((d.reads, d.reconfigs), (7, 2), "counters survive");
+
+        // A crash while idle orphans nothing further.
+        d.crash_restart();
+        assert_eq!(d.orphaned_reads, 1);
+        assert_eq!(d.crashes, 2);
     }
 }

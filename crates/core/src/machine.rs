@@ -21,18 +21,23 @@
 //!   vCPU0 and whose decisions drive Algorithm 2 (or the hotplug baseline).
 
 use std::collections::VecDeque;
+use std::fmt::Write as _;
 
 use guest_kernel::kernel::GuestEffect;
 use guest_kernel::thread::IoQueueId;
 use guest_kernel::{GuestKernel, HotplugModel, ThreadId, VcpuId};
 use sim_core::event::{EventHandle, EventQueue};
+use sim_core::fault::{
+    ChannelReadFault, DeliveryFault, Diagnostics, FaultConfig, FaultPlan, FaultStats, SimError,
+    SimErrorKind, WatchdogConfig,
+};
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
 use sim_core::trace::TraceRing;
+use xen_sched::channel::{ChannelCosts, VscaleChannel};
 use xen_sched::credit::{CreditScheduler, SchedEvent};
 use xen_sched::evtchn::{EvtchnTable, PortId, PortKind};
-use xen_sched::extend::ExtendInfo;
 
 use crate::config::{DomainSpec, MachineConfig, ScalingMode};
 use crate::daemon::{
@@ -72,6 +77,13 @@ enum Ev {
         vcpu: VcpuId,
         online: bool,
     },
+    /// The guest's periodic re-scan notices a still-pending port whose
+    /// doorbell was injected away (dropped or delayed), or a spurious
+    /// duplicate doorbell rings. Only scheduled by an active fault plan.
+    PortRecover { dom: DomId, port: PortId },
+    /// An aborted hotplug removal unwinds out of `stop_machine`: the
+    /// partial stall ends and the target vCPU stays online.
+    HotplugAborted { dom: DomId },
 }
 
 /// A unit of routing work inside one event's processing.
@@ -95,6 +107,13 @@ pub struct DomainStats {
     pub daemon_reads: u64,
     /// Freeze/unfreeze (or hotplug) operations completed.
     pub reconfigs: u64,
+    /// Daemon crash-restarts survived (injected faults).
+    pub daemon_crashes: u64,
+    /// Channel reads the daemon discarded (torn snapshots, orphaned
+    /// replies to a crashed daemon incarnation).
+    pub discarded_reads: u64,
+    /// Hotplug removals that aborted mid-`stop_machine`.
+    pub hotplug_aborts: u64,
 }
 
 struct GuestDomain {
@@ -104,6 +123,8 @@ struct GuestDomain {
     port_pending: Vec<(IoQueueId, u64)>,
     scaling: ScalingMode,
     daemon: DaemonState,
+    /// The per-domain vScale mailbox endpoint the daemon reads through.
+    channel: VscaleChannel,
     hotplug: Option<HotplugModel>,
     /// (time, active vCPUs) trace for Figure 8.
     active_trace: Vec<(SimTime, usize)>,
@@ -150,6 +171,21 @@ pub struct Machine {
     run_fx_buf: Vec<GuestEffect>,
     /// Pending event-channel ports collected at vCPU entry.
     ports_buf: Vec<PortId>,
+    /// Seeded fault plan, if injection is enabled. `None` (the default)
+    /// keeps every dispatch path byte-identical to the pre-fault code.
+    fault_plan: Option<Box<FaultPlan>>,
+    /// Watchdog bounds for the checked run loops and the routing guard.
+    watchdog: WatchdogConfig,
+    /// First structured failure recorded by a deep layer (routing storm);
+    /// surfaced by the run loops instead of unwinding mid-drain.
+    fault_error: Option<SimError>,
+    /// Livelock watchdog: the instant being processed and how many events
+    /// it has absorbed.
+    wd_instant: SimTime,
+    wd_instant_events: u64,
+    /// Progress watchdog: the last fingerprint and when it last moved.
+    wd_progress_fp: (u64, u64),
+    wd_progress_at: SimTime,
 }
 
 impl Machine {
@@ -192,7 +228,36 @@ impl Machine {
             fx_buf: Vec::new(),
             run_fx_buf: Vec::new(),
             ports_buf: Vec::new(),
+            fault_plan: None,
+            watchdog: WatchdogConfig::default(),
+            fault_error: None,
+            wd_instant: SimTime::ZERO,
+            wd_instant_events: 0,
+            wd_progress_fp: (0, 0),
+            wd_progress_at: SimTime::ZERO,
         }
+    }
+
+    /// Installs a seeded fault plan; every subsequent dispatch consults it.
+    /// Replaces any previous plan (and its injected-fault counters).
+    pub fn set_fault_plan(&mut self, config: FaultConfig) {
+        self.fault_plan = Some(Box::new(FaultPlan::new(config)));
+    }
+
+    /// Removes the fault plan; dispatch reverts to the fault-free paths.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault_plan = None;
+    }
+
+    /// Counters of everything the fault plan injected so far.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault_plan.as_deref().map(FaultPlan::stats)
+    }
+
+    /// Overrides the watchdog bounds used by [`Machine::try_run_until`] /
+    /// [`Machine::try_run_until_exited`] and the routing-storm guard.
+    pub fn set_watchdog(&mut self, watchdog: WatchdogConfig) {
+        self.watchdog = watchdog;
     }
 
     /// Enables tracing of pCPU assignment changes and reconfigurations,
@@ -237,6 +302,7 @@ impl Machine {
             port_pending: Vec::new(),
             scaling: spec.scaling,
             daemon: DaemonState::new(daemon_cfg),
+            channel: VscaleChannel::new(),
             hotplug,
             active_trace: vec![(self.queue.now(), n_vcpus)],
             io_arrivals: Vec::new(),
@@ -318,6 +384,9 @@ impl Machine {
             timer_ints: (0..n).map(|i| g.kernel.timer_ints(VcpuId(i))).collect(),
             daemon_reads: g.daemon.reads,
             reconfigs: g.daemon.reconfigs,
+            daemon_crashes: g.daemon.crashes,
+            discarded_reads: g.daemon.discarded_reads,
+            hotplug_aborts: g.daemon.hotplug_aborts,
         }
     }
 
@@ -326,6 +395,11 @@ impl Machine {
     // ------------------------------------------------------------------
 
     /// Runs until `deadline` or until the event queue empties.
+    ///
+    /// Panics (with the full [`SimError`] rendering) if a routing storm is
+    /// detected — the legacy loud-failure contract. Fault-injection runs
+    /// should prefer [`Machine::try_run_until`], which also applies the
+    /// livelock and progress watchdogs and returns a typed error.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(t) = self.queue.peek_time() {
             if t > deadline {
@@ -333,11 +407,16 @@ impl Machine {
             }
             let (now, ev) = self.queue.pop().expect("peeked");
             self.handle(ev, now);
+            if let Some(e) = self.fault_error.take() {
+                panic!("{e}");
+            }
         }
     }
 
     /// Runs until every thread of `dom` has exited, a deadline passes, or
     /// the queue empties. Returns the completion time if all exited.
+    ///
+    /// Panics on a routing storm; see [`Machine::run_until`].
     pub fn run_until_exited(&mut self, dom: DomId, deadline: SimTime) -> Option<SimTime> {
         loop {
             if self.guests[dom.index()].kernel.n_threads() > 0
@@ -351,6 +430,226 @@ impl Machine {
             }
             let (now, ev) = self.queue.pop().expect("peeked");
             self.handle(ev, now);
+            if let Some(e) = self.fault_error.take() {
+                panic!("{e}");
+            }
+        }
+    }
+
+    /// Watchdog-supervised [`Machine::run_until`]: never hangs and never
+    /// panics on the supervised paths — a wedged run returns a [`SimError`]
+    /// naming the stalled layer, with diagnostics attached.
+    pub fn try_run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        loop {
+            // The cheap lower bound settles nothing: if even the hint is
+            // past the deadline (or the queue is empty) we are done.
+            match self.queue.peek_time_hint() {
+                None => return Ok(()),
+                Some(h) if h > deadline => return Ok(()),
+                _ => {}
+            }
+            let Some(t) = self.queue.peek_time() else {
+                return Ok(());
+            };
+            if t > deadline {
+                return Ok(());
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.watchdog_tick(now)?;
+            self.handle(ev, now);
+            if let Some(e) = self.fault_error.take() {
+                return Err(e);
+            }
+        }
+    }
+
+    /// Watchdog-supervised [`Machine::run_until_exited`].
+    pub fn try_run_until_exited(
+        &mut self,
+        dom: DomId,
+        deadline: SimTime,
+    ) -> Result<Option<SimTime>, SimError> {
+        loop {
+            if self.guests[dom.index()].kernel.n_threads() > 0
+                && self.guests[dom.index()].kernel.all_exited()
+            {
+                return Ok(Some(self.queue.now()));
+            }
+            match self.queue.peek_time_hint() {
+                None => return Ok(None),
+                Some(h) if h > deadline => return Ok(None),
+                _ => {}
+            }
+            let Some(t) = self.queue.peek_time() else {
+                return Ok(None);
+            };
+            if t > deadline {
+                return Ok(None);
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.watchdog_tick(now)?;
+            self.handle(ev, now);
+            if let Some(e) = self.fault_error.take() {
+                return Err(e);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Watchdog and diagnostics.
+    // ------------------------------------------------------------------
+
+    /// Per-event watchdog bookkeeping for the checked run loops: counts
+    /// same-instant events (livelock) and periodically re-fingerprints
+    /// forward progress (stall). Detection latency for a stall is between
+    /// one and two `stall_timeout`s of virtual time.
+    fn watchdog_tick(&mut self, now: SimTime) -> Result<(), SimError> {
+        if now == self.wd_instant {
+            self.wd_instant_events += 1;
+            if self.wd_instant_events > self.watchdog.max_events_per_instant {
+                return Err(self.build_error(
+                    SimErrorKind::Livelock {
+                        events_at_instant: self.wd_instant_events,
+                    },
+                    "core::machine",
+                ));
+            }
+        } else {
+            self.wd_instant = now;
+            self.wd_instant_events = 1;
+        }
+        if now.since(self.wd_progress_at) >= self.watchdog.stall_timeout {
+            let fp = self.progress_fingerprint();
+            if fp != self.wd_progress_fp || !self.wants_progress() {
+                self.wd_progress_fp = fp;
+                self.wd_progress_at = now;
+            } else {
+                return Err(self.build_error(
+                    SimErrorKind::NoProgress {
+                        stalled_for: now.since(self.wd_progress_at),
+                    },
+                    self.diagnose_stall(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// A cheap digest that moves whenever the simulation does useful work:
+    /// guest CPU time retired, plus discrete completions (thread exits,
+    /// context switches, daemon reads).
+    fn progress_fingerprint(&self) -> (u64, u64) {
+        let mut work = 0u64;
+        let mut retired = 0u64;
+        for (i, g) in self.guests.iter().enumerate() {
+            work = work.wrapping_add(self.hv.domain_run_total(DomId(i)).as_ns());
+            retired = retired
+                .wrapping_add(g.exited_threads)
+                .wrapping_add(g.kernel.stats().context_switches)
+                .wrapping_add(g.daemon.reads);
+        }
+        (work, retired)
+    }
+
+    /// Whether anything in the system still owes progress. An idle machine
+    /// (all threads exited, daemons quiescent) is allowed to coast on timer
+    /// ticks forever without tripping the stall watchdog.
+    fn wants_progress(&self) -> bool {
+        self.guests.iter().any(|g| {
+            (g.kernel.n_threads() > 0 && !g.kernel.all_exited())
+                || g.daemon.phase != DaemonPhase::Idle
+        })
+    }
+
+    /// Attributes a stall to the layer most plausibly wedged.
+    fn diagnose_stall(&self) -> &'static str {
+        for g in &self.guests {
+            match g.daemon.phase {
+                DaemonPhase::Reconfiguring { .. } => {
+                    return if g.hotplug.is_some() {
+                        "guest-kernel::hotplug"
+                    } else {
+                        "core::daemon"
+                    };
+                }
+                DaemonPhase::Reading => return "core::daemon",
+                DaemonPhase::Idle => {}
+            }
+        }
+        for (i, g) in self.guests.iter().enumerate() {
+            if g.kernel.n_threads() > 0 && !g.kernel.all_exited() {
+                let dom = DomId(i);
+                let any_running = (0..g.kernel.n_vcpus())
+                    .any(|v| self.hv.where_running(GlobalVcpu::new(dom, VcpuId(v))).is_some());
+                // Running vCPUs that retire nothing point at the guest
+                // scheduler; parked-but-owed vCPUs point at the hypervisor
+                // or at external input that never arrives.
+                return if any_running {
+                    "guest-kernel::balancer"
+                } else {
+                    "xen-sched::credit"
+                };
+            }
+        }
+        "core::machine"
+    }
+
+    fn build_error(&self, kind: SimErrorKind, layer: &'static str) -> SimError {
+        SimError {
+            kind,
+            at: self.queue.now(),
+            layer,
+            diagnostics: self.diagnostics(),
+        }
+    }
+
+    /// Captures the diagnostics bundle: per-vCPU state dump plus the tail
+    /// of the trace ring (when tracing is enabled).
+    fn diagnostics(&self) -> Diagnostics {
+        let mut dump = String::new();
+        for (i, g) in self.guests.iter().enumerate() {
+            let mode = match g.scaling {
+                ScalingMode::Fixed => "fixed",
+                ScalingMode::VScale(_) => "vscale",
+                ScalingMode::VcpuBal(_) => "vcpu-bal",
+                ScalingMode::Hotplug { .. } => "hotplug",
+            };
+            let _ = writeln!(
+                dump,
+                "dom{i} [{mode}]: phase={:?} threads={} exited={} reads={} \
+                 discarded={} crashes={} aborts={}",
+                g.daemon.phase,
+                g.kernel.n_threads(),
+                g.exited_threads,
+                g.daemon.reads,
+                g.daemon.discarded_reads,
+                g.daemon.crashes,
+                g.daemon.hotplug_aborts,
+            );
+            for v in 0..g.kernel.n_vcpus() {
+                let vid = VcpuId(v);
+                let on = self.hv.where_running(GlobalVcpu::new(DomId(i), vid));
+                let _ = writeln!(
+                    dump,
+                    "  {vid:?}: online={} frozen={} running={}",
+                    g.kernel.is_online(vid),
+                    g.kernel.freeze_mask().is_frozen(vid),
+                    on.map_or("-".to_string(), |p| format!("{p}")),
+                );
+            }
+        }
+        let backtrace = if self.trace.is_enabled() {
+            let full = self.trace.dump();
+            let lines: Vec<&str> = full.lines().collect();
+            let tail = lines.len().saturating_sub(50);
+            lines[tail..].join("\n")
+        } else {
+            "(trace disabled; call enable_trace() before the run for an event backtrace)"
+                .to_string()
+        };
+        Diagnostics {
+            event_backtrace: backtrace,
+            vcpu_dump: dump,
         }
     }
 
@@ -360,6 +659,7 @@ impl Machine {
                 self.hv_and_drain(now, |hv, ev| hv.on_tick(p, now, ev));
                 self.queue
                     .schedule(now + self.config.credit.tick, Ev::HvTick(p));
+                self.inject_steal_spike(now);
             }
             Ev::HvAcct => {
                 self.hv_and_drain(now, |hv, ev| hv.on_acct(now, ev));
@@ -411,7 +711,23 @@ impl Machine {
                 self.fx_buf = fx;
             }
             Ev::DaemonTimer { dom } => {
-                self.daemon_timer(dom, now);
+                let crash = self
+                    .fault_plan
+                    .as_mut()
+                    .is_some_and(|f| f.on_daemon_timer());
+                if crash {
+                    // The daemon process dies and respawns before its next
+                    // period: soft state (EMA, streaks, in-flight read) is
+                    // lost, lifetime counters survive, the timer re-arms.
+                    if self.trace.is_enabled() {
+                        self.trace.push(now, "daemon", format!("crash-restart {dom}"));
+                    }
+                    self.guests[dom.index()].daemon.crash_restart();
+                    let period = self.guests[dom.index()].daemon.config.period;
+                    self.queue.schedule(now + period, Ev::DaemonTimer { dom });
+                } else {
+                    self.daemon_timer(dom, now);
+                }
             }
             Ev::IoArrival { dom, port, items } => {
                 self.io_arrival(dom, port, items, now);
@@ -431,7 +747,64 @@ impl Machine {
                 self.route(dom, &mut fx, now);
                 self.fx_buf = fx;
             }
+            Ev::PortRecover { dom, port } => {
+                // A delayed doorbell rings, or the periodic re-scan notices
+                // a pending bit whose doorbell was dropped. Spurious when
+                // the port was delivered in the meantime: a no-op then.
+                if !self.guests[dom.index()].evtchn.port(port).pending {
+                    return;
+                }
+                let bound = self.guests[dom.index()].evtchn.port(port).bound_vcpu;
+                let gv = GlobalVcpu::new(dom, bound);
+                if self.hv.where_running(gv).is_some() {
+                    let mut fx = std::mem::take(&mut self.fx_buf);
+                    self.deliver_port(dom, port, now, &mut fx);
+                    self.route(dom, &mut fx, now);
+                    self.fx_buf = fx;
+                    self.replan(dom, bound, now);
+                } else {
+                    self.hv_and_drain(now, |hv, ev| hv.vcpu_wake(gv, now, ev));
+                }
+            }
+            Ev::HotplugAborted { dom } => {
+                // stop_machine unwound partway: the partial stall has been
+                // paid, the target stays online, there is no local tail.
+                if self.trace.is_enabled() {
+                    self.trace.push(now, "daemon", format!("hotplug abort {dom}"));
+                }
+                self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
+                for v in 0..self.guests[dom.index()].kernel.n_vcpus() {
+                    self.replan(dom, VcpuId(v), now);
+                }
+            }
         }
+    }
+
+    /// Injects a steal-time spike on a plan-picked victim vCPU: queued
+    /// kernel work the victim must burn before resuming its threads —
+    /// the guest-visible shape of host-side stolen time.
+    fn inject_steal_spike(&mut self, now: SimTime) {
+        let Some(plan) = self.fault_plan.as_mut() else {
+            return;
+        };
+        let Some(len) = plan.on_hv_tick() else {
+            return;
+        };
+        if self.guests.is_empty() {
+            return;
+        }
+        let n_guests = self.guests.len() as u64;
+        let di = self.fault_plan.as_mut().expect("plan present").pick(n_guests) as usize;
+        let n_vcpus = self.guests[di].kernel.n_vcpus() as u64;
+        let vi = self.fault_plan.as_mut().expect("plan present").pick(n_vcpus) as usize;
+        let dom = DomId(di);
+        let victim = VcpuId(vi);
+        self.guests[di].kernel.push_kwork(victim, now, len, None);
+        if self.hv.where_running(GlobalVcpu::new(dom, victim)).is_some() {
+            self.replan(dom, victim, now);
+        }
+        // A parked victim pays the spike when it next gets a pCPU; stolen
+        // time cannot wake a sleeping vCPU.
     }
 
     /// Runs one sink-style scheduler call and appends the produced events
@@ -478,10 +851,21 @@ impl Machine {
     /// `ops` returns to [`Machine::ops_buf`] (empty) when the loop ends.
     fn drain(&mut self, mut ops: VecDeque<Op>, now: SimTime) {
         let mut dirty = std::mem::take(&mut self.dirty_buf);
-        let mut guard = 0u32;
+        let mut guard = 0u64;
         while let Some(op) = ops.pop_front() {
             guard += 1;
-            assert!(guard < 100_000, "routing did not quiesce");
+            if guard >= self.watchdog.max_events_per_instant {
+                // A feedback loop between scheduler events and guest
+                // effects. Record a structured error for the run loop to
+                // surface (or panic with) and abandon the storm.
+                ops.clear();
+                if self.fault_error.is_none() {
+                    self.fault_error = Some(
+                        self.build_error(SimErrorKind::RoutingStorm { ops: guard }, "core::machine"),
+                    );
+                }
+                break;
+            }
             match op {
                 Op::Sched(SchedEvent::Run { pcpu, vcpu }) => {
                     if self.trace.is_enabled() {
@@ -552,10 +936,32 @@ impl Machine {
                 dirty.push((dom, from));
                 let gv = GlobalVcpu::new(dom, to);
                 if self.hv.where_running(gv).is_some() {
-                    self.queue.schedule(
-                        now + self.config.ipi_latency,
-                        Ev::IpiDeliver { dom, vcpu: to },
-                    );
+                    let base = now + self.config.ipi_latency;
+                    let fault = self
+                        .fault_plan
+                        .as_mut()
+                        .map_or(DeliveryFault::Deliver, |f| f.on_ipi());
+                    match fault {
+                        DeliveryFault::Deliver => {
+                            self.queue.schedule(base, Ev::IpiDeliver { dom, vcpu: to });
+                        }
+                        DeliveryFault::Drop => {
+                            // The doorbell is lost, but the pending bit
+                            // survives: the target acts on it at its next
+                            // natural scheduling point (bounded by the end
+                            // of its current slice).
+                            self.guests[dom.index()].kernel.pend_resched(to);
+                        }
+                        DeliveryFault::Delay(d) => {
+                            self.queue
+                                .schedule(base + d, Ev::IpiDeliver { dom, vcpu: to });
+                        }
+                        DeliveryFault::Duplicate(d) => {
+                            self.queue.schedule(base, Ev::IpiDeliver { dom, vcpu: to });
+                            self.queue
+                                .schedule(base + d, Ev::IpiDeliver { dom, vcpu: to });
+                        }
+                    }
                 } else {
                     self.guests[dom.index()].kernel.pend_resched(to);
                     self.hv_into_ops(ops, |hv, ev| hv.vcpu_wake(gv, now, ev));
@@ -637,17 +1043,52 @@ impl Machine {
         self.guests[dom.index()].port_pending[port.0].1 += items;
         let notify = self.guests[dom.index()].evtchn.send(port);
         let gv = GlobalVcpu::new(dom, target);
-        if self.hv.where_running(gv).is_some() {
-            // Deliver right away.
-            let mut fx = std::mem::take(&mut self.fx_buf);
-            self.deliver_port(dom, port, now, &mut fx);
-            self.route(dom, &mut fx, now);
-            self.fx_buf = fx;
-            self.replan(dom, target, now);
-        } else if notify.is_some() {
-            // Wake the vCPU through the hypervisor; delivery happens at
-            // vcpu_start (the Figure 1(c) delay when pCPUs are contended).
-            self.hv_and_drain(now, |hv, ev| hv.vcpu_wake(gv, now, ev));
+        // A fault can only touch an actual doorbell edge: a coalesced send
+        // (port already pending) raises none, so nothing is drawn for it.
+        let fault = if notify.is_some() {
+            self.fault_plan
+                .as_mut()
+                .map_or(DeliveryFault::Deliver, |f| f.on_notify())
+        } else {
+            DeliveryFault::Deliver
+        };
+        match fault {
+            DeliveryFault::Drop => {
+                // The doorbell is lost; the pending bit and the payload
+                // survive. The guest's periodic re-scan (or an earlier
+                // vcpu_start / follow-up arrival) recovers the port within
+                // `notify_recovery` — the staleness bound for drops.
+                let recovery = self
+                    .fault_plan
+                    .as_ref()
+                    .expect("drop implies plan")
+                    .config()
+                    .notify_recovery;
+                self.queue
+                    .schedule(now + recovery, Ev::PortRecover { dom, port });
+            }
+            DeliveryFault::Delay(d) => {
+                self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+            }
+            DeliveryFault::Deliver | DeliveryFault::Duplicate(_) => {
+                if let DeliveryFault::Duplicate(d) = fault {
+                    // The spurious second doorbell: a PortRecover that
+                    // finds nothing pending and does nothing.
+                    self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+                }
+                if self.hv.where_running(gv).is_some() {
+                    // Deliver right away.
+                    let mut fx = std::mem::take(&mut self.fx_buf);
+                    self.deliver_port(dom, port, now, &mut fx);
+                    self.route(dom, &mut fx, now);
+                    self.fx_buf = fx;
+                    self.replan(dom, target, now);
+                } else if notify.is_some() {
+                    // Wake the vCPU through the hypervisor; delivery happens at
+                    // vcpu_start (the Figure 1(c) delay when pCPUs are contended).
+                    self.hv_and_drain(now, |hv, ev| hv.vcpu_wake(gv, now, ev));
+                }
+            }
         }
     }
 
@@ -715,8 +1156,35 @@ impl Machine {
         dirty: &mut Vec<(DomId, VcpuId)>,
     ) {
         if tag == TAG_READ {
-            self.guests[dom.index()].daemon.reads += 1;
-            let info: ExtendInfo = self.hv.extendability(dom);
+            if self.guests[dom.index()].daemon.orphaned_reads > 0 {
+                // This reply belongs to a daemon incarnation that crashed
+                // while it was in flight: the restarted daemon never sees
+                // it. FIFO kwork order guarantees orphans drain before any
+                // read the new incarnation issued.
+                let g = &mut self.guests[dom.index()];
+                g.daemon.orphaned_reads -= 1;
+                g.daemon.discarded_reads += 1;
+                return;
+            }
+            let fault = self
+                .fault_plan
+                .as_mut()
+                .map_or(ChannelReadFault::Fresh, |f| f.on_channel_read());
+            let g = &mut self.guests[dom.index()];
+            g.daemon.reads += 1;
+            // The read cost was already charged as kwork at queue time;
+            // the channel only decides which snapshot is served.
+            let (info, _) = g
+                .channel
+                .read_faulted(&self.hv, dom, &ChannelCosts::default(), fault);
+            if info.validate().is_err() {
+                // A torn snapshot: the defensive daemon discards it and
+                // retries at the next period rather than acting on
+                // inconsistent fields.
+                g.daemon.discarded_reads += 1;
+                g.daemon.phase = DaemonPhase::Idle;
+                return;
+            }
             let kernel = &self.guests[dom.index()].kernel;
             let active = kernel.active_vcpus();
             let n_vcpus = kernel.n_vcpus();
@@ -827,6 +1295,24 @@ impl Machine {
             // chunk of the latency, then the vCPU goes offline.
             let latency = hp.sample_remove(&mut self.rng);
             let (stop, local) = hp.split_remove(latency);
+            if let Some(frac) = self.fault_plan.as_mut().and_then(|f| f.on_hotplug_remove()) {
+                // The removal aborts `frac` of the way into stop_machine
+                // (a notifier veto): the guest pays the partial stall,
+                // the teardown unwinds, the vCPU stays online.
+                let stall = hp.abort_stall(latency, frac);
+                let mut fx = Vec::new();
+                self.guests[dom.index()]
+                    .kernel
+                    .stall_all(now, now + stall, &mut fx);
+                self.guests[dom.index()].daemon.phase = DaemonPhase::Reconfiguring {
+                    target,
+                    freeze: true,
+                };
+                self.guests[dom.index()].daemon.hotplug_aborts += 1;
+                self.queue.schedule(now + stall, Ev::HotplugAborted { dom });
+                self.route(dom, &mut fx, now);
+                return;
+            }
             let mut fx = Vec::new();
             self.guests[dom.index()]
                 .kernel

@@ -62,6 +62,13 @@ impl FreezeMask {
         self.bits[v.index()]
     }
 
+    /// Bounds-checked [`is_frozen`](Self::is_frozen): `None` for a vCPU id
+    /// the mask does not cover, instead of a panic — used on paths fed by
+    /// externally-derived ids (daemon work tags, injected faults).
+    pub fn try_is_frozen(&self, v: VcpuId) -> Option<bool> {
+        self.bits.get(v.index()).copied()
+    }
+
     /// Sets `v`'s bit. Returns `true` if the bit changed.
     pub fn freeze(&mut self, v: VcpuId) -> bool {
         let changed = !self.bits[v.index()];
@@ -80,6 +87,29 @@ impl FreezeMask {
             self.unfreezes += 1;
         }
         changed
+    }
+
+    /// Bounds-checked [`freeze`](Self::freeze): `Err` names the violated
+    /// invariant (out-of-range id, or the master vCPU0 which Algorithm 2
+    /// never freezes) instead of panicking. `Ok` carries whether the bit
+    /// changed, like the panicking variant.
+    pub fn try_freeze(&mut self, v: VcpuId) -> Result<bool, &'static str> {
+        if v.index() == 0 {
+            return Err("the master vCPU is never frozen");
+        }
+        if v.index() >= self.bits.len() {
+            return Err("freeze target outside the vCPU range");
+        }
+        Ok(self.freeze(v))
+    }
+
+    /// Bounds-checked [`unfreeze`](Self::unfreeze); see
+    /// [`try_freeze`](Self::try_freeze).
+    pub fn try_unfreeze(&mut self, v: VcpuId) -> Result<bool, &'static str> {
+        if v.index() >= self.bits.len() {
+            return Err("unfreeze target outside the vCPU range");
+        }
+        Ok(self.unfreeze(v))
     }
 
     /// Number of active (unfrozen) vCPUs.
@@ -177,5 +207,19 @@ mod tests {
         assert_eq!(active, vec![VcpuId(0), VcpuId(2)]);
         let frozen: Vec<_> = m.frozen().collect();
         assert_eq!(frozen, vec![VcpuId(1)]);
+    }
+
+    #[test]
+    fn checked_ops_reject_bad_targets_without_panicking() {
+        let mut m = FreezeMask::new(3);
+        assert!(m.try_freeze(VcpuId(0)).is_err(), "vCPU0 is protected");
+        assert!(m.try_freeze(VcpuId(9)).is_err());
+        assert!(m.try_unfreeze(VcpuId(9)).is_err());
+        assert_eq!(m.try_is_frozen(VcpuId(9)), None);
+        assert_eq!(m.try_freeze(VcpuId(2)), Ok(true));
+        assert_eq!(m.try_freeze(VcpuId(2)), Ok(false), "idempotent");
+        assert_eq!(m.try_is_frozen(VcpuId(2)), Some(true));
+        assert_eq!(m.try_unfreeze(VcpuId(2)), Ok(true));
+        assert_eq!(m.active_count(), 3, "state intact after rejections");
     }
 }

@@ -108,6 +108,16 @@ impl HotplugModel {
         let stop = total.mul_f64(self.stop_machine_fraction);
         (stop, total.saturating_sub(stop))
     }
+
+    /// The whole-guest stall charged when a removal aborts `frac` of the
+    /// way through its `stop_machine` window (a notifier veto or a task
+    /// that cannot be migrated off the dying CPU). The guest pays the
+    /// partial stall, `stop_machine` unwinds, and the vCPU stays online —
+    /// there is no local tail because the teardown never ran.
+    pub fn abort_stall(&self, total: SimDuration, frac: f64) -> SimDuration {
+        let (stop, _) = self.split_remove(total);
+        stop.mul_f64(frac.clamp(0.0, 1.0))
+    }
 }
 
 #[cfg(test)]
@@ -198,5 +208,18 @@ mod tests {
         assert_eq!(stop + local, total);
         assert!(stop > SimDuration::ZERO);
         assert!(stop < total);
+    }
+
+    #[test]
+    fn abort_stall_is_bounded_by_stop_machine_window() {
+        let m = HotplugModel::new(KernelVersion::V3_14_15);
+        let total = SimDuration::from_ms(10);
+        let (stop, _) = m.split_remove(total);
+        assert_eq!(m.abort_stall(total, 0.0), SimDuration::ZERO);
+        assert_eq!(m.abort_stall(total, 1.0), stop);
+        let half = m.abort_stall(total, 0.5);
+        assert!(half > SimDuration::ZERO && half < stop);
+        // Out-of-range fractions clamp instead of panicking.
+        assert_eq!(m.abort_stall(total, 7.0), stop);
     }
 }

@@ -618,8 +618,13 @@ impl GuestKernel {
                 return Some(stall);
             }
         }
+        // A tick that came due while interrupts were disabled (a
+        // stop_machine stall, or its unwind when a removal aborts) fires
+        // as soon as they re-enable: clamp the stale deadline to `now`
+        // instead of planning into the past.
+        let tick = self.vcpus[vi].next_tick.max(now);
         if let Some(front) = self.vcpus[vi].kwork.front() {
-            return Some((now + front.remaining).min(self.vcpus[vi].next_tick));
+            return Some((now + front.remaining).min(tick));
         }
         let tid = self.vcpus[vi].current?;
         let act = self.threads[tid.index()].activity;
@@ -658,7 +663,7 @@ impl GuestKernel {
             }
             None => now, // Needs a dispatch.
         };
-        Some(cand.min(self.vcpus[vi].next_tick))
+        Some(cand.min(tick))
     }
 
     /// Processes whatever is due on `v` at `now`: tick, kernel-work or
@@ -1516,15 +1521,35 @@ impl GuestKernel {
     /// The caller (the daemon path) must have charged the master-side cost
     /// ([`GuestCosts::freeze_master_total`]) on vCPU0. Emits the hypercall
     /// and the prioritized reconfiguration kick.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid target (vCPU0 or out of range); paths fed by
+    /// externally-derived targets use
+    /// [`try_freeze_vcpu`](Self::try_freeze_vcpu) instead.
     pub fn freeze_vcpu(
+        &mut self,
+        target: VcpuId,
+        now: SimTime,
+        fx: &mut Vec<GuestEffect>,
+    ) -> bool {
+        match self.try_freeze_vcpu(target, now, fx) {
+            Ok(changed) => changed,
+            Err(e) => panic!("freeze of vCPU{}: {e}", target.index()),
+        }
+    }
+
+    /// Non-panicking [`freeze_vcpu`](Self::freeze_vcpu): an invalid target
+    /// (the protected master vCPU0, or an id outside the mask) is reported
+    /// as `Err` naming the violated invariant, with no state changed.
+    pub fn try_freeze_vcpu(
         &mut self,
         target: VcpuId,
         _now: SimTime,
         fx: &mut Vec<GuestEffect>,
-    ) -> bool {
-        assert!(target.index() != 0, "the master vCPU is never frozen");
-        if !self.freeze_mask.freeze(target) {
-            return false;
+    ) -> Result<bool, &'static str> {
+        if !self.freeze_mask.try_freeze(target)? {
+            return Ok(false);
         }
         self.vcpus[target.index()].evacuated = false;
         // (2) sched-group power update is a pure cost (charged by caller).
@@ -1535,18 +1560,32 @@ impl GuestKernel {
         });
         // (4) Reschedule IPI, prioritized by the hypervisor.
         fx.push(GuestEffect::KickVcpu(target));
-        true
+        Ok(true)
     }
 
     /// Master-side unfreeze of `target`.
     pub fn unfreeze_vcpu(
         &mut self,
         target: VcpuId,
-        _now: SimTime,
+        now: SimTime,
         fx: &mut Vec<GuestEffect>,
     ) -> bool {
-        if !self.freeze_mask.unfreeze(target) {
-            return false;
+        match self.try_unfreeze_vcpu(target, now, fx) {
+            Ok(changed) => changed,
+            Err(e) => panic!("unfreeze of vCPU{}: {e}", target.index()),
+        }
+    }
+
+    /// Non-panicking [`unfreeze_vcpu`](Self::unfreeze_vcpu); see
+    /// [`try_freeze_vcpu`](Self::try_freeze_vcpu).
+    pub fn try_unfreeze_vcpu(
+        &mut self,
+        target: VcpuId,
+        _now: SimTime,
+        fx: &mut Vec<GuestEffect>,
+    ) -> Result<bool, &'static str> {
+        if !self.freeze_mask.try_unfreeze(target)? {
+            return Ok(false);
         }
         self.vcpus[target.index()].evacuated = false;
         fx.push(GuestEffect::SetFrozen {
@@ -1555,7 +1594,7 @@ impl GuestKernel {
         });
         // wake_up_idle_cpu(): the target pulls work when it comes up.
         fx.push(GuestEffect::KickVcpu(target));
-        true
+        Ok(true)
     }
 
     // ------------------------------------------------------------------

@@ -54,6 +54,12 @@ pub trait EventQueueApi<E> {
     fn pop(&mut self) -> Option<(SimTime, E)>;
     /// The timestamp of the next live event, without popping it.
     fn peek_time(&mut self) -> Option<SimTime>;
+    /// A cheap lower bound on [`peek_time`](EventQueueApi::peek_time):
+    /// `hint <= peek_time()` whenever live events exist, and `None` exactly
+    /// when the queue is empty. Never reorganizes internal state, so
+    /// `run_until`-style loops can skip the expensive exact peek when the
+    /// bound already exceeds their deadline.
+    fn peek_time_hint(&self) -> Option<SimTime>;
     /// The current simulation clock: the timestamp of the last popped event.
     fn now(&self) -> SimTime;
     /// The number of live (not cancelled) events still queued.
@@ -291,6 +297,33 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// A cheap lower bound on the next live event's time, without settling
+    /// the wheel: the minimum of the near-heap top, the overflow top, and
+    /// the start of the earliest occupied wheel slot. Tombstones at a heap
+    /// top can make the bound conservative (earlier than the true next
+    /// event) but never too late, and `live == 0` is answered exactly.
+    /// O(levels × occupancy words) with no mutation — `run_until`-style
+    /// loops call this first and only settle when the bound is within
+    /// their deadline.
+    pub fn peek_time_hint(&self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
+        }
+        let mut best = u64::MAX;
+        if let Some(e) = self.near.peek() {
+            best = best.min(e.time.as_ns());
+        }
+        if let Some(e) = self.overflow.peek() {
+            best = best.min(e.time.as_ns());
+        }
+        if let Some((start, _, _)) = self.earliest_slot() {
+            best = best.min(start);
+        }
+        debug_assert!(best != u64::MAX, "live events but no entries anywhere");
+        // Tombstones may sit before `now`; live events never do.
+        Some(SimTime::from_ns(best.max(self.now.as_ns())))
+    }
+
     // -- internals ----------------------------------------------------
 
     /// Returns the slab index to the free list for reuse and invalidates
@@ -464,6 +497,9 @@ impl<E> EventQueueApi<E> for EventQueue<E> {
     fn peek_time(&mut self) -> Option<SimTime> {
         EventQueue::peek_time(self)
     }
+    fn peek_time_hint(&self) -> Option<SimTime> {
+        EventQueue::peek_time_hint(self)
+    }
     fn now(&self) -> SimTime {
         EventQueue::now(self)
     }
@@ -624,6 +660,16 @@ impl<E> HeapQueue<E> {
         }
         None
     }
+
+    /// A cheap lower bound on the next live event's time: the raw heap top
+    /// (which may be a cancelled entry, hence only a bound), with emptiness
+    /// answered exactly from the pending set.
+    pub fn peek_time_hint(&self) -> Option<SimTime> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        self.heap.peek().map(|e| e.time.max(self.now))
+    }
 }
 
 impl<E> EventQueueApi<E> for HeapQueue<E> {
@@ -638,6 +684,9 @@ impl<E> EventQueueApi<E> for HeapQueue<E> {
     }
     fn peek_time(&mut self) -> Option<SimTime> {
         HeapQueue::peek_time(self)
+    }
+    fn peek_time_hint(&self) -> Option<SimTime> {
+        HeapQueue::peek_time_hint(self)
     }
     fn now(&self) -> SimTime {
         HeapQueue::now(self)
@@ -974,7 +1023,21 @@ mod proptests {
                         }
                     }
                     Op::Pop => {
-                        prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                        // Hint before exact peek: taken on the unsettled
+                        // wheel, it must lower-bound the exact answer and
+                        // agree exactly on emptiness.
+                        let wheel_hint = wheel.peek_time_hint();
+                        let heap_hint = heap.peek_time_hint();
+                        let exact = wheel.peek_time();
+                        prop_assert_eq!(exact, heap.peek_time());
+                        prop_assert_eq!(wheel_hint.is_some(), exact.is_some());
+                        prop_assert_eq!(heap_hint.is_some(), exact.is_some());
+                        if let (Some(h), Some(e)) = (wheel_hint, exact) {
+                            prop_assert!(h <= e, "wheel hint {h} above exact {e}");
+                        }
+                        if let (Some(h), Some(e)) = (heap_hint, exact) {
+                            prop_assert!(h <= e, "heap hint {h} above exact {e}");
+                        }
                         let a = wheel.pop();
                         let b = heap.pop();
                         prop_assert_eq!(a, b);
@@ -1037,5 +1100,39 @@ mod proptests {
                 len_consistency::<HeapQueue<u64>>(times, *cancel_every)
             },
         );
+    }
+
+    /// The immutable hint answers emptiness exactly, lower-bounds the next
+    /// event across wheel slots and the overflow heap, and stays a valid
+    /// (conservative) bound when the true minimum is a cancelled tombstone.
+    fn hint_semantics<Q: EventQueueApi<u64> + Default>() {
+        let mut q = Q::default();
+        assert_eq!(q.peek_time_hint(), None);
+        // Far-future event only (overflow territory for the wheel).
+        let far = SimTime::from_secs(30 * 24 * 3600);
+        q.schedule(far, 1);
+        let hint = q.peek_time_hint().expect("one live event");
+        assert!(hint <= far);
+        // A nearer event tightens (or keeps) the bound.
+        q.schedule(SimTime::from_ms(3), 2);
+        let hint = q.peek_time_hint().expect("two live events");
+        assert!(hint <= SimTime::from_ms(3));
+        // Cancelling the near event leaves a tombstone; the hint may stay
+        // early but must remain a lower bound of the true next event.
+        let h = q.schedule(SimTime::from_us(1), 3);
+        assert!(q.cancel(h));
+        let hint = q.peek_time_hint().expect("still two live");
+        let exact = q.peek_time().expect("still two live");
+        assert!(hint <= exact);
+        assert_eq!(exact, SimTime::from_ms(3));
+        // Drain everything: hint reports emptiness exactly.
+        while q.pop().is_some() {}
+        assert_eq!(q.peek_time_hint(), None);
+    }
+
+    #[test]
+    fn peek_time_hint_bounds_both_backends() {
+        hint_semantics::<EventQueue<u64>>();
+        hint_semantics::<HeapQueue<u64>>();
     }
 }

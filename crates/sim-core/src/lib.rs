@@ -14,13 +14,17 @@
 //!   the experiment harnesses.
 //! - [`trace`] — a bounded trace ring for debugging simulations
 //!   ([`TraceRing`]).
+//! - [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
+//!   structured error model ([`SimError`]) for graceful degradation.
 //! - [`ids`] — small typed-index helpers shared by the other crates.
 //!
 //! The simulation is fully deterministic: runs with the same seed and
 //! configuration produce bit-identical results, which the property tests
-//! assert.
+//! assert. Fault injection rides a dedicated RNG stream so an enabled-but-
+//! empty plan leaves every other stream untouched.
 
 pub mod event;
+pub mod fault;
 pub mod ids;
 pub mod rng;
 pub mod stats;
@@ -28,6 +32,10 @@ pub mod time;
 pub mod trace;
 
 pub use event::{EventHandle, EventQueue};
+pub use fault::{
+    ChannelReadFault, DeliveryFault, Diagnostics, FaultConfig, FaultPlan, FaultStats, SimError,
+    SimErrorKind, WatchdogConfig,
+};
 pub use rng::SimRng;
 pub use stats::{Cdf, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

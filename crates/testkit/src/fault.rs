@@ -1,0 +1,112 @@
+//! Generators for fault-injection plans ([`sim_core::fault::FaultConfig`]).
+//!
+//! Chaos properties want *structured* randomness: most generated plans
+//! should mix several fault classes at plausible rates, but the space must
+//! include all-quiet plans (the zero-cost-when-off contract) and saturated
+//! single-class plans (every opportunity faulted). Rates are zero-inflated
+//! via [`one_of`], so the stream-level shrinker collapses a failing plan
+//! toward "fewer fault classes enabled" for free.
+
+use sim_core::fault::FaultConfig;
+use sim_core::time::SimDuration;
+
+use crate::gen::{just, one_of, u32_in, u64_in, Gen};
+
+/// A per-opportunity fault rate in parts-per-million: zero half the time
+/// (that class off), otherwise up to 20% of opportunities. Shrinks to 0.
+pub fn arb_rate() -> Gen<u32> {
+    one_of(vec![just(0_u32), u32_in(1..200_000)])
+}
+
+/// A duration drawn uniformly from `[lo_ns, hi_ns)`. Shrinks short.
+pub fn arb_duration(lo_ns: u64, hi_ns: u64) -> Gen<SimDuration> {
+    u64_in(lo_ns..hi_ns).map(SimDuration::from_ns)
+}
+
+/// A complete fault plan: independent per-class rates, bounded delay and
+/// recovery windows, and a free seed for the plan's private RNG stream.
+///
+/// Class-rate sums stay at most 600 000 ppm, so the drop/delay/duplicate
+/// split in `FaultPlan::classify` never truncates a class.
+pub fn arb_fault_config() -> Gen<FaultConfig> {
+    let seed = u64_in(0..1 << 48);
+    let rate = arb_rate();
+    let delay = arb_duration(1_000, 1_000_000); // 1 µs .. 1 ms
+    let recovery = arb_duration(1_000_000, 20_000_000); // 1 ms .. 20 ms
+    let spike = arb_duration(100_000, 5_000_000); // 100 µs .. 5 ms
+    Gen::new(move |src| FaultConfig {
+        seed: seed.run(src),
+        notify_drop_ppm: rate.run(src),
+        notify_delay_ppm: rate.run(src),
+        notify_dup_ppm: rate.run(src),
+        notify_delay_max: delay.run(src),
+        notify_recovery: recovery.run(src),
+        ipi_drop_ppm: rate.run(src),
+        ipi_delay_ppm: rate.run(src),
+        ipi_dup_ppm: rate.run(src),
+        ipi_delay_max: delay.run(src),
+        steal_spike_ppm: rate.run(src),
+        steal_spike_max: spike.run(src),
+        daemon_crash_ppm: rate.run(src),
+        stale_read_ppm: rate.run(src),
+        torn_read_ppm: rate.run(src),
+        hotplug_abort_ppm: rate.run(src),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+
+    #[test]
+    fn replays_deterministically_from_the_choice_stream() {
+        let g = arb_fault_config();
+        let mut src = Source::random(77);
+        let first = g.run(&mut src);
+        let record = src.into_record();
+        let again = g.run(&mut Source::replay(record));
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn generated_configs_round_trip_through_json() {
+        let g = arb_fault_config();
+        let mut src = Source::random(5);
+        for _ in 0..50 {
+            let cfg = g.run(&mut src);
+            let back = FaultConfig::from_json(&cfg.to_json()).expect("parses");
+            assert_eq!(cfg, back);
+        }
+    }
+
+    #[test]
+    fn space_contains_quiet_and_busy_plans() {
+        let g = arb_fault_config();
+        let mut src = Source::random(11);
+        let mut saw_on = false;
+        let mut saw_off_class = false;
+        for _ in 0..100 {
+            let cfg = g.run(&mut src);
+            if !cfg.is_noop() {
+                saw_on = true;
+            }
+            if cfg.notify_drop_ppm == 0 || cfg.daemon_crash_ppm == 0 {
+                saw_off_class = true;
+            }
+            let sum = cfg.notify_drop_ppm + cfg.notify_delay_ppm + cfg.notify_dup_ppm;
+            assert!(sum <= 600_000, "class split must not truncate: {sum}");
+        }
+        assert!(saw_on && saw_off_class);
+    }
+
+    #[test]
+    fn exhausted_stream_shrinks_to_the_quiet_plan() {
+        // Reading past the end of a replayed stream yields zeros: the
+        // simplest plan every failing case shrinks toward is all-off.
+        let g = arb_fault_config();
+        let cfg = g.run(&mut Source::replay(Vec::new()));
+        assert!(cfg.is_noop(), "zero draws must mean no faults: {cfg:?}");
+        assert_eq!(cfg.seed, 0);
+    }
+}

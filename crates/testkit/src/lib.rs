@@ -30,11 +30,13 @@
 //! (exhausted streams read as zero, i.e. the simplest choice).
 
 pub mod bench;
+pub mod fault;
 pub mod gen;
 pub mod parallel;
 pub mod runner;
 pub mod source;
 
+pub use fault::{arb_duration, arb_fault_config, arb_rate};
 pub use gen::{bool_any, just, one_of, tuple2, tuple3, tuple4, tuple5, vec_of, Gen};
 pub use gen::{u32_in, u64_in, u8_in, usize_in};
 pub use runner::{run_prop, Config, PropResult};

@@ -11,14 +11,19 @@
 //! - results land in a pre-sized slot table indexed by seed position, so
 //!   the returned `Vec` is always in input order — JSON emitted from it
 //!   is byte-stable whether `VSCALE_THREADS` is 1 or 64;
-//! - a panic in any worker propagates out of `std::thread::scope` after
-//!   the remaining workers finish their current seed.
+//! - a panicking seed is caught *inside* its worker
+//!   ([`run_indexed_parallel_checked`]), so one bad seed can neither
+//!   poison the slot table nor take down the sweep: every other seed
+//!   still completes, and the failure surfaces as a per-seed `Err`
+//!   carrying the panic message. The unchecked wrappers re-panic with
+//!   the failing index attributed.
 //!
 //! The thread count comes from `VSCALE_THREADS` (default: available
 //! cores). `VSCALE_THREADS=1` gives a strictly serial run with no thread
 //! spawned at all — the smoke test in `scripts/verify.sh` diffs that
 //! against a 4-thread run to hold the byte-stability property.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -40,19 +45,37 @@ pub fn threads_from_env() -> usize {
     parse_threads(std::env::var("VSCALE_THREADS").ok().as_deref(), cores)
 }
 
+/// Renders a caught panic payload for the per-seed error report.
+fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `f` once per index in `0..n` across `threads` workers and
-/// returns the results in index order. The core of [`run_seeds_parallel`];
-/// exposed for callers whose work items are not literally seeds.
-pub fn run_indexed_parallel<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+/// returns the results in index order, with each panic caught inside
+/// its worker and reported as that index's `Err(message)`. All other
+/// indices still run to completion — one poisoned seed cannot sink the
+/// sweep or leave holes in the slot table.
+pub fn run_indexed_parallel_checked<R, F>(
+    n: usize,
+    threads: usize,
+    f: F,
+) -> Vec<Result<R, String>>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    let checked = |i: usize| catch_unwind(AssertUnwindSafe(|| f(i))).map_err(panic_msg);
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return (0..n).map(checked).collect();
     }
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, String>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|| loop {
@@ -60,7 +83,7 @@ where
                 if i >= n {
                     break;
                 }
-                let r = f(i);
+                let r = checked(i);
                 *slots[i].lock().expect("result slot poisoned") = Some(r);
             });
         }
@@ -75,15 +98,48 @@ where
         .collect()
 }
 
+/// Runs `f` once per index in `0..n` across `threads` workers and
+/// returns the results in index order. The core of [`run_seeds_parallel`];
+/// exposed for callers whose work items are not literally seeds.
+///
+/// Panics (after every index has run) if any index panicked, naming the
+/// first failing index. Callers that need per-seed failure isolation use
+/// [`run_indexed_parallel_checked`].
+pub fn run_indexed_parallel<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_indexed_parallel_checked(n, threads, f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| match r {
+            Ok(v) => v,
+            Err(msg) => panic!("parallel worker for index {i} panicked: {msg}"),
+        })
+        .collect()
+}
+
 /// Runs `f` once per seed, fanning out across [`threads_from_env`]
 /// workers, and returns the results **in seed order** regardless of
-/// thread count or completion order.
+/// thread count or completion order. Panics if any seed panicked; see
+/// [`run_seeds_parallel_checked`] for the isolating variant.
 pub fn run_seeds_parallel<R, F>(seeds: &[u64], f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(u64) -> R + Sync,
 {
     run_indexed_parallel(seeds.len(), threads_from_env(), |i| f(seeds[i]))
+}
+
+/// [`run_seeds_parallel`] with per-seed failure isolation: each result
+/// is `Ok` or that seed's panic message, in seed order.
+pub fn run_seeds_parallel_checked<R, F>(seeds: &[u64], f: F) -> Vec<Result<R, String>>
+where
+    R: Send,
+    F: Fn(u64) -> R + Sync,
+{
+    run_indexed_parallel_checked(seeds.len(), threads_from_env(), |i| f(seeds[i]))
 }
 
 #[cfg(test)]
@@ -136,5 +192,56 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn checked_sweep_isolates_a_panicking_seed() {
+        for threads in [1, 4] {
+            let got = run_indexed_parallel_checked(5, threads, |i| {
+                if i == 3 {
+                    panic!("seed {i} exploded");
+                }
+                i * 10
+            });
+            assert_eq!(got.len(), 5, "threads={threads}");
+            for (i, r) in got.iter().enumerate() {
+                if i == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert!(msg.contains("seed 3 exploded"), "got {msg:?}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 10), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn checked_sweep_reports_string_and_str_payloads() {
+        let got = run_indexed_parallel_checked(2, 1, |i| {
+            if i == 0 {
+                panic!("{}", format!("dynamic {i}"));
+            }
+            std::panic::panic_any(42_u32);
+        });
+        assert!(got[0].as_ref().unwrap_err().contains("dynamic 0"));
+        assert!(got[1].as_ref().unwrap_err().contains("non-string"));
+    }
+
+    #[test]
+    fn unchecked_wrapper_attributes_the_failing_index() {
+        let r = std::panic::catch_unwind(|| {
+            run_indexed_parallel(4, 2, |i| {
+                if i == 1 {
+                    panic!("inner message");
+                }
+                i
+            })
+        });
+        let payload = r.expect_err("must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("attributed panics are formatted strings");
+        assert!(msg.contains("index 1"), "got {msg:?}");
+        assert!(msg.contains("inner message"), "got {msg:?}");
     }
 }

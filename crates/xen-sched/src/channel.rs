@@ -12,7 +12,8 @@
 //! to charge guest vCPU time for each read, and counts reads for the Table 1
 //! bench.
 
-use sim_core::time::SimDuration;
+use sim_core::fault::ChannelReadFault;
+use sim_core::time::{SimDuration, SimTime};
 
 use crate::credit::CreditScheduler;
 use crate::extend::ExtendInfo;
@@ -48,9 +49,18 @@ impl ChannelCosts {
 /// A thin view over the scheduler's stored [`ExtendInfo`] that counts reads
 /// and reports their cost, so the daemon's monitoring overhead can be
 /// charged to the vCPU it runs on.
+///
+/// The endpoint remembers the previously served snapshot so fault
+/// injection can model the two ways a lock-free mailbox read goes wrong in
+/// practice: a **stale** read (the publication raced the read; the old
+/// snapshot is served again) and a **torn** read (fields mixed across two
+/// publications — detectable, because the mix violates the snapshot
+/// invariants checked by [`ExtendInfo::validate`]).
 #[derive(Clone, Debug, Default)]
 pub struct VscaleChannel {
     reads: u64,
+    /// The snapshot served by the previous read, if any.
+    last: Option<ExtendInfo>,
 }
 
 impl VscaleChannel {
@@ -67,13 +77,59 @@ impl VscaleChannel {
         dom: DomId,
         costs: &ChannelCosts,
     ) -> (ExtendInfo, SimDuration) {
+        self.read_faulted(sched, dom, costs, ChannelReadFault::Fresh)
+    }
+
+    /// Performs one read with an injected outcome.
+    ///
+    /// - [`Fresh`](ChannelReadFault::Fresh): the latest snapshot, remembered
+    ///   for subsequent faults.
+    /// - [`Stale`](ChannelReadFault::Stale): the previously served snapshot
+    ///   (or the fresh one on the first read, when there is nothing stale to
+    ///   serve). The remembered snapshot is *not* refreshed, so consecutive
+    ///   stale reads stay pinned to the same old value.
+    /// - [`Torn`](ChannelReadFault::Torn): extendability fields from the
+    ///   previous publication combined with consumption from the current
+    ///   one, and a zero accounting period — the signature of a reader
+    ///   straddling a republication. Always fails
+    ///   [`ExtendInfo::validate`], so a defensive consumer discards it.
+    pub fn read_faulted(
+        &mut self,
+        sched: &CreditScheduler,
+        dom: DomId,
+        costs: &ChannelCosts,
+        fault: ChannelReadFault,
+    ) -> (ExtendInfo, SimDuration) {
         self.reads += 1;
-        (sched.extendability(dom), costs.total())
+        let fresh = sched.extendability(dom);
+        let served = match (fault, self.last) {
+            (ChannelReadFault::Fresh, _) | (_, None) => {
+                self.last = Some(fresh);
+                fresh
+            }
+            (ChannelReadFault::Stale, Some(prev)) => prev,
+            (ChannelReadFault::Torn, Some(prev)) => ExtendInfo {
+                fair: prev.fair,
+                ext: prev.ext,
+                consumed: fresh.consumed,
+                n_opt: prev.n_opt,
+                competitor: fresh.competitor,
+                computed_at: prev.computed_at,
+                period: SimDuration::ZERO,
+            },
+        };
+        (served, costs.total())
     }
 
     /// Number of reads performed.
     pub fn reads(&self) -> u64 {
         self.reads
+    }
+
+    /// How old the remembered snapshot is at `now` — the staleness a
+    /// [`Stale`](ChannelReadFault::Stale) read would serve.
+    pub fn snapshot_age(&self, now: SimTime) -> Option<SimDuration> {
+        self.last.map(|s| now.since(s.computed_at))
     }
 }
 
@@ -109,5 +165,58 @@ mod tests {
         assert_eq!(ch.reads(), 1);
         // Sole busy domain on 2 pCPUs: it can extend to both.
         assert_eq!(info.n_opt, 2);
+    }
+
+    fn ticked_sched_at(ms: u64) -> (CreditScheduler, DomId) {
+        let mut sched = CreditScheduler::new(CreditConfig::default(), 2);
+        let dom = sched.create_domain(256, 2, None, None);
+        sched.vcpu_wake(GlobalVcpu::new(dom, VcpuId(0)), SimTime::ZERO, &mut Vec::new());
+        sched.on_tick(sim_core::ids::PcpuId(0), SimTime::from_ms(ms), &mut Vec::new());
+        sched.on_extend_tick(SimTime::from_ms(ms));
+        (sched, dom)
+    }
+
+    #[test]
+    fn stale_read_pins_the_previous_snapshot() {
+        let (sched, dom) = ticked_sched_at(10);
+        let mut ch = VscaleChannel::new();
+        // First read is fresh even under an injected stale fault: there is
+        // nothing older to serve.
+        let (first, _) = ch.read_faulted(&sched, dom, &ChannelCosts::default(), ChannelReadFault::Stale);
+        assert_eq!(first.computed_at, SimTime::from_ms(10));
+
+        // Republish at t=20ms; a stale read still serves the t=10ms value.
+        let (mut sched2, dom2) = ticked_sched_at(10);
+        let mut ch2 = VscaleChannel::new();
+        ch2.read(&sched2, dom2, &ChannelCosts::default());
+        sched2.on_tick(sim_core::ids::PcpuId(0), SimTime::from_ms(20), &mut Vec::new());
+        sched2.on_extend_tick(SimTime::from_ms(20));
+        let (stale, _) =
+            ch2.read_faulted(&sched2, dom2, &ChannelCosts::default(), ChannelReadFault::Stale);
+        assert_eq!(stale.computed_at, SimTime::from_ms(10));
+        assert_eq!(stale.validate(), Ok(()), "stale reads are valid, just old");
+        assert_eq!(
+            ch2.snapshot_age(SimTime::from_ms(25)),
+            Some(SimDuration::from_ms(15))
+        );
+        // A fresh read re-synchronizes.
+        let (fresh, _) = ch2.read(&sched2, dom2, &ChannelCosts::default());
+        assert_eq!(fresh.computed_at, SimTime::from_ms(20));
+    }
+
+    #[test]
+    fn torn_read_is_always_detectable() {
+        let (mut sched, dom) = ticked_sched_at(10);
+        let mut ch = VscaleChannel::new();
+        ch.read(&sched, dom, &ChannelCosts::default());
+        sched.on_tick(sim_core::ids::PcpuId(0), SimTime::from_ms(20), &mut Vec::new());
+        sched.on_extend_tick(SimTime::from_ms(20));
+        let (torn, _) =
+            ch.read_faulted(&sched, dom, &ChannelCosts::default(), ChannelReadFault::Torn);
+        assert!(
+            torn.validate().is_err(),
+            "a torn snapshot must fail validation: {torn:?}"
+        );
+        assert_eq!(ch.reads(), 2);
     }
 }

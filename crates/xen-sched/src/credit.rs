@@ -230,6 +230,8 @@ pub struct CreditScheduler {
     active_buf: Vec<bool>,
     /// Scratch for [`CreditScheduler::on_extend_tick`] Algorithm 1 inputs.
     params_buf: Vec<ExtendParams>,
+    /// Scratch for Algorithm 1 outputs (the last per-tick allocation).
+    infos_buf: Vec<ExtendInfo>,
 }
 
 impl CreditScheduler {
@@ -246,6 +248,7 @@ impl CreditScheduler {
             unpark_buf: Vec::new(),
             active_buf: Vec::new(),
             params_buf: Vec::new(),
+            infos_buf: Vec::new(),
         }
     }
 
@@ -594,6 +597,7 @@ impl CreditScheduler {
             return;
         }
         let mut params = std::mem::take(&mut self.params_buf);
+        let mut infos = std::mem::take(&mut self.infos_buf);
         params.clear();
         params.extend(self.domains.iter().map(|d| ExtendParams {
             weight: d.weight,
@@ -602,12 +606,19 @@ impl CreditScheduler {
             reservation_pcpus: d.reservation_pcpus,
             n_vcpus: d.vcpus.len(),
         }));
-        let infos = crate::extend::compute_extendability(&params, self.pcpus.len(), window, now);
+        crate::extend::compute_extendability_into(
+            &params,
+            self.pcpus.len(),
+            window,
+            now,
+            &mut infos,
+        );
         self.params_buf = params;
-        for (d, info) in self.domains.iter_mut().zip(infos) {
+        for (d, info) in self.domains.iter_mut().zip(&infos) {
             d.consumed_extend = SimDuration::ZERO;
-            d.extend = info;
+            d.extend = *info;
         }
+        self.infos_buf = infos;
     }
 
     /// Reads a domain's latest extendability (the `SCHEDOP_getvscaleinfo`

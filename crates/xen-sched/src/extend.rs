@@ -85,6 +85,31 @@ impl ExtendInfo {
     pub fn consumed_pcpus(&self) -> f64 {
         self.consumed.ratio(self.period)
     }
+
+    /// Checks the structural invariants every published snapshot satisfies,
+    /// so a consumer (the vScale daemon) can detect and discard a torn read
+    /// instead of feeding garbage into its smoothing filter.
+    ///
+    /// Valid snapshots are either the pristine [`initial`](Self::initial)
+    /// value (all-zero durations before the first ticker pass) or a real
+    /// Algorithm 1 output, for which `period > 0`, `ext >= fair` (slack is
+    /// only ever added), and `n_opt >= 1`.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.period.is_zero() {
+            return if self.ext.is_zero() && self.fair.is_zero() && self.consumed.is_zero() {
+                Ok(())
+            } else {
+                Err("nonzero shares with a zero accounting period")
+            };
+        }
+        if self.ext < self.fair {
+            return Err("extendability below fair share");
+        }
+        if self.n_opt == 0 {
+            return Err("optimal vCPU count of zero");
+        }
+        Ok(())
+    }
 }
 
 /// Runs Algorithm 1 over all domains of a pool.
@@ -116,67 +141,89 @@ pub fn compute_extendability(
     window: SimDuration,
     now: SimTime,
 ) -> Vec<ExtendInfo> {
+    let mut out = Vec::with_capacity(domains.len());
+    compute_extendability_into(domains, n_pcpus, window, now, &mut out);
+    out
+}
+
+/// Allocation-free Algorithm 1: like [`compute_extendability`] but writes
+/// into a caller-supplied sink so the 10 ms extend tick can reuse one
+/// buffer forever. `out` is cleared first; on return it holds one
+/// [`ExtendInfo`] per input, in order.
+///
+/// The fair share is recomputed (not re-read from the rounded pass-1
+/// value) in pass 2, so results are bit-identical to the allocating
+/// wrapper's.
+pub fn compute_extendability_into(
+    domains: &[ExtendParams],
+    n_pcpus: usize,
+    window: SimDuration,
+    now: SimTime,
+    out: &mut Vec<ExtendInfo>,
+) {
+    out.clear();
     let t_ns = window.as_ns() as f64;
     let capacity_ns = t_ns * n_pcpus as f64;
     let weight_sum: f64 = domains.iter().map(|d| f64::from(d.weight)).sum();
-
-    // Pass 1: fair shares, slack accumulation, competitor set.
-    let mut c_slack = 0.0f64;
-    let mut competitor_weight = 0.0f64;
-    let mut fair = vec![0.0f64; domains.len()];
-    let mut is_competitor = vec![false; domains.len()];
-    for (i, d) in domains.iter().enumerate() {
-        fair[i] = if weight_sum > 0.0 {
-            f64::from(d.weight) / weight_sum * capacity_ns
+    let fair_of = |weight: u32| {
+        if weight_sum > 0.0 {
+            f64::from(weight) / weight_sum * capacity_ns
         } else {
             0.0
-        };
-        let consumed = d.consumed.as_ns() as f64;
-        if consumed < fair[i] {
-            c_slack += fair[i] - consumed;
-        } else {
-            is_competitor[i] = true;
-            competitor_weight += f64::from(d.weight);
         }
+    };
+
+    // Pass 1: fair shares, slack accumulation, competitor set. The
+    // per-domain partials ride in the sink itself (fair rounded, the
+    // competitor flag) instead of scratch vectors.
+    let mut c_slack = 0.0f64;
+    let mut competitor_weight = 0.0f64;
+    for d in domains {
+        let fair = fair_of(d.weight);
+        let consumed = d.consumed.as_ns() as f64;
+        let competitor = consumed >= fair;
+        if competitor {
+            competitor_weight += f64::from(d.weight);
+        } else {
+            c_slack += fair - consumed;
+        }
+        out.push(ExtendInfo {
+            fair: SimDuration::from_ns(fair.round() as u64),
+            ext: SimDuration::ZERO,
+            consumed: d.consumed,
+            n_opt: 0,
+            competitor,
+            computed_at: now,
+            period: window,
+        });
     }
 
     // Pass 2: extendability per domain, clamped to reservation/cap, then
     // the optimal vCPU count.
-    domains
-        .iter()
-        .enumerate()
-        .map(|(i, d)| {
-            let mut ext_ns = if is_competitor[i] && competitor_weight > 0.0 {
-                f64::from(d.weight) / competitor_weight * c_slack + fair[i]
-            } else {
-                fair[i]
-            };
-            if let Some(cap) = d.cap_pcpus {
-                ext_ns = ext_ns.min(cap * t_ns);
-            }
-            if let Some(resv) = d.reservation_pcpus {
-                ext_ns = ext_ns.max(resv * t_ns);
-            }
-            // No domain can exceed whole-machine capacity.
-            ext_ns = ext_ns.min(capacity_ns);
-            let n_opt = if d.n_vcpus <= 1 {
-                // UP domains have no room for scaling; leave them alone.
-                d.n_vcpus
-            } else {
-                let ratio = if t_ns > 0.0 { ext_ns / t_ns } else { 0.0 };
-                (ratio.ceil() as usize).clamp(1, d.n_vcpus)
-            };
-            ExtendInfo {
-                fair: SimDuration::from_ns(fair[i].round() as u64),
-                ext: SimDuration::from_ns(ext_ns.round() as u64),
-                consumed: d.consumed,
-                n_opt,
-                competitor: is_competitor[i],
-                computed_at: now,
-                period: window,
-            }
-        })
-        .collect()
+    for (d, o) in domains.iter().zip(out.iter_mut()) {
+        let fair = fair_of(d.weight);
+        let mut ext_ns = if o.competitor && competitor_weight > 0.0 {
+            f64::from(d.weight) / competitor_weight * c_slack + fair
+        } else {
+            fair
+        };
+        if let Some(cap) = d.cap_pcpus {
+            ext_ns = ext_ns.min(cap * t_ns);
+        }
+        if let Some(resv) = d.reservation_pcpus {
+            ext_ns = ext_ns.max(resv * t_ns);
+        }
+        // No domain can exceed whole-machine capacity.
+        ext_ns = ext_ns.min(capacity_ns);
+        o.n_opt = if d.n_vcpus <= 1 {
+            // UP domains have no room for scaling; leave them alone.
+            d.n_vcpus
+        } else {
+            let ratio = if t_ns > 0.0 { ext_ns / t_ns } else { 0.0 };
+            (ratio.ceil() as usize).clamp(1, d.n_vcpus)
+        };
+        o.ext = SimDuration::from_ns(ext_ns.round() as u64);
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +432,48 @@ mod tests {
             "{total_ext_of_competitors} + {consumed_by_releasers} > {capacity}"
         );
     }
+
+    #[test]
+    fn sink_variant_reuses_buffer_across_calls() {
+        let doms = [params(256, 100, 4), params(256, 0, 2)];
+        let mut out = Vec::new();
+        compute_extendability_into(&doms, 4, T, SimTime::ZERO, &mut out);
+        assert_eq!(out, compute_extendability(&doms, 4, T, SimTime::ZERO));
+        let cap = out.capacity();
+        // A second pass with fewer domains clears and refills in place.
+        compute_extendability_into(&doms[..1], 4, T, SimTime::from_ms(10), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out[0].computed_at, SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn validate_accepts_real_outputs_and_initial() {
+        let doms = [params(256, 100, 4), params(256, 0, 2)];
+        for o in compute_extendability(&doms, 4, T, SimTime::ZERO) {
+            assert_eq!(o.validate(), Ok(()));
+        }
+        assert_eq!(ExtendInfo::initial(4).validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_torn_snapshots() {
+        let good = compute_extendability(&[params(256, 100, 4)], 4, T, SimTime::ZERO)[0];
+        // A torn period field: nonzero shares against a zero window.
+        let torn = ExtendInfo {
+            period: SimDuration::ZERO,
+            ..good
+        };
+        assert!(torn.validate().is_err());
+        // Fields mixed across publications can drop ext below fair.
+        let mixed = ExtendInfo {
+            ext: SimDuration::ZERO,
+            ..good
+        };
+        assert!(mixed.validate().is_err());
+        let zeroed = ExtendInfo { n_opt: 0, ..good };
+        assert!(zeroed.validate().is_err());
+    }
 }
 
 #[cfg(test)]
@@ -504,7 +593,9 @@ mod proptests {
         });
     }
 
-    /// Determinism: same inputs, same outputs.
+    /// Determinism: same inputs, same outputs — and the allocation-free
+    /// sink variant is bit-identical to the allocating wrapper even when
+    /// the sink carries stale contents from a previous, different call.
     #[test]
     fn deterministic() {
         run_prop(
@@ -515,7 +606,10 @@ mod proptests {
                 let t = SimDuration::from_ms(10);
                 let a = compute_extendability(doms, *n_pcpus, t, SimTime::ZERO);
                 let b = compute_extendability(doms, *n_pcpus, t, SimTime::ZERO);
-                prop_assert_eq!(a, b);
+                prop_assert_eq!(&a, &b);
+                let mut sink = vec![ExtendInfo::initial(3); 5]; // Stale junk.
+                compute_extendability_into(doms, *n_pcpus, t, SimTime::ZERO, &mut sink);
+                prop_assert_eq!(a, sink);
                 Ok(())
             },
         );

@@ -39,4 +39,21 @@ VSCALE_THREADS=4 VSCALE_BENCH_SEEDS=4 \
 diff -u "$sweep_t1" "$sweep_t4"
 echo "   byte-identical at VSCALE_THREADS=1 and =4"
 
+echo "== chaos: fault-injection suite + fixed-plan replay smoke =="
+# Every fault class must terminate cleanly or with a typed error — never
+# hang or panic (tests/chaos.rs, watchdog-enforced).
+cargo test -q --offline --test chaos
+# A fixed fault plan swept over seeds must be byte-stable across thread
+# counts too: fault draws ride the plan's private RNG, not wall clock.
+chaos_t1="$(mktemp)"; chaos_t4="$(mktemp)"
+trap 'rm -f "$sweep_t1" "$sweep_t4" "$chaos_t1" "$chaos_t4"' EXIT
+VSCALE_THREADS=1 VSCALE_BENCH_SEEDS=4 \
+    cargo bench -q --offline -p vscale-bench --bench chaos_smoke \
+    | grep -v wall_ms > "$chaos_t1"
+VSCALE_THREADS=4 VSCALE_BENCH_SEEDS=4 \
+    cargo bench -q --offline -p vscale-bench --bench chaos_smoke \
+    | grep -v wall_ms > "$chaos_t4"
+diff -u "$chaos_t1" "$chaos_t4"
+echo "   fault-plan replay byte-identical at VSCALE_THREADS=1 and =4"
+
 echo "== verify: OK =="

@@ -1,0 +1,446 @@
+//! Chaos suite: deterministic fault injection across the vScale channel,
+//! daemon, IPI/notification dispatch, and hotplug paths.
+//!
+//! The graceful-degradation contract under test:
+//!
+//! - every fault class terminates with a clean result or a typed
+//!   [`SimError`] — never a hang, never a panic on the supervised paths;
+//! - no uthread (I/O request) is lost: dropped doorbells recover within
+//!   the documented `notify_recovery` staleness bound;
+//! - the freeze mask keeps converging to true extendability despite
+//!   stale/torn reads and daemon crash-restarts;
+//! - a fixed fault plan replays bit-identically, and a disabled plan is
+//!   byte-identical to running with no plan at all.
+
+use vscale_repro::apps::npb::{self, NpbApp};
+use vscale_repro::apps::spin::SpinPolicy;
+use vscale_repro::core::config::{DomainSpec, MachineConfig, SystemConfig};
+use vscale_repro::core::daemon::DaemonConfig;
+use vscale_repro::core::machine::Machine;
+use vscale_repro::guest::thread::{OneShot, Script, ThreadAction, ThreadKind};
+use vscale_repro::guest::KernelVersion;
+use vscale_repro::sim::fault::{FaultConfig, SimErrorKind, WatchdogConfig, PPM};
+use vscale_repro::sim::time::{SimDuration, SimTime};
+use vscale_repro::{DomId, VcpuId};
+
+fn compute_ms(ms: u64) -> Box<OneShot> {
+    Box::new(OneShot::new(SimDuration::from_ms(ms)))
+}
+
+/// A contended host: a 4-vCPU vScale VM and a 2-vCPU fixed competitor on
+/// 2 pCPUs, both compute-bound.
+fn contended_machine(seed: u64) -> (Machine, DomId, DomId) {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed,
+        ..MachineConfig::default()
+    });
+    let vm = m.add_domain(SystemConfig::VScale.domain_spec(4));
+    let bg = m.add_domain(DomainSpec::fixed(2));
+    for _ in 0..4 {
+        let t = m.guest_mut(vm).spawn(ThreadKind::User, compute_ms(400));
+        m.start_thread(vm, t);
+    }
+    // The competitor holds its pCPU for roughly the first second of the
+    // run, so convergence checks at ~600 ms observe a contended host.
+    for _ in 0..2 {
+        let t = m.guest_mut(bg).spawn(ThreadKind::User, compute_ms(500));
+        m.start_thread(bg, t);
+    }
+    (m, vm, bg)
+}
+
+#[test]
+fn dropped_notifications_lose_no_uthreads() {
+    // Every doorbell is dropped; the pending bit must still get every
+    // request delivered within the notify_recovery staleness bound.
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed: 7,
+        ..MachineConfig::default()
+    });
+    m.set_fault_plan(FaultConfig {
+        seed: 1,
+        notify_drop_ppm: PPM as u32,
+        ..FaultConfig::default()
+    });
+    let d = m.add_domain(DomainSpec::fixed(2));
+    let q = m.guest_mut(d).new_io_queue();
+    let port = m.bind_io_port(d, q, VcpuId(0));
+    let n_requests = 8u64;
+    let mut actions = Vec::new();
+    for _ in 0..n_requests {
+        actions.push(ThreadAction::IoWait(q));
+        actions.push(ThreadAction::Compute(SimDuration::from_us(50)));
+    }
+    let worker = m
+        .guest_mut(d)
+        .spawn(ThreadKind::User, Box::new(Script::new(actions)));
+    m.start_thread(d, worker);
+    for i in 0..n_requests {
+        m.inject_io(d, port, SimTime::from_ms(5 + 20 * i), 1);
+    }
+    let done = m
+        .try_run_until_exited(d, SimTime::from_secs(5))
+        .expect("no typed error")
+        .expect("every request must eventually arrive");
+    assert!(done < SimTime::from_secs(1), "took {done}");
+    let stats = m.fault_stats().expect("plan installed");
+    assert!(stats.notify_dropped >= 1, "no doorbell was ever dropped");
+    let (arr, del, _) = m.io_logs(d);
+    assert_eq!(arr.len() as u64, n_requests);
+    assert_eq!(del.len() as u64, n_requests, "a uthread was lost");
+    // Staleness bound: recovery rings within notify_recovery (10 ms
+    // default) of the arrival, plus scheduling slack.
+    for (a, dl) in arr.iter().zip(del) {
+        let lat = dl.since(*a);
+        assert!(
+            lat <= SimDuration::from_ms(25),
+            "delivery exceeded the recovery bound: {lat}"
+        );
+    }
+}
+
+#[test]
+fn delayed_and_duplicated_notifications_terminate() {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed: 8,
+        ..MachineConfig::default()
+    });
+    m.set_fault_plan(FaultConfig {
+        seed: 2,
+        notify_delay_ppm: 500_000,
+        notify_dup_ppm: 500_000,
+        ..FaultConfig::default()
+    });
+    let d = m.add_domain(DomainSpec::fixed(2));
+    let q = m.guest_mut(d).new_io_queue();
+    let port = m.bind_io_port(d, q, VcpuId(1));
+    let mut actions = Vec::new();
+    for _ in 0..6 {
+        actions.push(ThreadAction::IoWait(q));
+        actions.push(ThreadAction::Compute(SimDuration::from_us(80)));
+    }
+    let worker = m
+        .guest_mut(d)
+        .spawn(ThreadKind::User, Box::new(Script::new(actions)));
+    m.start_thread(d, worker);
+    for i in 0..6 {
+        m.inject_io(d, port, SimTime::from_ms(3 + 10 * i), 1);
+    }
+    m.try_run_until_exited(d, SimTime::from_secs(5))
+        .expect("no typed error")
+        .expect("delays and duplicates must not lose requests");
+    let stats = m.fault_stats().expect("plan installed");
+    assert!(
+        stats.notify_delayed + stats.notify_duplicated >= 1,
+        "plan injected nothing: {stats:?}"
+    );
+    let (arr, del, _) = m.io_logs(d);
+    assert_eq!(arr.len(), del.len(), "a request evaporated");
+}
+
+#[test]
+fn ipi_faults_degrade_to_slice_boundaries_not_hangs() {
+    // Drop every reschedule IPI: preemption wakeups degrade to the next
+    // natural scheduling point (pending bit at slice end) but the barrier
+    // workload still completes. Four NPB threads on two vCPUs so barrier
+    // releases wake threads onto vCPUs that are busy running siblings —
+    // the running-target IPI path the fault plan intercepts.
+    let run = |drop_all: bool| {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            seed: 9,
+            ..MachineConfig::default()
+        });
+        if drop_all {
+            m.set_fault_plan(FaultConfig {
+                seed: 3,
+                ipi_drop_ppm: PPM as u32,
+                ..FaultConfig::default()
+            });
+        }
+        let d = m.add_domain(DomainSpec::fixed(2));
+        let app = NpbApp {
+            iterations: 12,
+            ..npb::NPB_APPS[0]
+        };
+        npb::install(&mut m, d, app, 4, SpinPolicy::Default);
+        let done = m
+            .try_run_until_exited(d, SimTime::from_secs(60))
+            .expect("no typed error")
+            .expect("dropped IPIs must not deadlock the guest");
+        (done, m.fault_stats().map(|s| s.ipi_dropped).unwrap_or(0))
+    };
+    let (clean, _) = run(false);
+    let (faulted, dropped) = run(true);
+    assert!(dropped >= 1, "scenario produced no IPI opportunities");
+    // Degradation is bounded: a lost wakeup doorbell costs at most a few
+    // slices, not unbounded stalls.
+    let bound = SimTime::ZERO
+        + clean.since(SimTime::ZERO).mul_f64(1.5)
+        + SimDuration::from_ms(500);
+    assert!(
+        faulted <= bound,
+        "degradation unbounded: clean {clean}, faulted {faulted}"
+    );
+}
+
+#[test]
+fn steal_spikes_slow_but_never_wedge() {
+    let (mut m, vm, _bg) = contended_machine(11);
+    m.set_fault_plan(FaultConfig {
+        seed: 4,
+        steal_spike_ppm: PPM as u32,
+        steal_spike_max: SimDuration::from_ms(2),
+        ..FaultConfig::default()
+    });
+    m.try_run_until_exited(vm, SimTime::from_secs(20))
+        .expect("no typed error")
+        .expect("steal spikes must not prevent completion");
+    let stats = m.fault_stats().expect("plan installed");
+    assert!(stats.steal_spikes > 10, "spikes: {}", stats.steal_spikes);
+}
+
+#[test]
+fn daemon_crash_restart_still_converges() {
+    let (mut m, vm, bg) = contended_machine(12);
+    m.set_fault_plan(FaultConfig {
+        seed: 5,
+        daemon_crash_ppm: 250_000,
+        ..FaultConfig::default()
+    });
+    m.try_run_until(SimTime::from_ms(600)).expect("no error");
+    let mid = m.domain_stats(vm);
+    assert!(mid.daemon_crashes >= 1, "no crash ever injected");
+    assert!(
+        mid.daemon_reads >= 1,
+        "a crashing daemon must still get reads through"
+    );
+    // Even losing its EMA repeatedly, the daemon shrinks under contention…
+    assert!(
+        m.guest(vm).active_vcpus() <= 2,
+        "never shrank despite competitor, active {}",
+        m.guest(vm).active_vcpus()
+    );
+    // …and grows back once the competitor exits — observed while the VM
+    // still has work left (an idle VM legitimately stays shrunk).
+    let mut grew = 0;
+    for step in 7..80 {
+        m.try_run_until(SimTime::from_ms(50 * step)).expect("no error");
+        if m.guest(vm).all_exited() {
+            break;
+        }
+        if m.guest(bg).all_exited() {
+            grew = grew.max(m.guest(vm).active_vcpus());
+        }
+    }
+    assert!(m.guest(bg).all_exited());
+    assert!(grew >= 2, "never grew back while busy, peak active {grew}");
+    let end = m.domain_stats(vm);
+    assert!(end.daemon_crashes >= mid.daemon_crashes);
+}
+
+#[test]
+fn stale_and_torn_reads_are_detected_or_smoothed() {
+    let (mut m, vm, _bg) = contended_machine(13);
+    m.set_fault_plan(FaultConfig {
+        seed: 6,
+        stale_read_ppm: 300_000,
+        torn_read_ppm: 200_000,
+        ..FaultConfig::default()
+    });
+    m.try_run_until(SimTime::from_ms(600)).expect("no error");
+    let st = m.domain_stats(vm);
+    let fs = *m.fault_stats().expect("plan installed");
+    assert!(fs.stale_reads >= 1 && fs.torn_reads >= 1, "{fs:?}");
+    // Every torn snapshot was caught by validation and discarded.
+    assert!(
+        st.discarded_reads >= fs.torn_reads,
+        "torn reads acted upon: discarded {} < torn {}",
+        st.discarded_reads,
+        fs.torn_reads
+    );
+    // Convergence: despite the noisy channel the mask still tracks true
+    // extendability (~1 pCPU of a 2-pCPU host under competition).
+    assert!(
+        m.guest(vm).active_vcpus() <= 2,
+        "stale/torn reads broke convergence, active {}",
+        m.guest(vm).active_vcpus()
+    );
+}
+
+#[test]
+fn aborted_hotplug_leaves_the_vcpu_online_and_consistent() {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed: 14,
+        ..MachineConfig::default()
+    });
+    m.set_fault_plan(FaultConfig {
+        seed: 7,
+        hotplug_abort_ppm: PPM as u32, // every removal aborts
+        ..FaultConfig::default()
+    });
+    let vm = m.add_domain(DomainSpec {
+        scaling: vscale_repro::core::config::ScalingMode::Hotplug {
+            daemon: DaemonConfig::default(),
+            version: KernelVersion::V3_14_15,
+        },
+        ..DomainSpec::fixed(4)
+    });
+    let bg = m.add_domain(DomainSpec::fixed(2));
+    for _ in 0..4 {
+        let t = m.guest_mut(vm).spawn(ThreadKind::User, compute_ms(600));
+        m.start_thread(vm, t);
+    }
+    for _ in 0..2 {
+        let t = m.guest_mut(bg).spawn(ThreadKind::User, compute_ms(600));
+        m.start_thread(bg, t);
+    }
+    m.try_run_until(SimTime::from_ms(800)).expect("no error");
+    let st = m.domain_stats(vm);
+    assert!(st.hotplug_aborts >= 1, "no removal ever aborted");
+    // The invariant an abort must preserve: the target stays online.
+    assert_eq!(m.guest(vm).active_vcpus(), 4, "an aborted removal offlined");
+    for v in 0..4 {
+        assert!(m.guest(vm).is_online(VcpuId(v)), "vcpu{v} offline");
+    }
+    // The machine is still live: the workload finishes.
+    m.try_run_until_exited(vm, SimTime::from_secs(20))
+        .expect("no error")
+        .expect("aborts must not wedge the guest");
+}
+
+#[test]
+fn watchdog_reports_a_stuck_simulation_with_layer_attribution() {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 1,
+        seed: 15,
+        ..MachineConfig::default()
+    });
+    m.set_watchdog(WatchdogConfig {
+        stall_timeout: SimDuration::from_ms(100),
+        ..WatchdogConfig::default()
+    });
+    let d = m.add_domain(DomainSpec::fixed(1));
+    let q = m.guest_mut(d).new_io_queue();
+    // A thread waiting on I/O that never arrives: virtual time keeps
+    // ticking (hypervisor timers) but nothing ever progresses.
+    let t = m.guest_mut(d).spawn(
+        ThreadKind::User,
+        Box::new(Script::new(vec![ThreadAction::IoWait(q)])),
+    );
+    m.start_thread(d, t);
+    let err = m
+        .try_run_until(SimTime::from_secs(10))
+        .expect_err("must flag the stall instead of spinning to deadline");
+    assert!(
+        matches!(err.kind, SimErrorKind::NoProgress { stalled_for } if stalled_for >= SimDuration::from_ms(100)),
+        "wrong kind: {:?}",
+        err.kind
+    );
+    assert!(!err.layer.is_empty());
+    let rendered = err.to_string();
+    assert!(rendered.contains("no forward progress"), "{rendered}");
+    assert!(rendered.contains("vcpu state"), "{rendered}");
+    assert!(rendered.contains("online="), "{rendered}");
+}
+
+#[test]
+fn fixed_fault_plan_replays_bit_identically() {
+    let run = || {
+        let (mut m, vm, _bg) = contended_machine(16);
+        m.enable_trace(1 << 15);
+        m.set_fault_plan(FaultConfig {
+            seed: 0xFA_17,
+            notify_drop_ppm: 50_000,
+            ipi_drop_ppm: 50_000,
+            ipi_dup_ppm: 50_000,
+            steal_spike_ppm: 100_000,
+            daemon_crash_ppm: 100_000,
+            stale_read_ppm: 150_000,
+            torn_read_ppm: 100_000,
+            ..FaultConfig::default()
+        });
+        m.try_run_until(SimTime::from_secs(2)).expect("no error");
+        (
+            m.trace().dump(),
+            format!("{:?}", m.domain_stats(vm)),
+            format!("{:?}", m.fault_stats().expect("plan")),
+            m.now(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.3, b.3, "end times diverged");
+    assert_eq!(a.1, b.1, "domain stats diverged");
+    assert_eq!(a.2, b.2, "fault stats diverged");
+    for (i, (la, lb)) in a.0.lines().zip(b.0.lines()).enumerate() {
+        assert_eq!(la, lb, "trace diverges at line {i}");
+    }
+    assert_eq!(a.0, b.0);
+}
+
+#[test]
+fn disabled_plan_is_byte_identical_to_no_plan() {
+    // Zero-cost-when-off: an installed all-zero plan must not perturb a
+    // single event, timestamp, or RNG draw.
+    let run = |plan: bool| {
+        let (mut m, vm, _bg) = contended_machine(17);
+        m.enable_trace(1 << 15);
+        if plan {
+            m.set_fault_plan(FaultConfig {
+                seed: 999, // seed is irrelevant: a noop plan never draws
+                ..FaultConfig::default()
+            });
+        }
+        m.run_until(SimTime::from_secs(2));
+        (m.trace().dump(), format!("{:?}", m.domain_stats(vm)), m.now())
+    };
+    let without = run(false);
+    let with = run(true);
+    assert_eq!(without.2, with.2, "end times diverged");
+    assert_eq!(without.1, with.1, "stats diverged");
+    assert_eq!(without.0, with.0, "a disabled plan perturbed the trace");
+}
+
+#[test]
+fn any_generated_fault_plan_terminates_cleanly() {
+    // Property: whatever the plan, a short contended run either completes
+    // or returns a typed error — never panics, never hangs (watchdog).
+    testkit::run_prop(
+        "chaos_terminates",
+        testkit::Config::with_cases(15),
+        &testkit::arb_fault_config(),
+        |cfg| {
+            let (mut m, vm, _bg) = contended_machine(0x5EED ^ cfg.seed);
+            m.set_watchdog(WatchdogConfig {
+                stall_timeout: SimDuration::from_ms(500),
+                ..WatchdogConfig::default()
+            });
+            m.set_fault_plan(*cfg);
+            match m.try_run_until_exited(vm, SimTime::from_secs(30)) {
+                Ok(Some(_)) => {
+                    testkit::prop_assert!(
+                        m.guest(vm).all_exited(),
+                        "completion time without completion"
+                    );
+                }
+                Ok(None) => {
+                    // Deadline or queue exhaustion: legal, just slow.
+                }
+                Err(e) => {
+                    // A typed error is an acceptable degradation — but it
+                    // must carry diagnostics.
+                    testkit::prop_assert!(
+                        !e.to_string().is_empty() && !e.layer.is_empty(),
+                        "undiagnosable error"
+                    );
+                }
+            }
+            Ok(())
+        },
+    );
+}

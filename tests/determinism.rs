@@ -59,3 +59,57 @@ fn different_seeds_diverge() {
     let (trace_b, _, _) = traced_run(2);
     assert_ne!(trace_a, trace_b, "seed had no effect on the event trace");
 }
+
+/// A short contended run with `cfg` installed, traced end to end.
+fn faulted_run(cfg: vscale_repro::sim::fault::FaultConfig) -> (String, String, String) {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed: 77,
+        ..MachineConfig::default()
+    });
+    m.enable_trace(1 << 15);
+    m.set_fault_plan(cfg);
+    let vm = m.add_domain(SystemConfig::VScale.domain_spec(2).with_weight(256));
+    let _bg = desktop::add_desktops(&mut m, 2, SlideshowConfig::default());
+    let app = NpbApp {
+        iterations: 4,
+        ..npb::NPB_APPS[0]
+    };
+    let _run = npb::install(&mut m, vm, app, 2, SpinPolicy::Default);
+    m.run_until(SimTime::from_ms(400));
+    (
+        m.trace().dump(),
+        format!("{:?}", m.domain_stats(vm)),
+        format!("{:?}", m.fault_stats().expect("plan installed")),
+    )
+}
+
+#[test]
+fn fault_plans_replay_bit_identically_through_session_json() {
+    // Property: any fault plan serialized into a bench-session JSON line
+    // (the `fault_plan` field rides inside a larger envelope, exactly as
+    // the chaos smoke bench emits it) parses back to the same config, and
+    // the replay it drives is bit-identical to the original run.
+    use vscale_repro::sim::fault::FaultConfig;
+    testkit::run_prop(
+        "fault_plan_json_replay",
+        testkit::Config::with_cases(6),
+        &testkit::arb_fault_config(),
+        |cfg| {
+            let line = format!(
+                "{{\"suite\":\"chaos_smoke\",\"bench\":\"replay\",\"scale\":\"quick\",\
+                 \"fault_plan\":{},\"mean_ns\":123.4}}",
+                cfg.to_json()
+            );
+            let parsed = FaultConfig::from_json(&line)
+                .map_err(|e| format!("embedded parse failed: {e}"))?;
+            testkit::prop_assert_eq!(parsed, *cfg);
+            let first = faulted_run(*cfg);
+            let again = faulted_run(parsed);
+            testkit::prop_assert!(first.1 == again.1, "domain stats diverged");
+            testkit::prop_assert!(first.2 == again.2, "fault stats diverged");
+            testkit::prop_assert!(first.0 == again.0, "trace diverged under replay");
+            Ok(())
+        },
+    );
+}
