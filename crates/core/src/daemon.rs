@@ -130,6 +130,15 @@ pub struct DaemonState {
     /// vCPU0, so each orphaned completion consumes one unit before any
     /// post-restart read can complete.
     pub orphaned_reads: u64,
+    /// Set by a crash-restart: the next completed read must reconcile the
+    /// guest's freeze mask against the hypervisor's per-vCPU frozen view,
+    /// because a freeze/unfreeze hypercall issued by the dead incarnation
+    /// may have been lost with it.
+    pub needs_resync: bool,
+    /// Crash-restart resynchronizations performed.
+    pub resyncs: u64,
+    /// Freeze-state mismatches repaired by those resyncs.
+    pub resync_repairs: u64,
 }
 
 impl DaemonState {
@@ -147,6 +156,9 @@ impl DaemonState {
             discarded_reads: 0,
             hotplug_aborts: 0,
             orphaned_reads: 0,
+            needs_resync: false,
+            resyncs: 0,
+            resync_repairs: 0,
         }
     }
 
@@ -167,6 +179,9 @@ impl DaemonState {
         self.grow_streak = 0;
         self.ext_ema = None;
         self.crashes += 1;
+        // The new incarnation cannot trust that the dead one's last
+        // freeze/unfreeze hypercall landed: reconcile on the next read.
+        self.needs_resync = true;
     }
 
     /// Feeds one extendability sample (pCPUs) into the smoother and
@@ -332,6 +347,7 @@ mod tests {
         assert_eq!(d.grow_streak, 0);
         assert_eq!(d.orphaned_reads, 1, "the in-flight read is orphaned");
         assert_eq!(d.crashes, 1);
+        assert!(d.needs_resync, "a restart distrusts the hypervisor view");
         assert_eq!((d.reads, d.reconfigs), (7, 2), "counters survive");
 
         // A crash while idle orphans nothing further.

@@ -25,7 +25,7 @@ use std::fmt::Write as _;
 
 use guest_kernel::kernel::GuestEffect;
 use guest_kernel::thread::IoQueueId;
-use guest_kernel::{GuestKernel, HotplugModel, ThreadId, VcpuId};
+use guest_kernel::{FailSafe, GuestKernel, HotplugModel, HotplugRetry, ThreadId, VcpuId};
 use sim_core::event::{EventHandle, EventQueue};
 use sim_core::fault::{
     ChannelReadFault, DeliveryFault, Diagnostics, FaultConfig, FaultPlan, FaultStats, SimError,
@@ -35,7 +35,7 @@ use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
 use sim_core::trace::TraceRing;
-use xen_sched::channel::{ChannelCosts, VscaleChannel};
+use xen_sched::channel::{ChannelCosts, DoorbellLink, VscaleChannel};
 use xen_sched::credit::{CreditScheduler, SchedEvent};
 use xen_sched::evtchn::{EvtchnTable, PortId, PortKind};
 
@@ -81,6 +81,11 @@ enum Ev {
     /// doorbell was injected away (dropped or delayed), or a spurious
     /// duplicate doorbell rings. Only scheduled by an active fault plan.
     PortRecover { dom: DomId, port: PortId },
+    /// The doorbell ack timeout for sequence `seq` of `port` fired: if the
+    /// sequence is still outstanding, re-ring the doorbell (the retransmit
+    /// itself subject to injection) and advance the backoff ladder. Only
+    /// scheduled by an active fault plan; cancelled eagerly on ack.
+    Retransmit { dom: DomId, port: PortId, seq: u64 },
     /// An aborted hotplug removal unwinds out of `stop_machine`: the
     /// partial stall ends and the target vCPU stays online.
     HotplugAborted { dom: DomId },
@@ -114,6 +119,35 @@ pub struct DomainStats {
     pub discarded_reads: u64,
     /// Hotplug removals that aborted mid-`stop_machine`.
     pub hotplug_aborts: u64,
+    // --- recovery-protocol counters (self-healing layer) ---
+    /// Doorbell retransmit rings issued by the seq/ack protocol.
+    pub retransmits: u64,
+    /// Doorbell sequences resolved by an acknowledged delivery or wake.
+    pub doorbell_acks: u64,
+    /// Spurious doorbell rings (duplicates, late retransmits) suppressed
+    /// idempotently via the pending bit.
+    pub dup_suppressed: u64,
+    /// Doorbell sequences abandoned after the retransmit budget ran out
+    /// (recovery handed to the periodic re-scan).
+    pub retransmit_exhausted: u64,
+    /// Channel re-reads after a detected torn/stale serve.
+    pub read_retries: u64,
+    /// Channel reads that exhausted the retry budget and served the
+    /// last-good snapshot.
+    pub read_fallbacks: u64,
+    /// Crash-restart freeze-mask resynchronizations performed.
+    pub resyncs: u64,
+    /// Freeze-state mismatches repaired by those resyncs.
+    pub resync_repairs: u64,
+    /// Balancer fail-safe trips (daemon heartbeat timeouts that unfroze
+    /// every vCPU).
+    pub failsafe_trips: u64,
+    /// Aborted hotplug removals rescheduled with backoff.
+    pub hotplug_retries: u64,
+    /// Hotplug removal cycles abandoned after the abort budget ran out.
+    pub hotplug_giveups: u64,
+    /// Same-target reschedule IPIs coalesced within one dispatch.
+    pub ipis_coalesced: u64,
 }
 
 struct GuestDomain {
@@ -138,6 +172,16 @@ struct GuestDomain {
     nic_busy_until: SimTime,
     nic_seq: u64,
     exited_threads: u64,
+    /// Seq/ack doorbell state per port (parallel to `port_pending`).
+    doorbells: Vec<DoorbellLink>,
+    /// Pending retransmit-timer handle per port, cancelled eagerly on ack.
+    retx_handles: Vec<Option<EventHandle>>,
+    /// The balancer's heartbeat watchdog on the daemon.
+    failsafe: FailSafe,
+    /// Backoff state for aborted hotplug removals.
+    hotplug_retry: HotplugRetry,
+    /// Same-target reschedule IPIs coalesced within one dispatch.
+    ipis_coalesced: u64,
 }
 
 /// The composed host.
@@ -171,6 +215,10 @@ pub struct Machine {
     run_fx_buf: Vec<GuestEffect>,
     /// Pending event-channel ports collected at vCPU entry.
     ports_buf: Vec<PortId>,
+    /// (domain, target) pairs that already have a reschedule IPI in flight
+    /// from the current dispatch — later same-target sends coalesce onto
+    /// the pending-resched bit instead of raising another event.
+    ipi_buf: Vec<(DomId, VcpuId)>,
     /// Seeded fault plan, if injection is enabled. `None` (the default)
     /// keeps every dispatch path byte-identical to the pre-fault code.
     fault_plan: Option<Box<FaultPlan>>,
@@ -228,6 +276,7 @@ impl Machine {
             fx_buf: Vec::new(),
             run_fx_buf: Vec::new(),
             ports_buf: Vec::new(),
+            ipi_buf: Vec::new(),
             fault_plan: None,
             watchdog: WatchdogConfig::default(),
             fault_error: None,
@@ -252,6 +301,25 @@ impl Machine {
     /// Counters of everything the fault plan injected so far.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.fault_plan.as_deref().map(FaultPlan::stats)
+    }
+
+    /// Test hook modeling a freeze/unfreeze hypercall lost by a crashed
+    /// daemon incarnation: flips the hypervisor's frozen view of one vCPU
+    /// away from the guest's freeze mask. The next post-crash resync must
+    /// detect and repair the divergence.
+    pub fn desync_frozen(&mut self, dom: DomId, vcpu: VcpuId) {
+        let guest_frozen = self.guests[dom.index()]
+            .kernel
+            .freeze_mask()
+            .is_frozen(vcpu);
+        self.hv
+            .set_frozen(GlobalVcpu::new(dom, vcpu), !guest_frozen);
+    }
+
+    /// The hypervisor's frozen view of one vCPU — lets tests check that
+    /// recovery re-established guest/hypervisor freeze-state agreement.
+    pub fn hv_frozen(&self, dom: DomId, vcpu: VcpuId) -> bool {
+        self.hv.is_frozen(GlobalVcpu::new(dom, vcpu))
     }
 
     /// Overrides the watchdog bounds used by [`Machine::try_run_until`] /
@@ -311,6 +379,11 @@ impl Machine {
             nic_busy_until: SimTime::ZERO,
             nic_seq: 0,
             exited_threads: 0,
+            doorbells: Vec::new(),
+            retx_handles: Vec::new(),
+            failsafe: FailSafe::new(self.config.recovery.heartbeat_ticks),
+            hotplug_retry: HotplugRetry::default(),
+            ipis_coalesced: 0,
         });
         self.plan_handles.push(vec![None; n_vcpus]);
         if daemon_active {
@@ -348,6 +421,8 @@ impl Machine {
         let port = g.evtchn.alloc(dom, vcpu, PortKind::Io);
         debug_assert_eq!(port.0, g.port_pending.len());
         g.port_pending.push((q, 0));
+        g.doorbells.push(DoorbellLink::default());
+        g.retx_handles.push(None);
         port
     }
 
@@ -377,6 +452,16 @@ impl Machine {
     pub fn domain_stats(&self, dom: DomId) -> DomainStats {
         let g = &self.guests[dom.index()];
         let n = g.kernel.n_vcpus();
+        let mut doorbell = xen_sched::channel::DoorbellStats::default();
+        for link in &g.doorbells {
+            let s = link.stats();
+            doorbell.sent += s.sent;
+            doorbell.acked += s.acked;
+            doorbell.retransmits += s.retransmits;
+            doorbell.suppressed += s.suppressed;
+            doorbell.exhausted += s.exhausted;
+        }
+        let rec = g.channel.recovery_stats();
         DomainStats {
             wait_total: self.hv.domain_wait_total(dom),
             run_total: self.hv.domain_run_total(dom),
@@ -387,6 +472,18 @@ impl Machine {
             daemon_crashes: g.daemon.crashes,
             discarded_reads: g.daemon.discarded_reads,
             hotplug_aborts: g.daemon.hotplug_aborts,
+            retransmits: doorbell.retransmits,
+            doorbell_acks: doorbell.acked,
+            dup_suppressed: doorbell.suppressed,
+            retransmit_exhausted: doorbell.exhausted,
+            read_retries: rec.retries,
+            read_fallbacks: rec.fallbacks,
+            resyncs: g.daemon.resyncs,
+            resync_repairs: g.daemon.resync_repairs,
+            failsafe_trips: g.failsafe.trips(),
+            hotplug_retries: g.hotplug_retry.retries(),
+            hotplug_giveups: g.hotplug_retry.giveups(),
+            ipis_coalesced: g.ipis_coalesced,
         }
     }
 
@@ -579,8 +676,11 @@ impl Machine {
         for (i, g) in self.guests.iter().enumerate() {
             if g.kernel.n_threads() > 0 && !g.kernel.all_exited() {
                 let dom = DomId(i);
-                let any_running = (0..g.kernel.n_vcpus())
-                    .any(|v| self.hv.where_running(GlobalVcpu::new(dom, VcpuId(v))).is_some());
+                let any_running = (0..g.kernel.n_vcpus()).any(|v| {
+                    self.hv
+                        .where_running(GlobalVcpu::new(dom, VcpuId(v)))
+                        .is_some()
+                });
                 // Running vCPUs that retire nothing point at the guest
                 // scheduler; parked-but-owed vCPUs point at the hypervisor
                 // or at external input that never arrives.
@@ -720,7 +820,8 @@ impl Machine {
                     // period: soft state (EMA, streaks, in-flight read) is
                     // lost, lifetime counters survive, the timer re-arms.
                     if self.trace.is_enabled() {
-                        self.trace.push(now, "daemon", format!("crash-restart {dom}"));
+                        self.trace
+                            .push(now, "daemon", format!("crash-restart {dom}"));
                     }
                     self.guests[dom.index()].daemon.crash_restart();
                     let period = self.guests[dom.index()].daemon.config.period;
@@ -728,6 +829,9 @@ impl Machine {
                 } else {
                     self.daemon_timer(dom, now);
                 }
+                // The balancer's heartbeat watchdog counts every period;
+                // a completed read rearms it (see daemon_work_done).
+                self.failsafe_tick(dom, now);
             }
             Ev::IoArrival { dom, port, items } => {
                 self.io_arrival(dom, port, items, now);
@@ -740,6 +844,7 @@ impl Machine {
                 self.guests[dom.index()]
                     .kernel
                     .set_online(vcpu, online, now, &mut fx);
+                self.guests[dom.index()].hotplug_retry.on_success();
                 self.guests[dom.index()].daemon.reconfigs += 1;
                 self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
                 let active = self.guests[dom.index()].kernel.active_vcpus();
@@ -750,28 +855,33 @@ impl Machine {
             Ev::PortRecover { dom, port } => {
                 // A delayed doorbell rings, or the periodic re-scan notices
                 // a pending bit whose doorbell was dropped. Spurious when
-                // the port was delivered in the meantime: a no-op then.
+                // the port was delivered in the meantime: the pending bit
+                // detects the replay and the ring is suppressed — the
+                // idempotence half of the seq/ack protocol.
                 if !self.guests[dom.index()].evtchn.port(port).pending {
+                    if let Some(link) = self.guests[dom.index()].doorbells.get_mut(port.0) {
+                        link.note_suppressed();
+                    }
                     return;
                 }
-                let bound = self.guests[dom.index()].evtchn.port(port).bound_vcpu;
-                let gv = GlobalVcpu::new(dom, bound);
-                if self.hv.where_running(gv).is_some() {
-                    let mut fx = std::mem::take(&mut self.fx_buf);
-                    self.deliver_port(dom, port, now, &mut fx);
-                    self.route(dom, &mut fx, now);
-                    self.fx_buf = fx;
-                    self.replan(dom, bound, now);
-                } else {
-                    self.hv_and_drain(now, |hv, ev| hv.vcpu_wake(gv, now, ev));
-                }
+                self.deliver_or_wake(dom, port, now);
+            }
+            Ev::Retransmit { dom, port, seq } => {
+                self.retransmit(dom, port, seq, now);
             }
             Ev::HotplugAborted { dom } => {
                 // stop_machine unwound partway: the partial stall has been
                 // paid, the target stays online, there is no local tail.
                 if self.trace.is_enabled() {
-                    self.trace.push(now, "daemon", format!("hotplug abort {dom}"));
+                    self.trace
+                        .push(now, "daemon", format!("hotplug abort {dom}"));
                 }
+                // Arm the capped exponential hold before the next removal
+                // attempt, dated from the unwind (stalls vary in length).
+                let policy = self.config.recovery.hotplug_retry;
+                self.guests[dom.index()]
+                    .hotplug_retry
+                    .on_abort(now, &policy);
                 self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
                 for v in 0..self.guests[dom.index()].kernel.n_vcpus() {
                     self.replan(dom, VcpuId(v), now);
@@ -794,13 +904,25 @@ impl Machine {
             return;
         }
         let n_guests = self.guests.len() as u64;
-        let di = self.fault_plan.as_mut().expect("plan present").pick(n_guests) as usize;
+        let di = self
+            .fault_plan
+            .as_mut()
+            .expect("plan present")
+            .pick(n_guests) as usize;
         let n_vcpus = self.guests[di].kernel.n_vcpus() as u64;
-        let vi = self.fault_plan.as_mut().expect("plan present").pick(n_vcpus) as usize;
+        let vi = self
+            .fault_plan
+            .as_mut()
+            .expect("plan present")
+            .pick(n_vcpus) as usize;
         let dom = DomId(di);
         let victim = VcpuId(vi);
         self.guests[di].kernel.push_kwork(victim, now, len, None);
-        if self.hv.where_running(GlobalVcpu::new(dom, victim)).is_some() {
+        if self
+            .hv
+            .where_running(GlobalVcpu::new(dom, victim))
+            .is_some()
+        {
             self.replan(dom, victim, now);
         }
         // A parked victim pays the spike when it next gets a pCPU; stolen
@@ -851,6 +973,9 @@ impl Machine {
     /// `ops` returns to [`Machine::ops_buf`] (empty) when the loop ends.
     fn drain(&mut self, mut ops: VecDeque<Op>, now: SimTime) {
         let mut dirty = std::mem::take(&mut self.dirty_buf);
+        // Targets already sent a reschedule IPI within this dispatch:
+        // further IPIs to them coalesce onto the pending-resched bit.
+        let mut ipi_seen = std::mem::take(&mut self.ipi_buf);
         let mut guard = 0u64;
         while let Some(op) = ops.pop_front() {
             guard += 1;
@@ -860,9 +985,11 @@ impl Machine {
                 // surface (or panic with) and abandon the storm.
                 ops.clear();
                 if self.fault_error.is_none() {
-                    self.fault_error = Some(
-                        self.build_error(SimErrorKind::RoutingStorm { ops: guard }, "core::machine"),
-                    );
+                    self.fault_error =
+                        Some(self.build_error(
+                            SimErrorKind::RoutingStorm { ops: guard },
+                            "core::machine",
+                        ));
                 }
                 break;
             }
@@ -903,12 +1030,16 @@ impl Machine {
                     dirty.push((vcpu.dom, vcpu.vcpu));
                 }
                 Op::Sched(SchedEvent::Idle { .. }) => {}
-                Op::Guest(dom, e) => self.guest_effect(dom, e, now, &mut ops, &mut dirty),
+                Op::Guest(dom, e) => {
+                    self.guest_effect(dom, e, now, &mut ops, &mut dirty, &mut ipi_seen);
+                }
             }
         }
         for (dom, vcpu) in dirty.drain(..) {
             self.replan(dom, vcpu, now);
         }
+        ipi_seen.clear();
+        self.ipi_buf = ipi_seen;
         self.dirty_buf = dirty;
         self.ops_buf = ops;
     }
@@ -920,22 +1051,38 @@ impl Machine {
         now: SimTime,
         ops: &mut VecDeque<Op>,
         dirty: &mut Vec<(DomId, VcpuId)>,
+        ipi_seen: &mut Vec<(DomId, VcpuId)>,
     ) {
         match e {
             GuestEffect::VcpuIdle(v) => {
                 if self.guests[dom.index()].kernel.wants_block(v) {
-                    self.hv_into_ops(ops, |hv, ev| hv.vcpu_block(GlobalVcpu::new(dom, v), now, ev));
+                    self.hv_into_ops(ops, |hv, ev| {
+                        hv.vcpu_block(GlobalVcpu::new(dom, v), now, ev)
+                    });
                 } else {
                     dirty.push((dom, v));
                 }
             }
             GuestEffect::VcpuPvBlock(v) => {
-                self.hv_into_ops(ops, |hv, ev| hv.vcpu_block(GlobalVcpu::new(dom, v), now, ev));
+                self.hv_into_ops(ops, |hv, ev| {
+                    hv.vcpu_block(GlobalVcpu::new(dom, v), now, ev)
+                });
             }
             GuestEffect::SendResched { from, to } => {
                 dirty.push((dom, from));
                 let gv = GlobalVcpu::new(dom, to);
                 if self.hv.where_running(gv).is_some() {
+                    if ipi_seen.contains(&(dom, to)) {
+                        // An IPI to this target is already in flight from
+                        // this same dispatch: coalesce onto the
+                        // pending-resched bit, which the in-flight IPI's
+                        // handler (or the slice end) will act on. No new
+                        // doorbell edge, so no fault draw either.
+                        self.guests[dom.index()].kernel.pend_resched(to);
+                        self.guests[dom.index()].ipis_coalesced += 1;
+                        return;
+                    }
+                    ipi_seen.push((dom, to));
                     let base = now + self.config.ipi_latency;
                     let fault = self
                         .fault_plan
@@ -1055,20 +1202,30 @@ impl Machine {
         match fault {
             DeliveryFault::Drop => {
                 // The doorbell is lost; the pending bit and the payload
-                // survive. The guest's periodic re-scan (or an earlier
-                // vcpu_start / follow-up arrival) recovers the port within
-                // `notify_recovery` — the staleness bound for drops.
-                let recovery = self
-                    .fault_plan
-                    .as_ref()
-                    .expect("drop implies plan")
-                    .config()
-                    .notify_recovery;
-                self.queue
-                    .schedule(now + recovery, Ev::PortRecover { dom, port });
+                // survive. The sender cannot confirm the edge: open a
+                // sequence and arm the retransmit timer. Should the whole
+                // backoff ladder be lost too, the guest's periodic re-scan
+                // remains the delivery bound of last resort.
+                let seq = self.guests[dom.index()].doorbells[port.0].open();
+                let rto = self.config.recovery.retransmit.timeout(0);
+                let h = self
+                    .queue
+                    .schedule(now + rto, Ev::Retransmit { dom, port, seq });
+                self.guests[dom.index()].retx_handles[port.0] = Some(h);
             }
             DeliveryFault::Delay(d) => {
+                // The doorbell is late: the ring lands at `now + d`, but
+                // the sender sees no timely ack, so the seq/ack machinery
+                // arms exactly as for a drop. Whichever of the late ring or
+                // a retransmit lands first delivers and acks; the loser is
+                // suppressed by the pending bit.
+                let seq = self.guests[dom.index()].doorbells[port.0].open();
                 self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+                let rto = self.config.recovery.retransmit.timeout(0);
+                let h = self
+                    .queue
+                    .schedule(now + rto, Ev::Retransmit { dom, port, seq });
+                self.guests[dom.index()].retx_handles[port.0] = Some(h);
             }
             DeliveryFault::Deliver | DeliveryFault::Duplicate(_) => {
                 if let DeliveryFault::Duplicate(d) = fault {
@@ -1094,10 +1251,24 @@ impl Machine {
 
     /// Delivers one pending port to its bound vCPU (which holds a pCPU).
     fn deliver_port(&mut self, dom: DomId, port: PortId, now: SimTime, fx: &mut Vec<GuestEffect>) {
-        let g = &mut self.guests[dom.index()];
-        if !g.evtchn.deliver(port) {
+        let di = dom.index();
+        if !self.guests[di].evtchn.deliver(port) {
             return;
         }
+        // Any successful delivery — retransmitted, re-scanned, or a natural
+        // vcpu_start sweep — acknowledges the outstanding doorbell sequence
+        // and disarms its retransmit timer.
+        if let Some(h) = self.guests[di]
+            .retx_handles
+            .get_mut(port.0)
+            .and_then(Option::take)
+        {
+            self.queue.cancel(h);
+        }
+        if let Some(link) = self.guests[di].doorbells.get_mut(port.0) {
+            link.ack_outstanding();
+        }
+        let g = &mut self.guests[di];
         let vcpu = g.evtchn.port(port).bound_vcpu;
         let (q, items) = {
             let entry = &mut g.port_pending[port.0];
@@ -1112,6 +1283,85 @@ impl Machine {
             g.io_deliveries.push(now);
         }
         g.kernel.deliver_io_irq(vcpu, q, items, now, fx);
+    }
+
+    /// Delivers a pending port right away when its bound vCPU holds a
+    /// pCPU, otherwise wakes the vCPU through the hypervisor (delivery
+    /// then happens at its `vcpu_start` pending-port sweep).
+    fn deliver_or_wake(&mut self, dom: DomId, port: PortId, now: SimTime) {
+        let bound = self.guests[dom.index()].evtchn.port(port).bound_vcpu;
+        let gv = GlobalVcpu::new(dom, bound);
+        if self.hv.where_running(gv).is_some() {
+            let mut fx = std::mem::take(&mut self.fx_buf);
+            self.deliver_port(dom, port, now, &mut fx);
+            self.route(dom, &mut fx, now);
+            self.fx_buf = fx;
+            self.replan(dom, bound, now);
+        } else {
+            self.hv_and_drain(now, |hv, ev| hv.vcpu_wake(gv, now, ev));
+        }
+    }
+
+    /// A doorbell ack timeout fired: re-ring the doorbell for `seq` if it
+    /// is still outstanding, drawing a fresh injected outcome for the
+    /// retransmitted ring, and advance the capped exponential backoff.
+    /// Once the attempt budget is spent, recovery falls back to the
+    /// receiver's periodic re-scan — the delivery bound of last resort.
+    fn retransmit(&mut self, dom: DomId, port: PortId, seq: u64, now: SimTime) {
+        let di = dom.index();
+        self.guests[di].retx_handles[port.0] = None;
+        if !self.guests[di].doorbells[port.0].is_outstanding(seq) {
+            return; // Acked while the timer was in flight.
+        }
+        if !self.guests[di].evtchn.port(port).pending {
+            // Delivered through a path that raced the ack bookkeeping;
+            // nothing left to re-ring.
+            self.guests[di].doorbells[port.0].ack_outstanding();
+            return;
+        }
+        self.guests[di].doorbells[port.0].note_retransmit();
+        let fault = self
+            .fault_plan
+            .as_mut()
+            .map_or(DeliveryFault::Deliver, |f| f.on_notify());
+        match fault {
+            DeliveryFault::Drop | DeliveryFault::Delay(_) => {
+                if let DeliveryFault::Delay(d) = fault {
+                    // The re-rung doorbell arrives, just late.
+                    self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+                }
+                let policy = self.config.recovery.retransmit;
+                match self.guests[di].doorbells[port.0].backoff(seq, &policy) {
+                    Some(delay) => {
+                        let h = self
+                            .queue
+                            .schedule(now + delay, Ev::Retransmit { dom, port, seq });
+                        self.guests[di].retx_handles[port.0] = Some(h);
+                    }
+                    None => {
+                        // Budget exhausted. The pending bit still holds the
+                        // truth: hand over to the periodic re-scan.
+                        let recovery = self
+                            .fault_plan
+                            .as_ref()
+                            .expect("a drawn fault implies a plan")
+                            .config()
+                            .notify_recovery;
+                        self.queue
+                            .schedule(now + recovery, Ev::PortRecover { dom, port });
+                    }
+                }
+            }
+            DeliveryFault::Deliver | DeliveryFault::Duplicate(_) => {
+                if let DeliveryFault::Duplicate(d) = fault {
+                    // The spurious second ring: a PortRecover that finds
+                    // nothing pending and is suppressed.
+                    self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+                }
+                self.guests[di].doorbells[port.0].ack_outstanding();
+                self.deliver_or_wake(dom, port, now);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1146,6 +1396,74 @@ impl Machine {
         }
     }
 
+    /// One daemon period elapsed for `dom`'s heartbeat watchdog. On a
+    /// trip — `heartbeat_ticks` periods without a completed update — the
+    /// balancer unfreezes every vCPU: the guest degrades to the unscaled
+    /// SMP baseline rather than honoring a mask nobody is maintaining.
+    fn failsafe_tick(&mut self, dom: DomId, now: SimTime) {
+        let g = &mut self.guests[dom.index()];
+        // Only mask-scaling modes honor the freeze mask; hotplug guests
+        // size via online/offline and Fixed guests never freeze.
+        if g.hotplug.is_some() || matches!(g.scaling, ScalingMode::Fixed) {
+            return;
+        }
+        if !g.failsafe.tick() {
+            return;
+        }
+        if self.trace.is_enabled() {
+            self.trace
+                .push(now, "guest", format!("failsafe unfreeze-all {dom}"));
+        }
+        let n = self.guests[dom.index()].kernel.n_vcpus();
+        let mut fx = std::mem::take(&mut self.fx_buf);
+        for v in 1..n {
+            let vcpu = VcpuId(v);
+            if self.guests[dom.index()]
+                .kernel
+                .freeze_mask()
+                .is_frozen(vcpu)
+            {
+                self.guests[dom.index()]
+                    .kernel
+                    .unfreeze_vcpu(vcpu, now, &mut fx);
+            }
+        }
+        // The trip also clears a wedged phase so the next period's read
+        // can decide again once the daemon recovers.
+        self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
+        self.route(dom, &mut fx, now);
+        self.fx_buf = fx;
+        let active = self.guests[dom.index()].kernel.active_vcpus();
+        self.guests[dom.index()].active_trace.push((now, active));
+    }
+
+    /// Post-crash reconciliation: the restarted daemon walks every vCPU
+    /// and repairs any divergence between the guest's freeze mask (the
+    /// guest-side source of truth) and the hypervisor's frozen view — a
+    /// freeze/unfreeze hypercall issued by the dead incarnation may never
+    /// have landed.
+    fn resync_freeze_mask(&mut self, dom: DomId, now: SimTime) {
+        self.guests[dom.index()].daemon.needs_resync = false;
+        self.guests[dom.index()].daemon.resyncs += 1;
+        let n = self.guests[dom.index()].kernel.n_vcpus();
+        for v in 0..n {
+            let vcpu = VcpuId(v);
+            let gv = GlobalVcpu::new(dom, vcpu);
+            let guest_frozen = self.guests[dom.index()]
+                .kernel
+                .freeze_mask()
+                .is_frozen(vcpu);
+            if self.hv.is_frozen(gv) != guest_frozen {
+                if self.trace.is_enabled() {
+                    self.trace
+                        .push(now, "daemon", format!("resync repair {dom}.{vcpu}"));
+                }
+                self.hv.set_frozen(gv, guest_frozen);
+                self.guests[dom.index()].daemon.resync_repairs += 1;
+            }
+        }
+    }
+
     fn daemon_work_done(
         &mut self,
         dom: DomId,
@@ -1166,24 +1484,45 @@ impl Machine {
                 g.daemon.discarded_reads += 1;
                 return;
             }
-            let fault = self
-                .fault_plan
-                .as_mut()
-                .map_or(ChannelReadFault::Fresh, |f| f.on_channel_read());
+            // The reliable read loops over injected serve outcomes: a torn
+            // or stale serve is detected (snapshot validation / seqlock
+            // version check) and retried up to the budget, after which the
+            // last-good snapshot is served instead of the period being
+            // discarded outright.
+            let budget = self.config.recovery.read_retry_budget;
+            let plan = &mut self.fault_plan;
             let g = &mut self.guests[dom.index()];
             g.daemon.reads += 1;
-            // The read cost was already charged as kwork at queue time;
-            // the channel only decides which snapshot is served.
-            let (info, _) = g
-                .channel
-                .read_faulted(&self.hv, dom, &ChannelCosts::default(), fault);
-            if info.validate().is_err() {
-                // A torn snapshot: the defensive daemon discards it and
-                // retries at the next period rather than acting on
-                // inconsistent fields.
+            // The base read cost was charged as kwork at queue time; the
+            // channel only decides which snapshot is served.
+            let rr =
+                g.channel
+                    .read_reliable(&self.hv, dom, &ChannelCosts::default(), budget, || {
+                        plan.as_mut()
+                            .map_or(ChannelReadFault::Fresh, |f| f.on_channel_read())
+                    });
+            if rr.retries > 0 {
+                // Each extra attempt re-issues the read syscall+hypercall:
+                // charge it, so retries show up as daemon overhead.
+                let extra = SimDuration::from_ns(
+                    ChannelCosts::default().total().as_ns() * u64::from(rr.retries),
+                );
+                g.kernel.push_kwork(VcpuId(0), now, extra, None);
+                dirty.push((dom, VcpuId(0)));
+            }
+            let Some(info) = rr.info else {
+                // Retry budget exhausted before any snapshot was ever
+                // accepted (a torn maiden read): discard the period rather
+                // than acting on inconsistent fields.
                 g.daemon.discarded_reads += 1;
                 g.daemon.phase = DaemonPhase::Idle;
                 return;
+            };
+            // A completed update — validated fresh or last-good fallback —
+            // proves the daemon alive: rearm the balancer's fail-safe.
+            g.failsafe.record_update();
+            if g.daemon.needs_resync {
+                self.resync_freeze_mask(dom, now);
             }
             let kernel = &self.guests[dom.index()].kernel;
             let active = kernel.active_vcpus();
@@ -1291,6 +1630,13 @@ impl Machine {
             return; // The master vCPU stays.
         }
         if let Some(hp) = g.hotplug.clone() {
+            if !g.hotplug_retry.allows(now) {
+                // Backing off after an aborted removal: skip this period
+                // and let the monitoring loop re-decide once the hold
+                // expires.
+                g.daemon.phase = DaemonPhase::Idle;
+                return;
+            }
             // Hotplug remove: stop_machine stalls the whole guest for a
             // chunk of the latency, then the vCPU goes offline.
             let latency = hp.sample_remove(&mut self.rng);

@@ -157,9 +157,97 @@ impl FreezeMask {
     }
 }
 
+/// The balancer's fail-safe heartbeat watchdog on the vScale daemon.
+///
+/// The freeze mask is only safe to honor while the daemon keeps it fresh:
+/// a dead or wedged daemon would leave vCPUs frozen forever against a
+/// workload that now needs them. The kernel therefore counts daemon
+/// periods with no valid update ([`FailSafe::tick`]) and, after
+/// `timeout_ticks` silent periods, trips — the caller then unfreezes every
+/// vCPU, degrading gracefully to the paper's unscaled-SMP baseline rather
+/// than running with a stale mask. A valid update
+/// ([`FailSafe::record_update`]) rearms the watchdog.
+#[derive(Clone, Debug)]
+pub struct FailSafe {
+    timeout_ticks: u32,
+    silent_ticks: u32,
+    trips: u64,
+}
+
+impl FailSafe {
+    /// Creates a watchdog that trips after `timeout_ticks` consecutive
+    /// daemon periods without a valid update. `0` disables it.
+    pub fn new(timeout_ticks: u32) -> Self {
+        FailSafe {
+            timeout_ticks,
+            silent_ticks: 0,
+            trips: 0,
+        }
+    }
+
+    /// A valid daemon update arrived: rearm.
+    pub fn record_update(&mut self) {
+        self.silent_ticks = 0;
+    }
+
+    /// One daemon period elapsed. Returns `true` when the silence just
+    /// crossed the timeout — the caller must unfreeze all vCPUs. The
+    /// counter resets on a trip, so a permanently dead daemon trips once
+    /// per timeout window (each trip is idempotent: unfreezing an
+    /// unfrozen mask is a no-op).
+    pub fn tick(&mut self) -> bool {
+        if self.timeout_ticks == 0 {
+            return false;
+        }
+        self.silent_ticks += 1;
+        if self.silent_ticks >= self.timeout_ticks {
+            self.silent_ticks = 0;
+            self.trips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consecutive silent periods so far.
+    pub fn silent_ticks(&self) -> u32 {
+        self.silent_ticks
+    }
+
+    /// Times the fail-safe has tripped.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn failsafe_trips_after_silent_periods_and_rearms_on_update() {
+        let mut fs = FailSafe::new(3);
+        assert!(!fs.tick());
+        assert!(!fs.tick());
+        fs.record_update();
+        assert_eq!(fs.silent_ticks(), 0, "a valid update rearms");
+        assert!(!fs.tick());
+        assert!(!fs.tick());
+        assert!(fs.tick(), "third silent period trips");
+        assert_eq!(fs.trips(), 1);
+        assert_eq!(fs.silent_ticks(), 0, "trip resets the counter");
+        // A permanently dead daemon trips once per window, idempotently.
+        assert!(!fs.tick());
+        assert!(!fs.tick());
+        assert!(fs.tick());
+        assert_eq!(fs.trips(), 2);
+        // Zero timeout disables the watchdog entirely.
+        let mut off = FailSafe::new(0);
+        for _ in 0..100 {
+            assert!(!off.tick());
+        }
+        assert_eq!(off.trips(), 0);
+    }
 
     #[test]
     fn freeze_and_unfreeze_toggle_bits() {

@@ -14,7 +14,7 @@
 //! disruption that makes hotplug unusable for real-time scaling.
 
 use sim_core::rng::SimRng;
-use sim_core::time::SimDuration;
+use sim_core::time::{SimDuration, SimTime};
 
 /// The kernel versions the paper measured (Figure 5).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -120,9 +120,161 @@ impl HotplugModel {
     }
 }
 
+/// Backoff parameters for retrying aborted hotplug removals.
+#[derive(Clone, Copy, Debug)]
+pub struct HotplugRetryPolicy {
+    /// Hold-off after the first abort; doubles per consecutive abort.
+    pub base: SimDuration,
+    /// Ceiling of the exponential hold-off.
+    pub cap: SimDuration,
+    /// Consecutive aborts tolerated before the daemon gives up on the
+    /// removal for a long cool-down (4 × `cap`).
+    pub budget: u32,
+}
+
+impl Default for HotplugRetryPolicy {
+    fn default() -> Self {
+        HotplugRetryPolicy {
+            base: SimDuration::from_ms(20),
+            cap: SimDuration::from_ms(160),
+            budget: 5,
+        }
+    }
+}
+
+impl HotplugRetryPolicy {
+    /// Hold-off after consecutive abort number `aborts` (1-based):
+    /// `base << (aborts - 1)`, capped.
+    pub fn hold(&self, aborts: u32) -> SimDuration {
+        let shift = aborts.saturating_sub(1).min(31);
+        SimDuration::from_ns((self.base.as_ns() << shift).min(self.cap.as_ns()))
+    }
+
+    /// The cool-down after the abort budget is exhausted.
+    pub fn cooldown(&self) -> SimDuration {
+        SimDuration::from_ns(self.cap.as_ns() * 4)
+    }
+}
+
+/// Per-domain retry state for aborted hotplug removals.
+///
+/// `stop_machine` aborts roll back cleanly (the partial stall is paid, the
+/// vCPU stays online), but immediately re-attempting a removal that a
+/// notifier just vetoed wastes whole-guest stalls. The daemon therefore
+/// backs off exponentially between attempts and, after
+/// [`HotplugRetryPolicy::budget`] consecutive aborts, gives the removal up
+/// for a long cool-down before starting a fresh cycle.
+#[derive(Clone, Debug)]
+pub struct HotplugRetry {
+    consecutive_aborts: u32,
+    hold_until: SimTime,
+    retries: u64,
+    giveups: u64,
+}
+
+impl Default for HotplugRetry {
+    fn default() -> Self {
+        HotplugRetry {
+            consecutive_aborts: 0,
+            hold_until: SimTime::ZERO,
+            retries: 0,
+            giveups: 0,
+        }
+    }
+}
+
+impl HotplugRetry {
+    /// Whether a removal attempt is allowed at `now` (outside any
+    /// hold-off window).
+    pub fn allows(&self, now: SimTime) -> bool {
+        now >= self.hold_until
+    }
+
+    /// Records an aborted removal at `now` and arms the next hold-off.
+    /// Returns the hold-off applied.
+    pub fn on_abort(&mut self, now: SimTime, policy: &HotplugRetryPolicy) -> SimDuration {
+        self.consecutive_aborts += 1;
+        let hold = if self.consecutive_aborts > policy.budget {
+            // Budget exhausted: long cool-down, then a fresh cycle.
+            self.giveups += 1;
+            self.consecutive_aborts = 0;
+            policy.cooldown()
+        } else {
+            self.retries += 1;
+            policy.hold(self.consecutive_aborts)
+        };
+        self.hold_until = now + hold;
+        hold
+    }
+
+    /// A removal (or addition) completed: the abort streak ends.
+    pub fn on_success(&mut self) {
+        self.consecutive_aborts = 0;
+        self.hold_until = SimTime::ZERO;
+    }
+
+    /// Retry attempts scheduled after aborts.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Removal cycles abandoned after the budget ran out.
+    pub fn giveups(&self) -> u64 {
+        self.giveups
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn retry_backoff_doubles_caps_and_gives_up() {
+        let p = HotplugRetryPolicy::default();
+        let mut r = HotplugRetry::default();
+        let t0 = SimTime::ZERO;
+        assert!(r.allows(t0));
+        assert_eq!(r.on_abort(t0, &p), SimDuration::from_ms(20));
+        assert!(!r.allows(SimTime::from_ms(10)));
+        assert!(r.allows(SimTime::from_ms(20)));
+        assert_eq!(
+            r.on_abort(SimTime::from_ms(20), &p),
+            SimDuration::from_ms(40)
+        );
+        assert_eq!(
+            r.on_abort(SimTime::from_ms(60), &p),
+            SimDuration::from_ms(80)
+        );
+        assert_eq!(
+            r.on_abort(SimTime::from_ms(140), &p),
+            SimDuration::from_ms(160)
+        );
+        assert_eq!(
+            r.on_abort(SimTime::from_ms(300), &p),
+            SimDuration::from_ms(160),
+            "capped"
+        );
+        assert_eq!(r.retries(), 5);
+        // The sixth consecutive abort exhausts the budget (5): a long
+        // cool-down, then a fresh cycle starting at the base hold-off.
+        assert_eq!(
+            r.on_abort(SimTime::from_ms(460), &p),
+            SimDuration::from_ms(640)
+        );
+        assert_eq!(r.giveups(), 1);
+        assert_eq!(
+            r.on_abort(SimTime::from_ms(1100), &p),
+            SimDuration::from_ms(20),
+            "fresh cycle"
+        );
+        // A success ends the streak and clears the hold-off.
+        r.on_success();
+        assert!(r.allows(SimTime::from_ms(1101)));
+        assert_eq!(
+            r.on_abort(SimTime::from_ms(1101), &p),
+            SimDuration::from_ms(20)
+        );
+    }
 
     #[test]
     fn labels_match_paper_legend() {

@@ -1527,12 +1527,7 @@ impl GuestKernel {
     /// Panics on an invalid target (vCPU0 or out of range); paths fed by
     /// externally-derived targets use
     /// [`try_freeze_vcpu`](Self::try_freeze_vcpu) instead.
-    pub fn freeze_vcpu(
-        &mut self,
-        target: VcpuId,
-        now: SimTime,
-        fx: &mut Vec<GuestEffect>,
-    ) -> bool {
+    pub fn freeze_vcpu(&mut self, target: VcpuId, now: SimTime, fx: &mut Vec<GuestEffect>) -> bool {
         match self.try_freeze_vcpu(target, now, fx) {
             Ok(changed) => changed,
             Err(e) => panic!("freeze of vCPU{}: {e}", target.index()),

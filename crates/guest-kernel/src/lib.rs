@@ -27,9 +27,9 @@ pub mod runqueue;
 pub mod sync;
 pub mod thread;
 
-pub use balancer::FreezeMask;
+pub use balancer::{FailSafe, FreezeMask};
 pub use costs::GuestCosts;
-pub use hotplug::{HotplugModel, KernelVersion};
+pub use hotplug::{HotplugModel, HotplugRetry, HotplugRetryPolicy, KernelVersion};
 pub use kernel::{GuestConfig, GuestEffect, GuestKernel, GuestStats, TState};
 pub use klock::KlockPolicy;
 pub use sim_core::ids::{ThreadId, VcpuId};

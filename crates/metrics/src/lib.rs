@@ -7,5 +7,7 @@
 
 pub mod paper;
 pub mod report;
+pub mod resilience;
 
 pub use report::{Series, Table};
+pub use resilience::{RecoveryCounters, ResilienceCurve, ResiliencePoint};

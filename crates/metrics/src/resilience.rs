@@ -1,0 +1,291 @@
+//! Resilience-curve records: degradation vs injected fault rate.
+//!
+//! The resilience bench sweeps a fault-rate knob over a fixed workload
+//! and, per rate, records mean completion time, its deviation from the
+//! fault-free golden run, and the recovery-protocol counters that kept
+//! the run alive. This module holds the shared record types and the
+//! curve-shape checks (`scripts/verify.sh` gates on them), all in
+//! integer arithmetic so the emitted JSON is bit-stable across
+//! platforms and thread counts.
+
+/// Counters of every recovery protocol, summed over a sweep's seeds.
+///
+/// Mirrors the recovery section of the core crate's `DomainStats`
+/// (metrics stays below core in the dependency order, so the bench maps
+/// the fields over explicitly).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Doorbell retransmit rings issued by the seq/ack protocol.
+    pub retransmits: u64,
+    /// Doorbell sequences resolved by an acknowledged delivery.
+    pub doorbell_acks: u64,
+    /// Spurious doorbell rings suppressed idempotently.
+    pub dup_suppressed: u64,
+    /// Retransmit ladders that ran out of budget (re-scan took over).
+    pub retransmit_exhausted: u64,
+    /// Channel re-reads after a detected torn/stale serve.
+    pub read_retries: u64,
+    /// Channel reads served from the last-good snapshot.
+    pub read_fallbacks: u64,
+    /// Crash-restart freeze-mask resynchronizations.
+    pub resyncs: u64,
+    /// Freeze-state mismatches repaired by resyncs.
+    pub resync_repairs: u64,
+    /// Balancer fail-safe heartbeat trips.
+    pub failsafe_trips: u64,
+    /// Aborted hotplug removals rescheduled with backoff.
+    pub hotplug_retries: u64,
+    /// Hotplug removal cycles abandoned after the abort budget.
+    pub hotplug_giveups: u64,
+    /// Same-target reschedule IPIs coalesced within one dispatch.
+    pub ipis_coalesced: u64,
+}
+
+impl RecoveryCounters {
+    /// Element-wise accumulation (summing a sweep's seeds).
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.retransmits += other.retransmits;
+        self.doorbell_acks += other.doorbell_acks;
+        self.dup_suppressed += other.dup_suppressed;
+        self.retransmit_exhausted += other.retransmit_exhausted;
+        self.read_retries += other.read_retries;
+        self.read_fallbacks += other.read_fallbacks;
+        self.resyncs += other.resyncs;
+        self.resync_repairs += other.resync_repairs;
+        self.failsafe_trips += other.failsafe_trips;
+        self.hotplug_retries += other.hotplug_retries;
+        self.hotplug_giveups += other.hotplug_giveups;
+        self.ipis_coalesced += other.ipis_coalesced;
+    }
+
+    /// Sum of every recovery action (the "did recovery run at all"
+    /// scalar the verify gate checks at nonzero rates).
+    pub fn total(&self) -> u64 {
+        self.retransmits
+            + self.doorbell_acks
+            + self.dup_suppressed
+            + self.retransmit_exhausted
+            + self.read_retries
+            + self.read_fallbacks
+            + self.resyncs
+            + self.resync_repairs
+            + self.failsafe_trips
+            + self.hotplug_retries
+            + self.hotplug_giveups
+            + self.ipis_coalesced
+    }
+
+    /// Stable single-line JSON object, fields in declaration order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"retransmits\":{},\"doorbell_acks\":{},\"dup_suppressed\":{},\
+             \"retransmit_exhausted\":{},\"read_retries\":{},\"read_fallbacks\":{},\
+             \"resyncs\":{},\"resync_repairs\":{},\"failsafe_trips\":{},\
+             \"hotplug_retries\":{},\"hotplug_giveups\":{},\"ipis_coalesced\":{}}}",
+            self.retransmits,
+            self.doorbell_acks,
+            self.dup_suppressed,
+            self.retransmit_exhausted,
+            self.read_retries,
+            self.read_fallbacks,
+            self.resyncs,
+            self.resync_repairs,
+            self.failsafe_trips,
+            self.hotplug_retries,
+            self.hotplug_giveups,
+            self.ipis_coalesced,
+        )
+    }
+}
+
+/// One swept rate: completion-time degradation plus the recovery work
+/// that bounded it.
+#[derive(Clone, Debug)]
+pub struct ResiliencePoint {
+    /// The fault-rate knob, parts per million.
+    pub rate_ppm: u32,
+    /// Mean completion time over the sweep's seeds, microseconds.
+    pub mean_exec_us: u64,
+    /// Deviation from the rate-0 golden mean, parts per million
+    /// (negative = faster, which short noisy runs can produce).
+    pub deviation_ppm: i64,
+    /// Total faults the plan injected across the seeds.
+    pub faults: u64,
+    /// Recovery counters summed across the seeds.
+    pub recovery: RecoveryCounters,
+}
+
+impl ResiliencePoint {
+    /// Stable single-line JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rate_ppm\":{},\"mean_exec_us\":{},\"deviation_ppm\":{},\
+             \"faults\":{},\"recovery\":{}}}",
+            self.rate_ppm,
+            self.mean_exec_us,
+            self.deviation_ppm,
+            self.faults,
+            self.recovery.to_json(),
+        )
+    }
+}
+
+/// Degradation (ppm) of `mean_us` relative to the golden `base_us`.
+/// Integer-only; saturates instead of dividing by zero.
+pub fn deviation_ppm(base_us: u64, mean_us: u64) -> i64 {
+    if base_us == 0 {
+        return 0;
+    }
+    let diff = i128::from(mean_us) - i128::from(base_us);
+    (diff * 1_000_000 / i128::from(base_us)) as i64
+}
+
+/// A full sweep, points in ascending `rate_ppm` order.
+#[derive(Clone, Debug, Default)]
+pub struct ResilienceCurve {
+    points: Vec<ResiliencePoint>,
+}
+
+impl ResilienceCurve {
+    /// Appends a point; rates must arrive in ascending order.
+    pub fn push(&mut self, p: ResiliencePoint) {
+        if let Some(last) = self.points.last() {
+            assert!(
+                p.rate_ppm > last.rate_ppm,
+                "points must arrive in ascending rate order"
+            );
+        }
+        self.points.push(p);
+    }
+
+    /// The swept points.
+    pub fn points(&self) -> &[ResiliencePoint] {
+        &self.points
+    }
+
+    /// Whether degradation grows (weakly) with the fault rate: each
+    /// point's deviation is allowed to undercut its predecessor by at
+    /// most `slack_ppm` (short runs jitter; recovery can even turn a
+    /// fault into a reschedule that helps).
+    pub fn is_monotone_within(&self, slack_ppm: i64) -> bool {
+        self.points
+            .windows(2)
+            .all(|w| w[1].deviation_ppm >= w[0].deviation_ppm - slack_ppm)
+    }
+
+    /// The worst degradation in the sweep.
+    pub fn max_deviation_ppm(&self) -> i64 {
+        self.points
+            .iter()
+            .map(|p| p.deviation_ppm)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether every nonzero-rate point performed at least one recovery
+    /// action — injected faults were handled, not merely survived.
+    pub fn recovery_active(&self) -> bool {
+        self.points
+            .iter()
+            .filter(|p| p.rate_ppm > 0)
+            .all(|p| p.recovery.total() > 0)
+    }
+
+    /// The closing summary line the verify gate greps.
+    pub fn summary_json(&self, slack_ppm: i64) -> String {
+        format!(
+            "{{\"points\":{},\"max_deviation_ppm\":{},\"monotone_within_{}ppm\":{},\
+             \"recovery_active\":{}}}",
+            self.points.len(),
+            self.max_deviation_ppm(),
+            slack_ppm,
+            self.is_monotone_within(slack_ppm),
+            self.recovery_active(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(rate: u32, dev: i64, recovery_total: u64) -> ResiliencePoint {
+        ResiliencePoint {
+            rate_ppm: rate,
+            mean_exec_us: 1_000,
+            deviation_ppm: dev,
+            faults: u64::from(rate),
+            recovery: RecoveryCounters {
+                retransmits: recovery_total,
+                ..RecoveryCounters::default()
+            },
+        }
+    }
+
+    #[test]
+    fn deviation_is_integer_exact_and_signed() {
+        assert_eq!(deviation_ppm(1_000, 1_000), 0);
+        assert_eq!(deviation_ppm(1_000, 1_100), 100_000);
+        assert_eq!(deviation_ppm(1_000, 900), -100_000);
+        assert_eq!(deviation_ppm(0, 123), 0, "zero baseline saturates");
+        // Large values stay exact through the i128 intermediate.
+        assert_eq!(deviation_ppm(u64::MAX / 2, u64::MAX / 2), 0);
+    }
+
+    #[test]
+    fn monotonicity_respects_slack() {
+        let mut c = ResilienceCurve::default();
+        c.push(point(0, 0, 0));
+        c.push(point(10_000, 40_000, 3));
+        c.push(point(50_000, 35_000, 9)); // dips 5k ppm
+        c.push(point(200_000, 120_000, 20));
+        assert!(c.is_monotone_within(10_000));
+        assert!(!c.is_monotone_within(1_000));
+        assert_eq!(c.max_deviation_ppm(), 120_000);
+        assert!(c.recovery_active(), "rate-0 point is exempt");
+    }
+
+    #[test]
+    fn recovery_active_requires_action_at_nonzero_rates() {
+        let mut c = ResilienceCurve::default();
+        c.push(point(0, 0, 0));
+        c.push(point(10_000, 10_000, 0)); // injected but never recovered
+        assert!(!c.recovery_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending rate order")]
+    fn out_of_order_rates_are_rejected() {
+        let mut c = ResilienceCurve::default();
+        c.push(point(10_000, 0, 1));
+        c.push(point(5_000, 0, 1));
+    }
+
+    #[test]
+    fn json_is_single_line_and_field_stable() {
+        let mut r = RecoveryCounters {
+            retransmits: 3,
+            ..RecoveryCounters::default()
+        };
+        r.merge(&RecoveryCounters {
+            resyncs: 2,
+            retransmits: 1,
+            ..RecoveryCounters::default()
+        });
+        assert_eq!(r.retransmits, 4);
+        assert_eq!(r.resyncs, 2);
+        assert_eq!(r.total(), 6);
+        let p = ResiliencePoint {
+            rate_ppm: 20_000,
+            mean_exec_us: 1_234,
+            deviation_ppm: -7,
+            faults: 42,
+            recovery: r,
+        };
+        let line = p.to_json();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"rate_ppm\":20000,"));
+        assert!(line.contains("\"retransmits\":4"));
+        assert!(line.contains("\"deviation_ppm\":-7"));
+    }
+}

@@ -86,6 +86,14 @@ const SLOT_BITS: u32 = 8;
 const SLOTS: usize = 1 << SLOT_BITS;
 const SLOT_MASK: u64 = (SLOTS - 1) as u64;
 const LEVELS: usize = 4;
+/// Marker for a node that is not parked in a wheel slot (near heap,
+/// overflow heap, or free list).
+const LEVEL_NONE: u8 = u8::MAX;
+/// Per-level tombstone count that triggers an opportunistic compaction
+/// sweep. Cancel-heavy long-horizon workloads (retransmit timers cancelled
+/// on ack) would otherwise pin slab nodes until their slot drains — a
+/// memory, not time, cost that the sweep bounds.
+const SWEEP_THRESHOLD: u32 = 1024;
 
 /// One slab entry. The payload doubles as the liveness flag: `None` is a
 /// cancelled (or delivered) tombstone awaiting reclamation.
@@ -95,7 +103,24 @@ struct Node<E> {
     /// Bumped every time the slab index is reclaimed, so stale handles
     /// (after fire or double-cancel) fail the generation check in O(1).
     gen: u32,
+    /// The wheel level whose slot currently holds this node, or
+    /// [`LEVEL_NONE`] — lets `cancel` charge the tombstone to the right
+    /// level's sweep counter.
+    level: u8,
     payload: Option<E>,
+}
+
+/// Tombstone-sweeping counters of an [`EventQueue`]: cancelled wheel
+/// residents awaiting reclamation and how many compaction passes have
+/// already reclaimed some eagerly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cancelled nodes currently parked in wheel slots.
+    pub pending: u64,
+    /// Opportunistic compaction passes performed.
+    pub sweeps: u64,
+    /// Tombstoned nodes reclaimed by those passes.
+    pub swept: u64,
 }
 
 /// Min-ordering entry for the near/overflow heaps: `(time, seq)` with the
@@ -168,6 +193,11 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    /// Cancelled-but-unreclaimed nodes per level; crossing
+    /// [`SWEEP_THRESHOLD`] triggers [`EventQueue::sweep_level`].
+    tombstones: [u32; LEVELS],
+    sweeps: u64,
+    swept: u64,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -192,6 +222,9 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            tombstones: [0; LEVELS],
+            sweeps: 0,
+            swept: 0,
         }
     }
 
@@ -243,6 +276,7 @@ impl<E> EventQueue<E> {
                     time,
                     seq,
                     gen: 0,
+                    level: LEVEL_NONE,
                     payload: Some(payload),
                 });
                 i
@@ -269,7 +303,26 @@ impl<E> EventQueue<E> {
         }
         node.payload = None;
         self.live -= 1;
+        let level = node.level as usize;
+        if level < LEVELS {
+            // The node stays parked in its slot until the slot drains;
+            // charge the tombstone and compact the level if enough of
+            // them have piled up.
+            self.tombstones[level] += 1;
+            if self.tombstones[level] >= SWEEP_THRESHOLD {
+                self.sweep_level(level);
+            }
+        }
         true
+    }
+
+    /// Tombstone-sweeping counters (see [`SweepStats`]).
+    pub fn sweep_stats(&self) -> SweepStats {
+        SweepStats {
+            pending: self.tombstones.iter().map(|&c| u64::from(c)).sum(),
+            sweeps: self.sweeps,
+            swept: self.swept,
+        }
     }
 
     /// Removes and returns the earliest live event, advancing the clock.
@@ -277,7 +330,10 @@ impl<E> EventQueue<E> {
         if !self.settle() {
             return None;
         }
-        let e = self.near.pop().expect("settle guarantees a live near event");
+        let e = self
+            .near
+            .pop()
+            .expect("settle guarantees a live near event");
         let node = &mut self.nodes[e.idx as usize];
         let payload = node.payload.take().expect("settle strips tombstones");
         debug_assert!(e.time >= self.now);
@@ -332,6 +388,13 @@ impl<E> EventQueue<E> {
         let node = &mut self.nodes[idx as usize];
         debug_assert!(node.payload.is_none());
         node.gen = node.gen.wrapping_add(1);
+        let level = node.level as usize;
+        if level < LEVELS {
+            // A cancelled slot resident reclaimed by its slot draining:
+            // the tombstone debt charged at cancel time is paid back.
+            self.tombstones[level] = self.tombstones[level].saturating_sub(1);
+        }
+        node.level = LEVEL_NONE;
         self.free.push(idx);
     }
 
@@ -339,6 +402,7 @@ impl<E> EventQueue<E> {
     fn place(&mut self, idx: u32, time: SimTime, seq: u64) {
         let s0 = time.as_ns() >> GRANULARITY_BITS;
         if s0 <= self.pos {
+            self.nodes[idx as usize].level = LEVEL_NONE;
             self.near.push(HeapEntry { time, seq, idx });
             return;
         }
@@ -347,12 +411,47 @@ impl<E> EventQueue<E> {
             let d = (s0 >> shift) - (self.pos >> shift);
             if d < SLOTS as u64 {
                 let i = ((s0 >> shift) & SLOT_MASK) as usize;
+                self.nodes[idx as usize].level = l as u8;
                 self.levels[l][i].push(idx);
                 self.occupancy[l][i / 64] |= 1 << (i % 64);
                 return;
             }
         }
+        self.nodes[idx as usize].level = LEVEL_NONE;
         self.overflow.push(HeapEntry { time, seq, idx });
+    }
+
+    /// Compacts every slot of level `l`: reclaims all tombstoned nodes
+    /// eagerly, clears emptied occupancy bits, and zeroes the level's
+    /// tombstone counter. Cannot affect pop order — only dead nodes move,
+    /// and handle generations are bumped exactly as a lazy reclaim would.
+    fn sweep_level(&mut self, l: usize) {
+        let nodes = &mut self.nodes;
+        let free = &mut self.free;
+        let mut freed = 0u64;
+        for (i, slot) in self.levels[l].iter_mut().enumerate() {
+            if slot.is_empty() {
+                continue;
+            }
+            let before = slot.len();
+            slot.retain(|&idx| {
+                let node = &mut nodes[idx as usize];
+                if node.payload.is_some() {
+                    return true;
+                }
+                node.gen = node.gen.wrapping_add(1);
+                node.level = LEVEL_NONE;
+                free.push(idx);
+                false
+            });
+            freed += (before - slot.len()) as u64;
+            if slot.is_empty() {
+                self.occupancy[l][i / 64] &= !(1 << (i % 64));
+            }
+        }
+        self.swept += freed;
+        self.sweeps += 1;
+        self.tombstones[l] = 0;
     }
 
     /// The earliest occupied wheel slot across all levels, as
@@ -464,18 +563,21 @@ impl<E> EventQueue<E> {
             // `levels[l][i]` is now the (empty) old drain_buf; `buf` holds
             // the slot entries and returns to drain_buf with its capacity.
             for &idx in &buf {
-                let node = &self.nodes[idx as usize];
-                if node.payload.is_none() {
+                let (t, s, alive) = {
+                    let node = &self.nodes[idx as usize];
+                    (node.time, node.seq, node.payload.is_some())
+                };
+                if !alive {
                     self.release(idx);
                 } else if l == 0 {
+                    self.nodes[idx as usize].level = LEVEL_NONE;
                     self.near.push(HeapEntry {
-                        time: node.time,
-                        seq: node.seq,
+                        time: t,
+                        seq: s,
                         idx,
                     });
                 } else {
                     // Cascade one level down (or into the near heap).
-                    let (t, s) = (node.time, node.seq);
                     self.place(idx, t, s);
                 }
             }
@@ -789,6 +891,65 @@ mod tests {
     }
 
     #[test]
+    fn sweep_reclaims_cancelled_far_future_nodes() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        // Far enough out to land in a higher wheel level (262 µs × 256
+        // level-0 slots ≈ 67 ms horizon, so 10 s is level ≥ 1), never in
+        // the near heap.
+        let far = SimTime::from_secs(10);
+        let n = 1500u32;
+        let handles: Vec<_> = (0..n).map(|i| q.schedule(far, i)).collect();
+        let slab_high_water = n as usize;
+        // Cancel all but the last few: crossing SWEEP_THRESHOLD (1024)
+        // must trigger a compaction pass.
+        for h in &handles[..(n as usize - 4)] {
+            assert!(q.cancel(*h));
+        }
+        let stats = q.sweep_stats();
+        assert!(
+            stats.sweeps >= 1,
+            "threshold crossing must sweep: {stats:?}"
+        );
+        assert!(stats.swept >= 1024, "swept {} < threshold", stats.swept);
+        assert!(
+            stats.pending < 1024,
+            "pending tombstones not compacted: {stats:?}"
+        );
+        assert_eq!(q.len(), 4);
+        // Reclaimed slab nodes are reused: scheduling more events must not
+        // grow the slab past its high-water mark.
+        for i in 0..1000u32 {
+            q.schedule(far, 10_000 + i);
+        }
+        assert!(
+            q.nodes.len() <= slab_high_water,
+            "sweep failed to recycle slab nodes: {} > {slab_high_water}",
+            q.nodes.len()
+        );
+        // Swept handles are dead (generation bumped), survivors pop in
+        // insertion order ahead of the later batch.
+        assert!(!q.cancel(handles[0]), "swept handle must be invalid");
+        let (t, first) = q.pop().expect("live events remain");
+        assert_eq!(t, far);
+        assert_eq!(first, n - 4);
+    }
+
+    #[test]
+    fn sweep_accounting_survives_slot_drain() {
+        // Tombstones created and reclaimed through the normal slot-drain
+        // path (no threshold crossing) must pay back their pending count.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let h = q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(1), 2);
+        q.cancel(h);
+        assert_eq!(q.sweep_stats().pending, 1);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1), 2)));
+        let stats = q.sweep_stats();
+        assert_eq!(stats.pending, 0, "slot drain must clear the debt");
+        assert_eq!(stats.sweeps, 0, "no threshold crossing, no sweep");
+    }
+
+    #[test]
     fn stale_handle_after_slab_reuse_is_rejected() {
         let mut q: EventQueue<u32> = EventQueue::new();
         let h = q.schedule(SimTime::from_ms(1), 1);
@@ -927,7 +1088,9 @@ mod proptests {
 
     /// The queue delivers exactly the non-cancelled events, in
     /// (time, insertion-order) order, against a naive reference.
-    fn check_against_reference<Q: EventQueueApi<usize> + Default>(ops: &[Op]) -> Result<(), String> {
+    fn check_against_reference<Q: EventQueueApi<usize> + Default>(
+        ops: &[Op],
+    ) -> Result<(), String> {
         let mut q = Q::default();
         // Reference: (time, id, cancelled-or-delivered).
         let mut reference: Vec<(u64, usize, bool)> = Vec::new();

@@ -360,7 +360,12 @@ impl FaultPlan {
     /// Decides the fate of one reschedule IPI.
     pub fn on_ipi(&mut self) -> DeliveryFault {
         let c = self.config;
-        let f = self.classify(c.ipi_drop_ppm, c.ipi_delay_ppm, c.ipi_dup_ppm, c.ipi_delay_max);
+        let f = self.classify(
+            c.ipi_drop_ppm,
+            c.ipi_delay_ppm,
+            c.ipi_dup_ppm,
+            c.ipi_delay_max,
+        );
         match f {
             DeliveryFault::Drop => self.stats.ipi_dropped += 1,
             DeliveryFault::Delay(_) => self.stats.ipi_delayed += 1,
@@ -530,7 +535,11 @@ impl fmt::Display for SimError {
             }
             SimErrorKind::InvalidState { what } => format!("invalid state: {what}"),
         };
-        writeln!(f, "simulation failed in {} at {}: {}", self.layer, self.at, what)?;
+        writeln!(
+            f,
+            "simulation failed in {} at {}: {}",
+            self.layer, self.at, what
+        )?;
         writeln!(f, "--- vcpu state ---")?;
         writeln!(f, "{}", self.diagnostics.vcpu_dump)?;
         writeln!(f, "--- event backtrace (trace ring tail) ---")?;

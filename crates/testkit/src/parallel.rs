@@ -61,11 +61,7 @@ fn panic_msg(payload: Box<dyn std::any::Any + Send>) -> String {
 /// its worker and reported as that index's `Err(message)`. All other
 /// indices still run to completion — one poisoned seed cannot sink the
 /// sweep or leave holes in the slot table.
-pub fn run_indexed_parallel_checked<R, F>(
-    n: usize,
-    threads: usize,
-    f: F,
-) -> Vec<Result<R, String>>
+pub fn run_indexed_parallel_checked<R, F>(n: usize, threads: usize, f: F) -> Vec<Result<R, String>>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,

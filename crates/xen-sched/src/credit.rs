@@ -220,6 +220,8 @@ pub struct CreditScheduler {
     domains: Vec<Domain>,
     /// Start of the current extendability window.
     extend_window_start: SimTime,
+    /// Seqlock-style version of the published extendability snapshots.
+    extend_version: u64,
     /// Number of vCPU migrations across pCPUs (stealing).
     migrations: u64,
     /// Scratch for [`CreditScheduler::on_acct`] cap decisions (reused
@@ -243,6 +245,7 @@ impl CreditScheduler {
             pcpus: (0..n_pcpus).map(|_| Pcpu::default()).collect(),
             domains: Vec::new(),
             extend_window_start: SimTime::ZERO,
+            extend_version: 0,
             migrations: 0,
             park_buf: Vec::new(),
             unpark_buf: Vec::new(),
@@ -619,12 +622,24 @@ impl CreditScheduler {
             d.extend = *info;
         }
         self.infos_buf = infos;
+        // Seqlock-style publication counter: readers compare the version
+        // they consumed against this to detect stale serves, and a torn
+        // serve (fields mixed across versions) fails snapshot validation.
+        self.extend_version += 1;
     }
 
     /// Reads a domain's latest extendability (the `SCHEDOP_getvscaleinfo`
     /// hypercall payload).
     pub fn extendability(&self, dom: DomId) -> ExtendInfo {
         self.domains[dom.index()].extend
+    }
+
+    /// The publication version of the current extendability snapshots:
+    /// bumped once per [`CreditScheduler::on_extend_tick`] that republishes.
+    /// A reader holding snapshot version `v` knows a serve is stale when
+    /// `v < extend_version()` yet the serve repeats version `v`'s fields.
+    pub fn extend_version(&self) -> u64 {
+        self.extend_version
     }
 
     // ------------------------------------------------------------------
@@ -1044,8 +1059,14 @@ mod tests {
         s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new()); // dom0 -> OVER.
         s.slice_expired(PcpuId(0), SimTime::from_ms(10), &mut Vec::new()); // Restart run_since.
-                                                          // Wake 0.5 ms into dom0's new run: below the 1 ms ratelimit.
-        let ev = collect(|ev| s.vcpu_wake(gv(1, 0), SimTime::from_ms(10) + SimDuration::from_us(500), ev));
+                                                                           // Wake 0.5 ms into dom0's new run: below the 1 ms ratelimit.
+        let ev = collect(|ev| {
+            s.vcpu_wake(
+                gv(1, 0),
+                SimTime::from_ms(10) + SimDuration::from_us(500),
+                ev,
+            )
+        });
         assert!(
             !ev.iter()
                 .any(|e| matches!(e, SchedEvent::Run { vcpu, .. } if *vcpu == gv(1, 0))),
@@ -1067,8 +1088,8 @@ mod tests {
         s.vcpu_wake(gv(1, 0), SimTime::ZERO, &mut Vec::new()); // Takes pcpu0.
         s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new()); // Takes pcpu1.
         s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new()); // Queued somewhere.
-                                              // Now block the vcpu on pcpu1; it must steal gv(0,1) from pcpu0's
-                                              // queue rather than idle.
+                                                               // Now block the vcpu on pcpu1; it must steal gv(0,1) from pcpu0's
+                                                               // queue rather than idle.
         let running_p1 = s.running_on(PcpuId(1)).unwrap();
         let ev = collect(|ev| s.vcpu_block(running_p1, SimTime::from_ms(1), ev));
         assert!(
@@ -1134,7 +1155,13 @@ mod tests {
         // shortly after — within the ratelimit window: still preempts
         // (the reconfiguration path bypasses the ratelimit).
         s.on_tick(PcpuId(0), SimTime::from_ms(10), &mut Vec::new());
-        let ev = collect(|ev| s.kick_vcpu(gv(1, 0), SimTime::from_ms(10) + SimDuration::from_us(100), ev));
+        let ev = collect(|ev| {
+            s.kick_vcpu(
+                gv(1, 0),
+                SimTime::from_ms(10) + SimDuration::from_us(100),
+                ev,
+            )
+        });
         assert!(
             ev.iter()
                 .any(|e| matches!(e, SchedEvent::Run { vcpu, .. } if *vcpu == gv(1, 0))),
@@ -1311,9 +1338,9 @@ mod scheduler_behaviour_tests {
         // Preempt dom0 with a boosted wake; dom0 requeues OVER, dom1
         // queues UNDER behind it... place both in pcpu0's queues.
         s.vcpu_yield(gv(0, 0), SimTime::from_ms(11), &mut Vec::new()); // Requeue at OVER.
-                                                      // dom0 immediately rescheduled (only local); now wake dom1 onto
-                                                      // the same pcpu by blocking... simpler: force dom1 runnable while
-                                                      // pcpu0 busy with dom0.
+                                                                       // dom0 immediately rescheduled (only local); now wake dom1 onto
+                                                                       // the same pcpu by blocking... simpler: force dom1 runnable while
+                                                                       // pcpu0 busy with dom0.
         s.vcpu_wake(gv(1, 0), SimTime::from_ms(11), &mut Vec::new());
         // dom1 is boosted: it should have preempted dom0 on pcpu0 or
         // taken an idle pcpu; either way a runnable OVER dom0 remains.
@@ -1362,7 +1389,7 @@ mod scheduler_behaviour_tests {
         s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut Vec::new());
         s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
         s.vcpu_wake(gv(0, 2), SimTime::ZERO, &mut Vec::new()); // Queued somewhere.
-                                              // Block one running vcpu at 7 ms: the queued one is stolen/run.
+                                                               // Block one running vcpu at 7 ms: the queued one is stolen/run.
         let running = s.running_on(PcpuId(1)).unwrap();
         s.vcpu_block(running, SimTime::from_ms(7), &mut Vec::new());
         assert_eq!(

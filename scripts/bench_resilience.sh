@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the resilience-curve sweep (degradation vs injected fault rate)
+# and stores its JSON lines, plus a checksum of the deterministic part.
+#
+#   ./scripts/bench_resilience.sh               # writes BENCH_resilience.json
+#   ./scripts/bench_resilience.sh out.json      # writes elsewhere
+#
+# The sweep's seeds, scale, and thread count are pinned so the output —
+# everything except the wall-clock session line — is bit-identical on
+# every machine. scripts/verify.sh re-runs the same pinned sweep and
+# compares its checksum against scripts/resilience.sha256; regenerate
+# that file with this script whenever a deliberate behavior change moves
+# the curve.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_resilience.json}"
+
+echo "== resilience sweep (pinned: quick scale, 3 seeds, 4 threads) -> $out =="
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=3 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench resilience \
+    | tee /dev/stderr | grep '^{' > "$out"
+
+grep -v wall_ms "$out" | sha256sum | cut -d' ' -f1 > scripts/resilience.sha256
+echo "== wrote $(wc -l < "$out") records to $out =="
+echo "== degradation-curve checksum: $(cat scripts/resilience.sha256) =="

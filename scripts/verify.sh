@@ -18,6 +18,9 @@ cargo test -q --offline --workspace
 echo "== tier-1: clippy (offline, -D warnings) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
+echo "== tier-1: rustfmt (--check) =="
+cargo fmt --check
+
 echo "== bench smoke: table1_channel + fig6_npb (quick scale) =="
 VSCALE_BENCH_SCALE="${VSCALE_BENCH_SCALE:-quick}" VSCALE_BENCH_SEEDS="${VSCALE_BENCH_SEEDS:-1}" \
     cargo bench -q --offline -p vscale-bench --bench table1_channel
@@ -55,5 +58,27 @@ VSCALE_THREADS=4 VSCALE_BENCH_SEEDS=4 \
     | grep -v wall_ms > "$chaos_t4"
 diff -u "$chaos_t1" "$chaos_t4"
 echo "   fault-plan replay byte-identical at VSCALE_THREADS=1 and =4"
+
+echo "== resilience: fixed-plan sweep must match the committed degradation curve =="
+# The pinned sweep (quick scale, 3 seeds, 4 threads) is fully
+# deterministic once wall_ms is stripped; its checksum is committed in
+# scripts/resilience.sha256. A mismatch means a behavior change moved
+# the degradation curve — regenerate deliberately with
+# scripts/bench_resilience.sh and review the new curve in the diff.
+resilience_out="$(mktemp)"
+trap 'rm -f "$sweep_t1" "$sweep_t4" "$chaos_t1" "$chaos_t4" "$resilience_out"' EXIT
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=3 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench resilience \
+    | grep '^{' | grep -v wall_ms > "$resilience_out"
+want="$(cat scripts/resilience.sha256)"
+got="$(sha256sum "$resilience_out" | cut -d' ' -f1)"
+if [ "$want" != "$got" ]; then
+    echo "resilience curve drifted: want $want got $got" >&2
+    cat "$resilience_out" >&2
+    exit 1
+fi
+grep -q '"recovery_active":true' "$resilience_out"
+grep -q '"monotone_within_50000ppm":true' "$resilience_out"
+echo "   curve checksum OK ($got), monotone, recovery active"
 
 echo "== verify: OK =="

@@ -84,6 +84,91 @@ fn faulted_run(cfg: vscale_repro::sim::fault::FaultConfig) -> (String, String, S
     )
 }
 
+/// A recovery-heavy run: doorbell drops driving the retransmit ladder,
+/// torn/stale serves driving reliable-read retries, and daemon crashes
+/// driving resyncs — all recovery timers live on the same timing wheel
+/// as the workload, so the trace must be bit-identical however the
+/// enclosing sweep is threaded.
+fn recovery_run(seed: u64) -> (String, String, String) {
+    use vscale_repro::guest::thread::{Script, ThreadAction, ThreadKind};
+    use vscale_repro::sim::fault::FaultConfig;
+    use vscale_repro::sim::time::SimDuration;
+    use vscale_repro::VcpuId;
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed,
+        ..MachineConfig::default()
+    });
+    m.enable_trace(1 << 15);
+    m.set_fault_plan(FaultConfig {
+        seed: seed ^ 0xFA01,
+        notify_drop_ppm: 400_000,
+        stale_read_ppm: 200_000,
+        torn_read_ppm: 200_000,
+        daemon_crash_ppm: 200_000,
+        ..FaultConfig::default()
+    });
+    let vm = m.add_domain(SystemConfig::VScale.domain_spec(2).with_weight(256));
+    let _bg = desktop::add_desktops(&mut m, 2, SlideshowConfig::default());
+    let app = NpbApp {
+        iterations: 4,
+        ..npb::NPB_APPS[0]
+    };
+    let _run = npb::install(&mut m, vm, app, 2, SpinPolicy::Default);
+    let q = m.guest_mut(vm).new_io_queue();
+    let port = m.bind_io_port(vm, q, VcpuId(0));
+    let mut actions = Vec::new();
+    for _ in 0..8 {
+        actions.push(ThreadAction::IoWait(q));
+        actions.push(ThreadAction::Compute(SimDuration::from_us(40)));
+    }
+    let t = m
+        .guest_mut(vm)
+        .spawn(ThreadKind::User, Box::new(Script::new(actions)));
+    m.start_thread(vm, t);
+    for i in 0..8 {
+        m.inject_io(vm, port, SimTime::from_ms(5 + 30 * i), 1);
+    }
+    m.run_until(SimTime::from_ms(400));
+    (
+        m.trace().dump(),
+        format!("{:?}", m.domain_stats(vm)),
+        format!("{:?}", m.fault_stats().expect("plan installed")),
+    )
+}
+
+#[test]
+fn recovery_replays_bit_identically_across_thread_counts() {
+    // The resilience harness sweeps seeds through run_seeds_parallel;
+    // VSCALE_THREADS must never leak into results. Drive the same seeds
+    // through an explicit 1-thread and 4-thread pool and require every
+    // per-seed trace, domain-stat, and fault-stat string to match.
+    let seeds: Vec<u64> = (0..4).map(|i| 0xD15_EA5E + i).collect();
+    let run_all = |threads: usize| {
+        let seeds = seeds.clone();
+        testkit::parallel::run_indexed_parallel(seeds.len(), threads, move |i| {
+            recovery_run(seeds[i])
+        })
+    };
+    let serial = run_all(1);
+    let pooled = run_all(4);
+    assert_eq!(serial.len(), pooled.len());
+    for (i, (a, b)) in serial.iter().zip(&pooled).enumerate() {
+        assert_eq!(
+            a.1, b.1,
+            "seed {i}: domain stats diverged across thread counts"
+        );
+        assert_eq!(
+            a.2, b.2,
+            "seed {i}: fault stats diverged across thread counts"
+        );
+        for (l, (la, lb)) in a.0.lines().zip(b.0.lines()).enumerate() {
+            assert_eq!(la, lb, "seed {i}: trace diverges at line {l}");
+        }
+        assert_eq!(a.0, b.0, "seed {i}: trace diverged across thread counts");
+    }
+}
+
 #[test]
 fn fault_plans_replay_bit_identically_through_session_json() {
     // Property: any fault plan serialized into a bench-session JSON line
@@ -101,8 +186,8 @@ fn fault_plans_replay_bit_identically_through_session_json() {
                  \"fault_plan\":{},\"mean_ns\":123.4}}",
                 cfg.to_json()
             );
-            let parsed = FaultConfig::from_json(&line)
-                .map_err(|e| format!("embedded parse failed: {e}"))?;
+            let parsed =
+                FaultConfig::from_json(&line).map_err(|e| format!("embedded parse failed: {e}"))?;
             testkit::prop_assert_eq!(parsed, *cfg);
             let first = faulted_run(*cfg);
             let again = faulted_run(parsed);
