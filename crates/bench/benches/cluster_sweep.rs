@@ -1,0 +1,144 @@
+//! The fleet sweep: offered load vs fleet-wide tail latency, static SMP
+//! against vScale.
+//!
+//! Figure 14's single-host question — how far can the request rate rise
+//! before the tail breaks? — generalized to a rack: 8 hosts, 16
+//! Apache-serving VMs behind one load balancer, each host consolidating
+//! the serving VMs with background desktop VMs. Every (mode, load,
+//! seed) cell is one independent deterministic fleet run; cells run as
+//! a flat work-list across `VSCALE_THREADS` workers and seeds merge by
+//! exact histogram union, so all JSON lines are byte-identical at any
+//! thread count. `scripts/verify.sh` pins seeds and scale and gates on
+//! a committed checksum plus the closing static-vs-vScale comparison.
+
+use cluster::{build_web_fleet, ClusterConfig, LbPolicy, WebFleetConfig};
+use metrics::fleet::{fleet_table, FleetCurve, FleetPoint, HostSample};
+use sim_core::time::{SimDuration, SimTime};
+use testkit::parallel::run_items_parallel;
+use vscale::config::SystemConfig;
+use vscale_bench::experiment::{seeds_from_env, ExperimentScale};
+
+/// The two fleets under comparison, in print order.
+const MODES: [(&str, SystemConfig); 2] = [
+    ("static", SystemConfig::Baseline),
+    ("vscale", SystemConfig::VScale),
+];
+
+/// Offered load ladder, requests/second across the whole fleet.
+const LOADS: [u64; 5] = [40_000, 56_000, 72_000, 88_000, 104_000];
+
+/// Fleet p99 SLO (µs) for the sustained-load comparison.
+const SLO_P99_US: u64 = 10_000;
+
+/// One (mode, load, seed) fleet run: returns the requests sent in the
+/// measurement window plus the per-host samples.
+fn run_cell(
+    mode: SystemConfig,
+    load_rps: u64,
+    seed: u64,
+    scale: ExperimentScale,
+) -> (u64, Vec<HostSample>) {
+    let fleet = WebFleetConfig {
+        mode,
+        seed,
+        ..WebFleetConfig::default()
+    };
+    let mut c = build_web_fleet(
+        fleet,
+        ClusterConfig {
+            // Cells already saturate the workers; hosts step serially
+            // within each cell (the output is thread-invariant either
+            // way — cluster/tests/determinism.rs).
+            threads: 1,
+            lb: LbPolicy::LeastOutstanding,
+            ..ClusterConfig::default()
+        },
+    );
+    let start = SimTime::from_ms(40);
+    let window = match scale {
+        ExperimentScale::Quick => SimDuration::from_ms(500),
+        ExperimentScale::Full => SimDuration::from_ms(1_000),
+    };
+    let end = start + window;
+    c.set_window(start, end);
+    c.open_loop(load_rps as f64, SimTime::ZERO, end);
+    c.run_until(end + SimDuration::from_ms(60))
+        .expect("fleet runs");
+    (c.sent(), c.host_samples())
+}
+
+/// Merges per-seed samples for one (mode, load) cell into a single
+/// fleet point: histogram union per host, counters summed.
+fn merge_seeds(mode: &str, load_rps: u64, runs: Vec<(u64, Vec<HostSample>)>) -> FleetPoint {
+    let mut sent = 0;
+    let mut hosts: Vec<HostSample> = Vec::new();
+    for (s, samples) in runs {
+        sent += s;
+        for sample in samples {
+            match hosts.iter_mut().find(|h| h.host == sample.host) {
+                Some(h) => {
+                    h.latency_us.merge(&sample.latency_us);
+                    h.completed += sample.completed;
+                    h.drops += sample.drops;
+                }
+                None => hosts.push(sample),
+            }
+        }
+    }
+    FleetPoint::from_hosts(mode, load_rps, sent, hosts)
+}
+
+fn main() {
+    let session = vscale_bench::session("cluster_sweep");
+    let scale = ExperimentScale::from_env();
+    let seeds = seeds_from_env();
+    let fleet = WebFleetConfig::default();
+    println!(
+        "fleet: {} hosts x ({} serving + {} desktop) VMs = {} VMs, {} backends",
+        fleet.hosts,
+        fleet.serving_vms_per_host,
+        fleet.desktops_per_host,
+        fleet.total_vms(),
+        fleet.hosts * fleet.serving_vms_per_host
+    );
+
+    // The whole (mode, load, seed) grid as one flat work-list, seed
+    // innermost so per-cell merges read consecutive slots.
+    let mut items = Vec::new();
+    for (_, mode) in MODES {
+        for load in LOADS {
+            for &s in &seeds {
+                items.push((mode, load, s));
+            }
+        }
+    }
+    let results = run_items_parallel(&items, |&(mode, load, s)| run_cell(mode, load, s, scale));
+
+    let mut it = results.into_iter();
+    let mut curves = Vec::new();
+    for (label, _) in MODES {
+        let mut curve = FleetCurve::default();
+        for load in LOADS {
+            let runs: Vec<_> = (&mut it).take(seeds.len()).collect();
+            let point = merge_seeds(label, load, runs);
+            println!("{}", point.to_json());
+            curve.push(point);
+        }
+        curves.push(curve);
+    }
+    for curve in &curves {
+        print!(
+            "{}",
+            fleet_table(&format!("fleet sweep ({})", curve.mode()), curve).render()
+        );
+        println!("{}", curve.summary_json(SLO_P99_US));
+    }
+    let stat = curves[0].sustained_rps(SLO_P99_US);
+    let vsc = curves[1].sustained_rps(SLO_P99_US);
+    println!(
+        "{{\"cluster_gate\":{{\"slo_p99_us\":{SLO_P99_US},\"static_sustained_rps\":{stat},\
+         \"vscale_sustained_rps\":{vsc},\"vscale_gt_static\":{}}}}}",
+        vsc > stat
+    );
+    session.finish();
+}

@@ -3,7 +3,7 @@
 
 use metrics::{paper::fig11, Series};
 use vscale::config::SystemConfig;
-use vscale_bench::experiment::{parsec_experiment_avg, ExperimentScale};
+use vscale_bench::experiment::{parsec_grid_avg, ExperimentScale};
 use workloads::parsec::PARSEC_APPS;
 
 fn main() {
@@ -14,15 +14,13 @@ fn main() {
         .map(|c| Series::new(c.label()))
         .collect();
     let names: Vec<&str> = PARSEC_APPS.iter().map(|a| a.name).collect();
+    // One flat (app, config, seed) work-list across VSCALE_THREADS
+    // workers; SystemConfig::ALL[0] is the Baseline each row
+    // normalizes against.
+    let grid = parsec_grid_avg(&PARSEC_APPS, 4, scale);
     for (i, app) in PARSEC_APPS.iter().enumerate() {
-        let base = parsec_experiment_avg(SystemConfig::Baseline, *app, 4, scale);
-        let base_secs = base.exec_time.as_secs_f64();
-        for (si, cfg) in SystemConfig::ALL.iter().enumerate() {
-            let r = if *cfg == SystemConfig::Baseline {
-                base.clone()
-            } else {
-                parsec_experiment_avg(*cfg, *app, 4, scale)
-            };
+        let base_secs = grid[i][0].exec_time.as_secs_f64();
+        for (si, r) in grid[i].iter().enumerate() {
             series[si].push(i as f64, r.exec_time.as_secs_f64() / base_secs);
         }
         println!("  {}: baseline {:.2}s", app.name, base_secs);

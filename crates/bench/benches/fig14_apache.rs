@@ -30,12 +30,13 @@ fn main() {
             sc.push(rate / 1_000.0, s.connection_time_ms);
             sp.push(rate / 1_000.0, s.response_time_ms);
             eprintln!(
-                "  {} @ {:.0}/s: reply {:.0}/s conn {:.2} ms resp {:.2} ms",
+                "  {} @ {:.0}/s: reply {:.0}/s conn {:.2} ms resp {:.2} ms drops {}",
                 cfg.label(),
                 rate,
                 s.reply_rate,
                 s.connection_time_ms,
-                s.response_time_ms
+                s.response_time_ms,
+                s.drops
             );
         }
         reply.push(sr);

@@ -8,7 +8,7 @@
 
 use metrics::{paper::fig6, Series};
 use vscale::config::SystemConfig;
-use vscale_bench::experiment::{npb_experiment_avg, ExperimentScale};
+use vscale_bench::experiment::{npb_grid_avg, ExperimentScale};
 use workloads::npb::NPB_APPS;
 use workloads::spin::SpinPolicy;
 
@@ -21,15 +21,13 @@ fn main() {
             .map(|c| Series::new(c.label()))
             .collect();
         println!("-- {} --", policy.label());
+        // The whole (app, config, seed) grid runs as one flat work-list
+        // across VSCALE_THREADS workers; SystemConfig::ALL[0] is the
+        // Baseline each row normalizes against.
+        let grid = npb_grid_avg(&NPB_APPS, 4, policy, scale);
         for (i, app) in NPB_APPS.iter().enumerate() {
-            let base = npb_experiment_avg(SystemConfig::Baseline, *app, 4, policy, scale);
-            let base_secs = base.exec_time.as_secs_f64();
-            for (si, cfg) in SystemConfig::ALL.iter().enumerate() {
-                let r = if *cfg == SystemConfig::Baseline {
-                    base.clone()
-                } else {
-                    npb_experiment_avg(*cfg, *app, 4, policy, scale)
-                };
+            let base_secs = grid[i][0].exec_time.as_secs_f64();
+            for (si, r) in grid[i].iter().enumerate() {
                 series[si].push(i as f64, r.exec_time.as_secs_f64() / base_secs);
             }
             println!("  {}: baseline {:.2}s", app.name, base_secs);

@@ -166,7 +166,7 @@ pub fn apache_experiment(
     let start = SimTime::ZERO + warmup;
     apache::run_client(&mut m, vm, &srv, rate_per_sec, start, window);
     m.run_until(start + window + SimDuration::from_ms(300));
-    apache::summarize(&m, vm, start, window)
+    apache::summarize(&m, vm, &srv, start, window)
 }
 
 fn collect(m: &Machine, vm: DomId, start: SimTime, end: SimTime) -> AppResult {
@@ -244,6 +244,73 @@ pub fn parsec_experiment_avg(
         &seeds_from_env(),
         |s| parsec_experiment(cfg, app, vm_vcpus, scale, s),
     ))
+}
+
+/// Folds a flat `run_items_parallel` result stream (items emitted
+/// seed-innermost) back into per-cell seed averages, preserving cell
+/// order.
+fn fold_grid(results: Vec<AppResult>, cells: usize, seeds_per_cell: usize) -> Vec<AppResult> {
+    assert_eq!(results.len(), cells * seeds_per_cell);
+    let mut it = results.into_iter();
+    (0..cells)
+        .map(|_| averaged((&mut it).take(seeds_per_cell).collect()))
+        .collect()
+}
+
+/// The full Figure 6/7/10 grid as ONE flat work-list: every
+/// (app, config, seed) cell is an independent single-threaded
+/// simulation, so instead of parallelizing only the seed axis inside
+/// each cell, the whole grid fans out across `VSCALE_THREADS` workers
+/// at once ([`testkit::parallel::run_items_parallel`]). Results merge
+/// in item order, so output is byte-identical at any thread count.
+/// Returns `[app][config]` seed-averaged results.
+pub fn npb_grid_avg(
+    apps: &[NpbApp],
+    vm_vcpus: usize,
+    policy: SpinPolicy,
+    scale: ExperimentScale,
+) -> Vec<Vec<AppResult>> {
+    let seeds = seeds_from_env();
+    let mut items = Vec::new();
+    for ai in 0..apps.len() {
+        for cfg in SystemConfig::ALL {
+            for &s in &seeds {
+                items.push((ai, cfg, s));
+            }
+        }
+    }
+    let results = testkit::parallel::run_items_parallel(&items, |&(ai, cfg, s)| {
+        npb_experiment(cfg, apps[ai], vm_vcpus, policy, scale, s)
+    });
+    let flat = fold_grid(results, apps.len() * SystemConfig::ALL.len(), seeds.len());
+    flat.chunks(SystemConfig::ALL.len())
+        .map(<[AppResult]>::to_vec)
+        .collect()
+}
+
+/// The Figure 11/12/13 grid over one flat (app, config, seed)
+/// work-list; see [`npb_grid_avg`]. Returns `[app][config]`.
+pub fn parsec_grid_avg(
+    apps: &[ParsecApp],
+    vm_vcpus: usize,
+    scale: ExperimentScale,
+) -> Vec<Vec<AppResult>> {
+    let seeds = seeds_from_env();
+    let mut items = Vec::new();
+    for ai in 0..apps.len() {
+        for cfg in SystemConfig::ALL {
+            for &s in &seeds {
+                items.push((ai, cfg, s));
+            }
+        }
+    }
+    let results = testkit::parallel::run_items_parallel(&items, |&(ai, cfg, s)| {
+        parsec_experiment(cfg, apps[ai], vm_vcpus, scale, s)
+    });
+    let flat = fold_grid(results, apps.len() * SystemConfig::ALL.len(), seeds.len());
+    flat.chunks(SystemConfig::ALL.len())
+        .map(<[AppResult]>::to_vec)
+        .collect()
 }
 
 /// Convenience: the four-config comparison the application figures plot.

@@ -1,0 +1,439 @@
+//! The deterministic cross-host event loop.
+//!
+//! A [`Cluster`] composes N independent [`Machine`] hosts under one
+//! cluster-level timing wheel ([`EventQueue`]) that carries everything
+//! crossing host boundaries: the open-loop request stream arriving at
+//! the load balancer and the request deliveries it dispatches onto
+//! per-host links. Hosts advance in **lockstep epochs**:
+//!
+//! 1. pop every cluster event with `t < epoch_end` (LB routing,
+//!    request injections into target hosts);
+//! 2. step all hosts to `epoch_end − 1 ns` — serially or fanned across
+//!    worker threads, hosts share nothing;
+//! 3. harvest replies and drops serially in host order.
+//!
+//! Determinism at any `VSCALE_THREADS`: the epoch length never exceeds
+//! the smallest link latency (asserted per host), so a message sent
+//! while popping epoch k's events is delivered at
+//! `t + latency ≥ epoch_end` — i.e. in a strictly later epoch, *after*
+//! the hosts it targets were fully stepped through epoch k. Within an
+//! epoch each host therefore evolves only from events already in its
+//! local queue, making its trajectory a pure function of its inputs and
+//! independent of how hosts are partitioned across workers. Stepping to
+//! `epoch_end − 1 ns` (not `epoch_end`) keeps boundary-instant events
+//! out of the current epoch entirely, so no same-instant ordering
+//! between cluster injection and host-local events ever arises.
+
+use std::collections::VecDeque;
+
+use guest_kernel::thread::IoQueueId;
+use metrics::fleet::{FleetPoint, HostSample};
+use sim_core::event::EventQueue;
+use sim_core::fault::SimError;
+use sim_core::rng::SimRng;
+use sim_core::stats::Histogram;
+use sim_core::time::{SimDuration, SimTime};
+use vscale::{DomId, Machine};
+use xen_sched::evtchn::PortId;
+
+use crate::lb::{LbPolicy, LoadBalancer};
+use crate::net::{Link, LinkConfig};
+
+/// Bytes of one HTTP request on the wire (GET + headers).
+pub const REQUEST_BYTES: u64 = 512;
+
+/// Cluster-level parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Lockstep epoch length; must not exceed any host link's latency.
+    pub epoch: SimDuration,
+    /// Load-balancer policy.
+    pub lb: LbPolicy,
+    /// Seed for the cluster's own RNG (request inter-arrival jitter).
+    pub seed: u64,
+    /// Worker threads for host stepping; 0 means
+    /// `testkit::parallel::threads_from_env()` (`VSCALE_THREADS`).
+    pub threads: usize,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            epoch: SimDuration::from_us(200),
+            lb: LbPolicy::RoundRobin,
+            seed: 1,
+            threads: 0,
+        }
+    }
+}
+
+/// One Apache-serving VM the load balancer can route to.
+#[derive(Clone, Copy, Debug)]
+pub struct BackendSpec {
+    /// Index of the host the VM runs on.
+    pub host: usize,
+    /// The serving domain.
+    pub dom: DomId,
+    /// Event-channel port requests arrive on (`ApacheServer::port`).
+    pub port: PortId,
+    /// The listen queue (`ApacheServer::queue`), for drop accounting.
+    pub queue: IoQueueId,
+    /// Reply size on the wire, for the host → LB leg.
+    pub reply_bytes: u64,
+}
+
+/// Everything crossing host boundaries rides the cluster wheel.
+enum NetMsg {
+    /// The next open-loop request reaches the load balancer.
+    Arrival,
+    /// A dispatched request reaches its target host's NIC.
+    Deliver { backend: usize },
+}
+
+#[derive(Clone, Copy)]
+struct Stream {
+    rate_rps: f64,
+    end: SimTime,
+}
+
+struct HostSlot {
+    machine: Machine,
+    link: Link,
+    /// In-window request latencies (LB send → reply back at LB), µs.
+    latency_us: Histogram,
+    /// In-window completions.
+    completed: u64,
+    /// In-window listen-backlog drops.
+    drops: u64,
+}
+
+struct BackendSlot {
+    spec: BackendSpec,
+    /// Send times of dispatched-but-unaccounted requests, FIFO.
+    pending: VecDeque<SimTime>,
+    /// Completions already harvested from this backend's log.
+    seen_completions: usize,
+    /// Drops already harvested from this backend's queue counter.
+    seen_drops: u64,
+}
+
+/// A fleet of machines behind one load balancer.
+pub struct Cluster {
+    config: ClusterConfig,
+    queue: EventQueue<NetMsg>,
+    rng: SimRng,
+    now: SimTime,
+    hosts: Vec<HostSlot>,
+    backends: Vec<BackendSlot>,
+    /// Per-backend in-flight counts (the LB's own dispatch ledger).
+    outstanding: Vec<u64>,
+    lb: LoadBalancer,
+    stream: Option<Stream>,
+    window: (SimTime, SimTime),
+    sent: u64,
+    /// Scratch for harvest: (completion time, backend index).
+    harvest_buf: Vec<(SimTime, usize)>,
+}
+
+impl Cluster {
+    /// An empty cluster.
+    pub fn new(config: ClusterConfig) -> Self {
+        let mut rng = SimRng::new(config.seed);
+        let arrivals_rng = rng.fork(0x434c_5553);
+        Cluster {
+            queue: EventQueue::new(),
+            rng: arrivals_rng,
+            now: SimTime::ZERO,
+            hosts: Vec::new(),
+            backends: Vec::new(),
+            outstanding: Vec::new(),
+            lb: LoadBalancer::new(config.lb),
+            stream: None,
+            window: (SimTime::ZERO, SimTime::MAX),
+            sent: 0,
+            harvest_buf: Vec::new(),
+            config,
+        }
+    }
+
+    /// Adds a host behind `link`; returns its index. The lockstep
+    /// guarantee needs `epoch <= link.latency`, asserted here.
+    pub fn add_host(&mut self, machine: Machine, link: LinkConfig) -> usize {
+        assert!(
+            self.config.epoch <= link.latency,
+            "epoch {:?} exceeds link latency {:?}: cross-host messages \
+             could land inside the epoch that sent them",
+            self.config.epoch,
+            link.latency,
+        );
+        self.hosts.push(HostSlot {
+            machine,
+            link: Link::new(link),
+            latency_us: Histogram::new(),
+            completed: 0,
+            drops: 0,
+        });
+        self.hosts.len() - 1
+    }
+
+    /// Registers a serving VM; returns its backend index.
+    pub fn add_backend(&mut self, spec: BackendSpec) -> usize {
+        assert!(spec.host < self.hosts.len(), "unknown host {}", spec.host);
+        self.backends.push(BackendSlot {
+            spec,
+            pending: VecDeque::new(),
+            seen_completions: 0,
+            seen_drops: 0,
+        });
+        self.outstanding.push(0);
+        self.backends.len() - 1
+    }
+
+    /// Number of hosts.
+    pub fn n_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of registered backends.
+    pub fn n_backends(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// The host's machine (e.g. for workload installation before a run).
+    pub fn machine_mut(&mut self, host: usize) -> &mut Machine {
+        &mut self.hosts[host].machine
+    }
+
+    /// Read access to a host's machine.
+    pub fn machine(&self, host: usize) -> &Machine {
+        &self.hosts[host].machine
+    }
+
+    /// Cluster time (last completed epoch boundary).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Requests dispatched inside the measurement window so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Restricts latency/drop accounting to requests *sent* in
+    /// `[start, end)`; dispatches outside it still run (warmup,
+    /// cooldown) but are not measured.
+    pub fn set_window(&mut self, start: SimTime, end: SimTime) {
+        self.window = (start, end);
+    }
+
+    /// Starts an open-loop request stream: `rate_rps` requests/s with
+    /// exponential inter-arrival jitter, first arrival shortly after
+    /// `start`, last before `end`. Open-loop means arrivals never wait
+    /// for replies — exactly the load regime where tail latency
+    /// explodes at saturation.
+    pub fn open_loop(&mut self, rate_rps: f64, start: SimTime, end: SimTime) {
+        assert!(rate_rps > 0.0);
+        assert!(self.stream.is_none(), "one stream per run");
+        self.stream = Some(Stream { rate_rps, end });
+        let gap = self.next_gap(rate_rps);
+        let first = start + gap;
+        if first < end {
+            self.queue.schedule(first, NetMsg::Arrival);
+        }
+    }
+
+    fn next_gap(&mut self, rate_rps: f64) -> SimDuration {
+        let us = self.rng.exponential(1e6 / rate_rps);
+        SimDuration::from_us_f64(us).max(SimDuration::from_ns(1))
+    }
+
+    fn in_window(&self, t: SimTime) -> bool {
+        t >= self.window.0 && t < self.window.1
+    }
+
+    fn handle(&mut self, t: SimTime, msg: NetMsg) {
+        match msg {
+            NetMsg::Arrival => {
+                self.dispatch(t);
+                let s = self.stream.expect("arrival without a stream");
+                let next = t + self.next_gap(s.rate_rps);
+                if next < s.end {
+                    self.queue.schedule(next, NetMsg::Arrival);
+                }
+            }
+            NetMsg::Deliver { backend } => {
+                let spec = self.backends[backend].spec;
+                self.hosts[spec.host]
+                    .machine
+                    .inject_io(spec.dom, spec.port, t, 1);
+            }
+        }
+    }
+
+    fn dispatch(&mut self, t: SimTime) {
+        let b = self.lb.pick(&self.outstanding);
+        let host = self.backends[b].spec.host;
+        let deliver_at = self.hosts[host].link.send_request(t, REQUEST_BYTES);
+        self.queue
+            .schedule(deliver_at, NetMsg::Deliver { backend: b });
+        self.backends[b].pending.push_back(t);
+        self.outstanding[b] += 1;
+        if self.in_window(t) {
+            self.sent += 1;
+        }
+    }
+
+    /// Runs the lockstep loop to `deadline` (an epoch multiple is not
+    /// required; the final epoch is clipped).
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        assert!(!self.hosts.is_empty(), "no hosts");
+        while self.now < deadline {
+            let epoch_end = (self.now + self.config.epoch).min(deadline);
+            // 1. Cross-host deliveries and LB routing due this epoch.
+            while let Some(t) = self.queue.peek_time() {
+                if t >= epoch_end {
+                    break;
+                }
+                let (t, msg) = self.queue.pop().expect("peeked");
+                self.handle(t, msg);
+            }
+            // 2. Step every host through the epoch.
+            self.step_hosts(SimTime::from_ns(epoch_end.as_ns() - 1))?;
+            // 3. Serial harvest in host order.
+            self.harvest();
+            self.now = epoch_end;
+        }
+        Ok(())
+    }
+
+    /// Steps all hosts to `to`, fanning across workers when configured.
+    /// Results are collected per host and the first error (in host
+    /// order) is returned, so the error too is independent of the
+    /// thread count.
+    fn step_hosts(&mut self, to: SimTime) -> Result<(), SimError> {
+        let n = self.hosts.len();
+        let threads = match self.config.threads {
+            0 => testkit::parallel::threads_from_env(),
+            t => t,
+        }
+        .min(n)
+        .max(1);
+        if threads == 1 {
+            let mut first_err = None;
+            for h in &mut self.hosts {
+                if let Err(e) = h.machine.step_to(to) {
+                    first_err.get_or_insert(e);
+                }
+            }
+            return match first_err {
+                None => Ok(()),
+                Some(e) => Err(e),
+            };
+        }
+        let chunk = n.div_ceil(threads);
+        let results: Vec<Result<(), SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .hosts
+                .chunks_mut(chunk)
+                .map(|hs| {
+                    scope.spawn(move || {
+                        hs.iter_mut()
+                            .map(|h| h.machine.step_to(to))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            // Chunks are contiguous and joined in order, so the
+            // flattened results are in host order.
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("host worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+
+    /// Matches new replies and drops against the dispatch ledger.
+    ///
+    /// Completions are matched FIFO per backend: per-request identity
+    /// does not survive the Apache model's worker pool, and workers can
+    /// reorder service completion slightly, so an individual latency
+    /// sample may pair a reply with a neighbouring request's send time.
+    /// Counts are exact, the pairing is deterministic, and the
+    /// distortion is bounded by in-VM queueing spread — negligible off
+    /// saturation, documented noise at it. Listen-queue drops likewise
+    /// retire the oldest pending entries (real drops hit the batch
+    /// tail), keeping the ledger length exact.
+    fn harvest(&mut self) {
+        for host_idx in 0..self.hosts.len() {
+            // Gather this host's new completions across its backends in
+            // completion-time order — its reply link serializes them in
+            // that order regardless of which VM sent what.
+            let mut buf = std::mem::take(&mut self.harvest_buf);
+            buf.clear();
+            for (bidx, b) in self.backends.iter_mut().enumerate() {
+                if b.spec.host != host_idx {
+                    continue;
+                }
+                let (_, _, completions) = self.hosts[host_idx].machine.io_logs(b.spec.dom);
+                for &c in &completions[b.seen_completions..] {
+                    buf.push((c, bidx));
+                }
+                b.seen_completions = completions.len();
+            }
+            buf.sort_unstable();
+            let host = &mut self.hosts[host_idx];
+            for &(c, bidx) in buf.iter() {
+                let b = &mut self.backends[bidx];
+                let send = b
+                    .pending
+                    .pop_front()
+                    .expect("reply without a pending request");
+                self.outstanding[bidx] -= 1;
+                let reply_at = host.link.send_reply(c, b.spec.reply_bytes);
+                if send >= self.window.0 && send < self.window.1 {
+                    host.latency_us.record(reply_at.since(send).as_us());
+                    host.completed += 1;
+                }
+            }
+            self.harvest_buf = buf;
+            // Listen-queue overflows: retire dropped requests.
+            for (bidx, b) in self.backends.iter_mut().enumerate() {
+                if b.spec.host != host_idx {
+                    continue;
+                }
+                let total = self.hosts[host_idx]
+                    .machine
+                    .guest(b.spec.dom)
+                    .io_drops(b.spec.queue);
+                for _ in 0..total - b.seen_drops {
+                    let send = b.pending.pop_front().expect("drop without a request");
+                    self.outstanding[bidx] -= 1;
+                    if send >= self.window.0 && send < self.window.1 {
+                        self.hosts[host_idx].drops += 1;
+                    }
+                }
+                b.seen_drops = total;
+            }
+        }
+    }
+
+    /// The per-host measurement samples (for [`FleetPoint::from_hosts`]).
+    pub fn host_samples(&self) -> Vec<HostSample> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .map(|(i, h)| HostSample {
+                host: i,
+                latency_us: h.latency_us.clone(),
+                completed: h.completed,
+                drops: h.drops,
+            })
+            .collect()
+    }
+
+    /// Packages the run's measurements as one fleet sweep point.
+    pub fn fleet_point(&self, mode: impl Into<String>, offered_rps: u64) -> FleetPoint {
+        FleetPoint::from_hosts(mode, offered_rps, self.sent, self.host_samples())
+    }
+}

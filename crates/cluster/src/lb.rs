@@ -1,0 +1,79 @@
+//! The front-end load balancer: backend selection policies.
+//!
+//! Both policies are pure functions of explicitly-tracked state, so
+//! routing decisions are deterministic and independent of the worker
+//! thread count. Least-outstanding sees the per-backend in-flight
+//! counts the cluster maintains; those counts decrement at epoch
+//! harvests, so its feedback is epoch-granular — exactly the staleness
+//! a real L4 balancer sees over a network.
+
+/// Backend-selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LbPolicy {
+    /// Cycle through backends in registration order.
+    RoundRobin,
+    /// Pick the backend with the fewest in-flight requests; ties go to
+    /// the lowest-numbered backend.
+    LeastOutstanding,
+}
+
+/// Load-balancer state (just the round-robin cursor today).
+#[derive(Clone, Debug)]
+pub struct LoadBalancer {
+    policy: LbPolicy,
+    next: usize,
+}
+
+impl LoadBalancer {
+    /// A balancer with the given policy.
+    pub fn new(policy: LbPolicy) -> Self {
+        LoadBalancer { policy, next: 0 }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> LbPolicy {
+        self.policy
+    }
+
+    /// Picks a backend index given the per-backend outstanding counts.
+    pub fn pick(&mut self, outstanding: &[u64]) -> usize {
+        assert!(!outstanding.is_empty(), "no backends registered");
+        match self.policy {
+            LbPolicy::RoundRobin => {
+                let i = self.next % outstanding.len();
+                self.next = (i + 1) % outstanding.len();
+                i
+            }
+            LbPolicy::LeastOutstanding => {
+                let mut best = 0;
+                for (i, &o) in outstanding.iter().enumerate() {
+                    if o < outstanding[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_in_order() {
+        let mut lb = LoadBalancer::new(LbPolicy::RoundRobin);
+        let counts = [5, 0, 7];
+        let picks: Vec<usize> = (0..7).map(|_| lb.pick(&counts)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn least_outstanding_prefers_idle_and_breaks_ties_low() {
+        let mut lb = LoadBalancer::new(LbPolicy::LeastOutstanding);
+        assert_eq!(lb.pick(&[3, 1, 2]), 1);
+        assert_eq!(lb.pick(&[2, 2, 2]), 0, "tie goes to the lowest index");
+        assert_eq!(lb.pick(&[4, 3, 0, 0]), 2);
+    }
+}

@@ -1,0 +1,24 @@
+//! Multi-host fleet simulation for the vScale reproduction.
+//!
+//! Scales the single-`Machine` harness to a rack: N independent hosts
+//! behind a front-end load balancer, a virtual datacenter network with
+//! per-link bandwidth/latency, and fleet-wide tail-latency accounting.
+//! The cluster advances its hosts in lockstep epochs bounded by the
+//! minimum link latency, which keeps whole-fleet runs bit-identical at
+//! any `VSCALE_THREADS` while still stepping disjoint hosts on worker
+//! threads — see the module docs in [`cluster`] for the argument.
+//!
+//! Layering: [`net`] models links, [`lb`] the balancer policies,
+//! [`cluster`] the lockstep loop and request ledger, and [`testbed`]
+//! the canned web-fleet topology the bench and tests share. Fleet
+//! metrics land in `metrics::fleet` histograms.
+
+pub mod cluster;
+pub mod lb;
+pub mod net;
+pub mod testbed;
+
+pub use cluster::{BackendSpec, Cluster, ClusterConfig, REQUEST_BYTES};
+pub use lb::{LbPolicy, LoadBalancer};
+pub use net::{Link, LinkConfig};
+pub use testbed::{build_web_fleet, WebFleetConfig};

@@ -1,0 +1,133 @@
+//! The virtual datacenter network: per-host links with bandwidth
+//! serialization and propagation latency.
+//!
+//! Each host hangs off the front-end load balancer by one full-duplex
+//! link. A transfer occupies its direction of the link for
+//! `bytes / bandwidth` (serialization), then propagates for the link
+//! latency. Serialization is modeled with a per-direction `busy_until`
+//! cursor — transfers queue behind each other exactly as on a real
+//! top-of-rack port — while propagation delays overlap freely.
+//!
+//! The propagation latency doubles as the cluster's determinism
+//! foundation: the lockstep epoch length must not exceed the smallest
+//! link latency, which guarantees a message sent during one epoch is
+//! delivered in a strictly later epoch (see `cluster.rs`).
+
+use sim_core::time::{SimDuration, SimTime};
+
+/// Static parameters of one load-balancer ↔ host link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Link bandwidth, bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation latency (switching + cabling + kernel stack).
+    pub latency: SimDuration,
+}
+
+impl LinkConfig {
+    /// A typical intra-datacenter path: 10 GbE through one ToR switch,
+    /// 200 µs one-way (the figure LiveStack-style cluster models use for
+    /// same-facility RTTs of a few hundred µs).
+    pub fn datacenter() -> Self {
+        LinkConfig {
+            bandwidth_bps: 10_000_000_000,
+            latency: SimDuration::from_us(200),
+        }
+    }
+
+    /// Serialization time of `bytes` on this link, rounded up to a whole
+    /// nanosecond so repeated transfers accumulate deterministically in
+    /// integer time.
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        assert!(self.bandwidth_bps > 0);
+        let bits = (bytes as u128) * 8 * 1_000_000_000;
+        let ns = bits.div_ceil(self.bandwidth_bps as u128);
+        SimDuration::from_ns(ns as u64)
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::datacenter()
+    }
+}
+
+/// Runtime state of one link: a serialization cursor per direction.
+#[derive(Clone, Debug)]
+pub struct Link {
+    /// The link's static parameters.
+    pub config: LinkConfig,
+    /// Request direction (LB → host) busy-until cursor.
+    tx_busy: SimTime,
+    /// Reply direction (host → LB) busy-until cursor.
+    rx_busy: SimTime,
+}
+
+impl Link {
+    /// A fresh, idle link.
+    pub fn new(config: LinkConfig) -> Self {
+        Link {
+            config,
+            tx_busy: SimTime::ZERO,
+            rx_busy: SimTime::ZERO,
+        }
+    }
+
+    /// Sends `bytes` toward the host at `at`; returns the arrival time
+    /// (queue behind earlier transfers + serialize + propagate).
+    pub fn send_request(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let start = if at > self.tx_busy { at } else { self.tx_busy };
+        let done = start + self.config.wire_time(bytes);
+        self.tx_busy = done;
+        done + self.config.latency
+    }
+
+    /// Sends `bytes` back toward the load balancer at `at`; returns the
+    /// arrival time at the LB.
+    pub fn send_reply(&mut self, at: SimTime, bytes: u64) -> SimTime {
+        let start = if at > self.rx_busy { at } else { self.rx_busy };
+        let done = start + self.config.wire_time(bytes);
+        self.rx_busy = done;
+        done + self.config.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_time_rounds_up_and_scales() {
+        let l = LinkConfig {
+            bandwidth_bps: 1_000_000_000,
+            latency: SimDuration::from_us(150),
+        };
+        // 16.5 KB at 1 Gb/s = 135168 ns exactly.
+        assert_eq!(l.wire_time(16 * 1024 + 512), SimDuration::from_ns(135_168));
+        // 1 byte = 8 ns.
+        assert_eq!(l.wire_time(1), SimDuration::from_ns(8));
+        // Rounding up: 1 byte at 3 bps = ceil(8e9/3) ns.
+        let odd = LinkConfig {
+            bandwidth_bps: 3,
+            latency: SimDuration::ZERO,
+        };
+        assert_eq!(odd.wire_time(1), SimDuration::from_ns(2_666_666_667));
+    }
+
+    #[test]
+    fn back_to_back_transfers_serialize() {
+        let mut link = Link::new(LinkConfig {
+            bandwidth_bps: 1_000_000_000,
+            latency: SimDuration::from_us(100),
+        });
+        let t0 = SimTime::from_us(10);
+        let wire = link.config.wire_time(1_000); // 8 µs
+        let a = link.send_request(t0, 1_000);
+        let b = link.send_request(t0, 1_000);
+        assert_eq!(a, t0 + wire + link.config.latency);
+        assert_eq!(b, t0 + wire + wire + link.config.latency);
+        // The reply direction is independent.
+        let r = link.send_reply(t0, 1_000);
+        assert_eq!(r, a);
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-host determinism: a fleet run is a pure function of its
+//! configuration, byte-identical at any worker-thread count — the
+//! property `scripts/verify.sh` holds for every bench JSON line,
+//! checked here at the cluster layer directly, including under an
+//! injected fault plan.
+
+use cluster::{build_web_fleet, ClusterConfig, LbPolicy, WebFleetConfig};
+use sim_core::fault::FaultConfig;
+use sim_core::time::{SimDuration, SimTime};
+
+/// Runs one small fleet to completion and returns every observable the
+/// bench would serialize: the fleet point JSON (quantiles, per-host
+/// breakdowns, drop counts) plus per-host domain-stat fingerprints.
+fn fleet_run(threads: usize, lb: LbPolicy, fault: Option<FaultConfig>) -> String {
+    let fleet = WebFleetConfig {
+        hosts: 3,
+        desktops_per_host: 1,
+        fault,
+        ..WebFleetConfig::default()
+    };
+    let mut c = build_web_fleet(
+        fleet,
+        ClusterConfig {
+            threads,
+            lb,
+            ..ClusterConfig::default()
+        },
+    );
+    let start = SimTime::from_ms(40);
+    let end = SimTime::from_ms(340);
+    c.set_window(start, end);
+    c.open_loop(3_000.0, SimTime::ZERO, end);
+    c.run_until(end + SimDuration::from_ms(50)).expect("runs");
+    let mut out = c.fleet_point("test", 3_000).to_json();
+    for host in 0..c.n_hosts() {
+        let m = c.machine(host);
+        for dom in 0..2 {
+            let st = m.domain_stats(vscale::DomId(dom));
+            out.push_str(&format!(
+                "\nhost{host} dom{dom} {:?} {:?} {}",
+                st.run_total, st.wait_total, st.reconfigs
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn fleet_is_byte_identical_across_thread_counts() {
+    for lb in [LbPolicy::RoundRobin, LbPolicy::LeastOutstanding] {
+        let serial = fleet_run(1, lb, None);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                fleet_run(threads, lb, None),
+                "fleet diverged at threads={threads} lb={lb:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn faulted_fleet_is_byte_identical_across_thread_counts() {
+    let fault = FaultConfig {
+        seed: 0xc1a5,
+        notify_drop_ppm: 30_000,
+        notify_dup_ppm: 10_000,
+        ipi_drop_ppm: 20_000,
+        daemon_crash_ppm: 50_000,
+        stale_read_ppm: 20_000,
+        ..FaultConfig::default()
+    };
+    let serial = fleet_run(1, LbPolicy::LeastOutstanding, Some(fault));
+    for threads in [2, 4] {
+        assert_eq!(
+            serial,
+            fleet_run(threads, LbPolicy::LeastOutstanding, Some(fault)),
+            "faulted fleet diverged at threads={threads}"
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! Property: fleet-merged histogram quantiles agree with a single
+//! whole-population histogram.
+//!
+//! `Histogram::merge` sums bucket counts exactly, so splitting a request
+//! population across hosts and merging must reproduce the
+//! whole-population quantiles not just within bucket resolution (the
+//! ISSUE's bar) but *exactly* — any disagreement means per-host
+//! aggregation loses samples or shifts buckets.
+
+use metrics::fleet::{FleetPoint, HostSample};
+use sim_core::stats::Histogram;
+use testkit::{prop_assert, prop_assert_eq};
+
+#[test]
+fn fleet_merge_matches_whole_population_quantiles() {
+    let latencies = testkit::vec_of(testkit::u64_in(0..50_000_000), 1..400);
+    let input = testkit::tuple2(latencies, testkit::usize_in(1..9));
+    testkit::run_prop(
+        "fleet_merge_quantiles",
+        testkit::Config::with_cases(64),
+        &input,
+        |(samples, n_hosts)| {
+            // Deal the population round-robin across hosts.
+            let mut hosts: Vec<HostSample> = (0..*n_hosts)
+                .map(|host| HostSample {
+                    host,
+                    latency_us: Histogram::new(),
+                    completed: 0,
+                    drops: 0,
+                })
+                .collect();
+            let mut whole = Histogram::new();
+            for (i, &s) in samples.iter().enumerate() {
+                hosts[i % n_hosts].latency_us.record(s);
+                hosts[i % n_hosts].completed += 1;
+                whole.record(s);
+            }
+            let point = FleetPoint::from_hosts("prop", 1, samples.len() as u64, hosts);
+            prop_assert_eq!(point.completed, samples.len() as u64);
+            for q in [0.5, 0.9, 0.99, 0.999] {
+                let merged = point.latency_us.quantile(q);
+                let direct = whole.quantile(q);
+                prop_assert!(
+                    merged == direct,
+                    "q={q}: merged {merged} != whole-population {direct}"
+                );
+            }
+            prop_assert_eq!(point.p999_us(), whole.quantile(0.999));
+            Ok(())
+        },
+    );
+}

@@ -34,7 +34,7 @@ use sim_core::fault::{
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
-use sim_core::trace::TraceRing;
+use sim_core::trace::{TraceEvent, TraceRing};
 use xen_sched::channel::{ChannelCosts, DoorbellLink, VscaleChannel};
 use xen_sched::credit::{CreditScheduler, SchedEvent};
 use xen_sched::evtchn::{EvtchnTable, PortId, PortKind};
@@ -560,6 +560,22 @@ impl Machine {
         }
     }
 
+    /// The cluster layer's epoch driver: advances this host to `deadline`
+    /// under watchdog supervision, processing every local event with
+    /// `t <= deadline`.
+    ///
+    /// The lockstep contract: a cluster steps its hosts in epochs, and
+    /// within one epoch each host evolves *only* from events already in
+    /// its queue — cross-host messages are injected (via
+    /// [`Machine::inject_io`]) strictly before the epoch that delivers
+    /// them begins. Under that contract `step_to` is safe to call from a
+    /// worker thread per host (machines share nothing), and a host's
+    /// evolution is a pure function of its injected events, independent
+    /// of how hosts are partitioned across workers.
+    pub fn step_to(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        self.try_run_until(deadline)
+    }
+
     /// Watchdog-supervised [`Machine::run_until_exited`].
     pub fn try_run_until_exited(
         &mut self,
@@ -819,10 +835,8 @@ impl Machine {
                     // The daemon process dies and respawns before its next
                     // period: soft state (EMA, streaks, in-flight read) is
                     // lost, lifetime counters survive, the timer re-arms.
-                    if self.trace.is_enabled() {
-                        self.trace
-                            .push(now, "daemon", format!("crash-restart {dom}"));
-                    }
+                    self.trace
+                        .push(now, "daemon", TraceEvent::DaemonCrashRestart(dom));
                     self.guests[dom.index()].daemon.crash_restart();
                     let period = self.guests[dom.index()].daemon.config.period;
                     self.queue.schedule(now + period, Ev::DaemonTimer { dom });
@@ -872,10 +886,8 @@ impl Machine {
             Ev::HotplugAborted { dom } => {
                 // stop_machine unwound partway: the partial stall has been
                 // paid, the target stays online, there is no local tail.
-                if self.trace.is_enabled() {
-                    self.trace
-                        .push(now, "daemon", format!("hotplug abort {dom}"));
-                }
+                self.trace
+                    .push(now, "daemon", TraceEvent::HotplugAbort(dom));
                 // Arm the capped exponential hold before the next removal
                 // attempt, dated from the unwind (stalls vary in length).
                 let policy = self.config.recovery.hotplug_retry;
@@ -995,9 +1007,7 @@ impl Machine {
             }
             match op {
                 Op::Sched(SchedEvent::Run { pcpu, vcpu }) => {
-                    if self.trace.is_enabled() {
-                        self.trace.push(now, "hv", format!("run {vcpu} on {pcpu}"));
-                    }
+                    self.trace.push(now, "hv", TraceEvent::Run { vcpu, pcpu });
                     let mut fx = std::mem::take(&mut self.run_fx_buf);
                     self.guests[vcpu.dom.index()]
                         .kernel
@@ -1020,10 +1030,8 @@ impl Machine {
                     dirty.push((vcpu.dom, vcpu.vcpu));
                 }
                 Op::Sched(SchedEvent::Desched { pcpu, vcpu }) => {
-                    if self.trace.is_enabled() {
-                        self.trace
-                            .push(now, "hv", format!("desched {vcpu} off {pcpu}"));
-                    }
+                    self.trace
+                        .push(now, "hv", TraceEvent::Desched { vcpu, pcpu });
                     self.guests[vcpu.dom.index()]
                         .kernel
                         .vcpu_stop(vcpu.vcpu, now);
@@ -1118,12 +1126,14 @@ impl Machine {
                 self.hv_into_ops(ops, |hv, ev| hv.vcpu_wake(GlobalVcpu::new(dom, v), now, ev));
             }
             GuestEffect::SetFrozen { vcpu, frozen } => {
-                if self.trace.is_enabled() {
-                    let what = if frozen { "freeze" } else { "unfreeze" };
-                    self.trace
-                        .push(now, "daemon", format!("{what} {dom}.{vcpu}"));
-                }
-                self.hv.set_frozen(GlobalVcpu::new(dom, vcpu), frozen);
+                let gv = GlobalVcpu::new(dom, vcpu);
+                let ev = if frozen {
+                    TraceEvent::Freeze(gv)
+                } else {
+                    TraceEvent::Unfreeze(gv)
+                };
+                self.trace.push(now, "daemon", ev);
+                self.hv.set_frozen(gv, frozen);
                 let active = self.guests[dom.index()].kernel.active_vcpus();
                 self.guests[dom.index()].active_trace.push((now, active));
             }
@@ -1410,10 +1420,8 @@ impl Machine {
         if !g.failsafe.tick() {
             return;
         }
-        if self.trace.is_enabled() {
-            self.trace
-                .push(now, "guest", format!("failsafe unfreeze-all {dom}"));
-        }
+        self.trace
+            .push(now, "guest", TraceEvent::FailsafeUnfreezeAll(dom));
         let n = self.guests[dom.index()].kernel.n_vcpus();
         let mut fx = std::mem::take(&mut self.fx_buf);
         for v in 1..n {
@@ -1454,10 +1462,7 @@ impl Machine {
                 .freeze_mask()
                 .is_frozen(vcpu);
             if self.hv.is_frozen(gv) != guest_frozen {
-                if self.trace.is_enabled() {
-                    self.trace
-                        .push(now, "daemon", format!("resync repair {dom}.{vcpu}"));
-                }
+                self.trace.push(now, "daemon", TraceEvent::ResyncRepair(gv));
                 self.hv.set_frozen(gv, guest_frozen);
                 self.guests[dom.index()].daemon.resync_repairs += 1;
             }

@@ -136,7 +136,11 @@ pub struct ProgramCtx {
 ///
 /// Programs own whatever state (and RNG) they need; the kernel calls
 /// [`ThreadProgram::next`] exactly once per completed action.
-pub trait ThreadProgram {
+///
+/// `Send` is required so whole machines (which box their programs) can
+/// be stepped from worker threads — the cluster layer advances disjoint
+/// hosts in parallel within each lockstep epoch.
+pub trait ThreadProgram: Send {
     /// Produces the thread's next action.
     fn next(&mut self, ctx: ProgramCtx) -> ThreadAction;
 
@@ -200,7 +204,7 @@ impl ThreadProgram for Script {
 /// A program that repeats a closure-provided action sequence forever.
 pub struct Looping<F>
 where
-    F: FnMut(ProgramCtx) -> ThreadAction,
+    F: FnMut(ProgramCtx) -> ThreadAction + Send,
 {
     f: F,
     label: &'static str,
@@ -208,7 +212,7 @@ where
 
 impl<F> Looping<F>
 where
-    F: FnMut(ProgramCtx) -> ThreadAction,
+    F: FnMut(ProgramCtx) -> ThreadAction + Send,
 {
     /// Creates a program that delegates every step to `f`.
     pub fn new(label: &'static str, f: F) -> Self {
@@ -218,7 +222,7 @@ where
 
 impl<F> ThreadProgram for Looping<F>
 where
-    F: FnMut(ProgramCtx) -> ThreadAction,
+    F: FnMut(ProgramCtx) -> ThreadAction + Send,
 {
     fn next(&mut self, ctx: ProgramCtx) -> ThreadAction {
         (self.f)(ctx)

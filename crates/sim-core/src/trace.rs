@@ -4,11 +4,110 @@
 //! recent `capacity` of them. When a simulation misbehaves, dumping the
 //! ring gives the last few thousand scheduling decisions without paying
 //! for unbounded logging during long runs.
+//!
+//! The hot path is allocation-free: recorded events are typed
+//! ([`TraceEvent`]) or static labels, stored as fixed-size values and
+//! rendered lazily only when the ring is dumped. Formatting a `String`
+//! per event — the old scheme — is still possible through
+//! [`TraceMessage::Owned`] for tests and ad-hoc tooling, but no
+//! steady-state simulation path uses it.
 
 use std::collections::VecDeque;
+use std::fmt;
 use std::fmt::Write as _;
 
+use crate::ids::{DomId, GlobalVcpu, PcpuId};
 use crate::time::SimTime;
+
+/// A typed trace event covering the machine layer's steady-state trace
+/// points. Stored inline (no heap) and rendered lazily on dump; the
+/// rendering matches the strings the trace historically recorded, so
+/// trace-diffing tests and tooling see identical output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A vCPU was placed on a pCPU.
+    Run {
+        /// The scheduled vCPU.
+        vcpu: GlobalVcpu,
+        /// Where it landed.
+        pcpu: PcpuId,
+    },
+    /// A vCPU was descheduled from a pCPU.
+    Desched {
+        /// The descheduled vCPU.
+        vcpu: GlobalVcpu,
+        /// Where it ran.
+        pcpu: PcpuId,
+    },
+    /// The daemon froze a vCPU.
+    Freeze(GlobalVcpu),
+    /// The daemon unfroze a vCPU.
+    Unfreeze(GlobalVcpu),
+    /// The daemon process crash-restarted (injected fault).
+    DaemonCrashRestart(DomId),
+    /// A hotplug removal aborted mid-`stop_machine`.
+    HotplugAbort(DomId),
+    /// The balancer's fail-safe unfroze every vCPU.
+    FailsafeUnfreezeAll(DomId),
+    /// A post-crash resync repaired one vCPU's frozen view.
+    ResyncRepair(GlobalVcpu),
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Run { vcpu, pcpu } => write!(f, "run {vcpu} on {pcpu}"),
+            TraceEvent::Desched { vcpu, pcpu } => write!(f, "desched {vcpu} off {pcpu}"),
+            TraceEvent::Freeze(gv) => write!(f, "freeze {gv}"),
+            TraceEvent::Unfreeze(gv) => write!(f, "unfreeze {gv}"),
+            TraceEvent::DaemonCrashRestart(d) => write!(f, "crash-restart {d}"),
+            TraceEvent::HotplugAbort(d) => write!(f, "hotplug abort {d}"),
+            TraceEvent::FailsafeUnfreezeAll(d) => write!(f, "failsafe unfreeze-all {d}"),
+            TraceEvent::ResyncRepair(gv) => write!(f, "resync repair {gv}"),
+        }
+    }
+}
+
+/// What one trace entry records: a typed event (allocation-free), a
+/// static label (allocation-free), or an owned string (allocates; kept
+/// for tests and ad-hoc tooling only).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceMessage {
+    /// A typed machine event, rendered lazily.
+    Event(TraceEvent),
+    /// A static label.
+    Static(&'static str),
+    /// An owned string (not used by any hot path).
+    Owned(String),
+}
+
+impl fmt::Display for TraceMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceMessage::Event(e) => e.fmt(f),
+            TraceMessage::Static(s) => f.write_str(s),
+            TraceMessage::Owned(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<TraceEvent> for TraceMessage {
+    fn from(e: TraceEvent) -> Self {
+        TraceMessage::Event(e)
+    }
+}
+
+impl From<&'static str> for TraceMessage {
+    fn from(s: &'static str) -> Self {
+        TraceMessage::Static(s)
+    }
+}
+
+impl From<String> for TraceMessage {
+    fn from(s: String) -> Self {
+        TraceMessage::Owned(s)
+    }
+}
 
 /// One trace entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -17,8 +116,15 @@ pub struct TraceEntry {
     pub at: SimTime,
     /// Component tag (e.g. `"hv"`, `"dom1"`).
     pub tag: &'static str,
-    /// Event description.
-    pub message: String,
+    /// What happened.
+    pub message: TraceMessage,
+}
+
+impl TraceEntry {
+    /// The rendered message text.
+    pub fn render(&self) -> String {
+        self.message.to_string()
+    }
 }
 
 /// A fixed-capacity ring of trace entries.
@@ -64,8 +170,10 @@ impl TraceRing {
         self.enabled
     }
 
-    /// Records an entry (no-op when disabled).
-    pub fn push(&mut self, at: SimTime, tag: &'static str, message: impl Into<String>) {
+    /// Records an entry (no-op when disabled). Hot paths pass a
+    /// [`TraceEvent`] or `&'static str` and allocate nothing; once the
+    /// ring is at capacity the evicted slot's storage is reused.
+    pub fn push(&mut self, at: SimTime, tag: &'static str, message: impl Into<TraceMessage>) {
         if !self.enabled {
             return;
         }
@@ -124,6 +232,7 @@ impl TraceRing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ids::VcpuId;
 
     #[test]
     fn ring_evicts_oldest() {
@@ -133,7 +242,7 @@ mod tests {
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.total_pushed(), 5);
-        let msgs: Vec<&str> = r.entries().map(|e| e.message.as_str()).collect();
+        let msgs: Vec<String> = r.entries().map(TraceEntry::render).collect();
         assert_eq!(msgs, vec!["e2", "e3", "e4"]);
     }
 
@@ -151,13 +260,71 @@ mod tests {
     #[test]
     fn dump_and_filter() {
         let mut r = TraceRing::new(10);
-        r.push(SimTime::from_ms(1), "hv", "run dom0.vcpu0 on pcpu0");
-        r.push(SimTime::from_ms(2), "dom0", "freeze vcpu3");
+        r.push(
+            SimTime::from_ms(1),
+            "hv",
+            TraceEvent::Run {
+                vcpu: GlobalVcpu::new(DomId(0), VcpuId(0)),
+                pcpu: PcpuId(0),
+            },
+        );
+        r.push(
+            SimTime::from_ms(2),
+            "dom0",
+            TraceEvent::Freeze(GlobalVcpu::new(DomId(0), VcpuId(3))),
+        );
         let dump = r.dump();
-        assert!(dump.contains("run dom0.vcpu0"));
-        assert!(dump.contains("freeze vcpu3"));
+        assert!(dump.contains("run dom0.vcpu0 on pcpu0"));
+        assert!(dump.contains("freeze dom0.vcpu3"));
         assert_eq!(r.filter("hv").count(), 1);
         assert_eq!(r.filter("dom0").count(), 1);
         assert_eq!(r.filter("nope").count(), 0);
+    }
+
+    #[test]
+    fn typed_events_render_like_the_legacy_strings() {
+        let gv = GlobalVcpu::new(DomId(2), VcpuId(1));
+        assert_eq!(
+            TraceEvent::Run {
+                vcpu: gv,
+                pcpu: PcpuId(3)
+            }
+            .to_string(),
+            "run dom2.vcpu1 on pcpu3"
+        );
+        assert_eq!(
+            TraceEvent::Desched {
+                vcpu: gv,
+                pcpu: PcpuId(3)
+            }
+            .to_string(),
+            "desched dom2.vcpu1 off pcpu3"
+        );
+        assert_eq!(TraceEvent::Freeze(gv).to_string(), "freeze dom2.vcpu1");
+        assert_eq!(TraceEvent::Unfreeze(gv).to_string(), "unfreeze dom2.vcpu1");
+        assert_eq!(
+            TraceEvent::DaemonCrashRestart(DomId(1)).to_string(),
+            "crash-restart dom1"
+        );
+        assert_eq!(
+            TraceEvent::HotplugAbort(DomId(1)).to_string(),
+            "hotplug abort dom1"
+        );
+        assert_eq!(
+            TraceEvent::FailsafeUnfreezeAll(DomId(0)).to_string(),
+            "failsafe unfreeze-all dom0"
+        );
+        assert_eq!(
+            TraceEvent::ResyncRepair(gv).to_string(),
+            "resync repair dom2.vcpu1"
+        );
+    }
+
+    #[test]
+    fn typed_event_entries_are_fixed_size() {
+        // The hot-path variants carry only ids; the whole message stays
+        // well under a cache line, and pushing one allocates nothing
+        // beyond the ring's (reused) slot.
+        assert!(std::mem::size_of::<TraceMessage>() <= 40);
     }
 }

@@ -138,6 +138,38 @@ where
     run_indexed_parallel_checked(seeds.len(), threads_from_env(), |i| f(seeds[i]))
 }
 
+/// Runs `f` once per work item — any `(config, app, seed)`-style tuple,
+/// not just a seed — across [`threads_from_env`] workers, returning the
+/// results **in item order** regardless of thread count or completion
+/// order. This is the work-list generalization of
+/// [`run_seeds_parallel`]: the figure benches flatten their
+/// config × app × seed loops into one item list so every axis
+/// parallelizes, and the cluster sweep fans (mode, offered-load) cells
+/// the same way.
+///
+/// Panics (after every item has run) if any item panicked, naming the
+/// first failing item's index; see [`run_items_parallel_checked`] for
+/// per-item isolation.
+pub fn run_items_parallel<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed_parallel(items.len(), threads_from_env(), |i| f(&items[i]))
+}
+
+/// [`run_items_parallel`] with per-item failure isolation: each result
+/// is `Ok` or that item's panic message, in item order.
+pub fn run_items_parallel_checked<T, R, F>(items: &[T], f: F) -> Vec<Result<R, String>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    run_indexed_parallel_checked(items.len(), threads_from_env(), |i| f(&items[i]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +253,30 @@ mod tests {
         });
         assert!(got[0].as_ref().unwrap_err().contains("dynamic 0"));
         assert!(got[1].as_ref().unwrap_err().contains("non-string"));
+    }
+
+    #[test]
+    fn work_list_runner_preserves_item_order() {
+        // A (config, app, seed) style work list: results must come back
+        // in list order at any thread count, so merged JSON is stable.
+        let items: Vec<(usize, &str, u64)> = (0..4)
+            .flat_map(|c| {
+                ["ep", "lu"]
+                    .into_iter()
+                    .flat_map(move |app| (0..3).map(move |s| (c, app, 100 + s)))
+            })
+            .collect();
+        let serial: Vec<String> = items
+            .iter()
+            .map(|(c, app, s)| format!("{c}/{app}/{s}"))
+            .collect();
+        let got = run_items_parallel(&items, |(c, app, s)| format!("{c}/{app}/{s}"));
+        assert_eq!(got, serial);
+        let checked = run_items_parallel_checked(&items, |(c, app, s)| format!("{c}/{app}/{s}"));
+        assert_eq!(
+            checked.into_iter().map(Result::unwrap).collect::<Vec<_>>(),
+            serial
+        );
     }
 
     #[test]

@@ -190,6 +190,9 @@ pub struct HttperfSummary {
     pub connection_time_ms: f64,
     /// Mean response time (accept → reply on the wire), ms.
     pub response_time_ms: f64,
+    /// Connections dropped by the full listen queue over the run so far
+    /// (httperf's `fd-unavail`/refused count — the saturation signal).
+    pub drops: u64,
 }
 
 /// Computes the Figure 14 metrics from the machine's I/O logs over the
@@ -198,8 +201,15 @@ pub struct HttperfSummary {
 ///
 /// Requests flow FIFO through the accept queue and the worker pool, so
 /// arrival, delivery and completion logs are matched by index.
-pub fn summarize(m: &Machine, dom: DomId, start: SimTime, window: SimDuration) -> HttperfSummary {
+pub fn summarize(
+    m: &Machine,
+    dom: DomId,
+    server: &ApacheServer,
+    start: SimTime,
+    window: SimDuration,
+) -> HttperfSummary {
     let (arrivals, deliveries, completions) = m.io_logs(dom);
+    let drops = m.guest(dom).io_drops(server.queue);
     let end = start + window;
     let requests = arrivals.len() as u64;
     let replies = completions
@@ -235,6 +245,7 @@ pub fn summarize(m: &Machine, dom: DomId, start: SimTime, window: SimDuration) -
         } else {
             0.0
         },
+        drops,
     }
 }
 
@@ -262,8 +273,9 @@ mod tests {
         let window = SimDuration::from_ms(500);
         let sent = run_client(&mut m, d, &srv, 2_000.0, SimTime::from_ms(10), window);
         m.run_until(SimTime::from_ms(700));
-        let s = summarize(&m, d, SimTime::from_ms(10), window);
+        let s = summarize(&m, d, &srv, SimTime::from_ms(10), window);
         assert_eq!(s.requests, sent);
+        assert_eq!(s.drops, 0, "uncontended run never fills the backlog");
         // Nearly everything answered; latencies are sub-millisecond.
         assert!(
             s.replies as f64 >= 0.95 * sent as f64,
@@ -286,7 +298,7 @@ mod tests {
         let window = SimDuration::from_ms(500);
         run_client(&mut m, d, &srv, 12_000.0, SimTime::from_ms(10), window);
         m.run_until(SimTime::from_ms(700));
-        let s = summarize(&m, d, SimTime::from_ms(10), window);
+        let s = summarize(&m, d, &srv, SimTime::from_ms(10), window);
         assert!(
             s.reply_rate < 8_000.0,
             "cannot exceed the 1 GbE ceiling: {}",

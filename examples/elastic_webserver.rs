@@ -33,7 +33,7 @@ fn run(cfg: SystemConfig, rate: f64) -> apache::HttperfSummary {
     let window = SimDuration::from_secs(3);
     let sent = apache::run_client(&mut m, vm, &srv, rate, start, window);
     m.run_until(start + window + SimDuration::from_ms(300));
-    let summary = apache::summarize(&m, vm, start, window);
+    let summary = apache::summarize(&m, vm, &srv, start, window);
     println!(
         "  {}: sent {sent}, replied {}, active vCPUs ended at {}",
         cfg.label(),

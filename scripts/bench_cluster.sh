@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the fleet sweep (offered load vs fleet-wide tail latency, static
+# SMP against vScale) and stores its JSON lines, plus a checksum of the
+# deterministic part.
+#
+#   ./scripts/bench_cluster.sh               # writes BENCH_cluster.json
+#   ./scripts/bench_cluster.sh out.json      # writes elsewhere
+#
+# The sweep's seeds, scale, and thread count are pinned so the output —
+# everything except the wall-clock session line — is bit-identical on
+# every machine. scripts/verify.sh re-runs the same pinned sweep and
+# compares its checksum against scripts/cluster.sha256; regenerate that
+# file with this script whenever a deliberate behavior change moves the
+# fleet curves.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_cluster.json}"
+
+echo "== fleet sweep (pinned: quick scale, 2 seeds, 4 threads) -> $out =="
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench cluster_sweep \
+    | tee /dev/stderr | grep '^{' > "$out"
+
+grep -v wall_ms "$out" | sha256sum | cut -d' ' -f1 > scripts/cluster.sha256
+echo "== wrote $(wc -l < "$out") records to $out =="
+echo "== fleet-curve checksum: $(cat scripts/cluster.sha256) =="

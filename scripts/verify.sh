@@ -81,4 +81,25 @@ grep -q '"recovery_active":true' "$resilience_out"
 grep -q '"monotone_within_50000ppm":true' "$resilience_out"
 echo "   curve checksum OK ($got), monotone, recovery active"
 
+echo "== cluster: fleet sweep must match the committed curves and separate the modes =="
+# Same pinning discipline as the resilience gate: the sweep (quick
+# scale, 2 seeds, 4 threads) is deterministic once wall_ms is stripped,
+# and its closing gate line must show vScale sustaining strictly more
+# offered load than static SMP at the fleet p99 SLO. Regenerate the
+# checksum deliberately with scripts/bench_cluster.sh.
+cluster_out="$(mktemp)"
+trap 'rm -f "$sweep_t1" "$sweep_t4" "$chaos_t1" "$chaos_t4" "$resilience_out" "$cluster_out"' EXIT
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench cluster_sweep \
+    | grep '^{' | grep -v wall_ms > "$cluster_out"
+want="$(cat scripts/cluster.sha256)"
+got="$(sha256sum "$cluster_out" | cut -d' ' -f1)"
+if [ "$want" != "$got" ]; then
+    echo "fleet curves drifted: want $want got $got" >&2
+    cat "$cluster_out" >&2
+    exit 1
+fi
+grep -q '"vscale_gt_static":true' "$cluster_out"
+echo "   fleet checksum OK ($got), vScale sustains more load than static at the p99 SLO"
+
 echo "== verify: OK =="

@@ -142,7 +142,7 @@ fn full_apache_pipeline_under_all_configs() {
         let window = SimDuration::from_ms(400);
         let sent = apache::run_client(&mut m, vm, &srv, 1_000.0, SimTime::from_ms(10), window);
         m.run_until(SimTime::from_ms(600));
-        let s = apache::summarize(&m, vm, SimTime::from_ms(10), window);
+        let s = apache::summarize(&m, vm, &srv, SimTime::from_ms(10), window);
         assert!(sent > 200);
         assert!(
             s.replies as f64 > 0.9 * sent as f64,
