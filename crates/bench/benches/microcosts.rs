@@ -13,12 +13,16 @@
 
 use std::hint::black_box;
 
+use guest_kernel::thread::{OneShot, ThreadKind};
 use guest_kernel::{GuestConfig, GuestKernel, VcpuId};
 use sim_core::event::{EventHandle, EventQueue, EventQueueApi, HeapQueue};
+use sim_core::fault::WatchdogConfig;
 use sim_core::ids::{GlobalVcpu, PcpuId};
 use sim_core::rng::SimRng;
 use sim_core::time::{SimDuration, SimTime};
 use testkit::bench::BenchRunner;
+use vscale::config::{DomainSpec, MachineConfig, SystemConfig};
+use vscale::machine::Machine;
 use xen_sched::channel::{ChannelCosts, VscaleChannel};
 use xen_sched::credit::{CreditConfig, CreditScheduler};
 use xen_sched::extend::{compute_extendability, ExtendParams};
@@ -207,6 +211,51 @@ fn bench_event_queue_churn(r: &mut BenchRunner) {
     });
 }
 
+fn bench_machine_dispatch(r: &mut BenchRunner) {
+    // Guard for the dispatch-path fix: the supervised run loop calls
+    // watchdog_tick per delivered event, and each elapsed stall window
+    // recomputes the progress fingerprint. That fingerprint must read the
+    // scheduler's O(1) run-time aggregate, not fold per-domain per-vCPU
+    // totals. A 20 ms stall window (two tick periods, so the fingerprint
+    // always observes fresh burns and never trips) keeps recomputation
+    // frequent enough that a regression to O(domains × vcpus) folding
+    // shows up in events_per_sec.
+    let run = || {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            seed: 77,
+            ..MachineConfig::default()
+        });
+        let vm = m.add_domain(SystemConfig::VScale.domain_spec(4));
+        let bg = m.add_domain(DomainSpec::fixed(2));
+        for _ in 0..4 {
+            let t = m.guest_mut(vm).spawn(
+                ThreadKind::User,
+                Box::new(OneShot::new(SimDuration::from_ms(400))),
+            );
+            m.start_thread(vm, t);
+        }
+        for _ in 0..2 {
+            let t = m.guest_mut(bg).spawn(
+                ThreadKind::User,
+                Box::new(OneShot::new(SimDuration::from_ms(400))),
+            );
+            m.start_thread(bg, t);
+        }
+        m.set_watchdog(WatchdogConfig {
+            stall_timeout: SimDuration::from_ms(20),
+            ..WatchdogConfig::default()
+        });
+        m.try_run_until(SimTime::from_ms(100)).expect("clean run");
+        m.events_delivered()
+    };
+    // The machine is deterministic, so one probe run fixes the per-call
+    // event count for the throughput figure.
+    let per_call = run();
+    assert!(per_call > 0, "dispatch bench delivered no events");
+    r.bench_throughput("machine_dispatch_supervised", per_call, || black_box(run()));
+}
+
 fn bench_tick_path(r: &mut BenchRunner) {
     r.bench_with_setup(
         "credit_on_tick_4_pcpus",
@@ -240,6 +289,7 @@ fn main() {
     bench_credit_wake_block(&mut r);
     bench_event_queue(&mut r);
     bench_event_queue_churn(&mut r);
+    bench_machine_dispatch(&mut r);
     bench_tick_path(&mut r);
     r.finish();
 }

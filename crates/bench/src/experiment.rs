@@ -6,13 +6,14 @@
 //! vCPUs equally.
 
 use sim_core::time::{SimDuration, SimTime};
-use vscale::config::{DomainSpec, MachineConfig, SystemConfig};
+use vscale::config::{DomainSpec, MachineConfig, SchedBackend, SystemConfig};
 use vscale::{DomId, Machine};
 use workloads::apache::{self, ApacheConfig, HttperfSummary};
 use workloads::desktop::{self, SlideshowConfig};
 use workloads::npb::{self, NpbApp};
 use workloads::parsec::{self, ParsecApp};
 use workloads::spin::SpinPolicy;
+use xen_sched::{Credit2Scheduler, CreditScheduler, DynFracScheduler, HypervisorSched};
 
 /// Scales experiment length: benches default to [`ExperimentScale::Quick`]
 /// so `cargo bench` stays tractable; set `VSCALE_BENCH_SCALE=full` for
@@ -68,8 +69,17 @@ pub struct AppResult {
 /// weights ∝ vCPU count. The small pool makes desktop bursts binary
 /// events: when a desktop decodes, test-VM vCPUs *must* stack.
 pub fn build_host(cfg: SystemConfig, vm_vcpus: usize, seed: u64) -> (Machine, DomId, Vec<DomId>) {
+    build_host_on::<CreditScheduler>(cfg, vm_vcpus, seed)
+}
+
+/// [`build_host`] on an explicit scheduler backend.
+pub fn build_host_on<S: HypervisorSched>(
+    cfg: SystemConfig,
+    vm_vcpus: usize,
+    seed: u64,
+) -> (Machine<S>, DomId, Vec<DomId>) {
     let spec = cfg.domain_spec(vm_vcpus).with_weight(128 * vm_vcpus as u32);
-    build_host_with(spec, seed, SlideshowConfig::default())
+    build_host_with_on::<S>(spec, seed, SlideshowConfig::default())
 }
 
 /// [`build_host`] with explicit domain spec and background-desktop
@@ -79,9 +89,18 @@ pub fn build_host_with(
     seed: u64,
     slideshow: SlideshowConfig,
 ) -> (Machine, DomId, Vec<DomId>) {
+    build_host_with_on::<CreditScheduler>(spec, seed, slideshow)
+}
+
+/// [`build_host_with`] on an explicit scheduler backend.
+pub fn build_host_with_on<S: HypervisorSched>(
+    spec: DomainSpec,
+    seed: u64,
+    slideshow: SlideshowConfig,
+) -> (Machine<S>, DomId, Vec<DomId>) {
     let vm_vcpus = spec.guest.n_vcpus;
     let n_pcpus = vm_vcpus;
-    let mut m = Machine::new(MachineConfig {
+    let mut m: Machine<S> = Machine::with_backend(MachineConfig {
         n_pcpus,
         seed,
         ..MachineConfig::default()
@@ -101,11 +120,23 @@ pub fn npb_experiment(
     scale: ExperimentScale,
     seed: u64,
 ) -> AppResult {
+    npb_experiment_on::<CreditScheduler>(cfg, app, vm_vcpus, policy, scale, seed)
+}
+
+/// [`npb_experiment`] on an explicit scheduler backend.
+pub fn npb_experiment_on<S: HypervisorSched>(
+    cfg: SystemConfig,
+    app: NpbApp,
+    vm_vcpus: usize,
+    policy: SpinPolicy,
+    scale: ExperimentScale,
+    seed: u64,
+) -> AppResult {
     let app = NpbApp {
         iterations: scale.iters(app.iterations),
         ..app
     };
-    let (mut m, vm, _bg) = build_host(cfg, vm_vcpus, seed);
+    let (mut m, vm, _bg) = build_host_on::<S>(cfg, vm_vcpus, seed);
     let _run = npb::install(&mut m, vm, app, vm_vcpus, policy);
     let start = m.now();
     let deadline = SimTime::from_secs(120);
@@ -121,11 +152,22 @@ pub fn parsec_experiment(
     scale: ExperimentScale,
     seed: u64,
 ) -> AppResult {
+    parsec_experiment_on::<CreditScheduler>(cfg, app, vm_vcpus, scale, seed)
+}
+
+/// [`parsec_experiment`] on an explicit scheduler backend.
+pub fn parsec_experiment_on<S: HypervisorSched>(
+    cfg: SystemConfig,
+    app: ParsecApp,
+    vm_vcpus: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> AppResult {
     let app = ParsecApp {
         rounds: scale.iters(app.rounds),
         ..app
     };
-    let (mut m, vm, _bg) = build_host(cfg, vm_vcpus, seed);
+    let (mut m, vm, _bg) = build_host_on::<S>(cfg, vm_vcpus, seed);
     let _run = parsec::install(&mut m, vm, app, vm_vcpus);
     let start = m.now();
     let deadline = SimTime::from_secs(120);
@@ -145,6 +187,16 @@ pub fn apache_experiment(
     scale: ExperimentScale,
     seed: u64,
 ) -> HttperfSummary {
+    apache_experiment_on::<CreditScheduler>(cfg, rate_per_sec, scale, seed)
+}
+
+/// [`apache_experiment`] on an explicit scheduler backend.
+pub fn apache_experiment_on<S: HypervisorSched>(
+    cfg: SystemConfig,
+    rate_per_sec: f64,
+    scale: ExperimentScale,
+    seed: u64,
+) -> HttperfSummary {
     let vm_vcpus = 4;
     let mut spec = cfg.domain_spec(vm_vcpus).with_weight(128 * vm_vcpus as u32);
     // PV network path costs on the paper-era testbed (netfront event
@@ -156,7 +208,7 @@ pub fn apache_experiment(
         burst_mean: SimDuration::from_ms(850),
         ..SlideshowConfig::default()
     };
-    let (mut m, vm, _bg) = build_host_with(spec, seed, slideshow);
+    let (mut m, vm, _bg) = build_host_with_on::<S>(spec, seed, slideshow);
     let srv = apache::install(&mut m, vm, ApacheConfig::default());
     let warmup = SimDuration::from_ms(200);
     let window = match scale {
@@ -169,7 +221,12 @@ pub fn apache_experiment(
     apache::summarize(&m, vm, &srv, start, window)
 }
 
-fn collect(m: &Machine, vm: DomId, start: SimTime, end: SimTime) -> AppResult {
+fn collect<S: HypervisorSched>(
+    m: &Machine<S>,
+    vm: DomId,
+    start: SimTime,
+    end: SimTime,
+) -> AppResult {
     let st = m.domain_stats(vm);
     let dur = end.since(start).as_secs_f64().max(1e-9);
     let total_ipis: u64 = st.resched_ipis.iter().sum();
@@ -311,6 +368,72 @@ pub fn parsec_grid_avg(
     flat.chunks(SystemConfig::ALL.len())
         .map(<[AppResult]>::to_vec)
         .collect()
+}
+
+/// [`npb_experiment`] dispatched over the runtime [`SchedBackend`] tag.
+pub fn npb_experiment_backend(
+    backend: SchedBackend,
+    cfg: SystemConfig,
+    app: NpbApp,
+    vm_vcpus: usize,
+    policy: SpinPolicy,
+    scale: ExperimentScale,
+    seed: u64,
+) -> AppResult {
+    match backend {
+        SchedBackend::Credit => {
+            npb_experiment_on::<CreditScheduler>(cfg, app, vm_vcpus, policy, scale, seed)
+        }
+        SchedBackend::Credit2 => {
+            npb_experiment_on::<Credit2Scheduler>(cfg, app, vm_vcpus, policy, scale, seed)
+        }
+        SchedBackend::DynFrac => {
+            npb_experiment_on::<DynFracScheduler>(cfg, app, vm_vcpus, policy, scale, seed)
+        }
+    }
+}
+
+/// [`parsec_experiment`] dispatched over the runtime [`SchedBackend`] tag.
+pub fn parsec_experiment_backend(
+    backend: SchedBackend,
+    cfg: SystemConfig,
+    app: ParsecApp,
+    vm_vcpus: usize,
+    scale: ExperimentScale,
+    seed: u64,
+) -> AppResult {
+    match backend {
+        SchedBackend::Credit => {
+            parsec_experiment_on::<CreditScheduler>(cfg, app, vm_vcpus, scale, seed)
+        }
+        SchedBackend::Credit2 => {
+            parsec_experiment_on::<Credit2Scheduler>(cfg, app, vm_vcpus, scale, seed)
+        }
+        SchedBackend::DynFrac => {
+            parsec_experiment_on::<DynFracScheduler>(cfg, app, vm_vcpus, scale, seed)
+        }
+    }
+}
+
+/// [`apache_experiment`] dispatched over the runtime [`SchedBackend`] tag.
+pub fn apache_experiment_backend(
+    backend: SchedBackend,
+    cfg: SystemConfig,
+    rate_per_sec: f64,
+    scale: ExperimentScale,
+    seed: u64,
+) -> HttperfSummary {
+    match backend {
+        SchedBackend::Credit => {
+            apache_experiment_on::<CreditScheduler>(cfg, rate_per_sec, scale, seed)
+        }
+        SchedBackend::Credit2 => {
+            apache_experiment_on::<Credit2Scheduler>(cfg, rate_per_sec, scale, seed)
+        }
+        SchedBackend::DynFrac => {
+            apache_experiment_on::<DynFracScheduler>(cfg, rate_per_sec, scale, seed)
+        }
+    }
 }
 
 /// Convenience: the four-config comparison the application figures plot.

@@ -30,16 +30,20 @@
 //! (exhausted streams read as zero, i.e. the simplest choice).
 
 pub mod bench;
+pub mod differential;
 pub mod fault;
 pub mod gen;
 pub mod parallel;
 pub mod runner;
 pub mod source;
 
+pub use differential::{
+    check_pair, minimize_pair, replay, scenario_gen, BrokenFreezeScheduler, Op, Replay, Scenario,
+};
 pub use fault::{arb_duration, arb_fault_config, arb_rate};
 pub use gen::{bool_any, just, one_of, tuple2, tuple3, tuple4, tuple5, vec_of, Gen};
 pub use gen::{u32_in, u64_in, u8_in, usize_in};
-pub use runner::{run_prop, Config, PropResult};
+pub use runner::{find_minimal, run_prop, Config, Counterexample, PropResult};
 
 /// Fails a property with a formatted message (analogue of
 /// `proptest::prop_assert!`). Usable inside closures passed to

@@ -101,6 +101,52 @@ pub fn run_prop<T: std::fmt::Debug + 'static>(
     }
 }
 
+/// A shrunk counterexample returned by [`find_minimal`].
+#[derive(Debug)]
+pub struct Counterexample<T> {
+    /// The minimal failing input the shrinker converged to.
+    pub value: T,
+    /// The property's error for the minimal input.
+    pub error: String,
+    /// 0-based index of the generated case that first failed.
+    pub case: u32,
+    /// How many shrink candidates were evaluated.
+    pub shrink_candidates: u32,
+}
+
+/// Like [`run_prop`], but returns the shrunk counterexample as a value
+/// instead of panicking — `None` when every case passes.
+///
+/// This is the entry point for harnesses that treat a failure as *data*
+/// rather than a test verdict: the differential scheduler harness uses it
+/// to reduce a divergent op stream to a minimal reproducer, and the
+/// shrinker's own regression tests use it to assert how small a known
+/// divergence shrinks.
+pub fn find_minimal<T: std::fmt::Debug + 'static>(
+    cfg: Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> PropResult,
+) -> Option<Counterexample<T>> {
+    let mut master = SimRng::new(cfg.seed);
+    for case in 0..cfg.cases {
+        let case_seed = master.next_u64();
+        let mut src = Source::random(case_seed);
+        let value = gen.run(&mut src);
+        if check(&prop, &value).is_err() {
+            let stream = src.into_record();
+            let (value, error, shrink_candidates) =
+                shrink(gen, &prop, stream, cfg.max_shrink_iters);
+            return Some(Counterexample {
+                value,
+                error,
+                case,
+                shrink_candidates,
+            });
+        }
+    }
+    None
+}
+
 /// Evaluates the property, converting panics into `Err`.
 fn check<T>(prop: &impl Fn(&T) -> PropResult, value: &T) -> PropResult {
     match catch_unwind(AssertUnwindSafe(|| prop(value))) {

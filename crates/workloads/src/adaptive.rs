@@ -20,6 +20,7 @@ use guest_kernel::ThreadId;
 use sim_core::rng::SimRng;
 use sim_core::time::SimDuration;
 use vscale::{DomId, Machine};
+use xen_sched::HypervisorSched;
 
 /// Parameters of the adaptive data-parallel application.
 #[derive(Clone, Copy, Debug)]
@@ -104,7 +105,12 @@ pub struct AdaptiveRun {
 
 /// Installs the adaptive (or fixed) data-parallel app with `n_threads`
 /// workers and starts them.
-pub fn install(m: &mut Machine, dom: DomId, cfg: AdaptiveConfig, n_threads: usize) -> AdaptiveRun {
+pub fn install<S: HypervisorSched>(
+    m: &mut Machine<S>,
+    dom: DomId,
+    cfg: AdaptiveConfig,
+    n_threads: usize,
+) -> AdaptiveRun {
     let mut seed_rng = m.rng.fork(0xada7_0001);
     let guest = m.guest_mut(dom);
     // Adaptive runtimes block surplus workers rather than spin them:

@@ -27,6 +27,7 @@ use guest_kernel::ThreadId;
 use sim_core::rng::SimRng;
 use sim_core::time::SimDuration;
 use vscale::{DomId, Machine};
+use xen_sched::HypervisorSched;
 
 use crate::spin::SpinPolicy;
 
@@ -223,8 +224,8 @@ pub struct NpbRun {
 /// Installs `app` into `dom` with `n_threads` workers (OpenMP sizes its
 /// pool from the online vCPU count at startup) under the given spin
 /// policy, and starts every thread.
-pub fn install(
-    m: &mut Machine,
+pub fn install<S: HypervisorSched>(
+    m: &mut Machine<S>,
     dom: DomId,
     app: NpbApp,
     n_threads: usize,

@@ -26,6 +26,7 @@ use guest_kernel::ThreadId;
 use sim_core::rng::SimRng;
 use sim_core::time::SimDuration;
 use vscale::{DomId, Machine};
+use xen_sched::HypervisorSched;
 
 /// Program template for one application.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -413,7 +414,12 @@ pub struct ParsecRun {
 }
 
 /// Installs `app` into `dom` with `n_threads` workers and starts them.
-pub fn install(m: &mut Machine, dom: DomId, app: ParsecApp, n_threads: usize) -> ParsecRun {
+pub fn install<S: HypervisorSched>(
+    m: &mut Machine<S>,
+    dom: DomId,
+    app: ParsecApp,
+    n_threads: usize,
+) -> ParsecRun {
     let mut seed_rng = m.rng.fork(0x5041_5200 ^ app.name.len() as u64);
     let guest = m.guest_mut(dom);
     let mm_lock = guest.klocks.alloc();

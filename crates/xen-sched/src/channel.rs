@@ -15,7 +15,7 @@
 use sim_core::fault::ChannelReadFault;
 use sim_core::time::{SimDuration, SimTime};
 
-use crate::credit::CreditScheduler;
+use crate::api::HypervisorSched;
 use crate::extend::ExtendInfo;
 use sim_core::ids::DomId;
 
@@ -228,7 +228,7 @@ pub struct ReliableRead {
 ///
 /// [`VscaleChannel::read_reliable`] layers the recovery protocol on top:
 /// serves are checked against the publisher's seqlock version
-/// ([`CreditScheduler::extend_version`]) and the snapshot invariants, bad
+/// ([`HypervisorSched::extend_version`]) and the snapshot invariants, bad
 /// serves are retried under a bounded budget, and budget exhaustion falls
 /// back to the last snapshot that passed both checks.
 #[derive(Clone, Debug, Default)]
@@ -252,9 +252,9 @@ impl VscaleChannel {
 
     /// Performs one read on behalf of `dom`: returns the latest
     /// extendability and the vCPU time to charge for the read.
-    pub fn read(
+    pub fn read<S: HypervisorSched>(
         &mut self,
-        sched: &CreditScheduler,
+        sched: &S,
         dom: DomId,
         costs: &ChannelCosts,
     ) -> (ExtendInfo, SimDuration) {
@@ -274,9 +274,9 @@ impl VscaleChannel {
     ///   one, and a zero accounting period — the signature of a reader
     ///   straddling a republication. Always fails
     ///   [`ExtendInfo::validate`], so a defensive consumer discards it.
-    pub fn read_faulted(
+    pub fn read_faulted<S: HypervisorSched>(
         &mut self,
-        sched: &CreditScheduler,
+        sched: &S,
         dom: DomId,
         costs: &ChannelCosts,
         fault: ChannelReadFault,
@@ -313,9 +313,9 @@ impl VscaleChannel {
     /// The returned [`ReliableRead::cost`] charges one full read cost per
     /// attempt, so retries are visible as daemon overhead, exactly like the
     /// real protocol re-issuing `sys_getvscaleinfo`.
-    pub fn read_reliable(
+    pub fn read_reliable<S: HypervisorSched>(
         &mut self,
-        sched: &CreditScheduler,
+        sched: &S,
         dom: DomId,
         costs: &ChannelCosts,
         budget: u32,
@@ -396,7 +396,7 @@ impl VscaleChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::credit::CreditConfig;
+    use crate::credit::{CreditConfig, CreditScheduler};
     use sim_core::ids::{GlobalVcpu, VcpuId};
     use sim_core::time::SimTime;
 

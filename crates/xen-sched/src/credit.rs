@@ -224,6 +224,10 @@ pub struct CreditScheduler {
     extend_version: u64,
     /// Number of vCPU migrations across pCPUs (stealing).
     migrations: u64,
+    /// Machine-wide run time in ns, maintained in `burn` so the
+    /// watchdog's progress fingerprint is one load instead of a
+    /// per-domain per-vCPU fold on the dispatch path.
+    total_run_ns: u64,
     /// Scratch for [`CreditScheduler::on_acct`] cap decisions (reused
     /// across calls so the 30 ms pass allocates nothing in steady state).
     park_buf: Vec<GlobalVcpu>,
@@ -247,6 +251,7 @@ impl CreditScheduler {
             extend_window_start: SimTime::ZERO,
             extend_version: 0,
             migrations: 0,
+            total_run_ns: 0,
             park_buf: Vec::new(),
             unpark_buf: Vec::new(),
             active_buf: Vec::new(),
@@ -375,6 +380,17 @@ impl CreditScheduler {
             .fold(SimDuration::ZERO, |acc, v| acc.saturating_add(v.run_total))
     }
 
+    /// Number of vCPUs of `dom`.
+    pub fn n_vcpus(&self, dom: DomId) -> usize {
+        self.domains[dom.index()].vcpus.len()
+    }
+
+    /// Machine-wide run time aggregate in nanoseconds (O(1) read; see
+    /// the `total_run_ns` field).
+    pub fn total_run_ns(&self) -> u64 {
+        self.total_run_ns
+    }
+
     /// Number of vCPU cross-pCPU migrations (steals) performed.
     pub fn migrations(&self) -> u64 {
         self.migrations
@@ -419,6 +435,7 @@ impl CreditScheduler {
         let dom = &mut self.domains[gv.dom.index()];
         dom.consumed_acct += ran;
         dom.consumed_extend += ran;
+        self.total_run_ns += ran.as_ns();
     }
 
     /// Per-pCPU tick (every [`CreditConfig::tick`]): burn credits, demote

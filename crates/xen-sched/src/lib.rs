@@ -25,13 +25,19 @@
 //! `on_tick` / `on_acct` / `slice_expired` / `vcpu_wake` / ... calls and
 //! receives [`credit::SchedEvent`]s describing pCPU assignment changes.
 
+pub mod api;
 pub mod channel;
 pub mod credit;
+pub mod credit2;
+pub mod dynfrac;
 pub mod evtchn;
 pub mod extend;
 pub mod libxl_model;
 
+pub use api::HypervisorSched;
 pub use channel::VscaleChannel;
 pub use credit::{CreditConfig, CreditScheduler, Prio, SchedEvent, VcpuState};
+pub use credit2::Credit2Scheduler;
+pub use dynfrac::DynFracScheduler;
 pub use extend::{ExtendInfo, ExtendParams};
 pub use sim_core::ids::{DomId, GlobalVcpu, PcpuId, VcpuId};

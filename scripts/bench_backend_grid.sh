@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the per-backend figure grid (reduced fig6/fig11/fig14 on every
+# scheduler backend) and stores its JSON lines, plus a checksum of the
+# deterministic part.
+#
+#   ./scripts/bench_backend_grid.sh           # writes BENCH_backend_grid.json
+#   ./scripts/bench_backend_grid.sh out.json  # writes elsewhere
+#
+# Seeds, scale, and thread count are pinned so the output — everything
+# except the wall-clock session line — is bit-identical on every machine.
+# scripts/verify.sh re-runs the same pinned grid and compares its checksum
+# against scripts/backend_grid.sha256; regenerate that file with this
+# script whenever a deliberate behavior change moves a grid cell.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_backend_grid.json}"
+
+echo "== backend grid (pinned: quick scale, 2 seeds, 4 threads) -> $out =="
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench backend_grid \
+    | tee /dev/stderr | grep '^{' > "$out"
+
+grep -v wall_ms "$out" | sha256sum | cut -d' ' -f1 > scripts/backend_grid.sha256
+echo "== wrote $(wc -l < "$out") records to $out =="
+echo "== backend-grid checksum: $(cat scripts/backend_grid.sha256) =="

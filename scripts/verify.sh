@@ -5,8 +5,53 @@
 #
 #   ./scripts/verify.sh          # build + full test suite + bench smoke
 #   VSCALE_BENCH_SCALE=full ./scripts/verify.sh   # paper-length smoke
+#   ./scripts/verify.sh differential_smoke   # just the differential gate
+#   ./scripts/verify.sh backend_grid         # just the grid checksum gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# 256 seeded op streams per backend (invariants) and per backend pair
+# (shared conservation laws), offline, fixed seed; divergences arrive
+# pre-shrunk to a minimal op sequence. See tests/differential.rs.
+differential_smoke() {
+    echo "== differential: 256 seeded op streams × 3 backends × 3 pairs =="
+    cargo test -q --offline --test differential
+    echo "   per-backend invariants and cross-backend conservation OK"
+}
+
+# The per-backend figure grid (reduced fig6/fig11/fig14 on every
+# scheduler backend) under the same pinning discipline as the resilience
+# gate; regenerate scripts/backend_grid.sha256 deliberately with
+# scripts/bench_backend_grid.sh.
+backend_grid_gate() {
+    echo "== backend grid: per-backend fig6/fig11/fig14 must match the committed checksum =="
+    local out
+    out="$(mktemp)"
+    VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+        cargo bench -q --offline -p vscale-bench --bench backend_grid \
+        | grep '^{' | grep -v wall_ms > "$out"
+    local want got
+    want="$(cat scripts/backend_grid.sha256)"
+    got="$(sha256sum "$out" | cut -d' ' -f1)"
+    if [ "$want" != "$got" ]; then
+        echo "backend grid drifted: want $want got $got" >&2
+        cat "$out" >&2
+        rm -f "$out"
+        exit 1
+    fi
+    for b in credit credit2 dynfrac; do
+        grep -q "\"backend\":\"$b\"" "$out"
+    done
+    rm -f "$out"
+    echo "   grid checksum OK ($got), all three backends present"
+}
+
+case "${1:-all}" in
+    differential_smoke) differential_smoke; exit 0 ;;
+    backend_grid) backend_grid_gate; exit 0 ;;
+    all) ;;
+    *) echo "unknown verify target: $1" >&2; exit 2 ;;
+esac
 
 echo "== tier-1: release build (offline) =="
 cargo build --release --offline
@@ -101,5 +146,9 @@ if [ "$want" != "$got" ]; then
 fi
 grep -q '"vscale_gt_static":true' "$cluster_out"
 echo "   fleet checksum OK ($got), vScale sustains more load than static at the p99 SLO"
+
+differential_smoke
+
+backend_grid_gate
 
 echo "== verify: OK =="

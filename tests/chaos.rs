@@ -19,6 +19,7 @@ use vscale_repro::core::daemon::DaemonConfig;
 use vscale_repro::core::machine::Machine;
 use vscale_repro::guest::thread::{OneShot, Script, ThreadAction, ThreadKind};
 use vscale_repro::guest::KernelVersion;
+use vscale_repro::hv::{Credit2Scheduler, CreditScheduler, DynFracScheduler, HypervisorSched};
 use vscale_repro::sim::fault::{FaultConfig, SimErrorKind, WatchdogConfig, PPM};
 use vscale_repro::sim::time::{SimDuration, SimTime};
 use vscale_repro::{DomId, VcpuId};
@@ -423,7 +424,10 @@ fn failsafe_unfreezes_everything_when_the_daemon_goes_dark() {
 /// barrier workload and an I/O stream on the vScale VM, `cfg` installed
 /// for the first 600 ms, then cleared. Returns (completion time, domain
 /// stats, fault stats drawn during the window, freeze-state agreement).
-fn inject_recover_converge(
+/// Generic over the scheduler backend: the recovery contract is about
+/// the channel/daemon/balancer layers, so it must hold whether the
+/// hypervisor runs credit, credit2, or dynamic-fractional scheduling.
+fn inject_recover_converge<S: HypervisorSched>(
     seed: u64,
     cfg: Option<FaultConfig>,
 ) -> (
@@ -432,7 +436,7 @@ fn inject_recover_converge(
     Option<vscale_repro::sim::fault::FaultStats>,
     bool,
 ) {
-    let mut m = Machine::new(MachineConfig {
+    let mut m: Machine<S> = Machine::with_backend(MachineConfig {
         n_pcpus: 2,
         seed,
         ..MachineConfig::default()
@@ -481,14 +485,14 @@ fn inject_recover_converge(
     (done, st, fs, consistent)
 }
 
-#[test]
-fn every_fault_class_recovers_and_converges() {
-    // Per fault class: saturate the class for 600 ms, clear the plan, and
-    // require (a) the class actually injected, (b) its recovery protocol
-    // demonstrably ran, (c) the workload finishes within a bounded factor
-    // of the fault-free run, and (d) guest/hypervisor freeze state agrees
-    // at the end.
-    let (clean_done, _, _, clean_consistent) = inject_recover_converge(23, None);
+/// Per fault class: saturate the class for 600 ms, clear the plan, and
+/// require (a) the class actually injected, (b) its recovery protocol
+/// demonstrably ran, (c) the workload finishes within a bounded factor
+/// of the fault-free run, and (d) guest/hypervisor freeze state agrees
+/// at the end. The clean baseline is measured on the same backend, since
+/// completion times legitimately differ between policies.
+fn fault_classes_recover_on<S: HypervisorSched>() {
+    let (clean_done, _, _, clean_consistent) = inject_recover_converge::<S>(23, None);
     assert!(clean_consistent, "fault-free run ended inconsistent");
     let bound =
         SimTime::ZERO + clean_done.since(SimTime::ZERO).mul_f64(2.0) + SimDuration::from_ms(500);
@@ -560,18 +564,37 @@ fn every_fault_class_recovers_and_converges() {
         ),
     ];
     for (name, cfg, recovered) in classes {
-        let (done, st, fs, consistent) = inject_recover_converge(23, Some(cfg));
+        let (done, st, fs, consistent) = inject_recover_converge::<S>(23, Some(cfg));
         let fs = fs.expect("plan installed");
+        let backend = S::backend_name();
         assert!(
             recovered(&st, &fs),
-            "{name}: recovery protocol never ran: {st:?} {fs:?}"
+            "[{backend}] {name}: recovery protocol never ran: {st:?} {fs:?}"
         );
         assert!(
             done <= bound,
-            "{name}: degradation unbounded: clean {clean_done}, faulted {done}"
+            "[{backend}] {name}: degradation unbounded: clean {clean_done}, faulted {done}"
         );
-        assert!(consistent, "{name}: freeze state diverged at the end");
+        assert!(
+            consistent,
+            "[{backend}] {name}: freeze state diverged at the end"
+        );
     }
+}
+
+#[test]
+fn every_fault_class_recovers_and_converges() {
+    fault_classes_recover_on::<CreditScheduler>();
+}
+
+#[test]
+fn every_fault_class_recovers_and_converges_on_credit2() {
+    fault_classes_recover_on::<Credit2Scheduler>();
+}
+
+#[test]
+fn every_fault_class_recovers_and_converges_on_dynfrac() {
+    fault_classes_recover_on::<DynFracScheduler>();
 }
 
 #[test]

@@ -50,6 +50,51 @@ fn same_seed_bit_identical_trace_and_stats() {
     assert_eq!(trace_a, trace_b);
 }
 
+/// FNV-1a over raw bytes — a hermetic, dependency-free digest. Only used
+/// to pin golden traces; collision resistance is irrelevant because the
+/// inputs are fixed-seed deterministic runs, not adversarial.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn golden_credit_traces_byte_identical_to_pre_refactor() {
+    // Checksums captured from the Credit scheduler BEFORE the
+    // `HypervisorSched` trait extraction. The refactor (and anything
+    // after it) must keep the Credit backend byte-identical: every traced
+    // scheduling transition and the final domain stats hash to exactly
+    // these values. If a deliberate behavior change moves them, recapture
+    // with `cargo test --test determinism golden -- --nocapture` and
+    // update the table alongside a written justification in the diff.
+    const GOLDEN: [(u64, u64, u64); 3] = [
+        (7, 0x04ec_0c98_303d_2a36, 0x00c8_8103_9c48_c651),
+        (42, 0xd20f_633c_d384_17e3, 0x09e4_12df_878b_6239),
+        (0xC0FFEE, 0xf4c1_76a0_768b_93d0, 0x0e82_da16_1638_c1e7),
+    ];
+    for (seed, want_trace, want_stats) in GOLDEN {
+        let (trace, stats, pushed) = traced_run(seed);
+        assert!(pushed > 0, "seed {seed}: scenario produced no trace events");
+        let got_trace = fnv1a(trace.as_bytes());
+        let got_stats = fnv1a(stats.as_bytes());
+        eprintln!("golden seed {seed}: trace {got_trace:#x} stats {got_stats:#x}");
+        assert_eq!(
+            got_trace, want_trace,
+            "seed {seed}: Credit trace drifted from pre-refactor golden \
+             (got {got_trace:#x}, want {want_trace:#x})"
+        );
+        assert_eq!(
+            got_stats, want_stats,
+            "seed {seed}: Credit domain stats drifted from pre-refactor golden \
+             (got {got_stats:#x}, want {want_stats:#x})"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_diverge() {
     // Not a hard guarantee for every pair, but these seeds drive

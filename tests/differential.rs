@@ -1,0 +1,82 @@
+//! Differential validation of the scheduler backends (tier-1).
+//!
+//! Two layers of checking, both over seeded Gen-produced op streams
+//! (ticks, wakes, sleeps, yields, kicks, freezes — see
+//! `testkit::differential`):
+//!
+//! - **per-backend**: every backend individually satisfies the
+//!   structural, freeze-safety, monotonicity, capacity, and
+//!   work-conservation invariants after every op, over ≥ 256 scenarios;
+//! - **pairwise**: any two backends replaying the same scenario agree on
+//!   the machine-wide run-time integral (the law every work-conserving
+//!   policy must share), over ≥ 256 scenarios per pair. A divergence is
+//!   shrunk to a minimal op sequence before being reported.
+//!
+//! `scripts/verify.sh differential_smoke` runs exactly this file.
+
+use testkit::differential::{minimize_pair, replay, scenario_gen};
+use testkit::{run_prop, Config};
+use vscale_repro::hv::{Credit2Scheduler, CreditScheduler, DynFracScheduler, HypervisorSched};
+
+const CASES: u32 = 256;
+const MAX_OPS: usize = 120;
+
+fn backend_invariants<S: HypervisorSched>() {
+    run_prop(
+        &format!("{}_invariants", S::backend_name()),
+        Config::with_cases(CASES),
+        &scenario_gen(MAX_OPS),
+        |sc| {
+            replay::<S>(sc)?;
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn credit_invariants_over_256_streams() {
+    backend_invariants::<CreditScheduler>();
+}
+
+#[test]
+fn credit2_invariants_over_256_streams() {
+    backend_invariants::<Credit2Scheduler>();
+}
+
+#[test]
+fn dynfrac_invariants_over_256_streams() {
+    backend_invariants::<DynFracScheduler>();
+}
+
+fn pair_agrees<A: HypervisorSched, B: HypervisorSched>() {
+    let cfg = Config {
+        cases: CASES,
+        ..Config::default()
+    };
+    if let Some(cx) = minimize_pair::<A, B>(cfg, MAX_OPS) {
+        panic!(
+            "{} vs {} diverged at case {} ({}); minimal scenario after {} shrink candidates:\n{:#?}",
+            A::backend_name(),
+            B::backend_name(),
+            cx.case,
+            cx.error,
+            cx.shrink_candidates,
+            cx.value,
+        );
+    }
+}
+
+#[test]
+fn credit_vs_credit2_conservation() {
+    pair_agrees::<CreditScheduler, Credit2Scheduler>();
+}
+
+#[test]
+fn credit_vs_dynfrac_conservation() {
+    pair_agrees::<CreditScheduler, DynFracScheduler>();
+}
+
+#[test]
+fn credit2_vs_dynfrac_conservation() {
+    pair_agrees::<Credit2Scheduler, DynFracScheduler>();
+}
