@@ -289,12 +289,10 @@ impl Cluster {
         assert!(!self.hosts.is_empty(), "no hosts");
         while self.now < deadline {
             let epoch_end = (self.now + self.config.epoch).min(deadline);
-            // 1. Cross-host deliveries and LB routing due this epoch.
-            while let Some(t) = self.queue.peek_time() {
-                if t >= epoch_end {
-                    break;
-                }
-                let (t, msg) = self.queue.pop().expect("peeked");
+            // 1. Cross-host deliveries and LB routing due this epoch,
+            //    batch-drained (one wheel settle per distinct instant).
+            let lb_deadline = SimTime::from_ns(epoch_end.as_ns() - 1);
+            while let Some((t, msg)) = self.queue.pop_next_until(lb_deadline) {
                 self.handle(t, msg);
             }
             // 2. Step every host through the epoch.

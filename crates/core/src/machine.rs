@@ -33,6 +33,7 @@ use sim_core::fault::{
 };
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
 use sim_core::rng::SimRng;
+use sim_core::soa::VcpuMap;
 use sim_core::time::{SimDuration, SimTime};
 use sim_core::trace::{TraceEvent, TraceRing};
 use xen_sched::api::HypervisorSched;
@@ -45,51 +46,175 @@ use crate::daemon::{
     DaemonPhase, DaemonState, TAG_FREEZE_BASE, TAG_HOTPLUG_BASE, TAG_READ, TAG_UNFREEZE_BASE,
 };
 
-/// Machine-level events.
+/// Index of a wide (`u64`) payload word parked in the machine's
+/// [`WidePool`] side table while its event is in flight.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct WideIdx(u32);
+
+/// Side table interning the wide (`u64`) payload words of machine events
+/// — slice generations, arrival batch sizes, doorbell sequence numbers —
+/// so [`Ev`] itself stays within the 16-byte budget that keeps an
+/// event-queue slab node inside one cache line. A slot is claimed at
+/// schedule time and released exactly once: when the event fires, or at
+/// the eager cancel of a retransmit timer. The free list keeps the
+/// steady state allocation-free.
+#[derive(Clone, Debug, Default)]
+struct WidePool {
+    slots: Vec<u64>,
+    free: Vec<WideIdx>,
+}
+
+impl WidePool {
+    /// Parks `val`, reusing a freed slot when one exists.
+    fn intern(&mut self, val: u64) -> WideIdx {
+        match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx.0 as usize] = val;
+                idx
+            }
+            None => {
+                let idx = WideIdx(u32::try_from(self.slots.len()).expect("wide pool overflow"));
+                self.slots.push(val);
+                idx
+            }
+        }
+    }
+
+    /// Reads a slot and releases it back to the free list.
+    fn take(&mut self, idx: WideIdx) -> u64 {
+        self.free.push(idx);
+        self.slots[idx.0 as usize]
+    }
+}
+
+/// Machine-level events, compacted to 16 bytes: dense ids travel as raw
+/// `u32` (re-typed at the top of the dispatch arm) and the rare wide
+/// `u64` payload words ride the [`WidePool`] side table. Together with
+/// the wheel's per-node bookkeeping this keeps every slab node within a
+/// single 64-byte cache line (asserted below).
 #[derive(Clone, Copy, Debug)]
 enum Ev {
     /// Hypervisor per-pCPU tick (10 ms).
-    HvTick(PcpuId),
+    HvTick(u32),
     /// Hypervisor accounting pass (30 ms).
     HvAcct,
     /// vScale extendability ticker (10 ms).
     ExtendTick,
     /// End of a scheduling quantum; stale if the pCPU's generation moved.
-    SliceEnd { pcpu: PcpuId, gen: u64 },
+    SliceEnd { pcpu: u32, gen: WideIdx },
     /// A guest vCPU's next local event (cancellable).
-    Plan { dom: DomId, vcpu: VcpuId },
+    Plan { dom: u32, vcpu: u32 },
     /// A reschedule IPI lands on a (hopefully still running) vCPU.
-    IpiDeliver { dom: DomId, vcpu: VcpuId },
+    IpiDeliver { dom: u32, vcpu: u32 },
     /// A sleeping thread's timer fires.
-    SleepWake { dom: DomId, tid: ThreadId },
+    SleepWake { dom: u32, tid: u32 },
     /// The daemon's polling timer.
-    DaemonTimer { dom: DomId },
+    DaemonTimer { dom: u32 },
     /// An external I/O event (e.g. a network request) arrives at a port.
-    IoArrival {
-        dom: DomId,
-        port: PortId,
-        items: u64,
-    },
+    IoArrival { dom: u32, port: u32, items: WideIdx },
     /// A NIC transmission completes.
-    NicDrained { dom: DomId },
+    NicDrained { dom: u32 },
     /// The non-stall part of a hotplug operation finishes.
-    HotplugDone {
-        dom: DomId,
-        vcpu: VcpuId,
-        online: bool,
-    },
+    HotplugDone { dom: u32, vcpu: u32, online: bool },
     /// The guest's periodic re-scan notices a still-pending port whose
     /// doorbell was injected away (dropped or delayed), or a spurious
     /// duplicate doorbell rings. Only scheduled by an active fault plan.
-    PortRecover { dom: DomId, port: PortId },
+    PortRecover { dom: u32, port: u32 },
     /// The doorbell ack timeout for sequence `seq` of `port` fired: if the
     /// sequence is still outstanding, re-ring the doorbell (the retransmit
     /// itself subject to injection) and advance the backoff ladder. Only
     /// scheduled by an active fault plan; cancelled eagerly on ack.
-    Retransmit { dom: DomId, port: PortId, seq: u64 },
+    Retransmit { dom: u32, port: u32, seq: WideIdx },
     /// An aborted hotplug removal unwinds out of `stop_machine`: the
     /// partial stall ends and the target vCPU stays online.
-    HotplugAborted { dom: DomId },
+    HotplugAborted { dom: u32 },
+}
+
+/// One-cache-line budget: the payload stays at 16 bytes and the whole
+/// slab node (payload + time/seq/generation/level bookkeeping) fits in
+/// a single 64-byte line.
+const _: () = assert!(std::mem::size_of::<Ev>() <= 16);
+const _: () = assert!(EventQueue::<Ev>::node_footprint() <= 64);
+
+/// Narrows a dense index for the compact [`Ev`] representation.
+#[inline]
+fn compact(i: usize) -> u32 {
+    debug_assert!(i <= u32::MAX as usize, "dense index exceeds u32");
+    i as u32
+}
+
+/// Typed constructors: the one place the `usize`-backed id types narrow
+/// into the compact wire form. Dispatch arms do the inverse re-typing.
+impl Ev {
+    fn hv_tick(p: PcpuId) -> Ev {
+        Ev::HvTick(compact(p.index()))
+    }
+    fn slice_end(pcpu: PcpuId, gen: WideIdx) -> Ev {
+        Ev::SliceEnd {
+            pcpu: compact(pcpu.index()),
+            gen,
+        }
+    }
+    fn plan(dom: DomId, vcpu: VcpuId) -> Ev {
+        Ev::Plan {
+            dom: compact(dom.index()),
+            vcpu: compact(vcpu.index()),
+        }
+    }
+    fn ipi_deliver(dom: DomId, vcpu: VcpuId) -> Ev {
+        Ev::IpiDeliver {
+            dom: compact(dom.index()),
+            vcpu: compact(vcpu.index()),
+        }
+    }
+    fn sleep_wake(dom: DomId, tid: ThreadId) -> Ev {
+        Ev::SleepWake {
+            dom: compact(dom.index()),
+            tid: compact(tid.index()),
+        }
+    }
+    fn daemon_timer(dom: DomId) -> Ev {
+        Ev::DaemonTimer {
+            dom: compact(dom.index()),
+        }
+    }
+    fn io_arrival(dom: DomId, port: PortId, items: WideIdx) -> Ev {
+        Ev::IoArrival {
+            dom: compact(dom.index()),
+            port: compact(port.0),
+            items,
+        }
+    }
+    fn nic_drained(dom: DomId) -> Ev {
+        Ev::NicDrained {
+            dom: compact(dom.index()),
+        }
+    }
+    fn hotplug_done(dom: DomId, vcpu: VcpuId, online: bool) -> Ev {
+        Ev::HotplugDone {
+            dom: compact(dom.index()),
+            vcpu: compact(vcpu.index()),
+            online,
+        }
+    }
+    fn port_recover(dom: DomId, port: PortId) -> Ev {
+        Ev::PortRecover {
+            dom: compact(dom.index()),
+            port: compact(port.0),
+        }
+    }
+    fn retransmit(dom: DomId, port: PortId, seq: WideIdx) -> Ev {
+        Ev::Retransmit {
+            dom: compact(dom.index()),
+            port: compact(port.0),
+            seq,
+        }
+    }
+    fn hotplug_aborted(dom: DomId) -> Ev {
+        Ev::HotplugAborted {
+            dom: compact(dom.index()),
+        }
+    }
 }
 
 /// A unit of routing work inside one event's processing.
@@ -175,8 +300,10 @@ struct GuestDomain {
     exited_threads: u64,
     /// Seq/ack doorbell state per port (parallel to `port_pending`).
     doorbells: Vec<DoorbellLink>,
-    /// Pending retransmit-timer handle per port, cancelled eagerly on ack.
-    retx_handles: Vec<Option<EventHandle>>,
+    /// Pending retransmit-timer handle per port plus the wide-pool slot
+    /// of its interned sequence number, cancelled (and the slot freed)
+    /// eagerly on ack.
+    retx_handles: Vec<Option<(EventHandle, WideIdx)>>,
     /// The balancer's heartbeat watchdog on the daemon.
     failsafe: FailSafe,
     /// Backoff state for aborted hotplug removals.
@@ -195,8 +322,11 @@ pub struct Machine<S: HypervisorSched = CreditScheduler> {
     queue: EventQueue<Ev>,
     /// Root RNG (workloads fork children from it).
     pub rng: SimRng,
-    /// Cancellable plan handle per (domain, vCPU).
-    plan_handles: Vec<Vec<Option<EventHandle>>>,
+    /// Cancellable plan handle per (domain, vCPU), in the same dense
+    /// struct-of-arrays layout as the schedulers' hot state.
+    plan_handles: VcpuMap<Option<EventHandle>>,
+    /// Side table parking the wide payload words of in-flight events.
+    wide: WidePool,
     /// Optional scheduling-decision trace (disabled by default; enable
     /// with [`Machine::enable_trace`]).
     trace: TraceRing,
@@ -216,6 +346,11 @@ pub struct Machine<S: HypervisorSched = CreditScheduler> {
     /// Guest-effect sink for the `Run` dispatch arm (live while `fx_buf`
     /// may be held by the outer handler).
     run_fx_buf: Vec<GuestEffect>,
+    /// Guest-effect sink for the daemon freeze/unfreeze arms, which run
+    /// inside `drain` while both `fx_buf` and `run_fx_buf` may be taken;
+    /// a `mem::take` of either there would hand out a zero-capacity `Vec`
+    /// and reallocate on every reconfiguration.
+    daemon_fx_buf: Vec<GuestEffect>,
     /// Pending event-channel ports collected at vCPU entry.
     ports_buf: Vec<PortId>,
     /// (domain, target) pairs that already have a reschedule IPI in flight
@@ -268,7 +403,7 @@ impl<S: HypervisorSched> Machine<S> {
         let mut queue = EventQueue::new();
         // Arm the recurring hypervisor timers.
         for p in 0..config.n_pcpus {
-            queue.schedule(SimTime::ZERO + config.credit.tick, Ev::HvTick(PcpuId(p)));
+            queue.schedule(SimTime::ZERO + config.credit.tick, Ev::hv_tick(PcpuId(p)));
         }
         let acct = config.credit.tick * u64::from(config.credit.ticks_per_acct);
         queue.schedule(SimTime::ZERO + acct, Ev::HvAcct);
@@ -280,13 +415,15 @@ impl<S: HypervisorSched> Machine<S> {
             guests: Vec::new(),
             queue,
             rng,
-            plan_handles: Vec::new(),
+            plan_handles: VcpuMap::new(),
+            wide: WidePool::default(),
             trace: TraceRing::disabled(),
             sched_buf: Vec::new(),
             ops_buf: VecDeque::new(),
             dirty_buf: Vec::new(),
             fx_buf: Vec::new(),
             run_fx_buf: Vec::new(),
+            daemon_fx_buf: Vec::new(),
             ports_buf: Vec::new(),
             ipi_buf: Vec::new(),
             fault_plan: None,
@@ -403,11 +540,11 @@ impl<S: HypervisorSched> Machine<S> {
             hotplug_retry: HotplugRetry::default(),
             ipis_coalesced: 0,
         });
-        self.plan_handles.push(vec![None; n_vcpus]);
+        self.plan_handles.push_domain(n_vcpus, |_| None);
         if daemon_active {
             let period = self.guests[dom.index()].daemon.config.period;
             self.queue
-                .schedule(self.queue.now() + period, Ev::DaemonTimer { dom });
+                .schedule(self.queue.now() + period, Ev::daemon_timer(dom));
         }
         dom
     }
@@ -446,7 +583,8 @@ impl<S: HypervisorSched> Machine<S> {
 
     /// Schedules an external I/O arrival (e.g. one HTTP request) at `at`.
     pub fn inject_io(&mut self, dom: DomId, port: PortId, at: SimTime, items: u64) {
-        self.queue.schedule(at, Ev::IoArrival { dom, port, items });
+        let items = self.wide.intern(items);
+        self.queue.schedule(at, Ev::io_arrival(dom, port, items));
     }
 
     /// Number of threads of `dom` that have exited.
@@ -516,11 +654,9 @@ impl<S: HypervisorSched> Machine<S> {
     /// should prefer [`Machine::try_run_until`], which also applies the
     /// livelock and progress watchdogs and returns a typed error.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked");
+        // `pop_next_until` batches each instant behind a single wheel
+        // settle — the dominant per-event queue cost in the dispatch loop.
+        while let Some((now, ev)) = self.queue.pop_next_until(deadline) {
             self.handle(ev, now);
             if let Some(e) = self.fault_error.take() {
                 panic!("{e}");
@@ -539,11 +675,7 @@ impl<S: HypervisorSched> Machine<S> {
             {
                 return Some(self.queue.now());
             }
-            let t = self.queue.peek_time()?;
-            if t > deadline {
-                return None;
-            }
-            let (now, ev) = self.queue.pop().expect("peeked");
+            let (now, ev) = self.queue.pop_next_until(deadline)?;
             self.handle(ev, now);
             if let Some(e) = self.fault_error.take() {
                 panic!("{e}");
@@ -556,20 +688,11 @@ impl<S: HypervisorSched> Machine<S> {
     /// naming the stalled layer, with diagnostics attached.
     pub fn try_run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
         loop {
-            // The cheap lower bound settles nothing: if even the hint is
-            // past the deadline (or the queue is empty) we are done.
-            match self.queue.peek_time_hint() {
-                None => return Ok(()),
-                Some(h) if h > deadline => return Ok(()),
-                _ => {}
-            }
-            let Some(t) = self.queue.peek_time() else {
+            // `pop_next_until` checks the cheap hint before settling, and
+            // serves whole instants from one settle (batched drain).
+            let Some((now, ev)) = self.queue.pop_next_until(deadline) else {
                 return Ok(());
             };
-            if t > deadline {
-                return Ok(());
-            }
-            let (now, ev) = self.queue.pop().expect("peeked");
             self.watchdog_tick(now)?;
             self.handle(ev, now);
             if let Some(e) = self.fault_error.take() {
@@ -606,18 +729,9 @@ impl<S: HypervisorSched> Machine<S> {
             {
                 return Ok(Some(self.queue.now()));
             }
-            match self.queue.peek_time_hint() {
-                None => return Ok(None),
-                Some(h) if h > deadline => return Ok(None),
-                _ => {}
-            }
-            let Some(t) = self.queue.peek_time() else {
+            let Some((now, ev)) = self.queue.pop_next_until(deadline) else {
                 return Ok(None);
             };
-            if t > deadline {
-                return Ok(None);
-            }
-            let (now, ev) = self.queue.pop().expect("peeked");
             self.watchdog_tick(now)?;
             self.handle(ev, now);
             if let Some(e) = self.fault_error.take() {
@@ -793,9 +907,10 @@ impl<S: HypervisorSched> Machine<S> {
     fn handle(&mut self, ev: Ev, now: SimTime) {
         match ev {
             Ev::HvTick(p) => {
+                let p = PcpuId(p as usize);
                 self.hv_and_drain(now, |hv, ev| hv.on_tick(p, now, ev));
                 self.queue
-                    .schedule(now + self.config.credit.tick, Ev::HvTick(p));
+                    .schedule(now + self.config.credit.tick, Ev::hv_tick(p));
                 self.inject_steal_spike(now);
             }
             Ev::HvAcct => {
@@ -809,12 +924,14 @@ impl<S: HypervisorSched> Machine<S> {
                     .schedule(now + self.config.credit.extend_period, Ev::ExtendTick);
             }
             Ev::SliceEnd { pcpu, gen } => {
-                if self.hv.pcpu_gen(pcpu) == gen {
+                let pcpu = PcpuId(pcpu as usize);
+                if self.hv.pcpu_gen(pcpu) == self.wide.take(gen) {
                     self.hv_and_drain(now, |hv, ev| hv.slice_expired(pcpu, now, ev));
                 }
             }
             Ev::Plan { dom, vcpu } => {
-                self.plan_handles[dom.index()][vcpu.index()] = None;
+                let (dom, vcpu) = (DomId(dom as usize), VcpuId(vcpu as usize));
+                self.plan_handles[GlobalVcpu::new(dom, vcpu)] = None;
                 let mut fx = std::mem::take(&mut self.fx_buf);
                 self.guests[dom.index()]
                     .kernel
@@ -824,6 +941,7 @@ impl<S: HypervisorSched> Machine<S> {
                 self.replan(dom, vcpu, now);
             }
             Ev::IpiDeliver { dom, vcpu } => {
+                let (dom, vcpu) = (DomId(dom as usize), VcpuId(vcpu as usize));
                 let gv = GlobalVcpu::new(dom, vcpu);
                 if self.hv.where_running(gv).is_some() {
                     let mut fx = std::mem::take(&mut self.fx_buf);
@@ -840,6 +958,7 @@ impl<S: HypervisorSched> Machine<S> {
                 }
             }
             Ev::SleepWake { dom, tid } => {
+                let (dom, tid) = (DomId(dom as usize), ThreadId(tid as usize));
                 let mut fx = std::mem::take(&mut self.fx_buf);
                 self.guests[dom.index()]
                     .kernel
@@ -848,6 +967,7 @@ impl<S: HypervisorSched> Machine<S> {
                 self.fx_buf = fx;
             }
             Ev::DaemonTimer { dom } => {
+                let dom = DomId(dom as usize);
                 let crash = self
                     .fault_plan
                     .as_mut()
@@ -860,7 +980,7 @@ impl<S: HypervisorSched> Machine<S> {
                         .push(now, "daemon", TraceEvent::DaemonCrashRestart(dom));
                     self.guests[dom.index()].daemon.crash_restart();
                     let period = self.guests[dom.index()].daemon.config.period;
-                    self.queue.schedule(now + period, Ev::DaemonTimer { dom });
+                    self.queue.schedule(now + period, Ev::daemon_timer(dom));
                 } else {
                     self.daemon_timer(dom, now);
                 }
@@ -869,12 +989,16 @@ impl<S: HypervisorSched> Machine<S> {
                 self.failsafe_tick(dom, now);
             }
             Ev::IoArrival { dom, port, items } => {
+                let (dom, port) = (DomId(dom as usize), PortId(port as usize));
+                let items = self.wide.take(items);
                 self.io_arrival(dom, port, items, now);
             }
             Ev::NicDrained { dom } => {
+                let dom = DomId(dom as usize);
                 self.guests[dom.index()].nic_completions.push(now);
             }
             Ev::HotplugDone { dom, vcpu, online } => {
+                let (dom, vcpu) = (DomId(dom as usize), VcpuId(vcpu as usize));
                 let mut fx = std::mem::take(&mut self.fx_buf);
                 self.guests[dom.index()]
                     .kernel
@@ -888,6 +1012,7 @@ impl<S: HypervisorSched> Machine<S> {
                 self.fx_buf = fx;
             }
             Ev::PortRecover { dom, port } => {
+                let (dom, port) = (DomId(dom as usize), PortId(port as usize));
                 // A delayed doorbell rings, or the periodic re-scan notices
                 // a pending bit whose doorbell was dropped. Spurious when
                 // the port was delivered in the meantime: the pending bit
@@ -902,9 +1027,12 @@ impl<S: HypervisorSched> Machine<S> {
                 self.deliver_or_wake(dom, port, now);
             }
             Ev::Retransmit { dom, port, seq } => {
+                let (dom, port) = (DomId(dom as usize), PortId(port as usize));
+                let seq = self.wide.take(seq);
                 self.retransmit(dom, port, seq, now);
             }
             Ev::HotplugAborted { dom } => {
+                let dom = DomId(dom as usize);
                 // stop_machine unwound partway: the partial stall has been
                 // paid, the target stays online, there is no local tail.
                 self.trace
@@ -980,6 +1108,12 @@ impl<S: HypervisorSched> Machine<S> {
     fn hv_and_drain(&mut self, now: SimTime, f: impl FnOnce(&mut S, &mut Vec<SchedEvent>)) {
         let mut ops = std::mem::take(&mut self.ops_buf);
         self.hv_into_ops(&mut ops, f);
+        if ops.is_empty() {
+            // Nothing to route (the common case for ticks that change no
+            // assignment): skip the drain and its scratch-buffer churn.
+            self.ops_buf = ops;
+            return;
+        }
         self.drain(ops, now);
     }
 
@@ -992,6 +1126,12 @@ impl<S: HypervisorSched> Machine<S> {
 
     /// Routes guest effects from `dom`, cascading. Drains `fx`.
     fn route(&mut self, dom: DomId, fx: &mut Vec<GuestEffect>, now: SimTime) {
+        if fx.is_empty() {
+            // Nothing to route (most plan points advance a computation
+            // without any cross-layer effect): the drain would be a no-op,
+            // so skip it and its scratch-buffer churn.
+            return;
+        }
         let mut ops = std::mem::take(&mut self.ops_buf);
         ops.extend(fx.drain(..).map(|e| Op::Guest(dom, e)));
         self.drain(ops, now);
@@ -1041,9 +1181,9 @@ impl<S: HypervisorSched> Machine<S> {
                     ops.extend(fx.drain(..).map(|e| Op::Guest(vcpu.dom, e)));
                     self.run_fx_buf = fx;
                     // Arm the slice-expiry for this assignment.
-                    let gen = self.hv.pcpu_gen(pcpu);
+                    let gen = self.wide.intern(self.hv.pcpu_gen(pcpu));
                     self.queue
-                        .schedule(now + self.config.credit.slice, Ev::SliceEnd { pcpu, gen });
+                        .schedule(now + self.config.credit.slice, Ev::slice_end(pcpu, gen));
                     dirty.push((vcpu.dom, vcpu.vcpu));
                 }
                 Op::Sched(SchedEvent::Desched { pcpu, vcpu }) => {
@@ -1115,7 +1255,7 @@ impl<S: HypervisorSched> Machine<S> {
                         .map_or(DeliveryFault::Deliver, |f| f.on_ipi());
                     match fault {
                         DeliveryFault::Deliver => {
-                            self.queue.schedule(base, Ev::IpiDeliver { dom, vcpu: to });
+                            self.queue.schedule(base, Ev::ipi_deliver(dom, to));
                         }
                         DeliveryFault::Drop => {
                             // The doorbell is lost, but the pending bit
@@ -1125,13 +1265,11 @@ impl<S: HypervisorSched> Machine<S> {
                             self.guests[dom.index()].kernel.pend_resched(to);
                         }
                         DeliveryFault::Delay(d) => {
-                            self.queue
-                                .schedule(base + d, Ev::IpiDeliver { dom, vcpu: to });
+                            self.queue.schedule(base + d, Ev::ipi_deliver(dom, to));
                         }
                         DeliveryFault::Duplicate(d) => {
-                            self.queue.schedule(base, Ev::IpiDeliver { dom, vcpu: to });
-                            self.queue
-                                .schedule(base + d, Ev::IpiDeliver { dom, vcpu: to });
+                            self.queue.schedule(base, Ev::ipi_deliver(dom, to));
+                            self.queue.schedule(base + d, Ev::ipi_deliver(dom, to));
                         }
                     }
                 } else {
@@ -1164,11 +1302,10 @@ impl<S: HypervisorSched> Machine<S> {
                 let start = g.nic_busy_until.max(now);
                 g.nic_busy_until = start + wire;
                 g.nic_seq += 1;
-                self.queue
-                    .schedule(g.nic_busy_until, Ev::NicDrained { dom });
+                self.queue.schedule(g.nic_busy_until, Ev::nic_drained(dom));
             }
             GuestEffect::SleepUntil { tid, wake_at } => {
-                self.queue.schedule(wake_at, Ev::SleepWake { dom, tid });
+                self.queue.schedule(wake_at, Ev::sleep_wake(dom, tid));
             }
             GuestEffect::ThreadExited(_) => {
                 self.guests[dom.index()].exited_threads += 1;
@@ -1184,7 +1321,7 @@ impl<S: HypervisorSched> Machine<S> {
 
     /// Recomputes and rearms the plan event for one vCPU.
     fn replan(&mut self, dom: DomId, vcpu: VcpuId, now: SimTime) {
-        if let Some(h) = self.plan_handles[dom.index()][vcpu.index()].take() {
+        if let Some(h) = self.plan_handles[GlobalVcpu::new(dom, vcpu)].take() {
             self.queue.cancel(h);
         }
         if self.hv.where_running(GlobalVcpu::new(dom, vcpu)).is_none() {
@@ -1192,8 +1329,8 @@ impl<S: HypervisorSched> Machine<S> {
         }
         if let Some(t) = self.guests[dom.index()].kernel.next_plan(vcpu, now) {
             if t != SimTime::MAX {
-                let h = self.queue.schedule(t, Ev::Plan { dom, vcpu });
-                self.plan_handles[dom.index()][vcpu.index()] = Some(h);
+                let h = self.queue.schedule(t, Ev::plan(dom, vcpu));
+                self.plan_handles[GlobalVcpu::new(dom, vcpu)] = Some(h);
             }
         }
     }
@@ -1235,10 +1372,11 @@ impl<S: HypervisorSched> Machine<S> {
                 // remains the delivery bound of last resort.
                 let seq = self.guests[dom.index()].doorbells[port.0].open();
                 let rto = self.config.recovery.retransmit.timeout(0);
+                let widx = self.wide.intern(seq);
                 let h = self
                     .queue
-                    .schedule(now + rto, Ev::Retransmit { dom, port, seq });
-                self.guests[dom.index()].retx_handles[port.0] = Some(h);
+                    .schedule(now + rto, Ev::retransmit(dom, port, widx));
+                self.guests[dom.index()].retx_handles[port.0] = Some((h, widx));
             }
             DeliveryFault::Delay(d) => {
                 // The doorbell is late: the ring lands at `now + d`, but
@@ -1247,18 +1385,19 @@ impl<S: HypervisorSched> Machine<S> {
                 // a retransmit lands first delivers and acks; the loser is
                 // suppressed by the pending bit.
                 let seq = self.guests[dom.index()].doorbells[port.0].open();
-                self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+                self.queue.schedule(now + d, Ev::port_recover(dom, port));
                 let rto = self.config.recovery.retransmit.timeout(0);
+                let widx = self.wide.intern(seq);
                 let h = self
                     .queue
-                    .schedule(now + rto, Ev::Retransmit { dom, port, seq });
-                self.guests[dom.index()].retx_handles[port.0] = Some(h);
+                    .schedule(now + rto, Ev::retransmit(dom, port, widx));
+                self.guests[dom.index()].retx_handles[port.0] = Some((h, widx));
             }
             DeliveryFault::Deliver | DeliveryFault::Duplicate(_) => {
                 if let DeliveryFault::Duplicate(d) = fault {
                     // The spurious second doorbell: a PortRecover that
                     // finds nothing pending and does nothing.
-                    self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+                    self.queue.schedule(now + d, Ev::port_recover(dom, port));
                 }
                 if self.hv.where_running(gv).is_some() {
                     // Deliver right away.
@@ -1285,12 +1424,13 @@ impl<S: HypervisorSched> Machine<S> {
         // Any successful delivery — retransmitted, re-scanned, or a natural
         // vcpu_start sweep — acknowledges the outstanding doorbell sequence
         // and disarms its retransmit timer.
-        if let Some(h) = self.guests[di]
+        if let Some((h, seq_slot)) = self.guests[di]
             .retx_handles
             .get_mut(port.0)
             .and_then(Option::take)
         {
             self.queue.cancel(h);
+            self.wide.take(seq_slot);
         }
         if let Some(link) = self.guests[di].doorbells.get_mut(port.0) {
             link.ack_outstanding();
@@ -1355,15 +1495,16 @@ impl<S: HypervisorSched> Machine<S> {
             DeliveryFault::Drop | DeliveryFault::Delay(_) => {
                 if let DeliveryFault::Delay(d) = fault {
                     // The re-rung doorbell arrives, just late.
-                    self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+                    self.queue.schedule(now + d, Ev::port_recover(dom, port));
                 }
                 let policy = self.config.recovery.retransmit;
                 match self.guests[di].doorbells[port.0].backoff(seq, &policy) {
                     Some(delay) => {
+                        let widx = self.wide.intern(seq);
                         let h = self
                             .queue
-                            .schedule(now + delay, Ev::Retransmit { dom, port, seq });
-                        self.guests[di].retx_handles[port.0] = Some(h);
+                            .schedule(now + delay, Ev::retransmit(dom, port, widx));
+                        self.guests[di].retx_handles[port.0] = Some((h, widx));
                     }
                     None => {
                         // Budget exhausted. The pending bit still holds the
@@ -1375,7 +1516,7 @@ impl<S: HypervisorSched> Machine<S> {
                             .config()
                             .notify_recovery;
                         self.queue
-                            .schedule(now + recovery, Ev::PortRecover { dom, port });
+                            .schedule(now + recovery, Ev::port_recover(dom, port));
                     }
                 }
             }
@@ -1383,7 +1524,7 @@ impl<S: HypervisorSched> Machine<S> {
                 if let DeliveryFault::Duplicate(d) = fault {
                     // The spurious second ring: a PortRecover that finds
                     // nothing pending and is suppressed.
-                    self.queue.schedule(now + d, Ev::PortRecover { dom, port });
+                    self.queue.schedule(now + d, Ev::port_recover(dom, port));
                 }
                 self.guests[di].doorbells[port.0].ack_outstanding();
                 self.deliver_or_wake(dom, port, now);
@@ -1397,7 +1538,7 @@ impl<S: HypervisorSched> Machine<S> {
 
     fn daemon_timer(&mut self, dom: DomId, now: SimTime) {
         let period = self.guests[dom.index()].daemon.config.period;
-        self.queue.schedule(now + period, Ev::DaemonTimer { dom });
+        self.queue.schedule(now + period, Ev::daemon_timer(dom));
         if matches!(self.guests[dom.index()].scaling, ScalingMode::Fixed) {
             return;
         }
@@ -1574,24 +1715,22 @@ impl<S: HypervisorSched> Machine<S> {
             }
         } else if (TAG_FREEZE_BASE..TAG_UNFREEZE_BASE).contains(&tag) {
             let target = VcpuId((tag - TAG_FREEZE_BASE) as usize);
-            let mut fx = std::mem::take(&mut self.fx_buf);
-            fx.clear();
+            let mut fx = std::mem::take(&mut self.daemon_fx_buf);
             self.guests[dom.index()]
                 .kernel
                 .freeze_vcpu(target, now, &mut fx);
             ops.extend(fx.drain(..).map(|e| Op::Guest(dom, e)));
-            self.fx_buf = fx;
+            self.daemon_fx_buf = fx;
             self.guests[dom.index()].daemon.reconfigs += 1;
             self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
         } else if (TAG_UNFREEZE_BASE..TAG_HOTPLUG_BASE).contains(&tag) {
             let target = VcpuId((tag - TAG_UNFREEZE_BASE) as usize);
-            let mut fx = std::mem::take(&mut self.fx_buf);
-            fx.clear();
+            let mut fx = std::mem::take(&mut self.daemon_fx_buf);
             self.guests[dom.index()]
                 .kernel
                 .unfreeze_vcpu(target, now, &mut fx);
             ops.extend(fx.drain(..).map(|e| Op::Guest(dom, e)));
-            self.fx_buf = fx;
+            self.daemon_fx_buf = fx;
             self.guests[dom.index()].daemon.reconfigs += 1;
             self.guests[dom.index()].daemon.phase = DaemonPhase::Idle;
         }
@@ -1612,14 +1751,8 @@ impl<S: HypervisorSched> Machine<S> {
                 target,
                 freeze: false,
             };
-            self.queue.schedule(
-                now + latency,
-                Ev::HotplugDone {
-                    dom,
-                    vcpu: target,
-                    online: true,
-                },
-            );
+            self.queue
+                .schedule(now + latency, Ev::hotplug_done(dom, target, true));
             return;
         }
         let Some(target) = g.kernel.freeze_mask().lowest_frozen() else {
@@ -1668,7 +1801,7 @@ impl<S: HypervisorSched> Machine<S> {
                 // (a notifier veto): the guest pays the partial stall,
                 // the teardown unwinds, the vCPU stays online.
                 let stall = hp.abort_stall(latency, frac);
-                let mut fx = Vec::new();
+                let mut fx = std::mem::take(&mut self.fx_buf);
                 self.guests[dom.index()]
                     .kernel
                     .stall_all(now, now + stall, &mut fx);
@@ -1677,11 +1810,12 @@ impl<S: HypervisorSched> Machine<S> {
                     freeze: true,
                 };
                 self.guests[dom.index()].daemon.hotplug_aborts += 1;
-                self.queue.schedule(now + stall, Ev::HotplugAborted { dom });
+                self.queue.schedule(now + stall, Ev::hotplug_aborted(dom));
                 self.route(dom, &mut fx, now);
+                self.fx_buf = fx;
                 return;
             }
-            let mut fx = Vec::new();
+            let mut fx = std::mem::take(&mut self.fx_buf);
             self.guests[dom.index()]
                 .kernel
                 .stall_all(now, now + stop, &mut fx);
@@ -1689,15 +1823,10 @@ impl<S: HypervisorSched> Machine<S> {
                 target,
                 freeze: true,
             };
-            self.queue.schedule(
-                now + stop + local,
-                Ev::HotplugDone {
-                    dom,
-                    vcpu: target,
-                    online: false,
-                },
-            );
+            self.queue
+                .schedule(now + stop + local, Ev::hotplug_done(dom, target, false));
             self.route(dom, &mut fx, now);
+            self.fx_buf = fx;
             return;
         }
         g.daemon.phase = DaemonPhase::Reconfiguring {
@@ -1723,6 +1852,35 @@ mod tests {
 
     fn compute_ms(ms: u64) -> Box<OneShot> {
         Box::new(OneShot::new(SimDuration::from_ms(ms)))
+    }
+
+    /// The tentpole cache-line budget: the compact event payload is at
+    /// most 16 bytes, and a whole event-queue slab node — payload plus
+    /// the wheel's time/seq/generation/level bookkeeping — fits in one
+    /// 64-byte cache line.
+    #[test]
+    fn event_payload_fits_one_cache_line() {
+        assert!(std::mem::size_of::<Ev>() <= 16, "Ev grew past 16 bytes");
+        assert!(
+            EventQueue::<Ev>::node_footprint() <= 64,
+            "slab node grew past one cache line: {} bytes",
+            EventQueue::<Ev>::node_footprint()
+        );
+    }
+
+    /// The wide-word side table recycles freed slots, so the steady state
+    /// (intern at schedule, take at fire) never grows the pool.
+    #[test]
+    fn wide_pool_reuses_freed_slots() {
+        let mut pool = WidePool::default();
+        let a = pool.intern(7);
+        let b = pool.intern(9);
+        assert_ne!(a, b);
+        assert_eq!(pool.take(a), 7);
+        let c = pool.intern(11);
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(pool.slots.len(), 2, "steady state does not grow the pool");
+        assert_eq!((pool.take(b), pool.take(c)), (9, 11));
     }
 
     #[test]

@@ -324,6 +324,12 @@ pub struct GuestKernel {
     stats: GuestStats,
     /// Accumulated user-spin waste (for diagnostics).
     spin_waste_total: SimDuration,
+    /// Scratch for barrier-release and condvar-requeue wake lists; reused
+    /// so the futex wake paths allocate nothing in steady state.
+    wake_scratch: Vec<ThreadId>,
+    /// Scratch for run-queue evacuation during vCPU freezes; same
+    /// recycling story as `wake_scratch` but for `(vruntime, tid)` pairs.
+    evac_scratch: Vec<(u64, ThreadId)>,
 }
 
 impl GuestKernel {
@@ -360,6 +366,8 @@ impl GuestKernel {
             io_queues: Vec::new(),
             stats: GuestStats::default(),
             spin_waste_total: SimDuration::ZERO,
+            wake_scratch: Vec::new(),
+            evac_scratch: Vec::new(),
         }
     }
 
@@ -984,12 +992,17 @@ impl GuestKernel {
             }),
             ThreadAction::BarrierWait(bar) => {
                 match self.sync.barriers[bar.0].arrive(tid) {
-                    BarrierArrival::Release { wake } => {
-                        let wake_cost = costs.futex_syscall * wake.len() as u64;
-                        for w in wake {
+                    BarrierArrival::Release { n_blocked } => {
+                        let wake_cost = costs.futex_syscall * n_blocked as u64;
+                        let mut wake = std::mem::take(&mut self.wake_scratch);
+                        self.sync.barriers[bar.0].drain_blocked(&mut wake);
+                        debug_assert_eq!(wake.len(), n_blocked);
+                        for &w in &wake {
                             self.stats.futex_wakes += 1;
                             self.wake_thread(w, Some(v), now, fx);
                         }
+                        wake.clear();
+                        self.wake_scratch = wake;
                         // Spinning waiters on other running vCPUs notice
                         // the generation bump immediately, not at their
                         // next tick.
@@ -1228,8 +1241,9 @@ impl GuestKernel {
         now: SimTime,
         fx: &mut Vec<GuestEffect>,
     ) {
-        let moved = self.sync.condvars[c.0].take_waiters(n);
-        for t in moved {
+        let mut moved = std::mem::take(&mut self.wake_scratch);
+        self.sync.condvars[c.0].drain_waiters(n, &mut moved);
+        for &t in &moved {
             match self.threads[t.index()].state {
                 TState::Blocked(BlockReason::Cond(_, m)) => {
                     if self.sync.mutexes[m.0].enqueue_waiter(t) {
@@ -1258,6 +1272,8 @@ impl GuestKernel {
                 other => panic!("cond waiter {t} in unexpected state {other:?}"),
             }
         }
+        moved.clear();
+        self.wake_scratch = moved;
     }
 
     // ------------------------------------------------------------------
@@ -1495,12 +1511,13 @@ impl GuestKernel {
     /// Evacuates the run queue of a freezing vCPU. Returns `true` if any
     /// thread was migrated (kwork was queued).
     fn evacuate(&mut self, v: VcpuId, now: SimTime, fx: &mut Vec<GuestEffect>) -> bool {
-        let queued = self.vcpus[v.index()].rq.drain();
-        if queued.is_empty() {
+        if self.vcpus[v.index()].rq.is_empty() {
             return false;
         }
+        let mut queued = std::mem::take(&mut self.evac_scratch);
+        self.vcpus[v.index()].rq.drain_into(&mut queued);
         let mut any = false;
-        for (vr, tid) in queued {
+        for &(vr, tid) in &queued {
             if self.threads[tid.index()].kind.migratable() {
                 self.migrate_thread(tid, v, now, fx);
                 any = true;
@@ -1509,6 +1526,8 @@ impl GuestKernel {
                 self.vcpus[v.index()].rq.enqueue(tid, vr);
             }
         }
+        queued.clear();
+        self.evac_scratch = queued;
         any
     }
 

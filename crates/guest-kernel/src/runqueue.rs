@@ -6,16 +6,21 @@
 //! modest latency advantage without starving the queue (Linux's
 //! `place_entity` behaviour, simplified to equal load weights).
 
-use std::collections::BTreeSet;
-
 use sim_core::ids::ThreadId;
 use sim_core::time::SimDuration;
 
 /// CFS-like ready queue for one vCPU.
+///
+/// Backed by a `Vec` kept sorted **descending** by `(vruntime_ns, tid)`,
+/// so the next thread to run (smallest vruntime) pops from the tail in
+/// O(1). Queues hold a handful of threads, so the O(n) sorted insert is
+/// a couple of cache-line shifts — and unlike a `BTreeSet`, the vector
+/// keeps its capacity when the queue drains, so the empty→ready cycle
+/// that every idle vCPU goes through allocates nothing in steady state.
 #[derive(Clone, Debug, Default)]
 pub struct RunQueue {
-    /// Ready threads ordered by `(vruntime_ns, tid)`.
-    queue: BTreeSet<(u64, ThreadId)>,
+    /// Ready threads ordered by `(vruntime_ns, tid)` descending.
+    queue: Vec<(u64, ThreadId)>,
     /// Monotone floor for placing woken threads.
     min_vruntime: u64,
 }
@@ -41,10 +46,17 @@ impl RunQueue {
         self.min_vruntime
     }
 
+    /// Position of `key` in the descending-sorted vector.
+    fn pos(&self, key: (u64, ThreadId)) -> Result<usize, usize> {
+        self.queue.binary_search_by(|probe| key.cmp(probe))
+    }
+
     /// Enqueues a ready thread at its current vruntime.
     pub fn enqueue(&mut self, tid: ThreadId, vruntime: u64) {
-        let inserted = self.queue.insert((vruntime, tid));
-        debug_assert!(inserted, "thread {tid} double-enqueued");
+        match self.pos((vruntime, tid)) {
+            Err(i) => self.queue.insert(i, (vruntime, tid)),
+            Ok(_) => debug_assert!(false, "thread {tid} double-enqueued"),
+        }
     }
 
     /// Places a *woken* thread: clamps its vruntime to
@@ -57,43 +69,50 @@ impl RunQueue {
         v
     }
 
-    /// Removes and returns the leftmost (smallest-vruntime) thread.
+    /// Removes and returns the smallest-vruntime thread (the tail).
     pub fn pick_next(&mut self) -> Option<(u64, ThreadId)> {
-        let entry = *self.queue.iter().next()?;
-        self.queue.remove(&entry);
+        let entry = self.queue.pop()?;
         self.min_vruntime = self.min_vruntime.max(entry.0);
         Some(entry)
     }
 
     /// The smallest queued vruntime, without removal.
     pub fn peek_min(&self) -> Option<(u64, ThreadId)> {
-        self.queue.iter().next().copied()
+        self.queue.last().copied()
     }
 
     /// Removes a specific thread (migration / exit from queue).
     /// Returns `true` if it was present.
     pub fn remove(&mut self, tid: ThreadId, vruntime: u64) -> bool {
-        self.queue.remove(&(vruntime, tid))
+        match self.pos((vruntime, tid)) {
+            Ok(i) => {
+                self.queue.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Removes and returns the thread with the *largest* vruntime — the
     /// cheapest one to migrate (it was going to run last anyway).
     pub fn steal_back(&mut self) -> Option<(u64, ThreadId)> {
-        let entry = *self.queue.iter().next_back()?;
-        self.queue.remove(&entry);
-        Some(entry)
+        if self.queue.is_empty() {
+            return None;
+        }
+        Some(self.queue.remove(0))
     }
 
-    /// Iterates over queued `(vruntime, tid)` pairs in order.
+    /// Iterates over queued `(vruntime, tid)` pairs, smallest first.
     pub fn iter(&self) -> impl Iterator<Item = (u64, ThreadId)> + '_ {
-        self.queue.iter().copied()
+        self.queue.iter().rev().copied()
     }
 
-    /// Drains the whole queue (vCPU evacuation), smallest vruntime first.
-    pub fn drain(&mut self) -> Vec<(u64, ThreadId)> {
-        let all: Vec<_> = self.queue.iter().copied().collect();
+    /// Drains the whole queue (vCPU evacuation), smallest vruntime first,
+    /// appending into a caller-owned scratch buffer so repeated
+    /// evacuations reuse one allocation.
+    pub fn drain_into(&mut self, out: &mut Vec<(u64, ThreadId)>) {
+        out.extend(self.queue.iter().rev().copied());
         self.queue.clear();
-        all
     }
 }
 
@@ -167,7 +186,8 @@ mod tests {
         rq.enqueue(t(3), 30);
         rq.enqueue(t(1), 10);
         rq.enqueue(t(2), 20);
-        let all = rq.drain();
+        let mut all = Vec::new();
+        rq.drain_into(&mut all);
         assert_eq!(all, vec![(10, t(1)), (20, t(2)), (30, t(3))]);
         assert!(rq.is_empty());
     }

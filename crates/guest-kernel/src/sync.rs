@@ -37,12 +37,13 @@ pub enum BarrierArrival {
         /// The barrier generation the waiter is waiting out.
         generation: u64,
     },
-    /// The arriving thread was the last: the barrier releases. The listed
-    /// *blocked* threads need futex wakes; spinning waiters notice the
-    /// generation bump on their own.
+    /// The arriving thread was the last: the barrier releases. The
+    /// *blocked* threads (count attached) need futex wakes — the caller
+    /// collects them with [`Barrier::drain_blocked`]; spinning waiters
+    /// notice the generation bump on their own.
     Release {
-        /// Futex-blocked waiters that need explicit wakes.
-        wake: Vec<ThreadId>,
+        /// Number of futex-blocked waiters needing explicit wakes.
+        n_blocked: usize,
     },
 }
 
@@ -90,7 +91,7 @@ impl Barrier {
             self.arrived = 0;
             self.generation += 1;
             BarrierArrival::Release {
-                wake: std::mem::take(&mut self.blocked),
+                n_blocked: self.blocked.len(),
             }
         } else {
             BarrierArrival::Wait {
@@ -98,6 +99,14 @@ impl Barrier {
                 generation: self.generation,
             }
         }
+    }
+
+    /// Moves the futex-blocked waiters of the releasing generation into
+    /// `out` (in block order), leaving the barrier's own buffer — and its
+    /// capacity — in place for the next generation. Steady-state barrier
+    /// rounds therefore allocate nothing.
+    pub fn drain_blocked(&mut self, out: &mut Vec<ThreadId>) {
+        out.append(&mut self.blocked);
     }
 
     /// A spinning waiter exhausted its budget and blocks in the kernel.
@@ -204,10 +213,12 @@ impl Condvar {
         self.waiters.push_back(tid);
     }
 
-    /// Pops up to `n` waiters for signalling.
-    pub fn take_waiters(&mut self, n: usize) -> Vec<ThreadId> {
+    /// Moves up to `n` waiters (in park order) into `out` for signalling.
+    /// Drains into a caller-owned scratch buffer rather than returning a
+    /// fresh `Vec` so the signal path stays allocation-free.
+    pub fn drain_waiters(&mut self, n: usize, out: &mut Vec<ThreadId>) {
         let n = n.min(self.waiters.len());
-        self.waiters.drain(..n).collect()
+        out.extend(self.waiters.drain(..n));
     }
 }
 
@@ -392,10 +403,18 @@ mod tests {
         // One waiter falls asleep.
         b.block(t(1));
         match b.arrive(t(2)) {
-            BarrierArrival::Release { wake } => assert_eq!(wake, vec![t(1)]),
+            BarrierArrival::Release { n_blocked } => assert_eq!(n_blocked, 1),
             other => panic!("expected release, got {other:?}"),
         }
+        let mut wake = Vec::new();
+        b.drain_blocked(&mut wake);
+        assert_eq!(wake, vec![t(1)]);
+        // The buffer's capacity survives the release for the next round.
+        b.block(t(0));
         assert_eq!(b.generation(), 1);
+        let mut again = Vec::new();
+        b.drain_blocked(&mut again);
+        assert_eq!(again, vec![t(0)]);
         assert!(b.released(0));
         assert!(!b.released(1));
     }
@@ -444,12 +463,14 @@ mod tests {
         assert_eq!(c.waiter_count(), 2);
         // Signal: one waiter moves to the mutex. Mutex is free, so it
         // acquires directly.
-        let moved = c.take_waiters(1);
+        let mut moved = Vec::new();
+        c.drain_waiters(1, &mut moved);
         assert_eq!(moved, vec![t(1)]);
         assert!(m.enqueue_waiter(t(1)));
         assert_eq!(m.owner(), Some(t(1)));
         // Second signal while the mutex is held: waiter queues.
-        let moved = c.take_waiters(1);
+        moved.clear();
+        c.drain_waiters(1, &mut moved);
         assert_eq!(moved, vec![t(2)]);
         assert!(!m.enqueue_waiter(t(2)));
         assert_eq!(m.waiter_count(), 1);

@@ -30,12 +30,48 @@
 //! slot is no earlier than the slot's start, the heap minimum is the global
 //! `(time, seq)` minimum — delivery order is bit-identical to a single
 //! global priority queue, which the cross-backend proptests pin down.
+//!
+//! # Same-instant batching
+//!
+//! [`EventQueue::pop_next_until`] exploits the same invariant in the other
+//! direction: because `settle`'s return test is strict, *all* events of the
+//! top instant are already in the near heap when it returns, so one settle
+//! can batch the whole instant into a run buffer and serve the rest of its
+//! events without touching the wheel again. Cancellation of a batched event
+//! is honored at serve time (payload tombstone), so batching is invisible
+//! to callers — it only removes redundant settles from the simulator's hot
+//! dispatch loop.
 
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
 
 use crate::time::SimTime;
+
+/// Memoized result of [`EventQueue::earliest_slot`]. The dispatch loop
+/// consults the earliest occupied wheel slot up to three times per popped
+/// event (the pre-settle hint, the settle boundary, and the post-drain
+/// boundary), and each consultation is a scan of every occupancy word of
+/// every level. The scan result only changes when occupancy changes, so it
+/// is cached here: `schedule` can *lower* the minimum in O(1) (min of the
+/// cached slot and the newly occupied one), while anything that clears an
+/// occupancy bit (slot drain, tombstone sweep) marks the cache [`Stale`]
+/// and the next query rescans. A `Cell` because the hint path borrows the
+/// queue immutably.
+///
+/// [`Stale`]: WheelMin::Stale
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WheelMin {
+    /// Occupancy changed in a way the cache cannot track; rescan.
+    Stale,
+    /// The wheel proper has no occupied slot.
+    Empty,
+    /// Earliest occupied slot as `(start_ns, level, in-array index)` —
+    /// the exact value [`EventQueue::earliest_slot_scan`] would return,
+    /// including its prefer-lower-level tie-break.
+    At(u64, u8, u16),
+}
 
 /// An opaque handle identifying a scheduled event, usable for cancellation.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -60,6 +96,16 @@ pub trait EventQueueApi<E> {
     /// `run_until`-style loops can skip the expensive exact peek when the
     /// bound already exceeds their deadline.
     fn peek_time_hint(&self) -> Option<SimTime>;
+    /// Removes and returns the earliest live event if it fires at or
+    /// before `deadline`, else `None`. Semantically `peek_time() <=
+    /// deadline` then `pop()`; backends may amortize (the wheel settles
+    /// once per instant and serves same-time events from a run buffer).
+    fn pop_next_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        match self.peek_time() {
+            Some(t) if t <= deadline => self.pop(),
+            _ => None,
+        }
+    }
     /// The current simulation clock: the timestamp of the last popped event.
     fn now(&self) -> SimTime;
     /// The number of live (not cancelled) events still queued.
@@ -89,6 +135,10 @@ const LEVELS: usize = 4;
 /// Marker for a node that is not parked in a wheel slot (near heap,
 /// overflow heap, or free list).
 const LEVEL_NONE: u8 = u8::MAX;
+/// Marker for a node batched into the current-instant run buffer by
+/// [`EventQueue::pop_next_until`] but not yet served — lets `cancel`
+/// keep the run buffer's live count exact.
+const LEVEL_RUN: u8 = u8::MAX - 1;
 /// Per-level tombstone count that triggers an opportunistic compaction
 /// sweep. Cancel-heavy long-horizon workloads (retransmit timers cancelled
 /// on ack) would otherwise pin slab nodes until their slot drains — a
@@ -107,8 +157,16 @@ struct Node<E> {
     /// [`LEVEL_NONE`] — lets `cancel` charge the tombstone to the right
     /// level's sweep counter.
     level: u8,
+    /// Intrusive link to the next node in the same wheel slot, or [`NIL`].
+    /// Slots are singly-linked chains through the slab rather than `Vec`s,
+    /// so filing and draining never allocate — the slab is the only
+    /// storage the wheel ever grows.
+    next: u32,
     payload: Option<E>,
 }
+
+/// Chain terminator for the intrusive slot lists.
+const NIL: u32 = u32::MAX;
 
 /// Tombstone-sweeping counters of an [`EventQueue`]: cancelled wheel
 /// residents awaiting reclamation and how many compaction passes have
@@ -121,6 +179,10 @@ pub struct SweepStats {
     pub sweeps: u64,
     /// Tombstoned nodes reclaimed by those passes.
     pub swept: u64,
+    /// Level-0 slot positions the cursor jumped over without inspection:
+    /// the occupancy bitmaps prove them empty, so `settle` never walks
+    /// them slot-by-slot.
+    pub slots_skipped: u64,
 }
 
 /// Min-ordering entry for the near/overflow heaps: `(time, seq)` with the
@@ -171,13 +233,19 @@ impl Ord for HeapEntry {
 pub struct EventQueue<E> {
     nodes: Vec<Node<E>>,
     free: Vec<u32>,
-    /// `levels[l][i]` holds slab indices of events whose level-`l` absolute
-    /// slot is congruent to `i` mod 256. The placement rule keeps every
+    /// `slot_head[l][i]` heads an intrusive chain (via [`Node::next`]) of
+    /// events whose level-`l` absolute slot is congruent to `i` mod 256,
+    /// or [`NIL`] when the slot is empty. The placement rule keeps every
     /// occupied slot within 255 slots of the wheel position, so the
-    /// in-array index determines the absolute slot uniquely.
-    levels: [Vec<Vec<u32>>; LEVELS],
+    /// in-array index determines the absolute slot uniquely. Chains make
+    /// filing and draining allocation-free; within-slot order is
+    /// irrelevant because delivery order comes from the near heap's
+    /// `(time, seq)` sort.
+    slot_head: [[u32; SLOTS]; LEVELS],
     /// One bit per slot per level: fast next-occupied-slot scans.
     occupancy: [[u64; SLOTS / 64]; LEVELS],
+    /// Cached earliest occupied wheel slot; see [`WheelMin`].
+    wheel_min: Cell<WheelMin>,
     /// Events of the current (and past) level-0 slots plus overflow
     /// refugees, ordered by `(time, seq)`. Always holds the global minimum
     /// once [`EventQueue::settle`] returns true.
@@ -187,8 +255,6 @@ pub struct EventQueue<E> {
     /// Wheel position: the absolute level-0 slot such that every event
     /// still in a wheel slot is in a strictly later slot.
     pos: u64,
-    /// Scratch for draining slots without losing their capacity.
-    drain_buf: Vec<u32>,
     live: usize,
     next_seq: u64,
     now: SimTime,
@@ -198,6 +264,16 @@ pub struct EventQueue<E> {
     tombstones: [u32; LEVELS],
     sweeps: u64,
     swept: u64,
+    /// Level-0 slot positions jumped without inspection (occupancy scans).
+    skipped: u64,
+    /// Slab indices of the current instant's events, batched by
+    /// [`EventQueue::pop_next_until`] with a single `settle` and served in
+    /// `(time, seq)` order; all share `time == self.now`.
+    run_buf: Vec<u32>,
+    /// Cursor into `run_buf`: entries before it are already served.
+    run_pos: usize,
+    /// Live (not since-cancelled) entries remaining in `run_buf`.
+    run_live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -212,12 +288,12 @@ impl<E> EventQueue<E> {
         EventQueue {
             nodes: Vec::new(),
             free: Vec::new(),
-            levels: std::array::from_fn(|_| (0..SLOTS).map(|_| Vec::new()).collect()),
+            slot_head: [[NIL; SLOTS]; LEVELS],
             occupancy: [[0; SLOTS / 64]; LEVELS],
+            wheel_min: Cell::new(WheelMin::Empty),
             near: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             pos: 0,
-            drain_buf: Vec::new(),
             live: 0,
             next_seq: 0,
             now: SimTime::ZERO,
@@ -225,7 +301,19 @@ impl<E> EventQueue<E> {
             tombstones: [0; LEVELS],
             sweeps: 0,
             swept: 0,
+            skipped: 0,
+            run_buf: Vec::new(),
+            run_pos: 0,
+            run_live: 0,
         }
+    }
+
+    /// Size in bytes of one slab node: the event payload plus the wheel's
+    /// per-event bookkeeping (time, seq, generation, level). The machine's
+    /// cache-line budget (`Ev` small enough that a node fits in 64 bytes)
+    /// is asserted against this.
+    pub const fn node_footprint() -> usize {
+        std::mem::size_of::<Node<E>>()
     }
 
     /// The current simulation clock: the timestamp of the last popped event.
@@ -277,6 +365,7 @@ impl<E> EventQueue<E> {
                     seq,
                     gen: 0,
                     level: LEVEL_NONE,
+                    next: NIL,
                     payload: Some(payload),
                 });
                 i
@@ -312,6 +401,10 @@ impl<E> EventQueue<E> {
             if self.tombstones[level] >= SWEEP_THRESHOLD {
                 self.sweep_level(level);
             }
+        } else if node.level == LEVEL_RUN {
+            // Batched for the current instant but not yet served; the
+            // serving loop will skip and reclaim it.
+            self.run_live -= 1;
         }
         true
     }
@@ -322,30 +415,109 @@ impl<E> EventQueue<E> {
             pending: self.tombstones.iter().map(|&c| u64::from(c)).sum(),
             sweeps: self.sweeps,
             swept: self.swept,
+            slots_skipped: self.skipped,
         }
     }
 
     /// Removes and returns the earliest live event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if !self.settle() {
-            return None;
+        self.pop_next_until(SimTime::MAX)
+    }
+
+    /// Removes and returns the earliest live event if it fires at or before
+    /// `deadline`; otherwise returns `None` and delivers nothing.
+    /// Semantically identical to `peek_time() <= deadline` followed by
+    /// `pop()`, but amortized: the first pop of an instant settles the
+    /// wheel **once** and batches every event sharing that timestamp into a
+    /// run buffer, so the remaining same-instant pops are a bounds check
+    /// and an index load instead of a settle (heap-top tombstone strip +
+    /// occupancy scan + boundary comparison) each.
+    ///
+    /// Correctness of the batch: `settle`'s return test is *strict*
+    /// (`near-top time < boundary`, where the boundary is the earliest
+    /// occupied slot start or overflow minimum), so when it returns true
+    /// every event with the top's timestamp is already in the near heap —
+    /// a wheel or overflow resident at that instant would hold the
+    /// boundary down and force another drain iteration. Events the caller
+    /// schedules *at* the current instant while a batch is being served
+    /// get higher sequence numbers than every batched entry and are picked
+    /// up by the next refill, and cancellations of batched entries are
+    /// honored at serve time via the payload tombstone — delivery order
+    /// and content are bit-identical to the unbatched queue, which the
+    /// cross-backend proptests pin down.
+    pub fn pop_next_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        loop {
+            if self.run_pos < self.run_buf.len() {
+                // Batched leftovers all fire at `self.now`; a later call
+                // with an earlier deadline must leave them pending.
+                if self.now > deadline {
+                    return None;
+                }
+                let idx = self.run_buf[self.run_pos];
+                self.run_pos += 1;
+                let node = &mut self.nodes[idx as usize];
+                debug_assert_eq!(node.time, self.now);
+                if let Some(payload) = node.payload.take() {
+                    self.run_live -= 1;
+                    self.popped += 1;
+                    self.live -= 1;
+                    self.release(idx);
+                    return Some((self.now, payload));
+                }
+                // Cancelled after batching: reclaim and keep serving.
+                self.release(idx);
+                continue;
+            }
+            self.run_buf.clear();
+            self.run_pos = 0;
+            let hint = self.peek_time_hint()?;
+            if hint > deadline {
+                return None;
+            }
+            if !self.settle() {
+                return None;
+            }
+            let t = self
+                .near
+                .peek()
+                .expect("settle guarantees a live near event")
+                .time;
+            if t > deadline {
+                return None;
+            }
+            debug_assert!(t >= self.now);
+            self.now = t;
+            while let Some(top) = self.near.peek() {
+                if top.time != t {
+                    break;
+                }
+                let e = self.near.pop().expect("peeked");
+                let node = &mut self.nodes[e.idx as usize];
+                if node.payload.is_some() {
+                    node.level = LEVEL_RUN;
+                    self.run_live += 1;
+                    self.run_buf.push(e.idx);
+                } else {
+                    self.release(e.idx);
+                }
+            }
+            // The settled top is live, so the batch is never empty and the
+            // serving arm returns on this iteration.
+            debug_assert!(self.run_live > 0);
         }
-        let e = self
-            .near
-            .pop()
-            .expect("settle guarantees a live near event");
-        let node = &mut self.nodes[e.idx as usize];
-        let payload = node.payload.take().expect("settle strips tombstones");
-        debug_assert!(e.time >= self.now);
-        self.now = e.time;
-        self.popped += 1;
-        self.live -= 1;
-        self.release(e.idx);
-        Some((e.time, payload))
     }
 
     /// The timestamp of the next live event, without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
+        while self.run_pos < self.run_buf.len() {
+            let idx = self.run_buf[self.run_pos];
+            if self.nodes[idx as usize].payload.is_some() {
+                // An unserved batch entry: it fires at the batch instant.
+                return Some(self.now);
+            }
+            self.run_pos += 1;
+            self.release(idx);
+        }
         if self.settle() {
             self.near.peek().map(|e| e.time)
         } else {
@@ -364,6 +536,10 @@ impl<E> EventQueue<E> {
     pub fn peek_time_hint(&self) -> Option<SimTime> {
         if self.live == 0 {
             return None;
+        }
+        if self.run_live > 0 {
+            // Unserved batch entries fire exactly at the batch instant.
+            return Some(self.now);
         }
         let mut best = u64::MAX;
         if let Some(e) = self.near.peek() {
@@ -411,9 +587,24 @@ impl<E> EventQueue<E> {
             let d = (s0 >> shift) - (self.pos >> shift);
             if d < SLOTS as u64 {
                 let i = ((s0 >> shift) & SLOT_MASK) as usize;
-                self.nodes[idx as usize].level = l as u8;
-                self.levels[l][i].push(idx);
+                let node = &mut self.nodes[idx as usize];
+                node.level = l as u8;
+                node.next = self.slot_head[l][i];
+                self.slot_head[l][i] = idx;
                 self.occupancy[l][i / 64] |= 1 << (i % 64);
+                // Occupying a slot can only *lower* the wheel minimum, so a
+                // fresh cache stays exact in O(1). The tie-break mirrors the
+                // scan: equal starts prefer the lower level.
+                let start = (s0 >> shift) << (GRANULARITY_BITS + shift);
+                match self.wheel_min.get() {
+                    WheelMin::Empty => {
+                        self.wheel_min.set(WheelMin::At(start, l as u8, i as u16));
+                    }
+                    WheelMin::At(b, bl, _) if start < b || (start == b && (l as u8) < bl) => {
+                        self.wheel_min.set(WheelMin::At(start, l as u8, i as u16));
+                    }
+                    _ => {}
+                }
                 return;
             }
         }
@@ -426,27 +617,41 @@ impl<E> EventQueue<E> {
     /// tombstone counter. Cannot affect pop order — only dead nodes move,
     /// and handle generations are bumped exactly as a lazy reclaim would.
     fn sweep_level(&mut self, l: usize) {
-        let nodes = &mut self.nodes;
-        let free = &mut self.free;
         let mut freed = 0u64;
-        for (i, slot) in self.levels[l].iter_mut().enumerate() {
-            if slot.is_empty() {
+        for i in 0..SLOTS {
+            let mut cur = self.slot_head[l][i];
+            if cur == NIL {
                 continue;
             }
-            let before = slot.len();
-            slot.retain(|&idx| {
-                let node = &mut nodes[idx as usize];
-                if node.payload.is_some() {
-                    return true;
+            // Relink the chain with the dead nodes filtered out.
+            let mut new_head = NIL;
+            let mut tail = NIL;
+            while cur != NIL {
+                let nxt = self.nodes[cur as usize].next;
+                if self.nodes[cur as usize].payload.is_some() {
+                    if tail == NIL {
+                        new_head = cur;
+                    } else {
+                        self.nodes[tail as usize].next = cur;
+                    }
+                    tail = cur;
+                } else {
+                    let node = &mut self.nodes[cur as usize];
+                    node.gen = node.gen.wrapping_add(1);
+                    node.level = LEVEL_NONE;
+                    self.free.push(cur);
+                    freed += 1;
                 }
-                node.gen = node.gen.wrapping_add(1);
-                node.level = LEVEL_NONE;
-                free.push(idx);
-                false
-            });
-            freed += (before - slot.len()) as u64;
-            if slot.is_empty() {
+                cur = nxt;
+            }
+            if tail != NIL {
+                self.nodes[tail as usize].next = NIL;
+            }
+            self.slot_head[l][i] = new_head;
+            if new_head == NIL {
                 self.occupancy[l][i / 64] &= !(1 << (i % 64));
+                // The emptied slot may have been the cached wheel minimum.
+                self.wheel_min.set(WheelMin::Stale);
             }
         }
         self.swept += freed;
@@ -457,8 +662,31 @@ impl<E> EventQueue<E> {
     /// The earliest occupied wheel slot across all levels, as
     /// `(slot_start_ns, level, in_array_index)`, or `None` if the wheel
     /// proper is empty. Any event in the returned slot has
-    /// `time >= slot_start_ns`.
+    /// `time >= slot_start_ns`. Served from [`WheelMin`] when the cache is
+    /// fresh; rescans (and refreshes the cache) otherwise.
     fn earliest_slot(&self) -> Option<(u64, usize, usize)> {
+        match self.wheel_min.get() {
+            WheelMin::Empty => {
+                debug_assert_eq!(self.earliest_slot_scan(), None);
+                return None;
+            }
+            WheelMin::At(start, l, i) => {
+                let hit = (start, l as usize, i as usize);
+                debug_assert_eq!(self.earliest_slot_scan(), Some(hit));
+                return Some(hit);
+            }
+            WheelMin::Stale => {}
+        }
+        let best = self.earliest_slot_scan();
+        self.wheel_min.set(match best {
+            None => WheelMin::Empty,
+            Some((start, l, i)) => WheelMin::At(start, l as u8, i as u16),
+        });
+        best
+    }
+
+    /// The uncached occupancy-bitmap scan behind [`EventQueue::earliest_slot`].
+    fn earliest_slot_scan(&self) -> Option<(u64, usize, usize)> {
         let mut best: Option<(u64, usize, usize)> = None;
         for l in 0..LEVELS {
             let shift = SLOT_BITS * l as u32;
@@ -550,21 +778,34 @@ impl<E> EventQueue<E> {
                 // near heap, jumping the wheel position to its slot — the
                 // slots skipped over are provably empty.
                 let e = self.overflow.pop().expect("peeked");
-                self.pos = self.pos.max(e.time.as_ns() >> GRANULARITY_BITS);
+                let jump = self.pos.max(e.time.as_ns() >> GRANULARITY_BITS);
+                self.skipped += jump - self.pos;
+                self.pos = jump;
                 self.near.push(e);
                 continue;
             }
             let (start, l, i) = wheel.expect("boundary came from the wheel");
-            self.pos = self.pos.max(start >> GRANULARITY_BITS);
+            let jump = self.pos.max(start >> GRANULARITY_BITS);
+            self.skipped += jump - self.pos;
+            self.pos = jump;
             self.occupancy[l][i / 64] &= !(1 << (i % 64));
-            let mut buf = std::mem::take(&mut self.drain_buf);
-            buf.clear();
-            std::mem::swap(&mut buf, &mut self.levels[l][i]);
-            // `levels[l][i]` is now the (empty) old drain_buf; `buf` holds
-            // the slot entries and returns to drain_buf with its capacity.
-            for &idx in &buf {
+            // The drained slot *was* the cached minimum; the next-earliest
+            // slot is unknown until rescanned. (The cascade below re-places
+            // entries, which leaves a stale cache stale — conservative.)
+            self.wheel_min.set(WheelMin::Stale);
+            // Detach the whole chain, then walk it. Reading `next` before
+            // processing each node matters: a cascading `place` overwrites
+            // the link when it refiles the node into a lower-level slot.
+            // (A cascade can never refile into the slot being drained:
+            // place always finds a level below `l` within range once the
+            // position has jumped to this slot's start.)
+            let mut cur = self.slot_head[l][i];
+            self.slot_head[l][i] = NIL;
+            while cur != NIL {
+                let idx = cur;
                 let (t, s, alive) = {
                     let node = &self.nodes[idx as usize];
+                    cur = node.next;
                     (node.time, node.seq, node.payload.is_some())
                 };
                 if !alive {
@@ -581,7 +822,6 @@ impl<E> EventQueue<E> {
                     self.place(idx, t, s);
                 }
             }
-            self.drain_buf = buf;
         }
     }
 }
@@ -601,6 +841,9 @@ impl<E> EventQueueApi<E> for EventQueue<E> {
     }
     fn peek_time_hint(&self) -> Option<SimTime> {
         EventQueue::peek_time_hint(self)
+    }
+    fn pop_next_until(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        EventQueue::pop_next_until(self, deadline)
     }
     fn now(&self) -> SimTime {
         EventQueue::now(self)
@@ -1030,6 +1273,102 @@ mod tests {
         assert_eq!(order, vec!["other", "new"]);
     }
 
+    /// Shared across backends: `pop_next_until` delivers exactly the
+    /// events at or before the deadline, in order, and leaves the rest.
+    fn pop_until_suite<Q: EventQueueApi<u32> + Default>() {
+        let mut q = Q::default();
+        let t = SimTime::from_ms(5);
+        for i in 0..4u32 {
+            q.schedule(t, i);
+        }
+        q.schedule(SimTime::from_ms(9), 99);
+        // Deadline before the first instant: nothing moves.
+        assert!(q.pop_next_until(SimTime::from_ms(4)).is_none());
+        assert_eq!(q.len(), 5);
+        // The whole instant drains in insertion order, then stops at the
+        // deadline even though a later event exists.
+        for i in 0..4u32 {
+            assert_eq!(q.pop_next_until(SimTime::from_ms(7)), Some((t, i)));
+        }
+        assert!(q.pop_next_until(SimTime::from_ms(7)).is_none());
+        assert_eq!(q.now(), t);
+        assert_eq!(
+            q.pop_next_until(SimTime::from_ms(9)),
+            Some((SimTime::from_ms(9), 99))
+        );
+        assert!(q.pop_next_until(SimTime::MAX).is_none());
+    }
+
+    #[test]
+    fn pop_next_until_respects_deadline_both_backends() {
+        pop_until_suite::<EventQueue<u32>>();
+        pop_until_suite::<HeapQueue<u32>>();
+    }
+
+    #[test]
+    fn cancel_of_batched_event_is_honored() {
+        // Cancelling an event *after* its instant has been batched (first
+        // same-time event already served) must still suppress delivery.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = SimTime::from_ms(3);
+        q.schedule(t, 0);
+        let h1 = q.schedule(t, 1);
+        q.schedule(t, 2);
+        assert_eq!(q.pop_next_until(t), Some((t, 0)));
+        assert!(q.cancel(h1), "batched event is still pending");
+        assert_eq!(q.pop_next_until(t), Some((t, 2)));
+        assert!(q.pop_next_until(SimTime::MAX).is_none());
+        assert_eq!(q.delivered(), 2);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn schedule_at_now_during_batch_keeps_seq_order() {
+        // A handler scheduling at the current instant mid-batch must see
+        // its event fire after every already-batched one (higher seq).
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = SimTime::from_ms(2);
+        q.schedule(t, 0);
+        q.schedule(t, 1);
+        assert_eq!(q.pop(), Some((t, 0)));
+        q.schedule(t, 2); // same instant, scheduled while batch pending
+        assert_eq!(q.pop(), Some((t, 1)));
+        assert_eq!(q.pop(), Some((t, 2)));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_sees_batched_leftovers() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = SimTime::from_ms(4);
+        q.schedule(t, 0);
+        let h = q.schedule(t, 1);
+        q.schedule(t, 2);
+        assert_eq!(q.pop(), Some((t, 0)));
+        assert_eq!(q.peek_time(), Some(t));
+        assert_eq!(q.peek_time_hint(), Some(t));
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(t));
+        assert_eq!(q.pop(), Some((t, 2)));
+    }
+
+    #[test]
+    fn occupancy_scan_counts_skipped_slots() {
+        // An hour-long empty gap spans far more level-0 slots (262 µs
+        // each) than settle could ever walk; the occupancy scan must jump
+        // them and account for the jump.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(SimTime::from_ms(1), 1);
+        q.schedule(SimTime::from_secs(3600), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+        let stats = q.sweep_stats();
+        assert!(
+            stats.slots_skipped > 10_000,
+            "hour gap must skip thousands of level-0 slots: {stats:?}"
+        );
+    }
+
     #[test]
     fn long_idle_gap_is_skipped_not_walked() {
         // One event hours out (level 2/3): pop must find it without the
@@ -1060,6 +1399,9 @@ mod proptests {
         Schedule(u64),
         Cancel(usize),
         Pop,
+        /// `pop_next_until(now + delta)` — exercises the wheel's batched
+        /// run buffer against the heap's unbatched default.
+        PopUntil(u64),
     }
 
     fn arb_op() -> Gen<Op> {
@@ -1067,6 +1409,7 @@ mod proptests {
             u64_in(0..10_000).map(Op::Schedule),
             usize_in(0..64).map(Op::Cancel),
             just(Op::Pop),
+            u64_in(0..5_000).map(Op::PopUntil),
         ])
     }
 
@@ -1083,6 +1426,7 @@ mod proptests {
             usize_in(0..64).map(Op::Cancel),
             just(Op::Pop),
             just(Op::Pop),
+            u64_in(0..(1 << (GRANULARITY_BITS + 10))).map(Op::PopUntil),
         ])
     }
 
@@ -1120,6 +1464,26 @@ mod proptests {
                         delivered_q.push(id);
                         // Mark as consumed in the reference.
                         reference[id].2 = true;
+                    }
+                }
+                Op::PopUntil(d) => {
+                    let deadline = now.saturating_add(d);
+                    if let Some((t, id)) = q.pop_next_until(SimTime::from_ns(deadline)) {
+                        prop_assert!(t.as_ns() <= deadline, "late delivery: {t} > {deadline}");
+                        now = t.as_ns();
+                        delivered_q.push(id);
+                        reference[id].2 = true;
+                    } else {
+                        // Nothing at or before the deadline: every still-
+                        // pending event must be strictly later.
+                        let earliest = reference
+                            .iter()
+                            .filter(|&&(_, _, done)| !done)
+                            .map(|&(t, _, _)| t)
+                            .min();
+                        if let Some(e) = earliest {
+                            prop_assert!(e > deadline, "missed event at {e} <= {deadline}");
+                        }
                     }
                 }
             }
@@ -1203,6 +1567,17 @@ mod proptests {
                         }
                         let a = wheel.pop();
                         let b = heap.pop();
+                        prop_assert_eq!(a, b);
+                        if let Some((t, _)) = a {
+                            now = t.as_ns();
+                        }
+                    }
+                    Op::PopUntil(d) => {
+                        // Batched wheel drain vs the heap's unbatched
+                        // default implementation: byte-identical.
+                        let deadline = SimTime::from_ns(now.saturating_add(d));
+                        let a = wheel.pop_next_until(deadline);
+                        let b = heap.pop_next_until(deadline);
                         prop_assert_eq!(a, b);
                         if let Some((t, _)) = a {
                             now = t.as_ns();

@@ -17,6 +17,8 @@
 //! - [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
 //!   structured error model ([`SimError`]) for graceful degradation.
 //! - [`ids`] — small typed-index helpers shared by the other crates.
+//! - [`soa`] — dense struct-of-arrays maps keyed by those ids
+//!   ([`VcpuMap`]), the layout of the dispatch hot path's per-vCPU state.
 //!
 //! The simulation is fully deterministic: runs with the same seed and
 //! configuration produce bit-identical results, which the property tests
@@ -27,6 +29,7 @@ pub mod event;
 pub mod fault;
 pub mod ids;
 pub mod rng;
+pub mod soa;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -37,6 +40,7 @@ pub use fault::{
     SimErrorKind, WatchdogConfig,
 };
 pub use rng::SimRng;
+pub use soa::VcpuMap;
 pub use stats::{Cdf, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceRing};

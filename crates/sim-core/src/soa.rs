@@ -1,0 +1,225 @@
+//! Dense struct-of-arrays storage keyed by the [`ids`](crate::ids) types.
+//!
+//! The dispatch hot path (scheduler ticks, wake/block transitions, plan
+//! routing) touches a handful of per-vCPU fields for *every* event. Stored
+//! as `Vec<Domain { vcpus: Vec<FatVcpu> }>`, each access is a double
+//! indirection into a fat struct whose cold tail (stats, config) shares
+//! cache lines with the hot head. [`VcpuMap`] flattens that into one
+//! contiguous array per field group: a per-domain base-offset table turns a
+//! [`GlobalVcpu`] into a flat index, and callers split their state into
+//! parallel maps (one hot, one cold) so a tick streams through a dense hot
+//! array and never pages in the cold one.
+//!
+//! Topology is append-only (domains are created, never destroyed, and
+//! their vCPU count is fixed at creation — hotplug toggles an online *bit*,
+//! it does not resize), which keeps the base table monotone and the flat
+//! index stable for the lifetime of the machine.
+
+use crate::ids::{DomId, GlobalVcpu, VcpuId};
+
+/// A dense map from [`GlobalVcpu`] to `T`, laid out as one flat array in
+/// `(domain, vcpu)` order with a per-domain base-offset table.
+///
+/// # Examples
+///
+/// ```
+/// use sim_core::ids::{DomId, GlobalVcpu, VcpuId};
+/// use sim_core::soa::VcpuMap;
+///
+/// let mut m: VcpuMap<u64> = VcpuMap::new();
+/// let d0 = m.push_domain(2, |_| 0);
+/// let d1 = m.push_domain(3, |v| v.index() as u64);
+/// assert_eq!((d0, d1), (DomId(0), DomId(1)));
+/// let gv = GlobalVcpu::new(d1, VcpuId(2));
+/// assert_eq!(m[gv], 2);
+/// assert_eq!(m.key_of(m.flat_index(gv)), gv);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VcpuMap<T> {
+    /// `base[d]` is the flat index of domain `d`'s vCPU 0; a final
+    /// sentinel entry holds the total length, so `base.len()` is always
+    /// `n_domains + 1` and domain `d` spans `base[d]..base[d + 1]`.
+    base: Vec<u32>,
+    /// The per-vCPU values, one contiguous run per domain.
+    data: Vec<T>,
+}
+
+impl<T> VcpuMap<T> {
+    /// An empty map with no domains.
+    pub fn new() -> Self {
+        VcpuMap {
+            base: vec![0],
+            data: Vec::new(),
+        }
+    }
+
+    /// Number of domains.
+    pub fn n_domains(&self) -> usize {
+        self.base.len() - 1
+    }
+
+    /// Total number of vCPUs across all domains.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if no domain has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of vCPUs in domain `dom`.
+    pub fn n_vcpus(&self, dom: DomId) -> usize {
+        (self.base[dom.index() + 1] - self.base[dom.index()]) as usize
+    }
+
+    /// Appends a domain with `n_vcpus` entries initialized by `init`,
+    /// returning its id (domains are densely numbered in creation order).
+    pub fn push_domain(&mut self, n_vcpus: usize, mut init: impl FnMut(VcpuId) -> T) -> DomId {
+        let dom = DomId(self.n_domains());
+        self.data.extend((0..n_vcpus).map(|v| init(VcpuId(v))));
+        let end = u32::try_from(self.data.len()).expect("vCPU count overflows u32");
+        self.base.push(end);
+        dom
+    }
+
+    /// The flat index of `gv` — stable for the lifetime of the map.
+    #[inline]
+    pub fn flat_index(&self, gv: GlobalVcpu) -> usize {
+        let i = self.base[gv.dom.index()] as usize + gv.vcpu.index();
+        debug_assert!(
+            i < self.base[gv.dom.index() + 1] as usize,
+            "vCPU index out of range: {gv}"
+        );
+        i
+    }
+
+    /// Inverse of [`flat_index`](VcpuMap::flat_index): recovers the typed
+    /// key from a flat index (binary search over the base table).
+    pub fn key_of(&self, flat: usize) -> GlobalVcpu {
+        assert!(flat < self.data.len(), "flat index {flat} out of range");
+        let flat32 = flat as u32;
+        // partition_point: first domain whose base exceeds `flat`.
+        let d = self.base.partition_point(|&b| b <= flat32) - 1;
+        GlobalVcpu::new(DomId(d), VcpuId(flat - self.base[d] as usize))
+    }
+
+    /// Shared access to domain `dom`'s contiguous run of values.
+    #[inline]
+    pub fn domain(&self, dom: DomId) -> &[T] {
+        &self.data[self.base[dom.index()] as usize..self.base[dom.index() + 1] as usize]
+    }
+
+    /// Mutable access to domain `dom`'s contiguous run of values.
+    #[inline]
+    pub fn domain_mut(&mut self, dom: DomId) -> &mut [T] {
+        &mut self.data[self.base[dom.index()] as usize..self.base[dom.index() + 1] as usize]
+    }
+
+    /// The whole flat array, in `(domain, vcpu)` order.
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable view of the whole flat array, in `(domain, vcpu)` order.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Iterates `(key, &value)` in flat order.
+    pub fn iter(&self) -> impl Iterator<Item = (GlobalVcpu, &T)> {
+        let base = &self.base;
+        let mut d = 0usize;
+        self.data.iter().enumerate().map(move |(i, t)| {
+            while base[d + 1] as usize <= i {
+                d += 1;
+            }
+            (GlobalVcpu::new(DomId(d), VcpuId(i - base[d] as usize)), t)
+        })
+    }
+}
+
+impl<T> std::ops::Index<GlobalVcpu> for VcpuMap<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, gv: GlobalVcpu) -> &T {
+        &self.data[self.flat_index(gv)]
+    }
+}
+
+impl<T> std::ops::IndexMut<GlobalVcpu> for VcpuMap<T> {
+    #[inline]
+    fn index_mut(&mut self, gv: GlobalVcpu) -> &mut T {
+        let i = self.flat_index(gv);
+        &mut self.data[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_index_and_key_round_trip() {
+        let mut m: VcpuMap<u32> = VcpuMap::new();
+        let sizes = [3usize, 1, 4, 2];
+        for (d, &n) in sizes.iter().enumerate() {
+            let dom = m.push_domain(n, |v| (d * 100 + v.index()) as u32);
+            assert_eq!(dom, DomId(d));
+            assert_eq!(m.n_vcpus(dom), n);
+        }
+        assert_eq!(m.len(), 10);
+        assert_eq!(m.n_domains(), 4);
+        // Every (dom, vcpu) survives the round trip, flat indices are the
+        // dense 0..len enumeration in (dom, vcpu) order, and indexing
+        // agrees with the init closure.
+        let mut expected_flat = 0usize;
+        for (d, &n) in sizes.iter().enumerate() {
+            for v in 0..n {
+                let gv = GlobalVcpu::new(DomId(d), VcpuId(v));
+                assert_eq!(m.flat_index(gv), expected_flat);
+                assert_eq!(m.key_of(expected_flat), gv);
+                assert_eq!(m[gv], (d * 100 + v) as u32);
+                expected_flat += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn domain_slices_are_contiguous_and_disjoint() {
+        let mut m: VcpuMap<u64> = VcpuMap::new();
+        m.push_domain(2, |_| 7);
+        let d1 = m.push_domain(3, |_| 9);
+        assert_eq!(m.domain(DomId(0)), &[7, 7]);
+        assert_eq!(m.domain(d1), &[9, 9, 9]);
+        m.domain_mut(d1)[1] = 42;
+        assert_eq!(m[GlobalVcpu::new(d1, VcpuId(1))], 42);
+        assert_eq!(m.values(), &[7, 7, 9, 42, 9]);
+    }
+
+    #[test]
+    fn iter_yields_keys_in_flat_order() {
+        let mut m: VcpuMap<i32> = VcpuMap::new();
+        m.push_domain(1, |_| 0);
+        m.push_domain(2, |_| 0);
+        let keys: Vec<GlobalVcpu> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                GlobalVcpu::new(DomId(0), VcpuId(0)),
+                GlobalVcpu::new(DomId(1), VcpuId(0)),
+                GlobalVcpu::new(DomId(1), VcpuId(1)),
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn key_of_past_end_panics() {
+        let mut m: VcpuMap<u8> = VcpuMap::new();
+        m.push_domain(1, |_| 0);
+        m.key_of(1);
+    }
+}

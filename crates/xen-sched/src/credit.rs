@@ -33,6 +33,7 @@
 use std::collections::VecDeque;
 
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId, VcpuId};
+use sim_core::soa::VcpuMap;
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::extend::{ExtendInfo, ExtendParams};
@@ -138,7 +139,10 @@ pub enum SchedEvent {
     },
 }
 
-/// Per-vCPU scheduler bookkeeping.
+/// Tick-hot per-vCPU scheduler state, stored densely in a [`VcpuMap`] so
+/// the burn/tick/wake path streams through one contiguous array. Cold
+/// lifetime statistics live in the parallel [`VcpuStats`] map and never
+/// share a cache line with these fields.
 #[derive(Clone, Debug)]
 struct Vcpu {
     state: VcpuState,
@@ -152,17 +156,25 @@ struct Vcpu {
     /// Parked by cap enforcement: held off pCPUs until the next
     /// accounting pass refills the domain's cap budget.
     parked: bool,
+    /// Start of the unburned portion of the current run (if running).
+    burn_from: SimTime,
+}
+
+/// Cold per-vCPU lifetime statistics, split off the hot state so the
+/// dispatch path never pages them in (they are touched only at placement
+/// and deschedule boundaries, and by metric readers).
+#[derive(Clone, Debug, Default)]
+struct VcpuStats {
     /// Accumulated runnable-but-not-running time (Figure 9 metric).
     wait_total: SimDuration,
     /// Accumulated run time over the vCPU's lifetime.
     run_total: SimDuration,
-    /// Start of the unburned portion of the current run (if running).
-    burn_from: SimTime,
     /// Number of times this vCPU was placed on a pCPU.
     scheduled_count: u64,
 }
 
-/// Per-domain scheduler bookkeeping.
+/// Per-domain scheduler bookkeeping (per-vCPU state lives in the
+/// scheduler-level [`VcpuMap`]s, not here).
 #[derive(Clone, Debug)]
 struct Domain {
     weight: u32,
@@ -170,7 +182,6 @@ struct Domain {
     cap_pcpus: Option<f64>,
     /// Optional lower bound used when clamping extendability, in pCPUs.
     reservation_pcpus: Option<f64>,
-    vcpus: Vec<Vcpu>,
     /// Consumption within the current accounting window (activity test).
     consumed_acct: SimDuration,
     /// Consumption within the current extendability window (Algorithm 1
@@ -178,12 +189,6 @@ struct Domain {
     consumed_extend: SimDuration,
     /// Latest Algorithm 1 output, readable through the vScale channel.
     extend: ExtendInfo,
-}
-
-impl Domain {
-    fn active_vcpu_count(&self) -> usize {
-        self.vcpus.iter().filter(|v| !v.frozen).count()
-    }
 }
 
 /// Per-pCPU run queues and the currently running vCPU.
@@ -218,6 +223,10 @@ pub struct CreditScheduler {
     config: CreditConfig,
     pcpus: Vec<Pcpu>,
     domains: Vec<Domain>,
+    /// Tick-hot per-vCPU state, dense in `(domain, vcpu)` order.
+    hot: VcpuMap<Vcpu>,
+    /// Cold per-vCPU lifetime stats, parallel to `hot`.
+    stats: VcpuMap<VcpuStats>,
     /// Start of the current extendability window.
     extend_window_start: SimTime,
     /// Seqlock-style version of the published extendability snapshots.
@@ -248,6 +257,8 @@ impl CreditScheduler {
             config,
             pcpus: (0..n_pcpus).map(|_| Pcpu::default()).collect(),
             domains: Vec::new(),
+            hot: VcpuMap::new(),
+            stats: VcpuMap::new(),
             extend_window_start: SimTime::ZERO,
             extend_version: 0,
             migrations: 0,
@@ -290,27 +301,24 @@ impl CreditScheduler {
         assert!(weight > 0, "domain weight must be positive");
         assert!(n_vcpus > 0, "a domain needs at least one vCPU");
         let id = DomId(self.domains.len());
-        let vcpus = (0..n_vcpus)
-            .map(|i| Vcpu {
-                state: VcpuState::Blocked {
-                    since: SimTime::ZERO,
-                },
-                prio: Prio::Under,
-                credits_ns: 0,
-                last_pcpu: PcpuId(i % self.pcpus.len()),
-                frozen: false,
-                parked: false,
-                wait_total: SimDuration::ZERO,
-                run_total: SimDuration::ZERO,
-                burn_from: SimTime::ZERO,
-                scheduled_count: 0,
-            })
-            .collect();
+        let n_pcpus = self.pcpus.len();
+        let hot_id = self.hot.push_domain(n_vcpus, |v| Vcpu {
+            state: VcpuState::Blocked {
+                since: SimTime::ZERO,
+            },
+            prio: Prio::Under,
+            credits_ns: 0,
+            last_pcpu: PcpuId(v.index() % n_pcpus),
+            frozen: false,
+            parked: false,
+            burn_from: SimTime::ZERO,
+        });
+        let stats_id = self.stats.push_domain(n_vcpus, |_| VcpuStats::default());
+        debug_assert_eq!((hot_id, stats_id), (id, id));
         self.domains.push(Domain {
             weight,
             cap_pcpus,
             reservation_pcpus,
-            vcpus,
             consumed_acct: SimDuration::ZERO,
             consumed_extend: SimDuration::ZERO,
             extend: ExtendInfo::initial(n_vcpus),
@@ -318,12 +326,19 @@ impl CreditScheduler {
         id
     }
 
+    #[inline]
     fn vcpu(&self, gv: GlobalVcpu) -> &Vcpu {
-        &self.domains[gv.dom.index()].vcpus[gv.vcpu.index()]
+        &self.hot[gv]
     }
 
+    #[inline]
     fn vcpu_mut(&mut self, gv: GlobalVcpu) -> &mut Vcpu {
-        &mut self.domains[gv.dom.index()].vcpus[gv.vcpu.index()]
+        &mut self.hot[gv]
+    }
+
+    /// Number of non-frozen vCPUs of `dom` (the active list of §4.2).
+    fn active_vcpu_count(&self, dom: DomId) -> usize {
+        self.hot.domain(dom).iter().filter(|v| !v.frozen).count()
     }
 
     /// The vCPU currently running on `pcpu`, if any.
@@ -356,33 +371,33 @@ impl CreditScheduler {
 
     /// Total time `gv` has spent waiting runnable in run queues.
     pub fn vcpu_wait_total(&self, gv: GlobalVcpu) -> SimDuration {
-        self.vcpu(gv).wait_total
+        self.stats[gv].wait_total
     }
 
     /// Total time `gv` has spent running on pCPUs.
     pub fn vcpu_run_total(&self, gv: GlobalVcpu) -> SimDuration {
-        self.vcpu(gv).run_total
+        self.stats[gv].run_total
     }
 
     /// Sum of waiting time across all vCPUs of `dom` (Figure 9 metric).
     pub fn domain_wait_total(&self, dom: DomId) -> SimDuration {
-        self.domains[dom.index()]
-            .vcpus
+        self.stats
+            .domain(dom)
             .iter()
             .fold(SimDuration::ZERO, |acc, v| acc.saturating_add(v.wait_total))
     }
 
     /// Sum of run time across all vCPUs of `dom`.
     pub fn domain_run_total(&self, dom: DomId) -> SimDuration {
-        self.domains[dom.index()]
-            .vcpus
+        self.stats
+            .domain(dom)
             .iter()
             .fold(SimDuration::ZERO, |acc, v| acc.saturating_add(v.run_total))
     }
 
     /// Number of vCPUs of `dom`.
     pub fn n_vcpus(&self, dom: DomId) -> usize {
-        self.domains[dom.index()].vcpus.len()
+        self.hot.n_vcpus(dom)
     }
 
     /// Machine-wide run time aggregate in nanoseconds (O(1) read; see
@@ -421,17 +436,17 @@ impl CreditScheduler {
         let Some(gv) = self.pcpus[pcpu.index()].current else {
             return;
         };
-        let v = self.vcpu_mut(gv);
+        let v = &mut self.hot[gv];
         let ran = now.since(v.burn_from);
         if ran.is_zero() {
             return;
         }
         v.burn_from = now;
         v.credits_ns -= ran.as_ns() as i64;
-        v.run_total += ran;
         if v.credits_ns < 0 && v.prio != Prio::Over {
             v.prio = Prio::Over;
         }
+        self.stats[gv].run_total += ran;
         let dom = &mut self.domains[gv.dom.index()];
         dom.consumed_acct += ran;
         dom.consumed_extend += ran;
@@ -506,7 +521,7 @@ impl CreditScheduler {
             let Some(cap) = d.cap_pcpus else { continue };
             let budget = SimDuration::from_ns((period.as_ns() as f64 * cap) as u64);
             let over = d.consumed_acct > budget;
-            for (vi, v) in d.vcpus.iter().enumerate() {
+            for (vi, v) in self.hot.domain(DomId(di)).iter().enumerate() {
                 let gv = GlobalVcpu::new(DomId(di), VcpuId(vi));
                 if over && !v.parked {
                     to_park.push(gv);
@@ -520,9 +535,11 @@ impl CreditScheduler {
         // runnable/running vCPUs right now.
         let mut active = std::mem::take(&mut self.active_buf);
         active.clear();
-        active.extend(self.domains.iter().map(|d| {
+        active.extend(self.domains.iter().enumerate().map(|(di, d)| {
             !d.consumed_acct.is_zero()
-                || d.vcpus
+                || self
+                    .hot
+                    .domain(DomId(di))
                     .iter()
                     .any(|v| !matches!(v.state, VcpuState::Blocked { .. }))
         }));
@@ -534,15 +551,15 @@ impl CreditScheduler {
             .map(|(d, _)| u64::from(d.weight))
             .sum();
 
-        for (d, is_active) in self.domains.iter_mut().zip(&active) {
-            d.consumed_acct = SimDuration::ZERO;
-            if !*is_active || weight_sum == 0 {
+        for (di, dom_active) in active.iter().enumerate() {
+            self.domains[di].consumed_acct = SimDuration::ZERO;
+            if !dom_active || weight_sum == 0 {
                 continue;
             }
-            let dom_share = total_ns * i64::from(d.weight) / weight_sum as i64;
-            let n_active = d.active_vcpu_count().max(1) as i64;
+            let dom_share = total_ns * i64::from(self.domains[di].weight) / weight_sum as i64;
+            let n_active = self.active_vcpu_count(DomId(di)).max(1) as i64;
             let per_vcpu = dom_share / n_active;
-            for v in &mut d.vcpus {
+            for v in self.hot.domain_mut(DomId(di)) {
                 if v.frozen {
                     // vScale §4.2: frozen vCPUs are off the active list and
                     // earn nothing; their share went to the siblings above.
@@ -619,12 +636,12 @@ impl CreditScheduler {
         let mut params = std::mem::take(&mut self.params_buf);
         let mut infos = std::mem::take(&mut self.infos_buf);
         params.clear();
-        params.extend(self.domains.iter().map(|d| ExtendParams {
+        params.extend(self.domains.iter().enumerate().map(|(di, d)| ExtendParams {
             weight: d.weight,
             consumed: d.consumed_extend,
             cap_pcpus: d.cap_pcpus,
             reservation_pcpus: d.reservation_pcpus,
-            n_vcpus: d.vcpus.len(),
+            n_vcpus: self.hot.n_vcpus(DomId(di)),
         }));
         crate::extend::compute_extendability_into(
             &params,
@@ -676,15 +693,15 @@ impl CreditScheduler {
         // Account the waiting span that ends now.
         if let VcpuState::Runnable { since, .. } = self.vcpu(gv).state {
             let waited = now.since(since);
-            self.vcpu_mut(gv).wait_total += waited;
+            self.stats[gv].wait_total += waited;
         }
         {
             let v = self.vcpu_mut(gv);
             v.state = VcpuState::Running { pcpu, since: now };
             v.last_pcpu = pcpu;
             v.burn_from = now;
-            v.scheduled_count += 1;
         }
+        self.stats[gv].scheduled_count += 1;
         let p = &mut self.pcpus[pcpu.index()];
         p.current = Some(gv);
         p.run_since = now;
@@ -793,7 +810,7 @@ impl CreditScheduler {
                 }
             }
             let waited = now.since(since);
-            self.vcpu_mut(gv).wait_total += waited;
+            self.stats[gv].wait_total += waited;
         }
     }
 
@@ -910,12 +927,12 @@ impl CreditScheduler {
 
     /// How many times `gv` has been placed on a pCPU.
     pub fn scheduled_count(&self, gv: GlobalVcpu) -> u64 {
-        self.vcpu(gv).scheduled_count
+        self.stats[gv].scheduled_count
     }
 
     /// Convenience: wake every vCPU of a domain (used at guest boot).
     pub fn wake_domain(&mut self, dom: DomId, now: SimTime, events: &mut Vec<SchedEvent>) {
-        let n = self.domains[dom.index()].vcpus.len();
+        let n = self.hot.n_vcpus(dom);
         for i in 0..n {
             self.vcpu_wake(GlobalVcpu::new(dom, VcpuId(i)), now, events);
         }

@@ -32,6 +32,7 @@
 use std::collections::VecDeque;
 
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
+use sim_core::soa::VcpuMap;
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::api::HypervisorSched;
@@ -49,15 +50,22 @@ const PREEMPT_GRAIN_NS: i64 = 500_000;
 /// Credit penalty for a voluntary yield, so yield loops make progress.
 const YIELD_BIAS_NS: i64 = 100_000;
 
+/// Tick-hot per-vCPU state, dense in a [`VcpuMap`]; cold lifetime stats
+/// live in the parallel [`VcpuStats2`] map.
 #[derive(Clone, Debug)]
 struct Vcpu2 {
     state: VcpuState,
     credits_ns: i64,
     last_pcpu: PcpuId,
     frozen: bool,
+    burn_from: SimTime,
+}
+
+/// Cold per-vCPU lifetime statistics, off the dispatch path.
+#[derive(Clone, Debug, Default)]
+struct VcpuStats2 {
     wait_total: SimDuration,
     run_total: SimDuration,
-    burn_from: SimTime,
     scheduled_count: u64,
 }
 
@@ -66,7 +74,6 @@ struct Dom2 {
     weight: u32,
     cap_pcpus: Option<f64>,
     reservation_pcpus: Option<f64>,
-    vcpus: Vec<Vcpu2>,
     consumed_extend: SimDuration,
     extend: ExtendInfo,
 }
@@ -87,6 +94,10 @@ pub struct Credit2Scheduler {
     config: CreditConfig,
     pcpus: Vec<Pcpu2>,
     domains: Vec<Dom2>,
+    /// Tick-hot per-vCPU state, dense in `(domain, vcpu)` order.
+    hot: VcpuMap<Vcpu2>,
+    /// Cold per-vCPU lifetime stats, parallel to `hot`.
+    stats: VcpuMap<VcpuStats2>,
     /// Credit-reset epochs performed so far.
     reset_epochs: u64,
     migrations: u64,
@@ -105,6 +116,8 @@ impl Credit2Scheduler {
             config,
             pcpus: (0..n_pcpus).map(|_| Pcpu2::default()).collect(),
             domains: Vec::new(),
+            hot: VcpuMap::new(),
+            stats: VcpuMap::new(),
             reset_epochs: 0,
             migrations: 0,
             total_run_ns: 0,
@@ -130,12 +143,14 @@ impl Credit2Scheduler {
         self.vcpu(gv).credits_ns
     }
 
+    #[inline]
     fn vcpu(&self, gv: GlobalVcpu) -> &Vcpu2 {
-        &self.domains[gv.dom.index()].vcpus[gv.vcpu.index()]
+        &self.hot[gv]
     }
 
+    #[inline]
     fn vcpu_mut(&mut self, gv: GlobalVcpu) -> &mut Vcpu2 {
-        &mut self.domains[gv.dom.index()].vcpus[gv.vcpu.index()]
+        &mut self.hot[gv]
     }
 
     /// Burns credits of the vCPU running on `pcpu` at `256/weight` of
@@ -145,15 +160,15 @@ impl Credit2Scheduler {
             return;
         };
         let weight = u64::from(self.domains[gv.dom.index()].weight.max(1));
-        let v = self.vcpu_mut(gv);
+        let v = &mut self.hot[gv];
         let ran = now.since(v.burn_from);
         if ran.is_zero() {
             return;
         }
         v.burn_from = now;
-        v.run_total += ran;
         let burned = (ran.as_ns() * WEIGHT_REF / weight) as i64;
         v.credits_ns -= burned;
+        self.stats[gv].run_total += ran;
         let dom = &mut self.domains[gv.dom.index()];
         dom.consumed_extend += ran;
         self.total_run_ns += ran.as_ns();
@@ -177,10 +192,8 @@ impl Credit2Scheduler {
     /// grant; relative order is preserved.
     fn credit_reset(&mut self, anchor: GlobalVcpu) {
         let shift = CREDIT_INIT_NS - self.vcpu(anchor).credits_ns;
-        for d in &mut self.domains {
-            for v in &mut d.vcpus {
-                v.credits_ns += shift;
-            }
+        for v in self.hot.values_mut() {
+            v.credits_ns += shift;
         }
         self.reset_epochs += 1;
     }
@@ -189,7 +202,7 @@ impl Credit2Scheduler {
         debug_assert!(self.pcpus[pcpu.index()].current.is_none());
         if let VcpuState::Runnable { since, .. } = self.vcpu(gv).state {
             let waited = now.since(since);
-            self.vcpu_mut(gv).wait_total += waited;
+            self.stats[gv].wait_total += waited;
         }
         if self.vcpu(gv).last_pcpu != pcpu {
             self.migrations += 1;
@@ -199,8 +212,8 @@ impl Credit2Scheduler {
             v.state = VcpuState::Running { pcpu, since: now };
             v.last_pcpu = pcpu;
             v.burn_from = now;
-            v.scheduled_count += 1;
         }
+        self.stats[gv].scheduled_count += 1;
         let p = &mut self.pcpus[pcpu.index()];
         p.current = Some(gv);
         p.run_since = now;
@@ -319,25 +332,22 @@ impl HypervisorSched for Credit2Scheduler {
         assert!(weight > 0, "domain weight must be positive");
         assert!(n_vcpus > 0, "a domain needs at least one vCPU");
         let id = DomId(self.domains.len());
-        let vcpus = (0..n_vcpus)
-            .map(|i| Vcpu2 {
-                state: VcpuState::Blocked {
-                    since: SimTime::ZERO,
-                },
-                credits_ns: CREDIT_INIT_NS,
-                last_pcpu: PcpuId(i % self.pcpus.len()),
-                frozen: false,
-                wait_total: SimDuration::ZERO,
-                run_total: SimDuration::ZERO,
-                burn_from: SimTime::ZERO,
-                scheduled_count: 0,
-            })
-            .collect();
+        let n_pcpus = self.pcpus.len();
+        let hot_id = self.hot.push_domain(n_vcpus, |v| Vcpu2 {
+            state: VcpuState::Blocked {
+                since: SimTime::ZERO,
+            },
+            credits_ns: CREDIT_INIT_NS,
+            last_pcpu: PcpuId(v.index() % n_pcpus),
+            frozen: false,
+            burn_from: SimTime::ZERO,
+        });
+        let stats_id = self.stats.push_domain(n_vcpus, |_| VcpuStats2::default());
+        debug_assert_eq!((hot_id, stats_id), (id, id));
         self.domains.push(Dom2 {
             weight,
             cap_pcpus,
             reservation_pcpus,
-            vcpus,
             consumed_extend: SimDuration::ZERO,
             extend: ExtendInfo::initial(n_vcpus),
         });
@@ -345,7 +355,7 @@ impl HypervisorSched for Credit2Scheduler {
     }
 
     fn n_vcpus(&self, dom: DomId) -> usize {
-        self.domains[dom.index()].vcpus.len()
+        self.hot.n_vcpus(dom)
     }
 
     fn on_tick(&mut self, pcpu: PcpuId, now: SimTime, events: &mut Vec<SchedEvent>) {
@@ -405,12 +415,12 @@ impl HypervisorSched for Credit2Scheduler {
         let mut params = std::mem::take(&mut self.params_buf);
         let mut infos = std::mem::take(&mut self.infos_buf);
         params.clear();
-        params.extend(self.domains.iter().map(|d| ExtendParams {
+        params.extend(self.domains.iter().enumerate().map(|(di, d)| ExtendParams {
             weight: d.weight,
             consumed: d.consumed_extend,
             cap_pcpus: d.cap_pcpus,
             reservation_pcpus: d.reservation_pcpus,
-            n_vcpus: d.vcpus.len(),
+            n_vcpus: self.hot.n_vcpus(DomId(di)),
         }));
         crate::extend::compute_extendability_into(
             &params,
@@ -517,25 +527,25 @@ impl HypervisorSched for Credit2Scheduler {
     }
 
     fn domain_wait_total(&self, dom: DomId) -> SimDuration {
-        self.domains[dom.index()]
-            .vcpus
+        self.stats
+            .domain(dom)
             .iter()
             .fold(SimDuration::ZERO, |acc, v| acc.saturating_add(v.wait_total))
     }
 
     fn domain_run_total(&self, dom: DomId) -> SimDuration {
-        self.domains[dom.index()]
-            .vcpus
+        self.stats
+            .domain(dom)
             .iter()
             .fold(SimDuration::ZERO, |acc, v| acc.saturating_add(v.run_total))
     }
 
     fn vcpu_wait_total(&self, gv: GlobalVcpu) -> SimDuration {
-        self.vcpu(gv).wait_total
+        self.stats[gv].wait_total
     }
 
     fn vcpu_run_total(&self, gv: GlobalVcpu) -> SimDuration {
-        self.vcpu(gv).run_total
+        self.stats[gv].run_total
     }
 
     fn total_run_ns(&self) -> u64 {
@@ -551,7 +561,7 @@ impl HypervisorSched for Credit2Scheduler {
     }
 
     fn scheduled_count(&self, gv: GlobalVcpu) -> u64 {
-        self.vcpu(gv).scheduled_count
+        self.stats[gv].scheduled_count
     }
 
     fn extendability(&self, dom: DomId) -> ExtendInfo {

@@ -27,6 +27,7 @@
 //! the credit backend.
 
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
+use sim_core::soa::VcpuMap;
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::api::HypervisorSched;
@@ -37,6 +38,8 @@ use crate::extend::{ExtendInfo, ExtendParams};
 /// the running one's virtual time by at least this much.
 const GRAIN_NS: u64 = 1_000_000;
 
+/// Tick-hot per-vCPU state, dense in a [`VcpuMap`]; cold lifetime stats
+/// live in the parallel [`VcpuStatsD`] map.
 #[derive(Clone, Debug)]
 struct VcpuD {
     state: VcpuState,
@@ -46,9 +49,14 @@ struct VcpuD {
     frac_permille: u32,
     last_pcpu: PcpuId,
     frozen: bool,
+    burn_from: SimTime,
+}
+
+/// Cold per-vCPU lifetime statistics, off the dispatch path.
+#[derive(Clone, Debug, Default)]
+struct VcpuStatsD {
     wait_total: SimDuration,
     run_total: SimDuration,
-    burn_from: SimTime,
     scheduled_count: u64,
 }
 
@@ -57,7 +65,6 @@ struct DomD {
     weight: u32,
     cap_pcpus: Option<f64>,
     reservation_pcpus: Option<f64>,
-    vcpus: Vec<VcpuD>,
     consumed_extend: SimDuration,
     extend: ExtendInfo,
 }
@@ -75,6 +82,10 @@ pub struct DynFracScheduler {
     config: CreditConfig,
     pcpus: Vec<PcpuD>,
     domains: Vec<DomD>,
+    /// Tick-hot per-vCPU state, dense in `(domain, vcpu)` order.
+    hot: VcpuMap<VcpuD>,
+    /// Cold per-vCPU lifetime stats, parallel to `hot`.
+    stats: VcpuMap<VcpuStatsD>,
     /// One global runnable queue in wake order; pick-next scans for the
     /// minimum virtual time.
     runnable: Vec<GlobalVcpu>,
@@ -96,6 +107,8 @@ impl DynFracScheduler {
             config,
             pcpus: (0..n_pcpus).map(|_| PcpuD::default()).collect(),
             domains: Vec::new(),
+            hot: VcpuMap::new(),
+            stats: VcpuMap::new(),
             runnable: Vec::new(),
             epochs: 0,
             migrations: 0,
@@ -127,12 +140,14 @@ impl DynFracScheduler {
         self.vcpu(gv).vruntime_ns
     }
 
+    #[inline]
     fn vcpu(&self, gv: GlobalVcpu) -> &VcpuD {
-        &self.domains[gv.dom.index()].vcpus[gv.vcpu.index()]
+        &self.hot[gv]
     }
 
+    #[inline]
     fn vcpu_mut(&mut self, gv: GlobalVcpu) -> &mut VcpuD {
-        &mut self.domains[gv.dom.index()].vcpus[gv.vcpu.index()]
+        &mut self.hot[gv]
     }
 
     /// Advances virtual time of the vCPU on `pcpu` at `1/frac` of wall
@@ -141,15 +156,15 @@ impl DynFracScheduler {
         let Some(gv) = self.pcpus[pcpu.index()].current else {
             return;
         };
-        let v = self.vcpu_mut(gv);
+        let v = &mut self.hot[gv];
         let ran = now.since(v.burn_from);
         if ran.is_zero() {
             return;
         }
         v.burn_from = now;
-        v.run_total += ran;
         let frac = u64::from(v.frac_permille.max(1));
         v.vruntime_ns += ran.as_ns() * 1000 / frac;
+        self.stats[gv].run_total += ran;
         let dom = &mut self.domains[gv.dom.index()];
         dom.consumed_extend += ran;
         self.total_run_ns += ran.as_ns();
@@ -184,7 +199,7 @@ impl DynFracScheduler {
         debug_assert!(self.pcpus[pcpu.index()].current.is_none());
         if let VcpuState::Runnable { since, .. } = self.vcpu(gv).state {
             let waited = now.since(since);
-            self.vcpu_mut(gv).wait_total += waited;
+            self.stats[gv].wait_total += waited;
         }
         if self.vcpu(gv).last_pcpu != pcpu {
             self.migrations += 1;
@@ -194,8 +209,8 @@ impl DynFracScheduler {
             v.state = VcpuState::Running { pcpu, since: now };
             v.last_pcpu = pcpu;
             v.burn_from = now;
-            v.scheduled_count += 1;
         }
+        self.stats[gv].scheduled_count += 1;
         let p = &mut self.pcpus[pcpu.index()];
         p.current = Some(gv);
         p.run_since = now;
@@ -261,16 +276,20 @@ impl DynFracScheduler {
         let weight_sum: u64 = self
             .domains
             .iter()
-            .filter(|d| {
-                d.vcpus
+            .enumerate()
+            .filter(|(di, _)| {
+                self.hot
+                    .domain(DomId(*di))
                     .iter()
                     .any(|v| !matches!(v.state, VcpuState::Blocked { .. }))
             })
-            .map(|d| u64::from(d.weight))
+            .map(|(_, d)| u64::from(d.weight))
             .sum();
-        for d in &mut self.domains {
-            let active = d
-                .vcpus
+        for di in 0..self.domains.len() {
+            let dom = DomId(di);
+            let active = self
+                .hot
+                .domain(dom)
                 .iter()
                 .filter(|v| !v.frozen && !matches!(v.state, VcpuState::Blocked { .. }))
                 .count() as u64;
@@ -279,9 +298,10 @@ impl DynFracScheduler {
             } else {
                 // share · n_pcpus / active_vcpus, in permille, capped at
                 // a full CPU.
-                (u64::from(d.weight) * n_pcpus * 1000 / (weight_sum * active)).clamp(1, 1000)
+                (u64::from(self.domains[di].weight) * n_pcpus * 1000 / (weight_sum * active))
+                    .clamp(1, 1000)
             };
-            for v in &mut d.vcpus {
+            for v in self.hot.domain_mut(dom) {
                 v.frac_permille = frac as u32;
             }
         }
@@ -316,26 +336,23 @@ impl HypervisorSched for DynFracScheduler {
         assert!(weight > 0, "domain weight must be positive");
         assert!(n_vcpus > 0, "a domain needs at least one vCPU");
         let id = DomId(self.domains.len());
-        let vcpus = (0..n_vcpus)
-            .map(|i| VcpuD {
-                state: VcpuState::Blocked {
-                    since: SimTime::ZERO,
-                },
-                vruntime_ns: 0,
-                frac_permille: 1000,
-                last_pcpu: PcpuId(i % self.pcpus.len()),
-                frozen: false,
-                wait_total: SimDuration::ZERO,
-                run_total: SimDuration::ZERO,
-                burn_from: SimTime::ZERO,
-                scheduled_count: 0,
-            })
-            .collect();
+        let n_pcpus = self.pcpus.len();
+        let hot_id = self.hot.push_domain(n_vcpus, |v| VcpuD {
+            state: VcpuState::Blocked {
+                since: SimTime::ZERO,
+            },
+            vruntime_ns: 0,
+            frac_permille: 1000,
+            last_pcpu: PcpuId(v.index() % n_pcpus),
+            frozen: false,
+            burn_from: SimTime::ZERO,
+        });
+        let stats_id = self.stats.push_domain(n_vcpus, |_| VcpuStatsD::default());
+        debug_assert_eq!((hot_id, stats_id), (id, id));
         self.domains.push(DomD {
             weight,
             cap_pcpus,
             reservation_pcpus,
-            vcpus,
             consumed_extend: SimDuration::ZERO,
             extend: ExtendInfo::initial(n_vcpus),
         });
@@ -343,7 +360,7 @@ impl HypervisorSched for DynFracScheduler {
     }
 
     fn n_vcpus(&self, dom: DomId) -> usize {
-        self.domains[dom.index()].vcpus.len()
+        self.hot.n_vcpus(dom)
     }
 
     fn on_tick(&mut self, pcpu: PcpuId, now: SimTime, events: &mut Vec<SchedEvent>) {
@@ -377,12 +394,12 @@ impl HypervisorSched for DynFracScheduler {
         let mut params = std::mem::take(&mut self.params_buf);
         let mut infos = std::mem::take(&mut self.infos_buf);
         params.clear();
-        params.extend(self.domains.iter().map(|d| ExtendParams {
+        params.extend(self.domains.iter().enumerate().map(|(di, d)| ExtendParams {
             weight: d.weight,
             consumed: d.consumed_extend,
             cap_pcpus: d.cap_pcpus,
             reservation_pcpus: d.reservation_pcpus,
-            n_vcpus: d.vcpus.len(),
+            n_vcpus: self.hot.n_vcpus(DomId(di)),
         }));
         crate::extend::compute_extendability_into(
             &params,
@@ -503,25 +520,25 @@ impl HypervisorSched for DynFracScheduler {
     }
 
     fn domain_wait_total(&self, dom: DomId) -> SimDuration {
-        self.domains[dom.index()]
-            .vcpus
+        self.stats
+            .domain(dom)
             .iter()
             .fold(SimDuration::ZERO, |acc, v| acc.saturating_add(v.wait_total))
     }
 
     fn domain_run_total(&self, dom: DomId) -> SimDuration {
-        self.domains[dom.index()]
-            .vcpus
+        self.stats
+            .domain(dom)
             .iter()
             .fold(SimDuration::ZERO, |acc, v| acc.saturating_add(v.run_total))
     }
 
     fn vcpu_wait_total(&self, gv: GlobalVcpu) -> SimDuration {
-        self.vcpu(gv).wait_total
+        self.stats[gv].wait_total
     }
 
     fn vcpu_run_total(&self, gv: GlobalVcpu) -> SimDuration {
-        self.vcpu(gv).run_total
+        self.stats[gv].run_total
     }
 
     fn total_run_ns(&self) -> u64 {
@@ -537,7 +554,7 @@ impl HypervisorSched for DynFracScheduler {
     }
 
     fn scheduled_count(&self, gv: GlobalVcpu) -> u64 {
-        self.vcpu(gv).scheduled_count
+        self.stats[gv].scheduled_count
     }
 
     fn extendability(&self, dom: DomId) -> ExtendInfo {

@@ -7,6 +7,7 @@
 #   VSCALE_BENCH_SCALE=full ./scripts/verify.sh   # paper-length smoke
 #   ./scripts/verify.sh differential_smoke   # just the differential gate
 #   ./scripts/verify.sh backend_grid         # just the grid checksum gate
+#   ./scripts/verify.sh machine_bench        # just the throughput floor gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,9 +47,45 @@ backend_grid_gate() {
     echo "   grid checksum OK ($got), all three backends present"
 }
 
+# Whole-machine dispatch cost must stay within 2x of the committed
+# snapshot (BENCH_baseline.json). Compared on min_ns — the mean (and
+# thus events_per_sec) is wrecked by millisecond outliers from ambient
+# load, while the best-of-200 call is stable. The 2x headroom absorbs
+# machine noise — the gate exists to catch structural regressions (an
+# accidental O(n) scan or per-event allocation doubles the per-call
+# floor), not to police single-digit percentages; refresh the snapshot
+# deliberately with scripts/bench_snapshot.sh when the hot core
+# genuinely changes.
+machine_bench_gate() {
+    echo "== machine bench: per-call floor must stay within 2x of BENCH_baseline.json =="
+    local out
+    out="$(mktemp)"
+    cargo bench -q --offline -p vscale-bench --bench microcosts | grep '^{' > "$out"
+    local bench base fresh
+    for bench in machine_dispatch_supervised machine_steps_steady; do
+        base="$(grep "\"bench\":\"$bench\"" BENCH_baseline.json \
+            | sed -E 's/.*"min_ns":([0-9]+).*/\1/;s/\..*//')"
+        fresh="$(grep "\"bench\":\"$bench\"" "$out" \
+            | sed -E 's/.*"min_ns":([0-9]+).*/\1/;s/\..*//')"
+        if [ -z "$base" ] || [ -z "$fresh" ]; then
+            echo "machine bench gate: missing $bench record" >&2
+            rm -f "$out"
+            exit 1
+        fi
+        if [ "$fresh" -gt $((base * 2)) ]; then
+            echo "$bench regressed: ${fresh}ns/call vs baseline ${base}ns (ceiling $((base * 2))ns)" >&2
+            rm -f "$out"
+            exit 1
+        fi
+        echo "   $bench: ${fresh}ns/call min (baseline ${base}ns) OK"
+    done
+    rm -f "$out"
+}
+
 case "${1:-all}" in
     differential_smoke) differential_smoke; exit 0 ;;
     backend_grid) backend_grid_gate; exit 0 ;;
+    machine_bench) machine_bench_gate; exit 0 ;;
     all) ;;
     *) echo "unknown verify target: $1" >&2; exit 2 ;;
 esac
@@ -150,5 +187,7 @@ echo "   fleet checksum OK ($got), vScale sustains more load than static at the 
 differential_smoke
 
 backend_grid_gate
+
+machine_bench_gate
 
 echo "== verify: OK =="
