@@ -46,6 +46,9 @@ pub struct MachineConfig {
     /// Self-healing knobs: retransmit, retry, heartbeat, and hotplug
     /// backoff parameters of the recovery protocols.
     pub recovery: RecoveryConfig,
+    /// Scheduler-attack defenses. All off by default: the defaults
+    /// reproduce the paper's (attackable) behavior byte for byte.
+    pub defense: DefenseConfig,
 }
 
 impl Default for MachineConfig {
@@ -57,7 +60,58 @@ impl Default for MachineConfig {
             ipi_latency: SimDuration::from_us(5),
             nic_bps: 1_000_000_000,
             recovery: RecoveryConfig::default(),
+            defense: DefenseConfig::default(),
         }
+    }
+}
+
+/// Config-gated defenses against scheduler attacks (Zhou et al.,
+/// "Scheduler Vulnerabilities and Attacks in Cloud Computing").
+///
+/// Each knob is independently toggleable so the attack grid can measure
+/// one defense at a time. Everything defaults to *off*; with the default
+/// `DefenseConfig` a run is byte-identical to a build that predates the
+/// defenses (guarded by the golden trace checksums in
+/// `tests/determinism.rs` and `tests/layout_equivalence.rs`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DefenseConfig {
+    /// Charge exact run nanoseconds instead of sampled ticks. Counters
+    /// tick-evasion theft. Only meaningful when the credit backend runs
+    /// in its Xen-faithful sampled-accounting mode
+    /// (`CreditConfig::sampled_burn`); forces that flag off.
+    pub exact_burn: bool,
+    /// Randomize each hypervisor-tick interval within ±25% of the
+    /// nominal period (mean preserved), drawn from a dedicated RNG
+    /// derived from the run seed — never ambient entropy, so jittered
+    /// runs still replay bit-identically at any `VSCALE_THREADS`.
+    /// Counters attacks that phase-lock to the accounting sample.
+    pub tick_jitter: bool,
+    /// Rate-limit kick-path preemption: a directed wake may not evict a
+    /// current occupant that has run for less than the scheduler's
+    /// ratelimit. Counters IPI-storm preemption farming. Applies to all
+    /// three backends.
+    pub kick_throttle: bool,
+    /// Freeze-rate hysteresis in the guest balancer: after a
+    /// grow/shrink reconfiguration, suppress further reconfigurations
+    /// for this many daemon periods (0 disables). Counters
+    /// extendability-oscillation attacks that thrash freeze/unfreeze.
+    pub freeze_dwell: u32,
+}
+
+impl DefenseConfig {
+    /// Every defense enabled, with the documented default dwell.
+    pub fn all_on() -> Self {
+        DefenseConfig {
+            exact_burn: true,
+            tick_jitter: true,
+            kick_throttle: true,
+            freeze_dwell: 8,
+        }
+    }
+
+    /// True when any defense is active.
+    pub fn any(&self) -> bool {
+        self.exact_burn || self.tick_jitter || self.kick_throttle || self.freeze_dwell > 0
     }
 }
 
@@ -261,6 +315,20 @@ mod tests {
         let spec = SystemConfig::Baseline.domain_spec(8);
         assert!(matches!(spec.scaling, ScalingMode::Fixed));
         assert_eq!(spec.guest.n_vcpus, 8);
+    }
+
+    #[test]
+    fn defense_defaults_are_all_off() {
+        let d = DefenseConfig::default();
+        assert!(!d.any());
+        assert!(!d.exact_burn && !d.tick_jitter && !d.kick_throttle);
+        assert_eq!(d.freeze_dwell, 0);
+        assert!(DefenseConfig::all_on().any());
+        assert!(DefenseConfig {
+            freeze_dwell: 1,
+            ..DefenseConfig::default()
+        }
+        .any());
     }
 
     #[test]

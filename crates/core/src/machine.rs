@@ -25,7 +25,9 @@ use std::fmt::Write as _;
 
 use guest_kernel::kernel::GuestEffect;
 use guest_kernel::thread::IoQueueId;
-use guest_kernel::{FailSafe, GuestKernel, HotplugModel, HotplugRetry, ThreadId, VcpuId};
+use guest_kernel::{
+    FailSafe, FreezeRateGate, GuestKernel, HotplugModel, HotplugRetry, ThreadId, VcpuId,
+};
 use sim_core::event::{EventHandle, EventQueue};
 use sim_core::fault::{
     ChannelReadFault, DeliveryFault, Diagnostics, FaultConfig, FaultPlan, FaultStats, SimError,
@@ -217,6 +219,20 @@ impl Ev {
     }
 }
 
+/// Seed salt of the tick-jitter defense RNG: the jitter stream must be
+/// independent of the root `rng` (whose draw order golden traces pin)
+/// yet fully determined by the run seed.
+const TICK_JITTER_SALT: u64 = 0x7e11_ba5e_0ff5_e751;
+
+/// Draws one randomized tick interval in `[¾·tick, 1¼·tick)`. The mean
+/// stays at `tick`, so the long-run accounting cadence is unchanged,
+/// while a tenant can no longer phase-lock to the next sample point.
+fn jittered_interval(tick: SimDuration, rng: &mut SimRng) -> SimDuration {
+    let ns = tick.as_ns();
+    let span = (ns / 2).max(1);
+    SimDuration::from_ns(ns - ns / 4 + rng.next_u64() % span)
+}
+
 /// A unit of routing work inside one event's processing.
 enum Op {
     Sched(SchedEvent),
@@ -274,6 +290,20 @@ pub struct DomainStats {
     pub hotplug_giveups: u64,
     /// Same-target reschedule IPIs coalesced within one dispatch.
     pub ipis_coalesced: u64,
+    // --- adversarial-tenant instrumentation (attack grid) ---
+    /// Estimated run time taken beyond the domain's weight-fair share of
+    /// the elapsed pool capacity. An attribution *heuristic*, not an
+    /// accusation: a work-conserving scheduler legitimately hands idle
+    /// capacity to whoever wants it, so a large value only indicts a
+    /// domain when contending neighbors were starved at the same time
+    /// (which is exactly how the attack grid reads it).
+    pub stolen_est: SimDuration,
+    /// Kick-path evictions suppressed by the kick-throttle defense for
+    /// kicks aimed at this domain's vCPUs (defense-activity counter).
+    pub kicks_throttled: u64,
+    /// Grow/shrink reconfigurations suppressed by the freeze-rate
+    /// hysteresis gate (defense-activity counter).
+    pub reconfigs_suppressed: u64,
 }
 
 struct GuestDomain {
@@ -310,6 +340,11 @@ struct GuestDomain {
     hotplug_retry: HotplugRetry,
     /// Same-target reschedule IPIs coalesced within one dispatch.
     ipis_coalesced: u64,
+    /// Freeze-rate hysteresis gate (the oscillation defense; inert at
+    /// the default `DefenseConfig::freeze_dwell == 0`).
+    freeze_gate: FreezeRateGate,
+    /// Proportional-share weight (for the stolen-time attribution).
+    weight: u32,
 }
 
 /// The composed host, generic over the scheduler policy `S` (the
@@ -372,6 +407,14 @@ pub struct Machine<S: HypervisorSched = CreditScheduler> {
     /// Progress watchdog: the last fingerprint and when it last moved.
     wd_progress_fp: (u64, u64),
     wd_progress_at: SimTime,
+    /// Dedicated RNG of the randomized-tick-offset defense, derived from
+    /// the run seed (never the root `rng`, whose draw order is pinned by
+    /// golden traces; never ambient entropy, so jittered runs replay
+    /// bit-identically at any `VSCALE_THREADS`). Drawn from only when
+    /// `DefenseConfig::tick_jitter` is on.
+    tick_rng: SimRng,
+    /// Tick re-arms that drew a jittered interval.
+    ticks_jittered: u64,
 }
 
 impl Machine {
@@ -399,11 +442,27 @@ impl<S: HypervisorSched> Machine<S> {
     /// [`Machine::new`] but policy-generic:
     /// `Machine::<Credit2Scheduler>::with_backend(cfg)`.
     pub fn with_backend(config: MachineConfig) -> Machine<S> {
-        let hv = S::new_pool(config.credit.clone(), config.n_pcpus);
+        // Map machine-level defenses onto the scheduler's config block.
+        let mut credit = config.credit.clone();
+        if config.defense.exact_burn {
+            credit.sampled_burn = false;
+        }
+        if config.defense.kick_throttle {
+            credit.kick_throttle = true;
+        }
+        let hv = S::new_pool(credit, config.n_pcpus);
         let mut queue = EventQueue::new();
-        // Arm the recurring hypervisor timers.
+        let mut tick_rng = SimRng::new(config.seed ^ TICK_JITTER_SALT);
+        // Arm the recurring hypervisor timers. Under the tick-jitter
+        // defense each pCPU's first tick already lands at a randomized
+        // offset, so pCPUs desynchronize from the very first sample.
         for p in 0..config.n_pcpus {
-            queue.schedule(SimTime::ZERO + config.credit.tick, Ev::hv_tick(PcpuId(p)));
+            let first = if config.defense.tick_jitter {
+                jittered_interval(config.credit.tick, &mut tick_rng)
+            } else {
+                config.credit.tick
+            };
+            queue.schedule(SimTime::ZERO + first, Ev::hv_tick(PcpuId(p)));
         }
         let acct = config.credit.tick * u64::from(config.credit.ticks_per_acct);
         queue.schedule(SimTime::ZERO + acct, Ev::HvAcct);
@@ -433,6 +492,8 @@ impl<S: HypervisorSched> Machine<S> {
             wd_instant_events: 0,
             wd_progress_fp: (0, 0),
             wd_progress_at: SimTime::ZERO,
+            tick_rng,
+            ticks_jittered: 0,
         }
     }
 
@@ -539,6 +600,8 @@ impl<S: HypervisorSched> Machine<S> {
             failsafe: FailSafe::new(self.config.recovery.heartbeat_ticks),
             hotplug_retry: HotplugRetry::default(),
             ipis_coalesced: 0,
+            freeze_gate: FreezeRateGate::default(),
+            weight: spec.weight,
         });
         self.plan_handles.push_domain(n_vcpus, |_| None);
         if daemon_active {
@@ -618,9 +681,21 @@ impl<S: HypervisorSched> Machine<S> {
             doorbell.exhausted += s.exhausted;
         }
         let rec = g.channel.recovery_stats();
+        let run_total = self.hv.domain_run_total(dom);
+        // Stolen-time estimate: run time beyond this domain's weight-fair
+        // share of elapsed pool capacity (see the `stolen_est` field doc).
+        let weight_sum: u64 = self.guests.iter().map(|g| u64::from(g.weight)).sum();
+        let elapsed_ns = self.queue.now().since(SimTime::ZERO).as_ns();
+        let fair_ns = if weight_sum == 0 {
+            0
+        } else {
+            (elapsed_ns as u128 * self.config.n_pcpus as u128 * u128::from(g.weight)
+                / u128::from(weight_sum)) as u64
+        };
+        let stolen_est = SimDuration::from_ns(run_total.as_ns().saturating_sub(fair_ns));
         DomainStats {
             wait_total: self.hv.domain_wait_total(dom),
-            run_total: self.hv.domain_run_total(dom),
+            run_total,
             resched_ipis: (0..n).map(|i| g.kernel.resched_ipis(VcpuId(i))).collect(),
             timer_ints: (0..n).map(|i| g.kernel.timer_ints(VcpuId(i))).collect(),
             daemon_reads: g.daemon.reads,
@@ -640,7 +715,16 @@ impl<S: HypervisorSched> Machine<S> {
             hotplug_retries: g.hotplug_retry.retries(),
             hotplug_giveups: g.hotplug_retry.giveups(),
             ipis_coalesced: g.ipis_coalesced,
+            stolen_est,
+            kicks_throttled: self.hv.kicks_throttled(dom),
+            reconfigs_suppressed: g.freeze_gate.suppressed(),
         }
+    }
+
+    /// Tick re-arms that drew a jittered interval (the tick-jitter
+    /// defense's activity counter; 0 when the defense is off).
+    pub fn ticks_jittered(&self) -> u64 {
+        self.ticks_jittered
     }
 
     // ------------------------------------------------------------------
@@ -909,8 +993,13 @@ impl<S: HypervisorSched> Machine<S> {
             Ev::HvTick(p) => {
                 let p = PcpuId(p as usize);
                 self.hv_and_drain(now, |hv, ev| hv.on_tick(p, now, ev));
-                self.queue
-                    .schedule(now + self.config.credit.tick, Ev::hv_tick(p));
+                let interval = if self.config.defense.tick_jitter {
+                    self.ticks_jittered += 1;
+                    jittered_interval(self.config.credit.tick, &mut self.tick_rng)
+                } else {
+                    self.config.credit.tick
+                };
+                self.queue.schedule(now + interval, Ev::hv_tick(p));
                 self.inject_steal_spike(now);
             }
             Ev::HvAcct => {
@@ -987,6 +1076,9 @@ impl<S: HypervisorSched> Machine<S> {
                 // The balancer's heartbeat watchdog counts every period;
                 // a completed read rearms it (see daemon_work_done).
                 self.failsafe_tick(dom, now);
+                // The freeze-rate hysteresis gate measures dwell in
+                // daemon periods off this same timer.
+                self.guests[dom.index()].freeze_gate.tick();
             }
             Ev::IoArrival { dom, port, items } => {
                 let (dom, port) = (DomId(dom as usize), PortId(port as usize));
@@ -1706,6 +1798,15 @@ impl<S: HypervisorSched> Machine<S> {
             let step = self.guests[dom.index()]
                 .daemon
                 .decide(n_opt, ext_smoothed, active);
+            // Freeze-rate hysteresis (oscillation defense): a decided
+            // step must also clear the dwell gate, else it is dropped
+            // and counted. At the default dwell of 0 the gate always
+            // passes and never mutates observable behavior.
+            let dwell = self.config.defense.freeze_dwell;
+            let step = match step {
+                Some(s) if self.guests[dom.index()].freeze_gate.allow(dwell) => Some(s),
+                _ => None,
+            };
             match step {
                 Some(1) => self.begin_grow(dom, now, dirty),
                 Some(-1) => self.begin_shrink(dom, now, dirty),

@@ -220,9 +220,94 @@ impl FailSafe {
     }
 }
 
+/// Freeze-rate hysteresis: the balancer's defense against
+/// extendability-oscillation attacks.
+///
+/// An adversarial neighbor that square-waves its demand at the daemon's
+/// own cadence makes the victim's extendability flip every period, and
+/// the balancer then thrashes freeze/unfreeze — each flip costs a
+/// reconfiguration IPI, an evacuation pass, and a cold run queue. The
+/// gate enforces a minimum dwell: after an applied reconfiguration,
+/// further grow/shrink decisions are suppressed until `dwell_periods`
+/// daemon periods have elapsed. `dwell_periods == 0` disables the gate
+/// (the paper-faithful default); suppression is counted so the attack
+/// grid can report defense activity. Purely counter-driven off the
+/// daemon's own timer — no wall clock, no entropy — so gated runs replay
+/// bit-identically at any `VSCALE_THREADS`.
+#[derive(Clone, Debug)]
+pub struct FreezeRateGate {
+    /// Daemon periods since the last applied reconfiguration (saturating;
+    /// starts past any plausible dwell so the first decision is free).
+    since_reconfig: u32,
+    /// Reconfigurations suppressed by the dwell requirement.
+    suppressed: u64,
+}
+
+impl Default for FreezeRateGate {
+    fn default() -> Self {
+        FreezeRateGate {
+            since_reconfig: u32::MAX,
+            suppressed: 0,
+        }
+    }
+}
+
+impl FreezeRateGate {
+    /// One daemon period elapsed.
+    pub fn tick(&mut self) {
+        self.since_reconfig = self.since_reconfig.saturating_add(1);
+    }
+
+    /// Asks whether a grow/shrink step may be applied now under a
+    /// `dwell_periods` requirement. Returns `true` (and restarts the
+    /// dwell window) when allowed; otherwise counts a suppression.
+    pub fn allow(&mut self, dwell_periods: u32) -> bool {
+        if dwell_periods == 0 || self.since_reconfig >= dwell_periods {
+            self.since_reconfig = 0;
+            true
+        } else {
+            self.suppressed += 1;
+            false
+        }
+    }
+
+    /// Reconfigurations suppressed so far.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn freeze_rate_gate_enforces_dwell_and_counts_suppressions() {
+        let mut g = FreezeRateGate::default();
+        // First decision is always free (gate starts saturated).
+        assert!(g.allow(4));
+        // Within the dwell window every decision is suppressed.
+        g.tick();
+        assert!(!g.allow(4));
+        g.tick();
+        g.tick();
+        assert!(!g.allow(4));
+        assert_eq!(g.suppressed(), 2);
+        // Dwell satisfied: allowed again, and the window restarts.
+        g.tick();
+        assert!(g.allow(4));
+        assert!(!g.allow(4));
+        assert_eq!(g.suppressed(), 3);
+    }
+
+    #[test]
+    fn freeze_rate_gate_disabled_at_zero_dwell() {
+        let mut g = FreezeRateGate::default();
+        for _ in 0..10 {
+            assert!(g.allow(0));
+        }
+        assert_eq!(g.suppressed(), 0);
+    }
 
     #[test]
     fn failsafe_trips_after_silent_periods_and_rearms_on_update() {

@@ -27,7 +27,7 @@ pub mod runqueue;
 pub mod sync;
 pub mod thread;
 
-pub use balancer::{FailSafe, FreezeMask};
+pub use balancer::{FailSafe, FreezeMask, FreezeRateGate};
 pub use costs::GuestCosts;
 pub use hotplug::{HotplugModel, HotplugRetry, HotplugRetryPolicy, KernelVersion};
 pub use kernel::{GuestConfig, GuestEffect, GuestKernel, GuestStats, TState};

@@ -5,11 +5,13 @@
 //! paper's reported values ([`paper`]) so each bench can print
 //! paper-vs-measured side by side (the data EXPERIMENTS.md records).
 
+pub mod attacks;
 pub mod fleet;
 pub mod paper;
 pub mod report;
 pub mod resilience;
 
+pub use attacks::{AttackCell, AttackGrid, AttackSample, SloCurve, SloPoint};
 pub use fleet::{FleetCurve, FleetPoint, HostSample};
 pub use report::{Series, Table};
 pub use resilience::{RecoveryCounters, ResilienceCurve, ResiliencePoint};

@@ -32,6 +32,16 @@
 //!
 //! On divergence, [`minimize_pair`] reduces the op stream to a minimal
 //! reproducer with the choice-stream shrinker ([`crate::runner`]).
+//!
+//! # Adversarial streams
+//!
+//! [`adversarial_scenario_gen`] draws from the same topologies but fills
+//! streams with the four attack-shaped composites (timed self-wakeups,
+//! tick dodges, domain-wide kick storms, freeze thrash) that mirror the
+//! antagonist workloads in `workloads::antagonist`. Both the per-backend
+//! invariants and the pairwise conservation laws must hold on these
+//! streams too — an adversarial tenant can degrade a neighbor's service,
+//! but it must never break structural sanity or work conservation.
 
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId, VcpuId};
 use sim_core::time::{SimDuration, SimTime};
@@ -67,6 +77,24 @@ pub enum Op {
     Freeze(u8),
     /// Unfreeze: `set_frozen(false)` + guest wake.
     Unfreeze(u8),
+    /// Attack shape (BOOST farming): the selected vCPU blocks and wakes
+    /// again at the same instant — the timed self-wakeup a boost-farming
+    /// tenant uses to re-enter at BOOST priority without spending credit.
+    SelfWake(u8),
+    /// Attack shape (tick evasion): the selected vCPU blocks, the pCPU it
+    /// was running on takes its periodic tick while the vCPU is off it,
+    /// and the vCPU wakes again — all at one instant. Under sampled burn
+    /// accounting this is exactly how a tenant dodges the charge.
+    TickDodge(u8),
+    /// Attack shape (IPI storm): urgent-kick every unfrozen vCPU of the
+    /// selected vCPU's domain at the same instant — a wake fan-out like a
+    /// reschedule-IPI broadcast.
+    StormKick(u8),
+    /// Attack shape (extendability oscillation): freeze then immediately
+    /// unfreeze the selected vCPU — reconfiguration thrash at the fastest
+    /// rate the interface allows. Both halves follow the atomic freeze
+    /// convention, so freeze-safety stays checkable.
+    FreezeThrash(u8),
 }
 
 /// A complete differential test case: topology plus an op stream.
@@ -103,6 +131,40 @@ pub fn scenario_gen(max_ops: usize) -> Gen<Scenario> {
         u8_in(0..16).map(Op::Freeze),
         u8_in(0..16).map(Op::Unfreeze),
     ]);
+    scenario_with_ops(op, max_ops)
+}
+
+/// Generator for attack-shaped [`Scenario`]s: the same small topologies,
+/// but op streams dominated by the four adversarial composites
+/// ([`Op::SelfWake`], [`Op::TickDodge`], [`Op::StormKick`],
+/// [`Op::FreezeThrash`]) with just enough plain ticks/wakes/blocks that
+/// the pool has real occupancy to attack. A separate generator so the
+/// long-standing [`scenario_gen`] streams (pinned by seeded regression
+/// tests) are untouched.
+pub fn adversarial_scenario_gen(max_ops: usize) -> Gen<Scenario> {
+    let op = one_of(vec![
+        u8_in(0..8).map(Op::Tick),
+        u8_in(0..1).map(|_| Op::Acct),
+        u8_in(0..8).map(Op::Slice),
+        u8_in(0..1).map(|_| Op::ExtendTick),
+        u8_in(0..16).map(Op::Wake),
+        u8_in(0..16).map(Op::Block),
+        // Attack shapes twice each: streams are attack-dense on purpose.
+        u8_in(0..16).map(Op::SelfWake),
+        u8_in(0..16).map(Op::SelfWake),
+        u8_in(0..16).map(Op::TickDodge),
+        u8_in(0..16).map(Op::TickDodge),
+        u8_in(0..16).map(Op::StormKick),
+        u8_in(0..16).map(Op::StormKick),
+        u8_in(0..16).map(Op::FreezeThrash),
+        u8_in(0..16).map(Op::FreezeThrash),
+    ]);
+    scenario_with_ops(op, max_ops)
+}
+
+/// Shared topology generator: 1..=3 pCPUs, 1..=3 domains of 1..=3 vCPUs
+/// at paper-ratio weights, with `op` drawn up to `max_ops` times.
+fn scenario_with_ops(op: Gen<Op>, max_ops: usize) -> Gen<Scenario> {
     let domains = vec_of(tuple2(u8_in(0..3), usize_in(1..4)), 1..4).map(|ds| {
         ds.into_iter()
             // Weights from the paper's 1:2:4 ratio set.
@@ -244,6 +306,36 @@ pub fn replay<S: HypervisorSched>(scenario: &Scenario) -> Result<Replay, String>
                 s.set_frozen(gv(v), false);
                 s.vcpu_wake(gv(v), now, &mut events);
             }
+            Op::SelfWake(v) => {
+                if !s.is_frozen(gv(v)) {
+                    s.vcpu_block(gv(v), now, &mut events);
+                    s.vcpu_wake(gv(v), now, &mut events);
+                }
+            }
+            Op::TickDodge(v) => {
+                if !s.is_frozen(gv(v)) {
+                    let dodged = s.where_running(gv(v));
+                    s.vcpu_block(gv(v), now, &mut events);
+                    if let Some(p) = dodged {
+                        s.on_tick(p, now, &mut events);
+                    }
+                    s.vcpu_wake(gv(v), now, &mut events);
+                }
+            }
+            Op::StormKick(v) => {
+                let dom = gv(v).dom;
+                for &target in vcpus.iter().filter(|t| t.dom == dom) {
+                    if !s.is_frozen(target) {
+                        s.kick_vcpu(target, now, &mut events);
+                    }
+                }
+            }
+            Op::FreezeThrash(v) => {
+                s.set_frozen(gv(v), true);
+                s.vcpu_block(gv(v), now, &mut events);
+                s.set_frozen(gv(v), false);
+                s.vcpu_wake(gv(v), now, &mut events);
+            }
         }
         let ctx = |e: String| format!("[{name}] op {i} ({op:?}): {e}");
         check_structure(&s, &vcpus).map_err(ctx)?;
@@ -319,6 +411,18 @@ pub fn minimize_pair<A: HypervisorSched, B: HypervisorSched>(
     max_ops: usize,
 ) -> Option<Counterexample<Scenario>> {
     find_minimal(cfg, &scenario_gen(max_ops), |sc| check_pair::<A, B>(sc))
+}
+
+/// [`minimize_pair`] over attack-shaped streams
+/// ([`adversarial_scenario_gen`]): the conservation laws must survive
+/// tenants that compose their ops adversarially, not just benign mixes.
+pub fn minimize_pair_adversarial<A: HypervisorSched, B: HypervisorSched>(
+    cfg: Config,
+    max_ops: usize,
+) -> Option<Counterexample<Scenario>> {
+    find_minimal(cfg, &adversarial_scenario_gen(max_ops), |sc| {
+        check_pair::<A, B>(sc)
+    })
 }
 
 /// A deliberately broken backend: a [`CreditScheduler`] whose
@@ -509,6 +613,57 @@ mod tests {
                 assert!(w == 256 || w == 512 || w == 1024);
             }
         }
+    }
+
+    #[test]
+    fn attack_shaped_ops_replay_on_all_backends() {
+        // One of each composite, against a running pool: the invariants
+        // (and the settle flush) must absorb same-instant block/wake
+        // pairs, a dodged tick, a domain-wide kick fan-out, and a
+        // freeze+unfreeze thrash.
+        let sc = smoke(&[
+            Op::Wake(0),
+            Op::Wake(1),
+            Op::Wake(2),
+            Op::Tick(0),
+            Op::SelfWake(2),
+            Op::TickDodge(0),
+            Op::StormKick(2),
+            Op::FreezeThrash(1),
+            Op::Tick(1),
+            Op::Acct,
+        ]);
+        let c = replay::<CreditScheduler>(&sc).unwrap();
+        let c2 = replay::<Credit2Scheduler>(&sc).unwrap();
+        let df = replay::<DynFracScheduler>(&sc).unwrap();
+        assert!(c.total_run_ns > 0);
+        assert_eq!(c.total_run_ns, c2.total_run_ns);
+        assert_eq!(c.total_run_ns, df.total_run_ns);
+    }
+
+    #[test]
+    fn adversarial_generator_emits_attack_shapes() {
+        let g = adversarial_scenario_gen(60);
+        let mut src = crate::source::Source::random(11);
+        let mut shaped = 0usize;
+        for _ in 0..50 {
+            let sc = g.run(&mut src);
+            assert!((1..=3).contains(&sc.n_pcpus));
+            assert!(!sc.ops.is_empty());
+            shaped += sc
+                .ops
+                .iter()
+                .filter(|op| {
+                    matches!(
+                        op,
+                        Op::SelfWake(_) | Op::TickDodge(_) | Op::StormKick(_) | Op::FreezeThrash(_)
+                    )
+                })
+                .count();
+        }
+        // 8 of 14 generator arms are attack shapes; across 50 streams the
+        // composites must dominate, not merely appear.
+        assert!(shaped > 50, "only {shaped} attack-shaped ops in 50 streams");
     }
 
     #[test]

@@ -20,8 +20,12 @@
 //!   that generate the fluctuating competing load of §5.2.1.
 //! - [`adaptive`] — the paper's §7 future work: an application that sizes
 //!   its work split from the VM's vScale-exported effective parallelism.
+//! - [`antagonist`] — adversarial tenants: the four scheduler-attack
+//!   workloads (tick evasion, BOOST farming, IPI storms, extendability
+//!   oscillation) and their benign twins, for the attack-impact grid.
 
 pub mod adaptive;
+pub mod antagonist;
 pub mod apache;
 pub mod desktop;
 pub mod kbuild;
@@ -29,4 +33,5 @@ pub mod npb;
 pub mod parsec;
 pub mod spin;
 
+pub use antagonist::{AntagonistMode, AntagonistSpec, AttackKind};
 pub use spin::SpinPolicy;

@@ -172,6 +172,14 @@ pub trait HypervisorSched {
     /// analogue; bumps on every [`HypervisorSched::on_extend_tick`]).
     fn extend_version(&self) -> u64;
 
+    /// Kick-path evictions suppressed by the kick-throttle defense
+    /// ([`CreditConfig::kick_throttle`]) for kicks aimed at `dom`'s
+    /// vCPUs. Zero when the defense is off (the default).
+    fn kicks_throttled(&self, dom: DomId) -> u64 {
+        let _ = dom;
+        0
+    }
+
     /// Wakes every vCPU of `dom` (guest boot / failsafe unfreeze).
     fn wake_domain(&mut self, dom: DomId, now: SimTime, events: &mut Vec<SchedEvent>) {
         for v in 0..self.n_vcpus(dom) {
@@ -305,6 +313,10 @@ impl HypervisorSched for CreditScheduler {
 
     fn extend_version(&self) -> u64 {
         CreditScheduler::extend_version(self)
+    }
+
+    fn kicks_throttled(&self, dom: DomId) -> u64 {
+        CreditScheduler::kicks_throttled(self, dom)
     }
 
     fn wake_domain(&mut self, dom: DomId, now: SimTime, events: &mut Vec<SchedEvent>) {

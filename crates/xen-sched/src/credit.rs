@@ -75,6 +75,15 @@ pub enum VcpuState {
     },
 }
 
+/// Under the kick-throttle defense, a BOOST wakeup may evict a running
+/// vCPU only once the occupant has run this many ratelimit windows
+/// (5 ms at the Xen-default 1 ms ratelimit). Chosen as a small multiple:
+/// large enough that a wake-storm tenant cannot shred a neighbor's
+/// slice into millisecond fragments, small enough that genuinely
+/// latency-sensitive wakeups still preempt within single-digit
+/// milliseconds.
+pub const KICK_THROTTLE_FACTOR: u64 = 5;
+
 /// Configuration of the credit scheduler.
 #[derive(Clone, Debug)]
 pub struct CreditConfig {
@@ -98,6 +107,26 @@ pub struct CreditConfig {
     /// Period of the vScale extendability ticker (`vscale_ticker_fn`).
     /// Paper default: 10 ms.
     pub extend_period: SimDuration,
+    /// Historical-Xen *sampled* credit accounting: instead of charging
+    /// exact run nanoseconds continuously, whoever occupies the pCPU at
+    /// the tick is charged one whole tick of credit. This is the
+    /// vulnerability Zhou et al. exploit — a tenant that yields just
+    /// before every tick runs nearly free. Fidelity knob for the attack
+    /// grid, default off (exact accounting, as in this repo since PR 1).
+    /// Statistics (`run_total`, consumption windows, `total_run_ns`)
+    /// stay exact either way; only the credit balance is sampled.
+    pub sampled_burn: bool,
+    /// Defense: directed kicks may not evict a current occupant that has
+    /// run for less than [`CreditConfig::ratelimit`] (the kick still
+    /// wakes and enqueues the target at BOOST — only the immediate
+    /// eviction is suppressed), and BOOST-priority wakeups may evict only
+    /// an occupant that has run at least [`KICK_THROTTLE_FACTOR`]× the
+    /// ratelimit. Together these bound preemption farming via IPI/wake
+    /// storms: a tenant ping-ponging wakeups across its vCPUs can no
+    /// longer evict a neighbor every millisecond. Default off: faithful
+    /// kicks bypass the ratelimit and every wake preempts at the
+    /// ratelimit.
+    pub kick_throttle: bool,
 }
 
 impl Default for CreditConfig {
@@ -110,6 +139,8 @@ impl Default for CreditConfig {
             boost: true,
             tick_preemption: false,
             extend_period: SimDuration::from_ms(10),
+            sampled_burn: false,
+            kick_throttle: false,
         }
     }
 }
@@ -189,6 +220,9 @@ struct Domain {
     consumed_extend: SimDuration,
     /// Latest Algorithm 1 output, readable through the vScale channel.
     extend: ExtendInfo,
+    /// Kick-path evictions suppressed by the kick-throttle defense on
+    /// behalf of this domain's vCPUs (defense-activity counter).
+    kicks_throttled: u64,
 }
 
 /// Per-pCPU run queues and the currently running vCPU.
@@ -322,6 +356,7 @@ impl CreditScheduler {
             consumed_acct: SimDuration::ZERO,
             consumed_extend: SimDuration::ZERO,
             extend: ExtendInfo::initial(n_vcpus),
+            kicks_throttled: 0,
         });
         id
     }
@@ -442,9 +477,14 @@ impl CreditScheduler {
             return;
         }
         v.burn_from = now;
-        v.credits_ns -= ran.as_ns() as i64;
-        if v.credits_ns < 0 && v.prio != Prio::Over {
-            v.prio = Prio::Over;
+        // Under sampled accounting the credit balance is charged only at
+        // ticks (see `on_tick`); statistics below stay exact regardless so
+        // work-conservation invariants and consumption windows hold.
+        if !self.config.sampled_burn {
+            v.credits_ns -= ran.as_ns() as i64;
+            if v.credits_ns < 0 && v.prio != Prio::Over {
+                v.prio = Prio::Over;
+            }
         }
         self.stats[gv].run_total += ran;
         let dom = &mut self.domains[gv.dom.index()];
@@ -458,7 +498,19 @@ impl CreditScheduler {
     /// assignment changes are appended to `events`.
     pub fn on_tick(&mut self, pcpu: PcpuId, now: SimTime, events: &mut Vec<SchedEvent>) {
         self.burn(pcpu, now);
+        let tick_ns = self.config.tick.as_ns() as i64;
+        let sampled = self.config.sampled_burn;
         if let Some(gv) = self.pcpus[pcpu.index()].current {
+            if sampled {
+                // Historical Xen: whoever is caught on the pCPU at the
+                // tick pays for the whole tick, whether it ran 10 ms or
+                // 10 µs of it. A tenant absent at every sample runs free.
+                let v = self.vcpu_mut(gv);
+                v.credits_ns -= tick_ns;
+                if v.credits_ns < 0 && v.prio == Prio::Under {
+                    v.prio = Prio::Over;
+                }
+            }
             // Xen demotes a boosted vCPU back to its credit-derived priority
             // at the first tick it survives on a pCPU.
             let v = self.vcpu_mut(gv);
@@ -834,7 +886,7 @@ impl CreditScheduler {
         let home = self.vcpu(gv).last_pcpu;
         let target = self.idle_pcpu().unwrap_or(home);
         self.enqueue(gv, target, now);
-        self.maybe_preempt(target, now, events);
+        self.maybe_preempt(target, now, events, gv);
     }
 
     fn idle_pcpu(&self) -> Option<PcpuId> {
@@ -846,18 +898,37 @@ impl CreditScheduler {
 
     /// Preempts `pcpu`'s current vCPU if a strictly higher-priority vCPU
     /// waits in its queue and the ratelimit allows it; also fills an idle
-    /// pCPU.
-    fn maybe_preempt(&mut self, pcpu: PcpuId, now: SimTime, events: &mut Vec<SchedEvent>) {
+    /// pCPU. `cause` is the vCPU whose arrival prompted the check — under
+    /// the kick-throttle defense its domain is charged for BOOST
+    /// evictions deferred beyond the ratelimit.
+    fn maybe_preempt(
+        &mut self,
+        pcpu: PcpuId,
+        now: SimTime,
+        events: &mut Vec<SchedEvent>,
+        cause: GlobalVcpu,
+    ) {
         match self.pcpus[pcpu.index()].current {
             None => self.reschedule(pcpu, now, events),
             Some(cur) => {
                 let cur_prio = self.vcpu(cur).prio as usize;
                 let best = self.best_waiting_prio(pcpu);
                 let ran = now.since(self.pcpus[pcpu.index()].run_since);
-                if best < cur_prio && ran >= self.config.ratelimit {
-                    self.deschedule_current(pcpu, now, true, events);
-                    self.reschedule(pcpu, now, events);
+                if best >= cur_prio || ran < self.config.ratelimit {
+                    return;
                 }
+                // Kick-throttle defense: BOOST arrivals evict only an
+                // occupant that has run KICK_THROTTLE_FACTOR× the
+                // ratelimit, bounding wake-storm preemption farming.
+                if self.config.kick_throttle
+                    && best == Prio::Boost as usize
+                    && ran < self.config.ratelimit * KICK_THROTTLE_FACTOR
+                {
+                    self.domains[cause.dom.index()].kicks_throttled += 1;
+                    return;
+                }
+                self.deschedule_current(pcpu, now, true, events);
+                self.reschedule(pcpu, now, events);
             }
         }
     }
@@ -899,12 +970,21 @@ impl CreditScheduler {
                 self.vcpu_mut(gv).prio = Prio::Boost;
                 let target = self.idle_pcpu().unwrap_or(self.vcpu(gv).last_pcpu);
                 self.enqueue(gv, target, now);
-                // Reconfiguration kicks bypass the ratelimit.
+                // Reconfiguration kicks bypass the ratelimit — unless the
+                // kick-throttle defense bounds that bypass.
                 match self.pcpus[target.index()].current {
                     None => self.reschedule(target, now, events),
                     Some(cur) if self.vcpu(cur).prio > Prio::Boost => {
-                        self.deschedule_current(target, now, true, events);
-                        self.reschedule(target, now, events);
+                        let ran = now.since(self.pcpus[target.index()].run_since);
+                        if self.config.kick_throttle && ran < self.config.ratelimit {
+                            // Stays queued at BOOST; it gets the pCPU at
+                            // the next natural scheduling point instead
+                            // of evicting a freshly placed occupant.
+                            self.domains[gv.dom.index()].kicks_throttled += 1;
+                        } else {
+                            self.deschedule_current(target, now, true, events);
+                            self.reschedule(target, now, events);
+                        }
                     }
                     Some(_) => {}
                 }
@@ -914,7 +994,7 @@ impl CreditScheduler {
                 self.remove_from_queue(gv, now);
                 self.vcpu_mut(gv).prio = Prio::Boost;
                 self.enqueue(gv, pcpu, now);
-                self.maybe_preempt(pcpu, now, events);
+                self.maybe_preempt(pcpu, now, events, gv);
             }
             VcpuState::Running { .. } => {}
         }
@@ -923,6 +1003,12 @@ impl CreditScheduler {
     /// Signed credit balance of `gv`, in nanoseconds (test/inspection hook).
     pub fn credits_ns(&self, gv: GlobalVcpu) -> i64 {
         self.vcpu(gv).credits_ns
+    }
+
+    /// Kick-path evictions suppressed by the kick-throttle defense for
+    /// kicks aimed at `dom`'s vCPUs.
+    pub fn kicks_throttled(&self, dom: DomId) -> u64 {
+        self.domains[dom.index()].kicks_throttled
     }
 
     /// How many times `gv` has been placed on a pCPU.
@@ -980,6 +1066,72 @@ mod tests {
         s.vcpu_wake(gv(0, 1), SimTime::ZERO, &mut Vec::new());
         assert_eq!(s.running_on(PcpuId(0)), Some(gv(0, 0)));
         assert_eq!(s.running_on(PcpuId(1)), Some(gv(0, 1)));
+    }
+
+    #[test]
+    fn tick_evader_escapes_sampled_charging_but_not_exact() {
+        // A vCPU that runs 9.9 ms and blocks just before the 10 ms tick:
+        // under sampled accounting it is never charged (the Zhou et al.
+        // theft), under exact accounting it pays for what it ran.
+        for (sampled, want_charged) in [(true, false), (false, true)] {
+            let cfg = CreditConfig {
+                sampled_burn: sampled,
+                ..CreditConfig::default()
+            };
+            let mut s = CreditScheduler::new(cfg, 1);
+            s.create_domain(256, 1, None, None);
+            let mut ev = Vec::new();
+            s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut ev);
+            s.vcpu_block(
+                gv(0, 0),
+                SimTime::ZERO + SimDuration::from_us(9_900),
+                &mut ev,
+            );
+            s.on_tick(PcpuId(0), SimTime::ZERO + SimDuration::from_ms(10), &mut ev);
+            assert_eq!(s.credits_ns(gv(0, 0)) < 0, want_charged);
+            // Statistics stay exact in both modes.
+            assert_eq!(s.vcpu_run_total(gv(0, 0)), SimDuration::from_us(9_900));
+        }
+    }
+
+    #[test]
+    fn sampled_burn_charges_the_tick_occupant_a_whole_tick() {
+        let cfg = CreditConfig {
+            sampled_burn: true,
+            ..CreditConfig::default()
+        };
+        let mut s = CreditScheduler::new(cfg, 1);
+        s.create_domain(256, 1, None, None);
+        let mut ev = Vec::new();
+        s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut ev);
+        s.on_tick(PcpuId(0), SimTime::ZERO + SimDuration::from_ms(10), &mut ev);
+        assert_eq!(s.credits_ns(gv(0, 0)), -10_000_000);
+    }
+
+    #[test]
+    fn kick_throttle_defers_eviction_within_ratelimit() {
+        for throttle in [false, true] {
+            let cfg = CreditConfig {
+                boost: false,
+                kick_throttle: throttle,
+                ..CreditConfig::default()
+            };
+            let mut s = CreditScheduler::new(cfg, 1);
+            s.create_domain(256, 1, None, None); // victim
+            s.create_domain(256, 1, None, None); // attacker
+            let mut ev = Vec::new();
+            s.vcpu_wake(gv(0, 0), SimTime::ZERO, &mut ev);
+            // Kick 0.5 ms into the victim's run — inside the ratelimit.
+            let t = SimTime::ZERO + SimDuration::from_us(500);
+            s.kick_vcpu(gv(1, 0), t, &mut ev);
+            if throttle {
+                assert_eq!(s.running_on(PcpuId(0)), Some(gv(0, 0)));
+                assert_eq!(s.kicks_throttled(DomId(1)), 1);
+            } else {
+                assert_eq!(s.running_on(PcpuId(0)), Some(gv(1, 0)));
+                assert_eq!(s.kicks_throttled(DomId(1)), 0);
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,8 @@ struct Dom2 {
     reservation_pcpus: Option<f64>,
     consumed_extend: SimDuration,
     extend: ExtendInfo,
+    /// Kick-path evictions suppressed by the kick-throttle defense.
+    kicks_throttled: u64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -350,6 +352,7 @@ impl HypervisorSched for Credit2Scheduler {
             reservation_pcpus,
             consumed_extend: SimDuration::ZERO,
             extend: ExtendInfo::initial(n_vcpus),
+            kicks_throttled: 0,
         });
         id
     }
@@ -491,8 +494,18 @@ impl HypervisorSched for Credit2Scheduler {
             self.vcpu_wake(gv, now, events);
         }
         // An urgent kick bypasses the preemption grain: if the target is
-        // still only queued, evict its home pCPU's current and run it.
+        // still only queued, evict its home pCPU's current and run it —
+        // unless the kick-throttle defense holds the grain line against
+        // a freshly placed occupant.
         if let VcpuState::Runnable { pcpu, .. } = self.vcpu(gv).state {
+            let p = &self.pcpus[pcpu.index()];
+            if self.config.kick_throttle
+                && p.current.is_some()
+                && now.since(p.run_since) < self.config.ratelimit
+            {
+                self.domains[gv.dom.index()].kicks_throttled += 1;
+                return;
+            }
             self.pcpus[pcpu.index()].runq.retain(|&q| q != gv);
             self.deschedule_current(pcpu, now, true, events);
             self.place(gv, pcpu, now, events);
@@ -570,6 +583,10 @@ impl HypervisorSched for Credit2Scheduler {
 
     fn extend_version(&self) -> u64 {
         self.extend_version
+    }
+
+    fn kicks_throttled(&self, dom: DomId) -> u64 {
+        self.domains[dom.index()].kicks_throttled
     }
 }
 

@@ -67,6 +67,8 @@ struct DomD {
     reservation_pcpus: Option<f64>,
     consumed_extend: SimDuration,
     extend: ExtendInfo,
+    /// Kick-path evictions suppressed by the kick-throttle defense.
+    kicks_throttled: u64,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -355,6 +357,7 @@ impl HypervisorSched for DynFracScheduler {
             reservation_pcpus,
             consumed_extend: SimDuration::ZERO,
             extend: ExtendInfo::initial(n_vcpus),
+            kicks_throttled: 0,
         });
         id
     }
@@ -484,8 +487,17 @@ impl HypervisorSched for DynFracScheduler {
             self.vcpu_wake(gv, now, events);
         }
         // Urgent: if still only queued, evict the home pCPU's current
-        // and run the target now, granularity notwithstanding.
+        // and run the target now, granularity notwithstanding — unless
+        // the kick-throttle defense protects a freshly placed occupant.
         if let VcpuState::Runnable { pcpu, .. } = self.vcpu(gv).state {
+            let p = &self.pcpus[pcpu.index()];
+            if self.config.kick_throttle
+                && p.current.is_some()
+                && now.since(p.run_since) < self.config.ratelimit
+            {
+                self.domains[gv.dom.index()].kicks_throttled += 1;
+                return;
+            }
             self.runnable.retain(|&q| q != gv);
             self.deschedule_current(pcpu, now, true, events);
             self.place(gv, pcpu, now, events);
@@ -563,6 +575,10 @@ impl HypervisorSched for DynFracScheduler {
 
     fn extend_version(&self) -> u64 {
         self.extend_version
+    }
+
+    fn kicks_throttled(&self, dom: DomId) -> u64 {
+        self.domains[dom.index()].kicks_throttled
     }
 }
 

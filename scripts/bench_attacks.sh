@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the adversarial-tenant attack grid — {tick_evade, boost_farm,
+# ipi_storm, oscillate} × {credit, credit2, dynfrac} × {baseline,
+# attacked, defended} plus the IPI-storm SLO ladder — and stores its
+# JSON lines, plus a checksum of the deterministic part.
+#
+#   ./scripts/bench_attacks.sh               # writes BENCH_attacks.json
+#   ./scripts/bench_attacks.sh out.json      # writes elsewhere
+#
+# The grid's seeds, scale, and thread count are pinned so the output —
+# everything except the wall-clock session line — is bit-identical on
+# every machine. scripts/verify.sh attack_grid re-runs the same pinned
+# grid and compares its checksum against scripts/attacks.sha256, then
+# gates on the acceptance fields (every credit-backend attack inflates
+# victim waiting ≥ 10%, every matching defense recovers completion to
+# within 1.25× of the no-attack baseline). Regenerate the checksum with
+# this script whenever a deliberate behavior change moves the grid.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_attacks.json}"
+
+echo "== attack grid (pinned: quick scale, 2 seeds, 4 threads) -> $out =="
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench attack_grid \
+    | tee /dev/stderr | grep '^{' > "$out"
+
+grep -v wall_ms "$out" | sha256sum | cut -d' ' -f1 > scripts/attacks.sha256
+echo "== wrote $(wc -l < "$out") records to $out =="
+echo "== attack-grid checksum: $(cat scripts/attacks.sha256) =="

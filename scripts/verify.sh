@@ -7,6 +7,7 @@
 #   VSCALE_BENCH_SCALE=full ./scripts/verify.sh   # paper-length smoke
 #   ./scripts/verify.sh differential_smoke   # just the differential gate
 #   ./scripts/verify.sh backend_grid         # just the grid checksum gate
+#   ./scripts/verify.sh attack_grid          # just the adversarial-grid gate
 #   ./scripts/verify.sh machine_bench        # just the throughput floor gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,9 +83,52 @@ machine_bench_gate() {
     rm -f "$out"
 }
 
+# The adversarial-tenant grid: checksum-pinned like the other bench
+# gates, plus the acceptance criteria the grid exists for — on the
+# vulnerable (sampled-burn) credit backend every attack class inflates
+# victim waiting by ≥ 10%, and every matching defense restores
+# completion time to within 1.25× of the no-attack baseline, on every
+# backend. The grid must also replay byte-identically across thread
+# counts: attack phase-locking rides the timing wheel, never wall time.
+# Regenerate scripts/attacks.sha256 deliberately with
+# scripts/bench_attacks.sh.
+attack_grid_gate() {
+    echo "== attack grid: 4 attacks × 3 backends × {baseline,attacked,defended} =="
+    local out_t4 out_t1
+    out_t4="$(mktemp)"; out_t1="$(mktemp)"
+    VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+        cargo bench -q --offline -p vscale-bench --bench attack_grid \
+        | grep '^{' | grep -v wall_ms > "$out_t4"
+    local want got
+    want="$(cat scripts/attacks.sha256)"
+    got="$(sha256sum "$out_t4" | cut -d' ' -f1)"
+    if [ "$want" != "$got" ]; then
+        echo "attack grid drifted: want $want got $got" >&2
+        cat "$out_t4" >&2
+        rm -f "$out_t4" "$out_t1"
+        exit 1
+    fi
+    if grep -q '"defended_ok":false' "$out_t4"; then
+        echo "a defended cell failed to recover within the bound:" >&2
+        grep '"defended_ok":false' "$out_t4" >&2
+        rm -f "$out_t4" "$out_t1"
+        exit 1
+    fi
+    grep -q '"credit_all_inflated":true' "$out_t4"
+    grep -q '"all_defended_ok":true' "$out_t4"
+    VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=1 \
+        cargo bench -q --offline -p vscale-bench --bench attack_grid \
+        | grep '^{' | grep -v wall_ms > "$out_t1"
+    diff -u "$out_t4" "$out_t1"
+    rm -f "$out_t4" "$out_t1"
+    echo "   grid checksum OK ($got); all attacks inflate on credit, all defenses recover,"
+    echo "   byte-identical at VSCALE_THREADS=1 and =4"
+}
+
 case "${1:-all}" in
     differential_smoke) differential_smoke; exit 0 ;;
     backend_grid) backend_grid_gate; exit 0 ;;
+    attack_grid) attack_grid_gate; exit 0 ;;
     machine_bench) machine_bench_gate; exit 0 ;;
     all) ;;
     *) echo "unknown verify target: $1" >&2; exit 2 ;;
@@ -187,6 +231,8 @@ echo "   fleet checksum OK ($got), vScale sustains more load than static at the 
 differential_smoke
 
 backend_grid_gate
+
+attack_grid_gate
 
 machine_bench_gate
 

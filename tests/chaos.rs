@@ -694,6 +694,175 @@ fn disabled_plan_is_byte_identical_to_no_plan() {
     assert_eq!(without.0, with.0, "a disabled plan perturbed the trace");
 }
 
+// --- Adversarial tenants (scheduler attacks) as a chaos source ---------
+//
+// The antagonists of `workloads::antagonist` degrade a victim's service
+// by gaming scheduler accounting; the contract checked here is the
+// chaos-shaped one: an attacked run still terminates, the matching
+// defense restores bounded completion time, freeze state stays
+// consistent, and attacks compose with every fault class without
+// panicking. The quantitative inflation/recovery gates live in the
+// `attack_grid` bench and `scripts/verify.sh attack_grid`.
+
+use vscale_repro::apps::antagonist::{self, AntagonistMode, AntagonistSpec, AttackKind};
+use vscale_repro::core::config::DefenseConfig;
+use vscale_repro::hv::CreditConfig;
+
+/// A victim/antagonist host on the historical sampled-burn credit
+/// accounting (the vulnerable configuration the attack grid measures):
+/// a 2-vCPU vScale victim running NPB ep against one equal-weight
+/// antagonist on 2 pCPUs.
+fn adversarial_machine(
+    kind: AttackKind,
+    mode: AntagonistMode,
+    defense: DefenseConfig,
+    seed: u64,
+) -> (Machine, DomId, DomId) {
+    let mut m = Machine::new(MachineConfig {
+        n_pcpus: 2,
+        seed,
+        credit: CreditConfig {
+            sampled_burn: true,
+            ..CreditConfig::default()
+        },
+        defense,
+        ..MachineConfig::default()
+    });
+    let vm = m.add_domain(SystemConfig::VScale.domain_spec(2).with_weight(256));
+    let att = antagonist::install_antagonist(&mut m, AntagonistSpec::new(kind, mode));
+    let app = NpbApp {
+        iterations: 6,
+        ..npb::app("ep").expect("ep is in NPB_APPS")
+    };
+    npb::install(&mut m, vm, app, 2, SpinPolicy::Default);
+    (m, vm, att)
+}
+
+#[test]
+fn every_attack_class_defends_and_converges() {
+    for kind in AttackKind::ALL {
+        let finish = |mode, defense| {
+            let (mut m, vm, _att) = adversarial_machine(kind, mode, defense, 41);
+            let done = m
+                .try_run_until_exited(vm, SimTime::from_secs(120))
+                .expect("no typed error")
+                .unwrap_or_else(|| panic!("{}: victim never finished", kind.label()));
+            let consistent = (0..2).all(|v| {
+                m.hv_frozen(vm, VcpuId(v)) == m.guest(vm).freeze_mask().is_frozen(VcpuId(v))
+            });
+            (done, consistent)
+        };
+        // The attacked run terminates (degraded service, never a wedge)…
+        let (_, attacked_consistent) =
+            finish(AntagonistMode::Adversarial, DefenseConfig::default());
+        assert!(
+            attacked_consistent,
+            "{}: attacked run ended with diverged freeze state",
+            kind.label()
+        );
+        // …and the matching defense converges back to a bounded factor of
+        // the benign-twin baseline (the tight 1.25× exec gate is the
+        // bench's; this is the chaos-level "recovers at all" bound).
+        let (baseline, _) = finish(AntagonistMode::Benign, DefenseConfig::default());
+        let (defended, defended_consistent) =
+            finish(AntagonistMode::Adversarial, kind.matching_defense());
+        assert!(
+            defended_consistent,
+            "{}: defended run ended with diverged freeze state",
+            kind.label()
+        );
+        let bound =
+            SimTime::ZERO + baseline.since(SimTime::ZERO).mul_f64(2.0) + SimDuration::from_ms(500);
+        assert!(
+            defended <= bound,
+            "{}: defense failed to converge: baseline {baseline}, defended {defended}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn attacks_compose_with_fault_plans_without_panics() {
+    // Every attack class crossed with a mixed fault plan: whatever the
+    // combination does to service quality, it must end in a clean finish,
+    // a slow-but-legal deadline miss, or a typed, diagnosable error.
+    for kind in AttackKind::ALL {
+        let (mut m, vm, _att) = adversarial_machine(
+            kind,
+            AntagonistMode::Adversarial,
+            DefenseConfig::default(),
+            43,
+        );
+        m.set_watchdog(WatchdogConfig {
+            stall_timeout: SimDuration::from_ms(500),
+            ..WatchdogConfig::default()
+        });
+        m.set_fault_plan(FaultConfig {
+            seed: 44,
+            ipi_drop_ppm: 200_000,
+            steal_spike_ppm: 200_000,
+            steal_spike_max: SimDuration::from_ms(2),
+            daemon_crash_ppm: 200_000,
+            stale_read_ppm: 200_000,
+            torn_read_ppm: 100_000,
+            ..FaultConfig::default()
+        });
+        match m.try_run_until_exited(vm, SimTime::from_secs(120)) {
+            Ok(Some(_)) => assert!(m.guest(vm).all_exited(), "{}: phantom finish", kind.label()),
+            Ok(None) => {} // Legal: slow under compounded adversity.
+            Err(e) => assert!(
+                !e.to_string().is_empty() && !e.layer.is_empty(),
+                "{}: undiagnosable error",
+                kind.label()
+            ),
+        }
+        let fs = m.fault_stats().expect("plan installed");
+        assert!(
+            fs.ipi_dropped + fs.steal_spikes + fs.daemon_crashes + fs.stale_reads >= 1,
+            "{}: the fault plan never injected anything: {fs:?}",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn freeze_dwell_suppresses_reconfig_thrash() {
+    // The tick-evade attack whipsaws the victim daemon (its theft swings
+    // measured extendability every accounting window). With the
+    // freeze-rate hysteresis armed, part of that thrash must be absorbed
+    // by the gate — visibly, in the defense-activity counter — and the
+    // surviving reconfiguration rate must drop.
+    let reconfigs = |defense: DefenseConfig| {
+        let (mut m, vm, _att) = adversarial_machine(
+            AttackKind::TickEvade,
+            AntagonistMode::Adversarial,
+            defense,
+            47,
+        );
+        m.try_run_until(SimTime::from_secs(3)).expect("no error");
+        let st = m.domain_stats(vm);
+        (st.reconfigs, st.reconfigs_suppressed)
+    };
+    let (thrash, zero) = reconfigs(DefenseConfig::default());
+    assert_eq!(zero, 0, "dwell-off run counted suppressions");
+    assert!(
+        thrash >= 10,
+        "attack no longer thrashes the daemon: {thrash}"
+    );
+    let (gated, suppressed) = reconfigs(DefenseConfig {
+        freeze_dwell: 8,
+        ..DefenseConfig::default()
+    });
+    assert!(
+        suppressed >= 1,
+        "hysteresis gate never absorbed a reconfiguration"
+    );
+    assert!(
+        gated < thrash,
+        "gate did not reduce the reconfiguration rate: {gated} vs {thrash}"
+    );
+}
+
 #[test]
 fn any_generated_fault_plan_terminates_cleanly() {
     // Property: whatever the plan, a short contended run either completes

@@ -12,9 +12,18 @@
 //!   policy must share), over ≥ 256 scenarios per pair. A divergence is
 //!   shrunk to a minimal op sequence before being reported.
 //!
+//! A third layer replays **attack-shaped** streams
+//! (`adversarial_scenario_gen`: timed self-wakeups, tick dodges,
+//! domain-wide kick storms, freeze thrash — the op-level mirrors of
+//! `workloads::antagonist`): adversarial composition may shift who runs,
+//! but every backend must keep structural sanity and work conservation,
+//! and any two backends must still agree on the run-time integral.
+//!
 //! `scripts/verify.sh differential_smoke` runs exactly this file.
 
-use testkit::differential::{minimize_pair, replay, scenario_gen};
+use testkit::differential::{
+    adversarial_scenario_gen, minimize_pair, minimize_pair_adversarial, replay, scenario_gen,
+};
 use testkit::{run_prop, Config};
 use vscale_repro::hv::{Credit2Scheduler, CreditScheduler, DynFracScheduler, HypervisorSched};
 
@@ -64,6 +73,65 @@ fn pair_agrees<A: HypervisorSched, B: HypervisorSched>() {
             cx.value,
         );
     }
+}
+
+fn backend_invariants_adversarial<S: HypervisorSched>() {
+    run_prop(
+        &format!("{}_adversarial_invariants", S::backend_name()),
+        Config::with_cases(CASES),
+        &adversarial_scenario_gen(MAX_OPS),
+        |sc| {
+            replay::<S>(sc)?;
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn credit_invariants_over_adversarial_streams() {
+    backend_invariants_adversarial::<CreditScheduler>();
+}
+
+#[test]
+fn credit2_invariants_over_adversarial_streams() {
+    backend_invariants_adversarial::<Credit2Scheduler>();
+}
+
+#[test]
+fn dynfrac_invariants_over_adversarial_streams() {
+    backend_invariants_adversarial::<DynFracScheduler>();
+}
+
+fn pair_agrees_adversarial<A: HypervisorSched, B: HypervisorSched>() {
+    let cfg = Config {
+        cases: CASES,
+        ..Config::default()
+    };
+    if let Some(cx) = minimize_pair_adversarial::<A, B>(cfg, MAX_OPS) {
+        panic!(
+            "{} vs {} diverged on an adversarial stream at case {} ({}); minimal scenario:\n{:#?}",
+            A::backend_name(),
+            B::backend_name(),
+            cx.case,
+            cx.error,
+            cx.value,
+        );
+    }
+}
+
+#[test]
+fn credit_vs_credit2_conservation_under_attack_streams() {
+    pair_agrees_adversarial::<CreditScheduler, Credit2Scheduler>();
+}
+
+#[test]
+fn credit_vs_dynfrac_conservation_under_attack_streams() {
+    pair_agrees_adversarial::<CreditScheduler, DynFracScheduler>();
+}
+
+#[test]
+fn credit2_vs_dynfrac_conservation_under_attack_streams() {
+    pair_agrees_adversarial::<Credit2Scheduler, DynFracScheduler>();
 }
 
 #[test]

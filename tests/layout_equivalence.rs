@@ -152,6 +152,39 @@ fn trajectory_checksum<S: HypervisorSched>(scenario: &Scenario) -> u64 {
                 s.set_frozen(gv(v), false);
                 s.vcpu_wake(gv(v), now, &mut events);
             }
+            // Attack-shaped ops: never emitted by `scenario_gen` (the
+            // goldens predate them) but normalized identically to
+            // `testkit::differential::replay` for completeness.
+            Op::SelfWake(v) => {
+                if !s.is_frozen(gv(v)) {
+                    s.vcpu_block(gv(v), now, &mut events);
+                    s.vcpu_wake(gv(v), now, &mut events);
+                }
+            }
+            Op::TickDodge(v) => {
+                if !s.is_frozen(gv(v)) {
+                    let dodged = s.where_running(gv(v));
+                    s.vcpu_block(gv(v), now, &mut events);
+                    if let Some(p) = dodged {
+                        s.on_tick(p, now, &mut events);
+                    }
+                    s.vcpu_wake(gv(v), now, &mut events);
+                }
+            }
+            Op::StormKick(v) => {
+                let dom = gv(v).dom;
+                for &target in vcpus.iter().filter(|t| t.dom == dom) {
+                    if !s.is_frozen(target) {
+                        s.kick_vcpu(target, now, &mut events);
+                    }
+                }
+            }
+            Op::FreezeThrash(v) => {
+                s.set_frozen(gv(v), true);
+                s.vcpu_block(gv(v), now, &mut events);
+                s.set_frozen(gv(v), false);
+                s.vcpu_wake(gv(v), now, &mut events);
+            }
         }
         h.u64(i as u64);
         for e in &events {
