@@ -10,7 +10,8 @@
 //!    request injections into target hosts);
 //! 2. step all hosts to `epoch_end − 1 ns` — serially or fanned across
 //!    worker threads, hosts share nothing;
-//! 3. harvest replies and drops serially in host order.
+//! 3. harvest replies and drops serially in host order;
+//! 4. advance migrations and failure machinery, serially.
 //!
 //! Determinism at any `VSCALE_THREADS`: the epoch length never exceeds
 //! the smallest link latency (asserted per host), so a message sent
@@ -22,21 +23,45 @@
 //! independent of how hosts are partitioned across workers. Stepping to
 //! `epoch_end − 1 ns` (not `epoch_end`) keeps boundary-instant events
 //! out of the current epoch entirely, so no same-instant ordering
-//! between cluster injection and host-local events ever arises.
+//! between cluster injection and host-local events ever arises. All
+//! failure-domain machinery (crash, restore, migration phase
+//! transitions) runs serially at epoch boundaries, so it inherits the
+//! same guarantee for free.
+//!
+//! # Exactly-once accounting under failures
+//!
+//! The ledger invariant — every request is eventually counted exactly
+//! once, as a completion or a drop — survives crashes, restores, and
+//! migrations through three small per-backend counters:
+//!
+//! * `in_wheel`: deliveries scheduled on the cluster wheel but not yet
+//!   fired. When a backend dies, that many future `Deliver` events are
+//!   stale; `stale` swallows them so they cannot double-inject.
+//! * `stale`: wire packets to forget (see above).
+//! * `skip`: harvested completions/drops to discard. A restored host
+//!   *replays* from its checkpoint, re-completing requests that were
+//!   already served or re-queued; `skip` is sized to exactly that
+//!   cohort, so replayed work is fenced instead of double-counted.
+//!
+//! Requests whose backend dies are re-dispatched exactly once (their
+//! ledger entries move, they are never duplicated); requests that find
+//! no healthy backend park at the LB and flush on recovery. Loss is
+//! therefore impossible by construction — only queueing.
 
 use std::collections::VecDeque;
 
 use guest_kernel::thread::IoQueueId;
-use metrics::fleet::{FleetPoint, HostSample};
+use metrics::fleet::{FleetPoint, HostSample, RobustnessStats};
 use sim_core::event::EventQueue;
-use sim_core::fault::SimError;
+use sim_core::fault::{FaultPlan, SimError};
 use sim_core::rng::SimRng;
 use sim_core::stats::Histogram;
 use sim_core::time::{SimDuration, SimTime};
 use vscale::{DomId, Machine};
 use xen_sched::evtchn::PortId;
 
-use crate::lb::{LbPolicy, LoadBalancer};
+use crate::lb::{Health, LbPolicy, LoadBalancer};
+use crate::migrate::{dirty_bytes, MigPhase, MigrationConfig, MigrationJob, CONTROL_BYTES};
 use crate::net::{Link, LinkConfig};
 
 /// Bytes of one HTTP request on the wire (GET + headers).
@@ -105,6 +130,15 @@ struct HostSlot {
     completed: u64,
     /// In-window listen-backlog drops.
     drops: u64,
+    /// False while crashed; a down host is neither stepped nor
+    /// harvested and its machine stays frozen at the crash instant.
+    up: bool,
+    /// When the host went down (for outage-duration accounting).
+    down_at: SimTime,
+    /// Bumped whenever a VM is extracted from or installed on this host,
+    /// so a checkpoint taken before a migration cannot silently restore
+    /// a moved VM back to life (exactly-one-live-copy).
+    topology: u64,
 }
 
 struct BackendSlot {
@@ -115,6 +149,14 @@ struct BackendSlot {
     seen_completions: usize,
     /// Drops already harvested from this backend's queue counter.
     seen_drops: u64,
+    /// Deliveries on the cluster wheel not yet fired.
+    in_wheel: u64,
+    /// Future deliveries to swallow (scheduled before the backend died;
+    /// their requests were re-dispatched).
+    stale: u64,
+    /// Future harvested completions/drops to discard (checkpoint replay
+    /// or a fenced zombie VM re-doing already-accounted work).
+    skip: u64,
 }
 
 /// A fleet of machines behind one load balancer.
@@ -127,6 +169,19 @@ pub struct Cluster {
     backends: Vec<BackendSlot>,
     /// Per-backend in-flight counts (the LB's own dispatch ledger).
     outstanding: Vec<u64>,
+    /// The LB's health view, maintained by the failure machinery.
+    health: Vec<Health>,
+    /// True while the backend's VM is detached and on the wire.
+    in_blackout: Vec<bool>,
+    /// Deliveries that arrived during a blackout, re-sent at cutover or
+    /// rollback toward wherever the VM landed.
+    held: Vec<u64>,
+    /// Requests that found no healthy backend, waiting at the LB.
+    parking: VecDeque<SimTime>,
+    /// Idle structural-twin domains migrations can land on: (host, dom).
+    spares: Vec<(usize, DomId)>,
+    migrations: Vec<MigrationJob>,
+    robustness: RobustnessStats,
     lb: LoadBalancer,
     stream: Option<Stream>,
     window: (SimTime, SimTime),
@@ -147,6 +202,13 @@ impl Cluster {
             hosts: Vec::new(),
             backends: Vec::new(),
             outstanding: Vec::new(),
+            health: Vec::new(),
+            in_blackout: Vec::new(),
+            held: Vec::new(),
+            parking: VecDeque::new(),
+            spares: Vec::new(),
+            migrations: Vec::new(),
+            robustness: RobustnessStats::default(),
             lb: LoadBalancer::new(config.lb),
             stream: None,
             window: (SimTime::ZERO, SimTime::MAX),
@@ -172,6 +234,9 @@ impl Cluster {
             latency_us: Histogram::new(),
             completed: 0,
             drops: 0,
+            up: true,
+            down_at: SimTime::ZERO,
+            topology: 0,
         });
         self.hosts.len() - 1
     }
@@ -184,9 +249,22 @@ impl Cluster {
             pending: VecDeque::new(),
             seen_completions: 0,
             seen_drops: 0,
+            in_wheel: 0,
+            stale: 0,
+            skip: 0,
         });
         self.outstanding.push(0);
+        self.health.push(Health::Healthy);
+        self.in_blackout.push(false);
+        self.held.push(0);
         self.backends.len() - 1
+    }
+
+    /// Registers an idle structural twin of the serving VMs on `host`;
+    /// migrations land on spare slots.
+    pub fn add_spare(&mut self, host: usize, dom: DomId) {
+        assert!(host < self.hosts.len(), "unknown host {host}");
+        self.spares.push((host, dom));
     }
 
     /// Number of hosts.
@@ -197,6 +275,11 @@ impl Cluster {
     /// Number of registered backends.
     pub fn n_backends(&self) -> usize {
         self.backends.len()
+    }
+
+    /// Unreserved spare slots.
+    pub fn n_spares(&self) -> usize {
+        self.spares.len()
     }
 
     /// The host's machine (e.g. for workload installation before a run).
@@ -217,6 +300,45 @@ impl Cluster {
     /// Requests dispatched inside the measurement window so far.
     pub fn sent(&self) -> u64 {
         self.sent
+    }
+
+    /// Is the host serving (not crashed)?
+    pub fn host_up(&self, host: usize) -> bool {
+        self.hosts[host].up
+    }
+
+    /// The LB's current view of a backend.
+    pub fn backend_health(&self, backend: usize) -> Health {
+        self.health[backend]
+    }
+
+    /// Which host a backend currently lives on (changes at cutover).
+    pub fn backend_host(&self, backend: usize) -> usize {
+        self.backends[backend].spec.host
+    }
+
+    /// Migrations still in flight.
+    pub fn active_migrations(&self) -> usize {
+        self.migrations.len()
+    }
+
+    /// True while `backend`'s VM is detached from its source and its
+    /// image is on the wire (the stop-and-copy window).
+    pub fn backend_in_blackout(&self, backend: usize) -> bool {
+        self.in_blackout[backend]
+    }
+
+    /// Robustness counters accumulated so far.
+    pub fn robustness(&self) -> &RobustnessStats {
+        &self.robustness
+    }
+
+    /// Requests dispatched or parked but not yet accounted as a
+    /// completion or drop. Zero after a fully drained run — the
+    /// zero-request-loss acceptance check.
+    pub fn in_flight(&self) -> u64 {
+        let pending: u64 = self.backends.iter().map(|b| b.pending.len() as u64).sum();
+        pending + self.parking.len() as u64
     }
 
     /// Restricts latency/drop accounting to requests *sent* in
@@ -262,7 +384,27 @@ impl Cluster {
                 }
             }
             NetMsg::Deliver { backend } => {
+                {
+                    let slot = &mut self.backends[backend];
+                    slot.in_wheel -= 1;
+                    if slot.stale > 0 {
+                        // The request this packet carried was re-queued
+                        // when its backend died; forget the packet.
+                        slot.stale -= 1;
+                        return;
+                    }
+                }
+                if self.in_blackout[backend] {
+                    // The VM is on the wire mid-cutover: hold the
+                    // delivery, re-send it wherever the VM lands.
+                    self.held[backend] += 1;
+                    return;
+                }
                 let spec = self.backends[backend].spec;
+                debug_assert!(
+                    self.hosts[spec.host].up,
+                    "a delivery to a down host must have been staled or held"
+                );
                 self.hosts[spec.host]
                     .machine
                     .inject_io(spec.dom, spec.port, t, 1);
@@ -271,15 +413,39 @@ impl Cluster {
     }
 
     fn dispatch(&mut self, t: SimTime) {
-        let b = self.lb.pick(&self.outstanding);
-        let host = self.backends[b].spec.host;
-        let deliver_at = self.hosts[host].link.send_request(t, REQUEST_BYTES);
-        self.queue
-            .schedule(deliver_at, NetMsg::Deliver { backend: b });
-        self.backends[b].pending.push_back(t);
-        self.outstanding[b] += 1;
         if self.in_window(t) {
             self.sent += 1;
+        }
+        self.route(t, t);
+    }
+
+    /// Routes a request onto a healthy backend, putting it on the wire
+    /// at `wire_at` (`send` is the original arrival time, kept for
+    /// latency accounting across re-queues); parks it at the LB when
+    /// nothing is routable.
+    fn route(&mut self, send: SimTime, wire_at: SimTime) {
+        let Some(b) = self.lb.pick(&self.outstanding, &self.health) else {
+            self.parking.push_back(send);
+            return;
+        };
+        let host = self.backends[b].spec.host;
+        let deliver_at = self.hosts[host].link.send_request(wire_at, REQUEST_BYTES);
+        self.queue
+            .schedule(deliver_at, NetMsg::Deliver { backend: b });
+        self.backends[b].pending.push_back(send);
+        self.backends[b].in_wheel += 1;
+        self.outstanding[b] += 1;
+    }
+
+    /// Re-dispatches parked requests while any backend is healthy.
+    fn flush_parking(&mut self) {
+        let now = self.now;
+        while !self.parking.is_empty() {
+            if !self.health.contains(&Health::Healthy) {
+                return;
+            }
+            let send = self.parking.pop_front().expect("checked non-empty");
+            self.route(send, now);
         }
     }
 
@@ -295,19 +461,21 @@ impl Cluster {
             while let Some((t, msg)) = self.queue.pop_next_until(lb_deadline) {
                 self.handle(t, msg);
             }
-            // 2. Step every host through the epoch.
+            // 2. Step every live host through the epoch.
             self.step_hosts(SimTime::from_ns(epoch_end.as_ns() - 1))?;
             // 3. Serial harvest in host order.
             self.harvest();
             self.now = epoch_end;
+            // 4. Serial migration progress at the boundary.
+            self.advance_migrations();
         }
         Ok(())
     }
 
-    /// Steps all hosts to `to`, fanning across workers when configured.
-    /// Results are collected per host and the first error (in host
-    /// order) is returned, so the error too is independent of the
-    /// thread count.
+    /// Steps all live hosts to `to`, fanning across workers when
+    /// configured. Results are collected per host and the first error
+    /// (in host order) is returned, so the error too is independent of
+    /// the thread count.
     fn step_hosts(&mut self, to: SimTime) -> Result<(), SimError> {
         let n = self.hosts.len();
         let threads = match self.config.threads {
@@ -319,6 +487,9 @@ impl Cluster {
         if threads == 1 {
             let mut first_err = None;
             for h in &mut self.hosts {
+                if !h.up {
+                    continue;
+                }
                 if let Err(e) = h.machine.step_to(to) {
                     first_err.get_or_insert(e);
                 }
@@ -336,7 +507,7 @@ impl Cluster {
                 .map(|hs| {
                     scope.spawn(move || {
                         hs.iter_mut()
-                            .map(|h| h.machine.step_to(to))
+                            .map(|h| if h.up { h.machine.step_to(to) } else { Ok(()) })
                             .collect::<Vec<_>>()
                     })
                 })
@@ -359,18 +530,25 @@ impl Cluster {
     /// sample may pair a reply with a neighbouring request's send time.
     /// Counts are exact, the pairing is deterministic, and the
     /// distortion is bounded by in-VM queueing spread — negligible off
-    /// saturation, documented noise at it. Listen-queue drops likewise
-    /// retire the oldest pending entries (real drops hit the batch
-    /// tail), keeping the ledger length exact.
+    /// saturation, documented noise at it (re-queued requests add the
+    /// same class of noise on the backend they land on). Listen-queue
+    /// drops likewise retire the oldest pending entries (real drops hit
+    /// the batch tail), keeping the ledger length exact. Down hosts are
+    /// frozen and skipped; detached (mid-cutover) backends carry their
+    /// logs in the image and are skipped until they land; `skip`
+    /// discards exactly the replayed/fenced cohort after a restore.
     fn harvest(&mut self) {
         for host_idx in 0..self.hosts.len() {
+            if !self.hosts[host_idx].up {
+                continue;
+            }
             // Gather this host's new completions across its backends in
             // completion-time order — its reply link serializes them in
             // that order regardless of which VM sent what.
             let mut buf = std::mem::take(&mut self.harvest_buf);
             buf.clear();
             for (bidx, b) in self.backends.iter_mut().enumerate() {
-                if b.spec.host != host_idx {
+                if b.spec.host != host_idx || self.in_blackout[bidx] {
                     continue;
                 }
                 let (_, _, completions) = self.hosts[host_idx].machine.io_logs(b.spec.dom);
@@ -383,6 +561,12 @@ impl Cluster {
             let host = &mut self.hosts[host_idx];
             for &(c, bidx) in buf.iter() {
                 let b = &mut self.backends[bidx];
+                if b.skip > 0 {
+                    // Replay of already-accounted work (or a fenced
+                    // zombie's reply): discard, don't double-serve.
+                    b.skip -= 1;
+                    continue;
+                }
                 let send = b
                     .pending
                     .pop_front()
@@ -397,14 +581,19 @@ impl Cluster {
             self.harvest_buf = buf;
             // Listen-queue overflows: retire dropped requests.
             for (bidx, b) in self.backends.iter_mut().enumerate() {
-                if b.spec.host != host_idx {
+                if b.spec.host != host_idx || self.in_blackout[bidx] {
                     continue;
                 }
                 let total = self.hosts[host_idx]
                     .machine
                     .guest(b.spec.dom)
                     .io_drops(b.spec.queue);
-                for _ in 0..total - b.seen_drops {
+                debug_assert!(total >= b.seen_drops, "drop counter rewound");
+                for _ in 0..total.saturating_sub(b.seen_drops) {
+                    if b.skip > 0 {
+                        b.skip -= 1;
+                        continue;
+                    }
                     let send = b.pending.pop_front().expect("drop without a request");
                     self.outstanding[bidx] -= 1;
                     if send >= self.window.0 && send < self.window.1 {
@@ -412,6 +601,526 @@ impl Cluster {
                     }
                 }
                 b.seen_drops = total;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure domains: backend health, host crash/restore.
+    // ------------------------------------------------------------------
+
+    /// Puts a healthy backend into connection draining: it finishes
+    /// what it holds but receives nothing new.
+    pub fn drain_backend(&mut self, backend: usize) {
+        assert_eq!(
+            self.health[backend],
+            Health::Healthy,
+            "can only drain a healthy backend"
+        );
+        self.health[backend] = Health::Draining;
+    }
+
+    /// Returns a drained backend to rotation.
+    pub fn undrain_backend(&mut self, backend: usize) {
+        assert_eq!(self.health[backend], Health::Draining);
+        self.health[backend] = Health::Healthy;
+        self.flush_parking();
+    }
+
+    /// Marks a backend's VM as failed while its host lives on. Its
+    /// in-flight requests are re-queued exactly once; any replies the
+    /// zombie VM still produces are fenced (discarded), so nothing is
+    /// lost and nothing is double-served.
+    pub fn fail_backend(&mut self, backend: usize) {
+        assert!(
+            !self.in_blackout[backend],
+            "cannot fail a backend mid-cutover"
+        );
+        assert_ne!(
+            self.health[backend],
+            Health::Down,
+            "backend {backend} already down"
+        );
+        let spec = self.backends[backend].spec;
+        assert!(
+            self.hosts[spec.host].up,
+            "host-level failure is crash_host's job"
+        );
+        self.health[backend] = Health::Down;
+        // Everything injected but unaccounted will still be completed or
+        // dropped by the zombie; fence that entire cohort.
+        let arrivals = {
+            let (arrivals, _, _) = self.hosts[spec.host].machine.io_logs(spec.dom);
+            arrivals.len() as u64
+        };
+        let slot = &mut self.backends[backend];
+        slot.skip += arrivals - slot.seen_completions as u64 - slot.seen_drops;
+        slot.stale += slot.in_wheel;
+        let pending: Vec<SimTime> = slot.pending.drain(..).collect();
+        self.outstanding[backend] = 0;
+        self.robustness.requests_requeued += pending.len() as u64;
+        let now = self.now;
+        for send in pending {
+            self.route(send, now);
+        }
+    }
+
+    /// Whole-host fail-stop crash: the machine freezes at the current
+    /// instant, every backend on it goes down, and all their in-flight
+    /// requests are re-dispatched exactly once. Migrations touching the
+    /// host are settled first (pre-copies abort; a cutover whose
+    /// destination died rolls back; a cutover whose *source* died keeps
+    /// going — the in-flight image is the sole live copy).
+    pub fn crash_host(&mut self, host: usize) {
+        assert!(self.hosts[host].up, "host {host} already down");
+        self.hosts[host].up = false;
+        self.hosts[host].down_at = self.now;
+        self.robustness.hosts_down += 1;
+        self.settle_migrations_for_crash(host);
+        for bidx in 0..self.backends.len() {
+            if self.backends[bidx].spec.host != host || self.in_blackout[bidx] {
+                continue;
+            }
+            self.health[bidx] = Health::Down;
+            let slot = &mut self.backends[bidx];
+            slot.stale += slot.in_wheel;
+            // The frozen machine produces nothing until a restore, which
+            // recomputes the replay fence from the restored state.
+            slot.skip = 0;
+            let pending: Vec<SimTime> = slot.pending.drain(..).collect();
+            self.outstanding[bidx] = 0;
+            self.robustness.requests_requeued += pending.len() as u64;
+            let now = self.now;
+            for send in pending {
+                self.route(send, now);
+            }
+        }
+    }
+
+    /// Checkpoints a live host's full machine state (all VMs, scheduler,
+    /// pending events). The image is fenced against topology changes:
+    /// restoring it after a VM migrated in or out is refused, because it
+    /// would resurrect a moved VM and violate exactly-one-live-copy.
+    pub fn checkpoint_host(&mut self, host: usize) -> Vec<u8> {
+        assert!(self.hosts[host].up, "cannot checkpoint a down host");
+        assert!(
+            self.migrations
+                .iter()
+                .all(|j| self.backends[j.backend].spec.host != host && j.dst_host != host),
+            "cannot checkpoint host {host} mid-migration"
+        );
+        let mut out = self.hosts[host].topology.to_le_bytes().to_vec();
+        out.extend(self.hosts[host].machine.checkpoint());
+        out
+    }
+
+    /// Restores a crashed host from a [`checkpoint_host`] image and
+    /// returns its backends to rotation. The machine rewinds to the
+    /// checkpoint instant and deterministically replays forward; every
+    /// completion/drop it re-produces for work that was already
+    /// accounted (or re-queued at the crash) is discarded via the
+    /// per-backend `skip` fence, so the restore is exactly-once too.
+    ///
+    /// [`checkpoint_host`]: Cluster::checkpoint_host
+    pub fn restore_host(&mut self, host: usize, image: &[u8]) {
+        assert!(!self.hosts[host].up, "restore targets a crashed host");
+        assert!(
+            self.migrations
+                .iter()
+                .all(|j| self.backends[j.backend].spec.host != host && j.dst_host != host),
+            "cannot restore host {host} while a migration involves it"
+        );
+        let (tp, machine_image) = image.split_at(8);
+        let tp = u64::from_le_bytes(tp.try_into().expect("8-byte topology prefix"));
+        assert_eq!(
+            tp, self.hosts[host].topology,
+            "stale checkpoint: a VM migrated in or out of host {host} after \
+             it was taken; restoring would resurrect a moved VM"
+        );
+        self.hosts[host].machine.restore(machine_image);
+        self.hosts[host].up = true;
+        let outage = self.now.since(self.hosts[host].down_at);
+        self.robustness.downtime_us.record(outage.as_us());
+        self.robustness.hosts_restored += 1;
+        for bidx in 0..self.backends.len() {
+            let spec = self.backends[bidx].spec;
+            if spec.host != host {
+                continue;
+            }
+            // Size the replay fence: everything in-guest at the
+            // checkpoint plus deliveries still on the machine's wheel
+            // will be re-completed or re-dropped on replay, and every
+            // one of those requests was either already served or
+            // re-queued at the crash.
+            let (arrived, completed) = {
+                let (arrivals, _, completions) = self.hosts[host].machine.io_logs(spec.dom);
+                (arrivals.len() as u64, completions.len())
+            };
+            let dropped = self.hosts[host]
+                .machine
+                .guest(spec.dom)
+                .io_drops(spec.queue);
+            let wheel = self.hosts[host].machine.pending_io_items(spec.dom);
+            let slot = &mut self.backends[bidx];
+            slot.seen_completions = completed;
+            slot.seen_drops = dropped;
+            slot.skip = arrived - completed as u64 - dropped + wheel;
+            self.health[bidx] = Health::Healthy;
+        }
+        self.flush_parking();
+    }
+
+    // ------------------------------------------------------------------
+    // Live migration.
+    // ------------------------------------------------------------------
+
+    /// Starts migrating `backend` to a spare slot on `dst_host`.
+    /// Panics if the destination has no spare; see
+    /// [`evacuate_host`](Cluster::evacuate_host) for the policy-driven
+    /// variant that skips instead.
+    pub fn start_migration(&mut self, backend: usize, dst_host: usize, cfg: MigrationConfig) {
+        assert!(
+            self.try_start_migration(backend, dst_host, cfg, false),
+            "no spare slot on host {dst_host}"
+        );
+    }
+
+    fn try_start_migration(
+        &mut self,
+        backend: usize,
+        dst_host: usize,
+        cfg: MigrationConfig,
+        evacuation: bool,
+    ) -> bool {
+        assert_eq!(
+            self.health[backend],
+            Health::Healthy,
+            "can only migrate a healthy backend"
+        );
+        assert!(
+            self.migrations.iter().all(|j| j.backend != backend),
+            "backend {backend} is already migrating"
+        );
+        assert!(
+            self.hosts[dst_host].up,
+            "destination host {dst_host} is down"
+        );
+        let src = self.backends[backend].spec.host;
+        assert_ne!(src, dst_host, "source and destination are the same host");
+        let Some(pos) = self.spares.iter().position(|&(h, _)| h == dst_host) else {
+            return false;
+        };
+        let (_, dst_dom) = self.spares.remove(pos);
+        let mut job = MigrationJob {
+            backend,
+            dst_host,
+            dst_dom,
+            plan: cfg.faults.map(FaultPlan::new),
+            link: Link::new(cfg.link),
+            cfg,
+            rounds: 0,
+            evacuation,
+            phase: MigPhase::Settled,
+        };
+        let now = self.now;
+        let spec = self.backends[backend].spec;
+        let probe = self.hosts[src].machine.vm_image_bytes(spec.dom);
+        if job.cfg.precopy {
+            let bytes = dirty_bytes(&[], &probe) + CONTROL_BYTES;
+            let (done_at, lost) = job.transfer(now, bytes);
+            job.phase = MigPhase::PreCopy {
+                synced: Vec::new(),
+                sent_probe: probe,
+                done_at,
+                lost,
+            };
+        } else {
+            // Cold path: stop-and-copy everything immediately, budget
+            // not consulted — the fallback for hosts dying faster than
+            // pre-copy can converge.
+            let dirty = dirty_bytes(&[], &probe);
+            self.begin_blackout(&mut job, dirty);
+        }
+        self.migrations.push(job);
+        true
+    }
+
+    /// Evacuation policy for a dying host: live-migrate every healthy
+    /// backend it serves onto spare slots elsewhere (first up host with
+    /// a spare, in registration order). Returns the number of
+    /// migrations started; backends without a landing slot stay put.
+    pub fn evacuate_host(&mut self, host: usize, cfg: MigrationConfig) -> usize {
+        assert!(
+            self.hosts[host].up,
+            "cannot evacuate a down host; restore it first"
+        );
+        let mut started = 0;
+        for b in 0..self.backends.len() {
+            if self.backends[b].spec.host != host || self.health[b] != Health::Healthy {
+                continue;
+            }
+            if self.migrations.iter().any(|j| j.backend == b) {
+                continue;
+            }
+            let dst = self
+                .spares
+                .iter()
+                .find(|&&(h, _)| h != host && self.hosts[h].up)
+                .map(|&(h, _)| h);
+            let Some(dst) = dst else { break };
+            if self.try_start_migration(b, dst, cfg, true) {
+                started += 1;
+            }
+        }
+        started
+    }
+
+    fn advance_migrations(&mut self) {
+        let mut i = 0;
+        while i < self.migrations.len() {
+            let mut job = self.migrations.remove(i);
+            if !self.step_job(&mut job) {
+                self.migrations.insert(i, job);
+                i += 1;
+            }
+        }
+    }
+
+    /// Advances one job at an epoch boundary; true when it finished.
+    fn step_job(&mut self, job: &mut MigrationJob) -> bool {
+        let now = self.now;
+        match &job.phase {
+            MigPhase::PreCopy { done_at, .. } if now < *done_at => return false,
+            MigPhase::Blackout { arrive_at, .. } if now < *arrive_at => return false,
+            MigPhase::Settled => unreachable!("settled job left in the queue"),
+            _ => {}
+        }
+        match std::mem::replace(&mut job.phase, MigPhase::Settled) {
+            MigPhase::PreCopy {
+                synced,
+                sent_probe,
+                lost,
+                ..
+            } => self.finish_round(job, synced, sent_probe, lost),
+            MigPhase::Blackout {
+                stopped_at,
+                arrive_at,
+                image,
+                lost,
+            } => {
+                self.finish_cutover(job, stopped_at, arrive_at, image, lost);
+                true
+            }
+            MigPhase::Settled => unreachable!(),
+        }
+    }
+
+    /// A pre-copy round's transfer deadline passed: re-probe, decide
+    /// between cutover, another round, and abort. Returns job-finished.
+    fn finish_round(
+        &mut self,
+        job: &mut MigrationJob,
+        synced: Vec<u8>,
+        sent_probe: Vec<u8>,
+        lost: bool,
+    ) -> bool {
+        let now = self.now;
+        job.rounds += 1;
+        self.robustness.precopy_rounds += 1;
+        // A lost transfer leaves the destination where it was; the round
+        // still counts against the cap (capped retries).
+        let synced = if lost { synced } else { sent_probe };
+        let spec = self.backends[job.backend].spec;
+        let probe = self.hosts[spec.host].machine.vm_image_bytes(spec.dom);
+        let dirty = dirty_bytes(&synced, &probe);
+        let blackout_cost = job.cfg.link.wire_time(dirty + CONTROL_BYTES) + job.cfg.link.latency;
+        if blackout_cost <= job.cfg.downtime_budget {
+            self.begin_blackout(job, dirty);
+            false
+        } else if job.rounds >= job.cfg.max_rounds {
+            // Rounds exhausted without convergence: abort. The source
+            // VM never stopped, so there is nothing to roll back.
+            self.robustness.migrations_aborted += 1;
+            self.spares.push((job.dst_host, job.dst_dom));
+            true
+        } else {
+            let (done_at, lost) = job.transfer(now, dirty + CONTROL_BYTES);
+            job.phase = MigPhase::PreCopy {
+                synced,
+                sent_probe: probe,
+                done_at,
+                lost,
+            };
+            false
+        }
+    }
+
+    /// Stop-and-copy: detach the VM from the source and put the final
+    /// image on the wire. The source keeps an inert shell the image can
+    /// roll back into.
+    fn begin_blackout(&mut self, job: &mut MigrationJob, dirty: u64) {
+        let now = self.now;
+        let spec = self.backends[job.backend].spec;
+        let image = self.hosts[spec.host].machine.extract_vm(spec.dom);
+        self.hosts[spec.host].topology += 1;
+        self.health[job.backend] = Health::Draining;
+        self.in_blackout[job.backend] = true;
+        let (arrive_at, lost) = job.transfer(now, dirty + CONTROL_BYTES);
+        job.phase = MigPhase::Blackout {
+            stopped_at: now,
+            arrive_at,
+            image,
+            lost,
+        };
+    }
+
+    /// The cutover transfer's deadline passed: install on the
+    /// destination, or roll back to the source shell. The downtime
+    /// budget is hard — a transfer delayed past it rolls back rather
+    /// than extending the blackout.
+    fn finish_cutover(
+        &mut self,
+        job: &mut MigrationJob,
+        stopped_at: SimTime,
+        arrive_at: SimTime,
+        image: Vec<u8>,
+        lost: bool,
+    ) {
+        let now = self.now;
+        let b = job.backend;
+        let src = self.backends[b].spec.host;
+        let dst_up = self.hosts[job.dst_host].up;
+        let over_budget = job.cfg.precopy && arrive_at.since(stopped_at) > job.cfg.downtime_budget;
+        let downtime = now.since(stopped_at);
+        if lost || !dst_up || over_budget {
+            if self.hosts[src].up {
+                // Roll back: the source shell absorbs the image and the
+                // VM resumes exactly where it stopped.
+                self.hosts[src]
+                    .machine
+                    .install_vm(self.backends[b].spec.dom, &image);
+                self.hosts[src].topology += 1;
+                self.in_blackout[b] = false;
+                self.health[b] = Health::Healthy;
+                self.release_held(b);
+                if dst_up {
+                    self.spares.push((job.dst_host, job.dst_dom));
+                }
+                self.robustness.migrations_aborted += 1;
+                self.robustness.downtime_us.record(downtime.as_us());
+                self.flush_parking();
+            } else {
+                // Source crashed after extraction AND the transfer
+                // failed: no live copy remains. The requests must still
+                // be accounted — re-queue everything exactly once.
+                self.in_blackout[b] = false;
+                self.health[b] = Health::Down;
+                self.held[b] = 0;
+                {
+                    let slot = &mut self.backends[b];
+                    slot.stale += slot.in_wheel;
+                    slot.skip = 0;
+                }
+                let pending: Vec<SimTime> = self.backends[b].pending.drain(..).collect();
+                self.outstanding[b] = 0;
+                self.robustness.migrations_aborted += 1;
+                self.robustness.requests_requeued += pending.len() as u64;
+                for send in pending {
+                    self.route(send, now);
+                }
+            }
+        } else {
+            // Cutover: the destination twin absorbs the image (its idle
+            // shell is discarded); the vacated source shell becomes a
+            // spare. The backend's ledger, logs, and watermarks all
+            // travel inside the image, so accounting continues
+            // seamlessly on the new host.
+            let dst = &mut self.hosts[job.dst_host];
+            let _idle_shell = dst.machine.extract_vm(job.dst_dom);
+            dst.machine.install_vm(job.dst_dom, &image);
+            dst.topology += 2;
+            let old = self.backends[b].spec;
+            if self.hosts[old.host].up {
+                self.spares.push((old.host, old.dom));
+            }
+            self.backends[b].spec.host = job.dst_host;
+            self.backends[b].spec.dom = job.dst_dom;
+            self.in_blackout[b] = false;
+            self.health[b] = Health::Healthy;
+            self.release_held(b);
+            self.robustness.migrations_ok += 1;
+            if job.evacuation {
+                self.robustness.vms_evacuated += 1;
+            }
+            self.robustness.downtime_us.record(downtime.as_us());
+            self.flush_parking();
+        }
+    }
+
+    /// Re-sends deliveries held during a blackout toward wherever the
+    /// VM landed (destination after cutover, source after rollback).
+    fn release_held(&mut self, backend: usize) {
+        let n = std::mem::take(&mut self.held[backend]);
+        if n == 0 {
+            return;
+        }
+        let host = self.backends[backend].spec.host;
+        let now = self.now;
+        for _ in 0..n {
+            let deliver_at = self.hosts[host].link.send_request(now, REQUEST_BYTES);
+            self.queue.schedule(deliver_at, NetMsg::Deliver { backend });
+            self.backends[backend].in_wheel += 1;
+        }
+    }
+
+    /// Settles every migration touching a crashing host, *before* its
+    /// backends are torn down.
+    fn settle_migrations_for_crash(&mut self, host: usize) {
+        let mut i = 0;
+        while i < self.migrations.len() {
+            let src = self.backends[self.migrations[i].backend].spec.host;
+            let dst = self.migrations[i].dst_host;
+            if src != host && dst != host {
+                i += 1;
+                continue;
+            }
+            let mut job = self.migrations.remove(i);
+            match std::mem::replace(&mut job.phase, MigPhase::Settled) {
+                MigPhase::PreCopy { .. } => {
+                    // The stream dies with either endpoint. A dead
+                    // source's backend is re-queued by crash_host's main
+                    // loop; a dead destination leaves the source VM
+                    // serving untouched.
+                    self.robustness.migrations_aborted += 1;
+                    if dst != host && self.hosts[dst].up {
+                        self.spares.push((job.dst_host, job.dst_dom));
+                    }
+                }
+                MigPhase::Blackout {
+                    stopped_at,
+                    arrive_at,
+                    image,
+                    lost,
+                } => {
+                    if dst == host {
+                        // Destination died mid-cutover: roll back to the
+                        // source now (finish_cutover sees dst down).
+                        self.finish_cutover(&mut job, stopped_at, arrive_at, image, lost);
+                    } else {
+                        // Source died after extraction: the in-flight
+                        // image is the sole live copy; let the cutover
+                        // finish on the destination.
+                        job.phase = MigPhase::Blackout {
+                            stopped_at,
+                            arrive_at,
+                            image,
+                            lost,
+                        };
+                        self.migrations.insert(i, job);
+                        i += 1;
+                    }
+                }
+                MigPhase::Settled => unreachable!(),
             }
         }
     }
@@ -430,8 +1139,16 @@ impl Cluster {
             .collect()
     }
 
-    /// Packages the run's measurements as one fleet sweep point.
+    /// Packages the run's measurements as one fleet sweep point,
+    /// attaching robustness counters only when failure machinery
+    /// actually fired (an undisturbed run serializes identically to one
+    /// from a build without failure support).
     pub fn fleet_point(&self, mode: impl Into<String>, offered_rps: u64) -> FleetPoint {
-        FleetPoint::from_hosts(mode, offered_rps, self.sent, self.host_samples())
+        let point = FleetPoint::from_hosts(mode, offered_rps, self.sent, self.host_samples());
+        if self.robustness.is_zero() {
+            point
+        } else {
+            point.with_robustness(self.robustness.clone())
+        }
     }
 }

@@ -1,4 +1,5 @@
-//! The front-end load balancer: backend selection policies.
+//! The front-end load balancer: backend selection policies and backend
+//! health.
 //!
 //! Both policies are pure functions of explicitly-tracked state, so
 //! routing decisions are deterministic and independent of the worker
@@ -6,6 +7,14 @@
 //! counts the cluster maintains; those counts decrement at epoch
 //! harvests, so its feedback is epoch-granular — exactly the staleness
 //! a real L4 balancer sees over a network.
+//!
+//! Health is the balancer's view of a backend, maintained by the
+//! cluster's failure machinery: `Draining` backends finish what they
+//! hold but receive nothing new (connection draining before maintenance
+//! or a migration blackout); `Down` backends are gone and their
+//! in-flight requests have been re-queued. Both are excluded from
+//! routing; a request that finds no healthy backend parks at the LB
+//! until one recovers, so overload degrades to queueing, never to loss.
 
 /// Backend-selection policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -15,6 +24,19 @@ pub enum LbPolicy {
     /// Pick the backend with the fewest in-flight requests; ties go to
     /// the lowest-numbered backend.
     LeastOutstanding,
+}
+
+/// The balancer's view of one backend.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Health {
+    /// Routable.
+    #[default]
+    Healthy,
+    /// Finishing its in-flight requests; receives nothing new.
+    Draining,
+    /// Gone (host crash, VM failure, migration blackout); in-flight
+    /// requests were re-queued by the cluster.
+    Down,
 }
 
 /// Load-balancer state (just the round-robin cursor today).
@@ -35,20 +57,35 @@ impl LoadBalancer {
         self.policy
     }
 
-    /// Picks a backend index given the per-backend outstanding counts.
-    pub fn pick(&mut self, outstanding: &[u64]) -> usize {
+    /// Picks a backend index given the per-backend outstanding counts
+    /// and health states. Draining and down backends are never picked;
+    /// returns `None` when no backend is routable.
+    pub fn pick(&mut self, outstanding: &[u64], health: &[Health]) -> Option<usize> {
         assert!(!outstanding.is_empty(), "no backends registered");
+        assert_eq!(outstanding.len(), health.len());
         match self.policy {
             LbPolicy::RoundRobin => {
-                let i = self.next % outstanding.len();
-                self.next = (i + 1) % outstanding.len();
-                i
+                // Scan from the cursor for the next routable backend, so
+                // unhealthy entries are skipped without stalling the
+                // rotation.
+                for step in 0..outstanding.len() {
+                    let i = (self.next + step) % outstanding.len();
+                    if health[i] == Health::Healthy {
+                        self.next = (i + 1) % outstanding.len();
+                        return Some(i);
+                    }
+                }
+                None
             }
             LbPolicy::LeastOutstanding => {
-                let mut best = 0;
+                let mut best: Option<usize> = None;
                 for (i, &o) in outstanding.iter().enumerate() {
-                    if o < outstanding[best] {
-                        best = i;
+                    if health[i] != Health::Healthy {
+                        continue;
+                    }
+                    match best {
+                        Some(b) if outstanding[b] <= o => {}
+                        _ => best = Some(i),
                     }
                 }
                 best
@@ -61,19 +98,49 @@ impl LoadBalancer {
 mod tests {
     use super::*;
 
+    const H: Health = Health::Healthy;
+
     #[test]
     fn round_robin_cycles_in_order() {
         let mut lb = LoadBalancer::new(LbPolicy::RoundRobin);
         let counts = [5, 0, 7];
-        let picks: Vec<usize> = (0..7).map(|_| lb.pick(&counts)).collect();
+        let health = [H; 3];
+        let picks: Vec<usize> = (0..7).map(|_| lb.pick(&counts, &health).unwrap()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2, 0]);
     }
 
     #[test]
     fn least_outstanding_prefers_idle_and_breaks_ties_low() {
         let mut lb = LoadBalancer::new(LbPolicy::LeastOutstanding);
-        assert_eq!(lb.pick(&[3, 1, 2]), 1);
-        assert_eq!(lb.pick(&[2, 2, 2]), 0, "tie goes to the lowest index");
-        assert_eq!(lb.pick(&[4, 3, 0, 0]), 2);
+        assert_eq!(lb.pick(&[3, 1, 2], &[H; 3]), Some(1));
+        assert_eq!(lb.pick(&[2, 2, 2], &[H; 3]), Some(0), "tie goes low");
+        assert_eq!(lb.pick(&[4, 3, 0, 0], &[H; 4]), Some(2));
+    }
+
+    #[test]
+    fn draining_and_down_backends_are_never_picked() {
+        let mut lb = LoadBalancer::new(LbPolicy::LeastOutstanding);
+        // Backend 1 has the fewest in flight but is draining; 2 is down.
+        let health = [Health::Healthy, Health::Draining, Health::Down];
+        assert_eq!(lb.pick(&[9, 0, 0], &health), Some(0));
+        // Round-robin likewise skips both and keeps rotating over the
+        // healthy survivors.
+        let mut rr = LoadBalancer::new(LbPolicy::RoundRobin);
+        let health = [
+            Health::Draining,
+            Health::Healthy,
+            Health::Down,
+            Health::Healthy,
+        ];
+        let picks: Vec<usize> = (0..4).map(|_| rr.pick(&[0; 4], &health).unwrap()).collect();
+        assert_eq!(picks, vec![1, 3, 1, 3]);
+    }
+
+    #[test]
+    fn no_routable_backend_yields_none() {
+        let mut lb = LoadBalancer::new(LbPolicy::LeastOutstanding);
+        assert_eq!(lb.pick(&[0, 0], &[Health::Down, Health::Draining]), None);
+        let mut rr = LoadBalancer::new(LbPolicy::RoundRobin);
+        assert_eq!(rr.pick(&[0], &[Health::Down]), None);
     }
 }

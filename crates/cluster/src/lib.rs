@@ -8,17 +8,21 @@
 //! any `VSCALE_THREADS` while still stepping disjoint hosts on worker
 //! threads — see the module docs in [`cluster`] for the argument.
 //!
-//! Layering: [`net`] models links, [`lb`] the balancer policies,
-//! [`cluster`] the lockstep loop and request ledger, and [`testbed`]
-//! the canned web-fleet topology the bench and tests share. Fleet
-//! metrics land in `metrics::fleet` histograms.
+//! Layering: [`net`] models links, [`lb`] the balancer policies and
+//! backend health, [`cluster`] the lockstep loop, request ledger, and
+//! host-failure machinery (crash/checkpoint/restore, exactly-once
+//! re-queueing), [`migrate`] fault-aware live migration, and
+//! [`testbed`] the canned web-fleet topology the bench and tests
+//! share. Fleet metrics land in `metrics::fleet` histograms.
 
 pub mod cluster;
 pub mod lb;
+pub mod migrate;
 pub mod net;
 pub mod testbed;
 
 pub use cluster::{BackendSpec, Cluster, ClusterConfig, REQUEST_BYTES};
-pub use lb::{LbPolicy, LoadBalancer};
+pub use lb::{Health, LbPolicy, LoadBalancer};
+pub use migrate::{dirty_bytes, MigrationConfig, CONTROL_BYTES, PAGE_BYTES};
 pub use net::{Link, LinkConfig};
 pub use testbed::{build_web_fleet, WebFleetConfig};

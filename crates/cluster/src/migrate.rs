@@ -1,0 +1,250 @@
+//! Fault-aware live migration: configuration, the per-job state
+//! machine, and the dirty-page cost model.
+//!
+//! A migration moves one serving VM between hosts over a dedicated
+//! management link while the fleet keeps serving. The classic iterative
+//! pre-copy shape (Clark et al., generalized by LiveStack to full-stack
+//! state):
+//!
+//! 1. **Pre-copy rounds**: snapshot the VM's state bytes
+//!    ([`Machine::vm_image_bytes`]) without stopping it, ship the pages
+//!    that changed since the last successfully-shipped snapshot, and
+//!    re-probe. The VM keeps running, so it keeps dirtying pages; the
+//!    round converges when the remaining dirty set is small enough to
+//!    ship within the downtime budget.
+//! 2. **Stop-and-copy cutover**: detach the VM ([`Machine::extract_vm`]),
+//!    ship the final dirty set plus control state, and install on the
+//!    destination twin. The blackout is bounded by the budget — that
+//!    bound is *hard*: a cutover transfer that is lost or delayed past
+//!    the budget triggers rollback instead of an over-long blackout.
+//! 3. **Abort-with-rollback**: any failure (rounds exhausted without
+//!    convergence, link loss during cutover, destination host death)
+//!    re-installs the extracted image on the source, which still holds
+//!    the VM's shell. The source resumes exactly where it stopped; no
+//!    request is lost or double-served either way.
+//!
+//! Link faults ride a dedicated [`FaultPlan`] (the migration stream's
+//! private RNG), so a faulted migration replays bit-identically: the
+//! plan's `on_notify` draw decides each transfer's fate — delivered,
+//! lost (the round is wasted and retried, counting toward the cap), or
+//! delayed.
+//!
+//! [`Machine::vm_image_bytes`]: vscale::Machine::vm_image_bytes
+//! [`Machine::extract_vm`]: vscale::Machine::extract_vm
+
+use sim_core::fault::{DeliveryFault, FaultConfig, FaultPlan};
+use sim_core::time::{SimDuration, SimTime};
+use vscale::DomId;
+
+use crate::net::{Link, LinkConfig};
+
+/// Transfer granularity of the dirty model: state is shipped in whole
+/// pages, so one flipped byte costs a page — exactly the quantization
+/// real pre-copy pays.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// Fixed per-transfer overhead (headers, dirty bitmap, vCPU control
+/// block) added to every round and to the cutover.
+pub const CONTROL_BYTES: u64 = 1536;
+
+/// Parameters of one migration.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationConfig {
+    /// The management link the migration stream rides (separate from
+    /// the request-serving links).
+    pub link: LinkConfig,
+    /// Pre-copy round cap, counting rounds wasted to link loss. At the
+    /// cap the migration either cuts over (if within budget) or aborts.
+    pub max_rounds: u32,
+    /// Hard blackout bound for the stop-and-copy window.
+    pub downtime_budget: SimDuration,
+    /// `false` skips pre-copy entirely: stop, copy everything, start —
+    /// the cold path evacuation falls back to when a host is dying
+    /// faster than pre-copy can converge.
+    pub precopy: bool,
+    /// Optional link-fault plan for the migration stream; the `notify`
+    /// knobs model transfer loss/delay (`notify_drop_ppm` = loss,
+    /// `notify_delay_ppm`/`notify_delay_max` = added latency).
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for MigrationConfig {
+    fn default() -> Self {
+        MigrationConfig {
+            link: LinkConfig::datacenter(),
+            max_rounds: 8,
+            downtime_budget: SimDuration::from_ms(1),
+            precopy: true,
+            faults: None,
+        }
+    }
+}
+
+impl MigrationConfig {
+    /// Installs a link-fault plan: `loss_ppm` lost transfers,
+    /// `delay_ppm` transfers delayed by up to `delay_max`.
+    pub fn with_link_faults(
+        mut self,
+        seed: u64,
+        loss_ppm: u32,
+        delay_ppm: u32,
+        delay_max: SimDuration,
+    ) -> Self {
+        self.faults = Some(FaultConfig {
+            seed,
+            notify_drop_ppm: loss_ppm,
+            notify_delay_ppm: delay_ppm,
+            notify_delay_max: delay_max,
+            ..FaultConfig::default()
+        });
+        self
+    }
+}
+
+/// Page-granular dirty estimate between two state probes: a page is
+/// dirty when any byte in it differs (or the images disagree on its
+/// existence). Against an empty `synced` image every page is dirty, so
+/// the first round prices the full state transfer.
+pub fn dirty_bytes(synced: &[u8], current: &[u8]) -> u64 {
+    let page = PAGE_BYTES as usize;
+    let pages = current
+        .len()
+        .div_ceil(page)
+        .max(synced.len().div_ceil(page));
+    fn slice(img: &[u8], p: usize, page: usize) -> &[u8] {
+        let start = p * page;
+        match img.get(start..) {
+            Some(rest) => &rest[..rest.len().min(page)],
+            None => &[],
+        }
+    }
+    let mut dirty = 0u64;
+    for p in 0..pages {
+        if slice(synced, p, page) != slice(current, p, page) {
+            dirty += 1;
+        }
+    }
+    dirty * PAGE_BYTES
+}
+
+/// Where one migration stands. Transfers complete in continuous time;
+/// the cluster checks the deadlines at its epoch boundaries.
+pub(crate) enum MigPhase {
+    /// A pre-copy round's transfer is on the wire. `synced` is the last
+    /// probe the destination holds; `sent_probe` is the probe this round
+    /// is shipping (it becomes `synced` unless the transfer is `lost`).
+    PreCopy {
+        synced: Vec<u8>,
+        sent_probe: Vec<u8>,
+        done_at: SimTime,
+        lost: bool,
+    },
+    /// Stop-and-copy: the VM is detached from the source and its image
+    /// is on the wire. `lost` means the transfer will never arrive and
+    /// the job rolls back when the deadline passes.
+    Blackout {
+        stopped_at: SimTime,
+        arrive_at: SimTime,
+        image: Vec<u8>,
+        lost: bool,
+    },
+    /// Transient placeholder while the cluster applies a transition.
+    Settled,
+}
+
+/// One in-flight migration job, driven by the cluster at epoch
+/// boundaries.
+pub(crate) struct MigrationJob {
+    /// The backend being moved (its spec names the source host/domain
+    /// until cutover rewires it).
+    pub backend: usize,
+    /// Destination host index.
+    pub dst_host: usize,
+    /// The reserved structural-twin domain on the destination.
+    pub dst_dom: DomId,
+    pub cfg: MigrationConfig,
+    /// Private fault stream for this migration's transfers.
+    pub plan: Option<FaultPlan>,
+    /// The migration stream's own link state (serialization cursor).
+    pub link: Link,
+    /// Rounds used so far, including rounds wasted to link loss.
+    pub rounds: u32,
+    /// True when this job was started by an evacuation policy (counted
+    /// separately in the robustness stats).
+    pub evacuation: bool,
+    pub phase: MigPhase,
+}
+
+impl MigrationJob {
+    /// Puts `bytes` on the migration link at `at`; returns the arrival
+    /// deadline and whether the transfer is lost, after consulting the
+    /// job's fault plan.
+    pub fn transfer(&mut self, at: SimTime, bytes: u64) -> (SimTime, bool) {
+        let mut arrive = self.link.send_request(at, bytes);
+        let mut lost = false;
+        if let Some(plan) = &mut self.plan {
+            match plan.on_notify() {
+                DeliveryFault::Deliver | DeliveryFault::Duplicate(_) => {}
+                DeliveryFault::Drop => lost = true,
+                DeliveryFault::Delay(d) => arrive += d,
+            }
+        }
+        (arrive, lost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dirty_model_is_page_granular() {
+        let a = vec![0u8; 3 * PAGE_BYTES as usize];
+        // Identical images: clean.
+        assert_eq!(dirty_bytes(&a, &a), 0);
+        // One byte flipped dirties exactly its page.
+        let mut b = a.clone();
+        b[5000] = 1;
+        assert_eq!(dirty_bytes(&a, &b), PAGE_BYTES);
+        // Growth dirties the new tail pages (partial page counts whole).
+        let mut c = a.clone();
+        c.extend_from_slice(&[7u8; 10]);
+        assert_eq!(dirty_bytes(&a, &c), PAGE_BYTES);
+        // First round: everything is dirty.
+        assert_eq!(dirty_bytes(&[], &a), 3 * PAGE_BYTES);
+        // Shrink likewise dirties the vanished tail.
+        assert_eq!(dirty_bytes(&c, &a), PAGE_BYTES);
+    }
+
+    #[test]
+    fn faulted_transfers_replay_deterministically() {
+        let mk = || {
+            let cfg = MigrationConfig::default().with_link_faults(
+                42,
+                300_000,
+                200_000,
+                SimDuration::from_us(500),
+            );
+            MigrationJob {
+                backend: 0,
+                dst_host: 1,
+                dst_dom: DomId(0),
+                plan: cfg.faults.map(FaultPlan::new),
+                link: Link::new(cfg.link),
+                cfg,
+                rounds: 0,
+                evacuation: false,
+                phase: MigPhase::Settled,
+            }
+        };
+        let run = |mut j: MigrationJob| -> Vec<(SimTime, bool)> {
+            (0..32)
+                .map(|i| j.transfer(SimTime::from_ms(i), 64 * 1024))
+                .collect()
+        };
+        let (a, b) = (run(mk()), run(mk()));
+        assert_eq!(a, b, "same seed, same fault sequence");
+        assert!(a.iter().any(|&(_, lost)| lost), "30% loss must fire");
+        assert!(a.iter().any(|&(_, lost)| !lost));
+    }
+}

@@ -39,6 +39,9 @@ pub struct WebFleetConfig {
     /// Optional fault plan installed on every host (each host gets a
     /// distinct fault seed so faults do not land in lockstep).
     pub fault: Option<FaultConfig>,
+    /// Idle structural twins of the serving VMs per host, registered as
+    /// migration landing slots.
+    pub spares_per_host: usize,
 }
 
 impl Default for WebFleetConfig {
@@ -52,6 +55,7 @@ impl Default for WebFleetConfig {
             n_pcpus: 4,
             seed: 7,
             fault: None,
+            spares_per_host: 0,
         }
     }
 }
@@ -78,6 +82,7 @@ pub fn build_web_fleet(fleet: WebFleetConfig, cluster_cfg: ClusterConfig) -> Clu
         ..SlideshowConfig::default()
     };
     let mut backends = Vec::new();
+    let mut spares = Vec::new();
     for host in 0..fleet.hosts {
         let mut m = Machine::new(MachineConfig {
             n_pcpus: fleet.n_pcpus,
@@ -105,6 +110,19 @@ pub fn build_web_fleet(fleet: WebFleetConfig, cluster_cfg: ClusterConfig) -> Clu
             let srv = apache::install(&mut m, dom, ApacheConfig::default());
             backends.push((host, dom, srv));
         }
+        // Spare slots are exact structural twins of the serving VMs
+        // (same spec, same Apache install), so a migrated image can
+        // land on any of them. They idle until a migration arrives.
+        for _ in 0..fleet.spares_per_host {
+            let mut spec = fleet
+                .mode
+                .domain_spec(fleet.vm_vcpus)
+                .with_weight(128 * fleet.vm_vcpus as u32);
+            spec.guest.costs.softirq_net = SimDuration::from_us(25);
+            let dom = m.add_domain(spec);
+            let _srv = apache::install(&mut m, dom, ApacheConfig::default());
+            spares.push((host, dom));
+        }
         desktop::add_desktops(&mut m, fleet.desktops_per_host, slideshow);
         cluster.add_host(m, LinkConfig::datacenter());
     }
@@ -116,6 +134,9 @@ pub fn build_web_fleet(fleet: WebFleetConfig, cluster_cfg: ClusterConfig) -> Clu
             queue: srv.queue,
             reply_bytes: apache::REPLY_BYTES,
         });
+    }
+    for (host, dom) in spares {
+        cluster.add_spare(host, dom);
     }
     cluster
 }

@@ -35,10 +35,11 @@ use sim_core::fault::{
 };
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
 use sim_core::rng::SimRng;
+use sim_core::snap::{SnapReader, SnapWriter};
 use sim_core::soa::VcpuMap;
 use sim_core::time::{SimDuration, SimTime};
 use sim_core::trace::{TraceEvent, TraceRing};
-use xen_sched::api::HypervisorSched;
+use xen_sched::api::{DomSchedExport, HypervisorSched, VcpuSchedExport};
 use xen_sched::channel::{ChannelCosts, DoorbellLink, VscaleChannel};
 use xen_sched::credit::{CreditScheduler, SchedEvent};
 use xen_sched::evtchn::{EvtchnTable, PortId, PortKind};
@@ -1945,6 +1946,811 @@ impl<S: HypervisorSched> Machine<S> {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint/restore and live-migration state transfer.
+// ----------------------------------------------------------------------
+
+/// A machine event in portable checkpoint form: the compact in-flight
+/// representation [`Ev`] with its [`WidePool`] payload resolved. Images
+/// store wide words by value, not by slot index — slot assignment is a
+/// run-local allocation detail two behaviorally identical machines can
+/// disagree on.
+#[derive(Clone, Copy, Debug)]
+enum SavedEv {
+    HvTick(u32),
+    HvAcct,
+    ExtendTick,
+    SliceEnd { pcpu: u32, gen: u64 },
+    Plan { dom: u32, vcpu: u32 },
+    IpiDeliver { dom: u32, vcpu: u32 },
+    SleepWake { dom: u32, tid: u32 },
+    DaemonTimer { dom: u32 },
+    IoArrival { dom: u32, port: u32, items: u64 },
+    NicDrained { dom: u32 },
+    HotplugDone { dom: u32, vcpu: u32, online: bool },
+    PortRecover { dom: u32, port: u32 },
+    Retransmit { dom: u32, port: u32, seq: u64 },
+    HotplugAborted { dom: u32 },
+}
+
+impl SavedEv {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            SavedEv::HvTick(p) => {
+                w.u8(0);
+                w.u32(p);
+            }
+            SavedEv::HvAcct => w.u8(1),
+            SavedEv::ExtendTick => w.u8(2),
+            SavedEv::SliceEnd { pcpu, gen } => {
+                w.u8(3);
+                w.u32(pcpu);
+                w.u64(gen);
+            }
+            SavedEv::Plan { dom, vcpu } => {
+                w.u8(4);
+                w.u32(dom);
+                w.u32(vcpu);
+            }
+            SavedEv::IpiDeliver { dom, vcpu } => {
+                w.u8(5);
+                w.u32(dom);
+                w.u32(vcpu);
+            }
+            SavedEv::SleepWake { dom, tid } => {
+                w.u8(6);
+                w.u32(dom);
+                w.u32(tid);
+            }
+            SavedEv::DaemonTimer { dom } => {
+                w.u8(7);
+                w.u32(dom);
+            }
+            SavedEv::IoArrival { dom, port, items } => {
+                w.u8(8);
+                w.u32(dom);
+                w.u32(port);
+                w.u64(items);
+            }
+            SavedEv::NicDrained { dom } => {
+                w.u8(9);
+                w.u32(dom);
+            }
+            SavedEv::HotplugDone { dom, vcpu, online } => {
+                w.u8(10);
+                w.u32(dom);
+                w.u32(vcpu);
+                w.bool(online);
+            }
+            SavedEv::PortRecover { dom, port } => {
+                w.u8(11);
+                w.u32(dom);
+                w.u32(port);
+            }
+            SavedEv::Retransmit { dom, port, seq } => {
+                w.u8(12);
+                w.u32(dom);
+                w.u32(port);
+                w.u64(seq);
+            }
+            SavedEv::HotplugAborted { dom } => {
+                w.u8(13);
+                w.u32(dom);
+            }
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> SavedEv {
+        match r.u8() {
+            0 => SavedEv::HvTick(r.u32()),
+            1 => SavedEv::HvAcct,
+            2 => SavedEv::ExtendTick,
+            3 => SavedEv::SliceEnd {
+                pcpu: r.u32(),
+                gen: r.u64(),
+            },
+            4 => SavedEv::Plan {
+                dom: r.u32(),
+                vcpu: r.u32(),
+            },
+            5 => SavedEv::IpiDeliver {
+                dom: r.u32(),
+                vcpu: r.u32(),
+            },
+            6 => SavedEv::SleepWake {
+                dom: r.u32(),
+                tid: r.u32(),
+            },
+            7 => SavedEv::DaemonTimer { dom: r.u32() },
+            8 => SavedEv::IoArrival {
+                dom: r.u32(),
+                port: r.u32(),
+                items: r.u64(),
+            },
+            9 => SavedEv::NicDrained { dom: r.u32() },
+            10 => SavedEv::HotplugDone {
+                dom: r.u32(),
+                vcpu: r.u32(),
+                online: r.bool(),
+            },
+            11 => SavedEv::PortRecover {
+                dom: r.u32(),
+                port: r.u32(),
+            },
+            12 => SavedEv::Retransmit {
+                dom: r.u32(),
+                port: r.u32(),
+                seq: r.u64(),
+            },
+            13 => SavedEv::HotplugAborted { dom: r.u32() },
+            t => panic!("unknown machine event tag {t}"),
+        }
+    }
+}
+
+/// A per-VM in-flight event in migration-image form: the owning domain
+/// id is stripped (the destination host re-maps the image onto its own
+/// domain index) and wide payloads travel by value.
+#[derive(Clone, Copy, Debug)]
+enum VmEv {
+    IpiDeliver { vcpu: u32 },
+    SleepWake { tid: u32 },
+    DaemonTimer,
+    IoArrival { port: u32, items: u64 },
+    NicDrained,
+    HotplugDone { vcpu: u32, online: bool },
+    PortRecover { port: u32 },
+    Retransmit { port: u32, seq: u64 },
+    HotplugAborted,
+}
+
+impl VmEv {
+    fn save(&self, w: &mut SnapWriter) {
+        match *self {
+            VmEv::IpiDeliver { vcpu } => {
+                w.u8(0);
+                w.u32(vcpu);
+            }
+            VmEv::SleepWake { tid } => {
+                w.u8(1);
+                w.u32(tid);
+            }
+            VmEv::DaemonTimer => w.u8(2),
+            VmEv::IoArrival { port, items } => {
+                w.u8(3);
+                w.u32(port);
+                w.u64(items);
+            }
+            VmEv::NicDrained => w.u8(4),
+            VmEv::HotplugDone { vcpu, online } => {
+                w.u8(5);
+                w.u32(vcpu);
+                w.bool(online);
+            }
+            VmEv::PortRecover { port } => {
+                w.u8(6);
+                w.u32(port);
+            }
+            VmEv::Retransmit { port, seq } => {
+                w.u8(7);
+                w.u32(port);
+                w.u64(seq);
+            }
+            VmEv::HotplugAborted => w.u8(8),
+        }
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> VmEv {
+        match r.u8() {
+            0 => VmEv::IpiDeliver { vcpu: r.u32() },
+            1 => VmEv::SleepWake { tid: r.u32() },
+            2 => VmEv::DaemonTimer,
+            3 => VmEv::IoArrival {
+                port: r.u32(),
+                items: r.u64(),
+            },
+            4 => VmEv::NicDrained,
+            5 => VmEv::HotplugDone {
+                vcpu: r.u32(),
+                online: r.bool(),
+            },
+            6 => VmEv::PortRecover { port: r.u32() },
+            7 => VmEv::Retransmit {
+                port: r.u32(),
+                seq: r.u64(),
+            },
+            8 => VmEv::HotplugAborted,
+            t => panic!("unknown vm event tag {t}"),
+        }
+    }
+}
+
+/// Where a drained event goes when one domain is being extracted.
+enum VmSplit {
+    /// Host-wide or other-domain event: stays on the source machine.
+    Host(SavedEv),
+    /// Belongs to the extracted domain: travels in the migration image.
+    Vm(VmEv),
+    /// Belongs to the extracted domain but is derived state the install
+    /// path recomputes (plan events are re-armed by the wake routing).
+    Dropped,
+}
+
+fn split_for(ev: SavedEv, di: u32) -> VmSplit {
+    match ev {
+        SavedEv::HvTick(_) | SavedEv::HvAcct | SavedEv::ExtendTick | SavedEv::SliceEnd { .. } => {
+            VmSplit::Host(ev)
+        }
+        SavedEv::Plan { dom, .. } if dom == di => VmSplit::Dropped,
+        SavedEv::IpiDeliver { dom, vcpu } if dom == di => VmSplit::Vm(VmEv::IpiDeliver { vcpu }),
+        SavedEv::SleepWake { dom, tid } if dom == di => VmSplit::Vm(VmEv::SleepWake { tid }),
+        SavedEv::DaemonTimer { dom } if dom == di => VmSplit::Vm(VmEv::DaemonTimer),
+        SavedEv::IoArrival { dom, port, items } if dom == di => {
+            VmSplit::Vm(VmEv::IoArrival { port, items })
+        }
+        SavedEv::NicDrained { dom } if dom == di => VmSplit::Vm(VmEv::NicDrained),
+        SavedEv::HotplugDone { dom, vcpu, online } if dom == di => {
+            VmSplit::Vm(VmEv::HotplugDone { vcpu, online })
+        }
+        SavedEv::PortRecover { dom, port } if dom == di => VmSplit::Vm(VmEv::PortRecover { port }),
+        SavedEv::Retransmit { dom, port, seq } if dom == di => {
+            VmSplit::Vm(VmEv::Retransmit { port, seq })
+        }
+        SavedEv::HotplugAborted { dom } if dom == di => VmSplit::Vm(VmEv::HotplugAborted),
+        other => VmSplit::Host(other),
+    }
+}
+
+/// Serializes one domain's mutable state (used by both whole-machine
+/// checkpoints and per-VM migration images). The scaling mode, hotplug
+/// model, weight, and daemon/kernel configs are structural: restore
+/// targets a twin built by the same setup code.
+fn save_guest(w: &mut SnapWriter, g: &GuestDomain) {
+    let GuestDomain {
+        kernel,
+        evtchn,
+        port_pending,
+        scaling: _,
+        daemon,
+        channel,
+        hotplug: _,
+        active_trace,
+        io_arrivals,
+        io_deliveries,
+        nic_completions,
+        nic_busy_until,
+        nic_seq,
+        exited_threads,
+        doorbells,
+        retx_handles,
+        failsafe,
+        hotplug_retry,
+        ipis_coalesced,
+        freeze_gate,
+        weight: _,
+    } = g;
+    w.section("guest");
+    kernel.save(w);
+    evtchn.save(w);
+    w.seq(port_pending.iter(), |w, &(q, items)| {
+        w.usize(q.0);
+        w.u64(items);
+    });
+    daemon.save(w);
+    channel.save(w);
+    w.seq(active_trace.iter(), |w, &(t, n)| {
+        w.time(t);
+        w.usize(n);
+    });
+    w.seq(io_arrivals.iter(), |w, &t| w.time(t));
+    w.seq(io_deliveries.iter(), |w, &t| w.time(t));
+    w.seq(nic_completions.iter(), |w, &t| w.time(t));
+    w.time(*nic_busy_until);
+    w.u64(*nic_seq);
+    w.u64(*exited_threads);
+    w.seq(doorbells.iter(), |w, d| d.save(w));
+    // Armed-retransmit presence per port: the handles themselves are
+    // rebuilt from the requeued events; the bools make non-destructive
+    // dirty probes ([`Machine::vm_image_bytes`]) see timer-arm churn.
+    w.seq(retx_handles.iter(), |w, h| w.bool(h.is_some()));
+    failsafe.save(w);
+    hotplug_retry.save(w);
+    w.u64(*ipis_coalesced);
+    freeze_gate.save(w);
+}
+
+/// Restores state written by [`save_guest`] into a structural twin.
+fn load_guest(r: &mut SnapReader<'_>, g: &mut GuestDomain) {
+    r.section("guest");
+    g.kernel.restore(r);
+    g.evtchn.restore(r);
+    let pending: Vec<(usize, u64)> = r.seq(|r| (r.usize(), r.u64()));
+    assert_eq!(
+        pending.len(),
+        g.port_pending.len(),
+        "port count differs from twin"
+    );
+    for (slot, (q, items)) in g.port_pending.iter_mut().zip(pending) {
+        assert_eq!(slot.0 .0, q, "port/queue binding differs from twin");
+        slot.1 = items;
+    }
+    g.daemon.load(r);
+    g.channel = VscaleChannel::load(r);
+    g.active_trace = r.seq(|r| (r.time(), r.usize()));
+    g.io_arrivals = r.seq(|r| r.time());
+    g.io_deliveries = r.seq(|r| r.time());
+    g.nic_completions = r.seq(|r| r.time());
+    g.nic_busy_until = r.time();
+    g.nic_seq = r.u64();
+    g.exited_threads = r.u64();
+    let doorbells: Vec<DoorbellLink> = r.seq(DoorbellLink::load);
+    assert_eq!(
+        doorbells.len(),
+        g.doorbells.len(),
+        "doorbell count differs from twin"
+    );
+    g.doorbells = doorbells;
+    // Presence bools are advisory (handles are rebuilt from requeued
+    // events); consume and discard them.
+    let armed = r.seq(|r| r.bool());
+    assert_eq!(
+        armed.len(),
+        g.retx_handles.len(),
+        "retransmit-port count differs from twin"
+    );
+    for h in &mut g.retx_handles {
+        *h = None;
+    }
+    g.failsafe.load(r);
+    g.hotplug_retry.load(r);
+    g.ipis_coalesced = r.u64();
+    g.freeze_gate.load(r);
+}
+
+impl<S: HypervisorSched> Machine<S> {
+    /// Asserts the machine sits at an event boundary: every scratch
+    /// buffer parked empty and no un-surfaced structured error. This is
+    /// the only state in which images are well-defined — snapshots are
+    /// taken between `run_until` calls, never mid-dispatch.
+    fn assert_at_rest(&self) {
+        assert!(
+            self.sched_buf.is_empty()
+                && self.ops_buf.is_empty()
+                && self.dirty_buf.is_empty()
+                && self.fx_buf.is_empty()
+                && self.run_fx_buf.is_empty()
+                && self.daemon_fx_buf.is_empty()
+                && self.ports_buf.is_empty()
+                && self.ipi_buf.is_empty(),
+            "snapshot taken mid-dispatch: scratch buffers not at rest"
+        );
+        assert!(
+            self.fault_error.is_none(),
+            "snapshot taken with an unsurfaced simulation error pending"
+        );
+    }
+
+    /// Drains every queued event in exact pop order, resolving wide
+    /// payloads by value. All outstanding [`EventHandle`]s die with the
+    /// drain, so the plan/retransmit handle tables are cleared here;
+    /// [`Machine::requeue_events`] rebuilds them.
+    fn drain_events(&mut self) -> Vec<(SimTime, SavedEv)> {
+        let drained = self.queue.drain_ordered();
+        for h in self.plan_handles.values_mut() {
+            *h = None;
+        }
+        for g in &mut self.guests {
+            for h in &mut g.retx_handles {
+                *h = None;
+            }
+        }
+        let mut out = Vec::with_capacity(drained.len());
+        for (t, ev) in drained {
+            let sev = match ev {
+                Ev::HvTick(p) => SavedEv::HvTick(p),
+                Ev::HvAcct => SavedEv::HvAcct,
+                Ev::ExtendTick => SavedEv::ExtendTick,
+                Ev::SliceEnd { pcpu, gen } => SavedEv::SliceEnd {
+                    pcpu,
+                    gen: self.wide.take(gen),
+                },
+                Ev::Plan { dom, vcpu } => SavedEv::Plan { dom, vcpu },
+                Ev::IpiDeliver { dom, vcpu } => SavedEv::IpiDeliver { dom, vcpu },
+                Ev::SleepWake { dom, tid } => SavedEv::SleepWake { dom, tid },
+                Ev::DaemonTimer { dom } => SavedEv::DaemonTimer { dom },
+                Ev::IoArrival { dom, port, items } => SavedEv::IoArrival {
+                    dom,
+                    port,
+                    items: self.wide.take(items),
+                },
+                Ev::NicDrained { dom } => SavedEv::NicDrained { dom },
+                Ev::HotplugDone { dom, vcpu, online } => SavedEv::HotplugDone { dom, vcpu, online },
+                Ev::PortRecover { dom, port } => SavedEv::PortRecover { dom, port },
+                Ev::Retransmit { dom, port, seq } => SavedEv::Retransmit {
+                    dom,
+                    port,
+                    seq: self.wide.take(seq),
+                },
+                Ev::HotplugAborted { dom } => SavedEv::HotplugAborted { dom },
+            };
+            out.push((t, sev));
+        }
+        // Every slot was taken: reset the pool so the rebuilt queue's
+        // slot assignment is a pure function of the event list.
+        self.wide = WidePool::default();
+        out
+    }
+
+    /// Reinserts saved events in order — insertion order reproduces pop
+    /// order exactly — re-interning wide payloads and rebuilding the
+    /// cancellable handle tables. Times below `floor` clamp to it
+    /// (relative order is preserved by the `(time, seq)` tie-break).
+    fn requeue_events(&mut self, evs: Vec<(SimTime, SavedEv)>, floor: SimTime) {
+        for (t, sev) in evs {
+            let t = t.max(floor);
+            match sev {
+                SavedEv::HvTick(p) => {
+                    self.queue.schedule(t, Ev::HvTick(p));
+                }
+                SavedEv::HvAcct => {
+                    self.queue.schedule(t, Ev::HvAcct);
+                }
+                SavedEv::ExtendTick => {
+                    self.queue.schedule(t, Ev::ExtendTick);
+                }
+                SavedEv::SliceEnd { pcpu, gen } => {
+                    let gen = self.wide.intern(gen);
+                    self.queue.schedule(t, Ev::SliceEnd { pcpu, gen });
+                }
+                SavedEv::Plan { dom, vcpu } => {
+                    let h = self.queue.schedule(t, Ev::Plan { dom, vcpu });
+                    let gv = GlobalVcpu::new(DomId(dom as usize), VcpuId(vcpu as usize));
+                    self.plan_handles[gv] = Some(h);
+                }
+                SavedEv::IpiDeliver { dom, vcpu } => {
+                    self.queue.schedule(t, Ev::IpiDeliver { dom, vcpu });
+                }
+                SavedEv::SleepWake { dom, tid } => {
+                    self.queue.schedule(t, Ev::SleepWake { dom, tid });
+                }
+                SavedEv::DaemonTimer { dom } => {
+                    self.queue.schedule(t, Ev::DaemonTimer { dom });
+                }
+                SavedEv::IoArrival { dom, port, items } => {
+                    let items = self.wide.intern(items);
+                    self.queue.schedule(t, Ev::IoArrival { dom, port, items });
+                }
+                SavedEv::NicDrained { dom } => {
+                    self.queue.schedule(t, Ev::NicDrained { dom });
+                }
+                SavedEv::HotplugDone { dom, vcpu, online } => {
+                    self.queue
+                        .schedule(t, Ev::HotplugDone { dom, vcpu, online });
+                }
+                SavedEv::PortRecover { dom, port } => {
+                    self.queue.schedule(t, Ev::PortRecover { dom, port });
+                }
+                SavedEv::Retransmit { dom, port, seq } => {
+                    let widx = self.wide.intern(seq);
+                    let h = self.queue.schedule(
+                        t,
+                        Ev::Retransmit {
+                            dom,
+                            port,
+                            seq: widx,
+                        },
+                    );
+                    self.guests[dom as usize].retx_handles[port as usize] = Some((h, widx));
+                }
+                SavedEv::HotplugAborted { dom } => {
+                    self.queue.schedule(t, Ev::HotplugAborted { dom });
+                }
+            }
+        }
+    }
+
+    /// Serializes the complete machine — hypervisor, every guest, both
+    /// RNG streams, the fault plan position, the watchdog registers, and
+    /// the full event wheel in pop order — into a versioned byte image.
+    /// Non-destructive: the machine continues running unchanged, and a
+    /// run resumed from the image by [`Machine::restore`] on a structural
+    /// twin is byte-identical to one that never checkpointed.
+    ///
+    /// The trace ring is deliberately excluded: it is diagnostic output,
+    /// not simulation state, and never feeds back into behavior.
+    ///
+    /// Must be called at an event boundary (between `run_until` calls).
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        self.assert_at_rest();
+        let evs = self.drain_events();
+        let mut w = SnapWriter::new();
+        w.section("machine");
+        w.usize(self.config.n_pcpus);
+        w.usize(self.guests.len());
+        w.time(self.queue.now());
+        w.u64(self.queue.delivered());
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        for s in self.tick_rng.state() {
+            w.u64(s);
+        }
+        w.u64(self.ticks_jittered);
+        self.hv.save(&mut w);
+        w.seq(self.guests.iter(), save_guest);
+        w.opt(self.fault_plan.as_deref(), |w, p| p.save(w));
+        w.time(self.wd_instant);
+        w.u64(self.wd_instant_events);
+        w.u64(self.wd_progress_fp.0);
+        w.u64(self.wd_progress_fp.1);
+        w.time(self.wd_progress_at);
+        w.section("events");
+        w.seq(evs.iter(), |w, (t, e)| {
+            w.time(*t);
+            e.save(w);
+        });
+        let image = w.finish();
+        // Rebuild our own wheel: reinsertion in pop order reproduces the
+        // original delivery order, so the checkpoint is invisible.
+        self.requeue_events(evs, SimTime::ZERO);
+        image
+    }
+
+    /// Restores a [`Machine::checkpoint`] image into this machine, which
+    /// must be a structural twin: same config, same domains in creation
+    /// order, same spawned threads/queues/ports. All mutable state —
+    /// including the clock — is overwritten; subsequent execution is
+    /// byte-identical to the run the image was taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed image or any structural mismatch.
+    pub fn restore(&mut self, image: &[u8]) {
+        self.assert_at_rest();
+        let mut r = SnapReader::open(image).expect("valid machine image");
+        r.section("machine");
+        assert_eq!(
+            r.usize(),
+            self.config.n_pcpus,
+            "pCPU count differs from twin"
+        );
+        assert_eq!(
+            r.usize(),
+            self.guests.len(),
+            "domain count differs from twin"
+        );
+        let now = r.time();
+        let delivered = r.u64();
+        let mut s = [0u64; 4];
+        for v in &mut s {
+            *v = r.u64();
+        }
+        self.rng = SimRng::from_state(s);
+        for v in &mut s {
+            *v = r.u64();
+        }
+        self.tick_rng = SimRng::from_state(s);
+        self.ticks_jittered = r.u64();
+        self.hv.load(&mut r);
+        let n = r.usize();
+        assert_eq!(n, self.guests.len(), "domain count differs from twin");
+        for g in &mut self.guests {
+            load_guest(&mut r, g);
+        }
+        let has_plan = r.bool();
+        if has_plan {
+            let plan = self.fault_plan.as_deref_mut().expect(
+                "image carries a fault plan: call set_fault_plan with the original \
+                 config before restore",
+            );
+            plan.load(&mut r);
+        } else {
+            assert!(
+                self.fault_plan.is_none(),
+                "twin has a fault plan but the image has none"
+            );
+        }
+        self.wd_instant = r.time();
+        self.wd_instant_events = r.u64();
+        self.wd_progress_fp = (r.u64(), r.u64());
+        self.wd_progress_at = r.time();
+        r.section("events");
+        let evs: Vec<(SimTime, SavedEv)> = r.seq(|r| (r.time(), SavedEv::load(r)));
+        assert!(r.exhausted(), "machine image has trailing bytes");
+        self.queue = EventQueue::with_clock(now, delivered);
+        self.wide = WidePool::default();
+        for h in self.plan_handles.values_mut() {
+            *h = None;
+        }
+        for g in &mut self.guests {
+            for h in &mut g.retx_handles {
+                *h = None;
+            }
+        }
+        self.requeue_events(evs, SimTime::ZERO);
+        self.fault_error = None;
+    }
+
+    /// A non-destructive serialization of one domain's mutable state —
+    /// the pre-copy dirty probe. Successive probes are hashed/diffed by
+    /// the migration engine to estimate the dirty rate; the bytes are
+    /// *never* restored (in-flight wheel events are not included, so the
+    /// probe is cheap and needs only `&self`).
+    pub fn vm_image_bytes(&self, dom: DomId) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        let export = self.hv.export_domain(dom);
+        w.seq(export.vcpus.iter(), |w, v| {
+            w.bool(v.frozen);
+            w.bool(v.runnable);
+            w.i64(v.credit);
+        });
+        save_guest(&mut w, &self.guests[dom.index()]);
+        w.finish()
+    }
+
+    /// Requests injected for `dom` that are still riding the timing
+    /// wheel (scheduled `IoArrival` items not yet landed in a queue).
+    /// Together with the I/O logs this counts the domain's exact
+    /// in-flight request cohort — what a cold restore will re-serve and
+    /// the fleet ledger must therefore discount to stay exactly-once.
+    ///
+    /// Must be called at an event boundary.
+    pub fn pending_io_items(&mut self, dom: DomId) -> u64 {
+        self.assert_at_rest();
+        let di = dom.index() as u32;
+        let evs = self.drain_events();
+        let items = evs
+            .iter()
+            .map(|(_, ev)| match *ev {
+                SavedEv::IoArrival { dom: d, items, .. } if d == di => items,
+                _ => 0,
+            })
+            .sum();
+        self.requeue_events(evs, SimTime::ZERO);
+        items
+    }
+
+    /// Stop-and-copy extraction: detaches `dom` from this host and
+    /// returns its complete migration image. After this call the domain
+    /// is an inert shell — every vCPU parked and frozen, no in-flight
+    /// events, its pCPUs already re-granted to other domains. The shell
+    /// stays restorable: aborting the migration means re-installing the
+    /// returned image right here ([`Machine::install_vm`]), which is the
+    /// rollback path.
+    ///
+    /// Must be called at an event boundary.
+    pub fn extract_vm(&mut self, dom: DomId) -> Vec<u8> {
+        self.assert_at_rest();
+        let now = self.queue.now();
+        // Capture per-vCPU scheduler state (runnable/frozen/credit)
+        // before the detach destroys it.
+        let export = self.hv.export_domain(dom);
+        // Park every vCPU. The Desched events route through
+        // `kernel.vcpu_stop`, leaving the kernel in a consistent paused
+        // state; freed pCPUs are re-granted to other domains normally.
+        self.hv_and_drain(now, |hv, ev| hv.detach_domain(dom, now, ev));
+        // Split the wheel: host and other-domain events stay, this
+        // domain's travel in the image (its plan events are derived
+        // state, recomputed by the install-side wake routing).
+        let evs = self.drain_events();
+        let di = compact(dom.index());
+        let mut keep = Vec::with_capacity(evs.len());
+        let mut taken: Vec<(SimTime, VmEv)> = Vec::new();
+        for (t, ev) in evs {
+            match split_for(ev, di) {
+                VmSplit::Host(ev) => keep.push((t, ev)),
+                VmSplit::Vm(v) => taken.push((t, v)),
+                VmSplit::Dropped => {}
+            }
+        }
+        self.requeue_events(keep, SimTime::ZERO);
+        let mut w = SnapWriter::new();
+        w.section("vmimg");
+        w.time(now);
+        w.seq(export.vcpus.iter(), |w, v| {
+            w.bool(v.frozen);
+            w.bool(v.runnable);
+            w.i64(v.credit);
+        });
+        save_guest(&mut w, &self.guests[dom.index()]);
+        w.seq(taken.iter(), |w, (t, e)| {
+            w.time(*t);
+            e.save(w);
+        });
+        w.finish()
+    }
+
+    /// Installs a migration image produced by [`Machine::extract_vm`]
+    /// into domain `dom` of this host. The domain must be a structural
+    /// twin of the extracted one (same spec and spawned workload) with no
+    /// in-flight events of its own — either a freshly built receiving
+    /// shell or the still-detached source domain (the rollback path).
+    ///
+    /// In-flight events are requeued at their original times; anything
+    /// already due (the transfer took wall-clock simulated time) fires
+    /// immediately, in preserved relative order. Runnable vCPUs are woken
+    /// through the scheduler's normal wake path, so dispatch, slice
+    /// arming, and pending-port delivery all happen exactly as for any
+    /// other wake — nothing is replayed twice and nothing is lost.
+    pub fn install_vm(&mut self, dom: DomId, image: &[u8]) {
+        self.assert_at_rest();
+        let now = self.queue.now();
+        let mut r = SnapReader::open(image).expect("valid vm image");
+        r.section("vmimg");
+        let _captured_at = r.time();
+        let export = DomSchedExport {
+            vcpus: r.seq(|r| VcpuSchedExport {
+                frozen: r.bool(),
+                runnable: r.bool(),
+                credit: r.i64(),
+            }),
+        };
+        load_guest(&mut r, &mut self.guests[dom.index()]);
+        let evs: Vec<(SimTime, VmEv)> = r.seq(|r| (r.time(), VmEv::load(r)));
+        assert!(r.exhausted(), "vm image has trailing bytes");
+        let di = compact(dom.index());
+        for (t, e) in evs {
+            let t = t.max(now);
+            match e {
+                VmEv::IpiDeliver { vcpu } => {
+                    self.queue.schedule(t, Ev::IpiDeliver { dom: di, vcpu });
+                }
+                VmEv::SleepWake { tid } => {
+                    self.queue.schedule(t, Ev::SleepWake { dom: di, tid });
+                }
+                VmEv::DaemonTimer => {
+                    self.queue.schedule(t, Ev::DaemonTimer { dom: di });
+                }
+                VmEv::IoArrival { port, items } => {
+                    let items = self.wide.intern(items);
+                    self.queue.schedule(
+                        t,
+                        Ev::IoArrival {
+                            dom: di,
+                            port,
+                            items,
+                        },
+                    );
+                }
+                VmEv::NicDrained => {
+                    self.queue.schedule(t, Ev::NicDrained { dom: di });
+                }
+                VmEv::HotplugDone { vcpu, online } => {
+                    self.queue.schedule(
+                        t,
+                        Ev::HotplugDone {
+                            dom: di,
+                            vcpu,
+                            online,
+                        },
+                    );
+                }
+                VmEv::PortRecover { port } => {
+                    self.queue.schedule(t, Ev::PortRecover { dom: di, port });
+                }
+                VmEv::Retransmit { port, seq } => {
+                    let widx = self.wide.intern(seq);
+                    let h = self.queue.schedule(
+                        t,
+                        Ev::Retransmit {
+                            dom: di,
+                            port,
+                            seq: widx,
+                        },
+                    );
+                    self.guests[dom.index()].retx_handles[port as usize] = Some((h, widx));
+                }
+                VmEv::HotplugAborted => {
+                    self.queue.schedule(t, Ev::HotplugAborted { dom: di });
+                }
+            }
+        }
+        // Wake what was runnable at extraction; Run events route through
+        // vcpu_start, pending-port delivery, slice arming, and replan.
+        self.hv_and_drain(now, |hv, ev| hv.import_domain(dom, &export, now, ev));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2220,6 +3026,99 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// Checkpoint mid-run, restore into a structural twin, run the same
+    /// remainder: every statistic matches the uninterrupted run and a
+    /// second checkpoint at the end is byte-identical — the snapshot is
+    /// exact, not merely approximate.
+    #[test]
+    fn checkpoint_restore_is_byte_identical() {
+        let build = || {
+            let mut m = Machine::new(MachineConfig {
+                n_pcpus: 2,
+                seed: 99,
+                ..MachineConfig::default()
+            });
+            let vm = m.add_domain(SystemConfig::VScale.domain_spec(4));
+            let bg = m.add_domain(DomainSpec::fixed(2));
+            for _ in 0..4 {
+                let t = m.guest_mut(vm).spawn(ThreadKind::User, compute_ms(300));
+                m.start_thread(vm, t);
+            }
+            for _ in 0..2 {
+                let t = m.guest_mut(bg).spawn(ThreadKind::User, compute_ms(200));
+                m.start_thread(bg, t);
+            }
+            (m, vm)
+        };
+        // Uninterrupted reference run, checkpointing along the way (the
+        // checkpoint itself must be invisible to the source).
+        let (mut a, vm_a) = build();
+        a.run_until(SimTime::from_ms(700));
+        let t1 = a.now();
+        let image = a.checkpoint();
+        a.run_until(SimTime::from_secs(2));
+        let final_a = a.checkpoint();
+
+        // Restore into a twin and run the same remainder.
+        let (mut b, vm_b) = build();
+        b.restore(&image);
+        assert_eq!(b.now(), t1, "restore resumes at the checkpoint clock");
+        b.run_until(SimTime::from_secs(2));
+        let final_b = b.checkpoint();
+
+        let sa = a.domain_stats(vm_a);
+        let sb = b.domain_stats(vm_b);
+        assert_eq!(
+            (sa.wait_total, sa.run_total, sa.reconfigs),
+            (sb.wait_total, sb.run_total, sb.reconfigs),
+            "restored run diverged from the uninterrupted run"
+        );
+        assert_eq!(
+            final_a, final_b,
+            "end-state checkpoints differ after restore-then-run"
+        );
+    }
+
+    /// The migration abort path: stop-and-copy a VM out, then install the
+    /// image straight back into the source. No work is lost and the VM
+    /// runs to completion; while detached it makes no progress.
+    #[test]
+    fn extract_then_reinstall_rolls_back_without_losing_work() {
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: 2,
+            seed: 7,
+            ..MachineConfig::default()
+        });
+        let vm = m.add_domain(DomainSpec::fixed(2));
+        let bg = m.add_domain(DomainSpec::fixed(1));
+        for _ in 0..2 {
+            let t = m.guest_mut(vm).spawn(ThreadKind::User, compute_ms(150));
+            m.start_thread(vm, t);
+        }
+        let t = m.guest_mut(bg).spawn(ThreadKind::User, compute_ms(100));
+        m.start_thread(bg, t);
+        m.run_until(SimTime::from_ms(60));
+        assert!(!m.guest(vm).all_exited());
+        let run_before = m.domain_stats(vm).run_total;
+        let img = m.extract_vm(vm);
+        // Detached: the background VM keeps running, the extracted one
+        // is inert.
+        m.run_until(SimTime::from_ms(90));
+        assert_eq!(
+            m.domain_stats(vm).run_total,
+            run_before,
+            "a detached VM must not make progress"
+        );
+        m.install_vm(vm, &img);
+        m.run_until(SimTime::from_secs(2));
+        assert!(m.guest(vm).all_exited(), "rolled-back VM finishes its work");
+        assert!(m.guest(bg).all_exited());
+        assert!(
+            m.domain_stats(vm).run_total >= SimDuration::from_ms(300),
+            "all compute accounted for after rollback"
+        );
     }
 
     #[test]

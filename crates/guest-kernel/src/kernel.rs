@@ -2746,3 +2746,318 @@ mod procfs_tests {
         assert_eq!(cpu1, 0, "{snap}");
     }
 }
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore.
+// ---------------------------------------------------------------------
+
+use sim_core::snap::{SnapReader, SnapWriter};
+
+fn save_block_reason(w: &mut SnapWriter, b: &BlockReason) {
+    match *b {
+        BlockReason::Barrier(BarrierId(i), generation) => {
+            w.u8(0);
+            w.usize(i);
+            w.u64(generation);
+        }
+        BlockReason::Mutex(m) => {
+            w.u8(1);
+            w.usize(m.0);
+        }
+        BlockReason::Cond(c, m) => {
+            w.u8(2);
+            w.usize(c.0);
+            w.usize(m.0);
+        }
+        BlockReason::Sem(s) => {
+            w.u8(3);
+            w.usize(s.0);
+        }
+        BlockReason::Io(q) => {
+            w.u8(4);
+            w.usize(q.0);
+        }
+        BlockReason::Sleep => w.u8(5),
+    }
+}
+
+fn load_block_reason(r: &mut SnapReader<'_>) -> BlockReason {
+    match r.u8() {
+        0 => BlockReason::Barrier(BarrierId(r.usize()), r.u64()),
+        1 => BlockReason::Mutex(crate::thread::MutexId(r.usize())),
+        2 => BlockReason::Cond(
+            crate::thread::CondId(r.usize()),
+            crate::thread::MutexId(r.usize()),
+        ),
+        3 => BlockReason::Sem(crate::thread::SemId(r.usize())),
+        4 => BlockReason::Io(IoQueueId(r.usize())),
+        5 => BlockReason::Sleep,
+        t => panic!("unknown BlockReason tag {t}"),
+    }
+}
+
+fn save_tstate(w: &mut SnapWriter, s: &TState) {
+    match s {
+        TState::New => w.u8(0),
+        TState::Ready => w.u8(1),
+        TState::Running => w.u8(2),
+        TState::Blocked(b) => {
+            w.u8(3);
+            save_block_reason(w, b);
+        }
+        TState::Exited => w.u8(4),
+    }
+}
+
+fn load_tstate(r: &mut SnapReader<'_>) -> TState {
+    match r.u8() {
+        0 => TState::New,
+        1 => TState::Ready,
+        2 => TState::Running,
+        3 => TState::Blocked(load_block_reason(r)),
+        4 => TState::Exited,
+        t => panic!("unknown TState tag {t}"),
+    }
+}
+
+fn save_activity(w: &mut SnapWriter, a: &Activity) {
+    match *a {
+        Activity::Compute { remaining } => {
+            w.u8(0);
+            w.dur(remaining);
+        }
+        Activity::Overhead {
+            remaining,
+            ref then,
+        } => {
+            w.u8(1);
+            w.dur(remaining);
+            match then {
+                Then::Dispatch => w.u8(0),
+                Then::Block(b) => {
+                    w.u8(1);
+                    save_block_reason(w, b);
+                }
+            }
+        }
+        Activity::BarrierSpin {
+            bar,
+            generation,
+            budget,
+        } => {
+            w.u8(2);
+            w.usize(bar.0);
+            w.u64(generation);
+            w.opt(budget.as_ref(), |w, d| w.dur(*d));
+        }
+        Activity::UserSpin { lock } => {
+            w.u8(3);
+            w.usize(lock.0);
+        }
+        Activity::KernelSpin { lock, hold, budget } => {
+            w.u8(4);
+            w.usize(lock.0);
+            w.dur(hold);
+            w.opt(budget.as_ref(), |w, d| w.dur(*d));
+        }
+        Activity::InKernel { remaining, lock } => {
+            w.u8(5);
+            w.dur(remaining);
+            w.usize(lock.0);
+        }
+    }
+}
+
+fn load_activity(r: &mut SnapReader<'_>) -> Activity {
+    match r.u8() {
+        0 => Activity::Compute { remaining: r.dur() },
+        1 => Activity::Overhead {
+            remaining: r.dur(),
+            then: match r.u8() {
+                0 => Then::Dispatch,
+                1 => Then::Block(load_block_reason(r)),
+                t => panic!("unknown Then tag {t}"),
+            },
+        },
+        2 => Activity::BarrierSpin {
+            bar: BarrierId(r.usize()),
+            generation: r.u64(),
+            budget: r.opt(|r| r.dur()),
+        },
+        3 => Activity::UserSpin {
+            lock: crate::thread::SpinId(r.usize()),
+        },
+        4 => Activity::KernelSpin {
+            lock: crate::thread::KLockId(r.usize()),
+            hold: r.dur(),
+            budget: r.opt(|r| r.dur()),
+        },
+        5 => Activity::InKernel {
+            remaining: r.dur(),
+            lock: crate::thread::KLockId(r.usize()),
+        },
+        t => panic!("unknown Activity tag {t}"),
+    }
+}
+
+impl GuestKernel {
+    /// Serializes the complete mutable kernel state: every thread
+    /// (scheduler state, current activity, program progress), every
+    /// vCPU (run queue, kernel work, interrupt counters), sync objects,
+    /// kernel locks, freeze mask, and I/O queues. The configuration and
+    /// the thread/sync-object *population* are structural — restore
+    /// targets a twin built by the same setup code — so `load` asserts
+    /// the populations match instead of rebuilding them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any thread runs a program that cannot snapshot
+    /// (closure-driven [`crate::thread::Looping`]).
+    pub fn save(&self, w: &mut SnapWriter) {
+        let GuestKernel {
+            config: _,
+            vcpus,
+            threads,
+            sync,
+            klocks,
+            freeze_mask,
+            io_queues,
+            stats,
+            spin_waste_total,
+            wake_scratch: _,
+            evac_scratch: _,
+        } = self;
+        w.section("kernel");
+        w.seq(threads.iter().enumerate(), |w, (i, t)| {
+            assert!(
+                t.program.snapshot_supported(),
+                "checkpoint unsupported: thread {i} program \"{}\" cannot snapshot",
+                t.program.label()
+            );
+            save_tstate(w, &t.state);
+            w.u64(t.vruntime);
+            w.usize(t.last_vcpu.index());
+            w.opt(t.activity.as_ref(), save_activity);
+            w.dur(t.runtime_total);
+            w.dur(t.spin_waste);
+            w.bool(t.pending_wake);
+            w.opt(t.block_override.as_ref(), save_block_reason);
+            t.program.save_state(w);
+        });
+        w.seq(vcpus.iter(), |w, v| {
+            w.bool(v.online);
+            w.bool(v.running);
+            w.opt(v.current.as_ref(), |w, t| w.usize(t.0));
+            v.rq.save(w);
+            w.seq(v.kwork.iter(), |w, k| {
+                w.dur(k.remaining);
+                w.opt(k.tag.as_ref(), |w, &t| w.u64(t));
+            });
+            w.time(v.last_advanced);
+            w.time(v.next_tick);
+            w.u32(v.ticks_since_balance);
+            w.bool(v.evacuated);
+            w.bool(v.pv_blocked);
+            w.opt(v.stall_until.as_ref(), |w, &t| w.time(t));
+            w.bool(v.pending_resched);
+            w.u64(v.timer_ints);
+            w.u64(v.resched_ipis);
+            w.u64(v.io_irqs);
+        });
+        sync.save(w);
+        klocks.save(w);
+        freeze_mask.save(w);
+        w.seq(io_queues.iter(), |w, q| {
+            w.u64(q.backlog);
+            w.seq(q.waiters.iter(), |w, t| w.usize(t.0));
+            w.opt(q.capacity.as_ref(), |w, &c| w.u64(c));
+            w.u64(q.drops);
+        });
+        let GuestStats {
+            thread_migrations,
+            context_switches,
+            futex_waits,
+            futex_wakes,
+            pv_yields,
+        } = stats;
+        w.u64(*thread_migrations);
+        w.u64(*context_switches);
+        w.u64(*futex_waits);
+        w.u64(*futex_wakes);
+        w.u64(*pv_yields);
+        w.dur(*spin_waste_total);
+    }
+
+    /// Restores state saved by [`GuestKernel::save`] into a structural
+    /// twin: same config, same spawned threads (in spawn order), same
+    /// sync objects, locks, and I/O queues.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) {
+        r.section("kernel");
+        let n_threads = r.usize();
+        assert_eq!(
+            n_threads,
+            self.threads.len(),
+            "thread count differs from twin"
+        );
+        for t in &mut self.threads {
+            t.state = load_tstate(r);
+            t.vruntime = r.u64();
+            t.last_vcpu = VcpuId(r.usize());
+            t.activity = r.opt(load_activity);
+            t.runtime_total = r.dur();
+            t.spin_waste = r.dur();
+            t.pending_wake = r.bool();
+            t.block_override = r.opt(load_block_reason);
+            t.program.load_state(r);
+        }
+        let n_vcpus = r.usize();
+        assert_eq!(n_vcpus, self.vcpus.len(), "vCPU count differs from twin");
+        for v in &mut self.vcpus {
+            v.online = r.bool();
+            v.running = r.bool();
+            v.current = r.opt(|r| ThreadId(r.usize()));
+            v.rq.load(r);
+            v.kwork = r
+                .seq(|r| KWork {
+                    remaining: r.dur(),
+                    tag: r.opt(|r| r.u64()),
+                })
+                .into();
+            v.last_advanced = r.time();
+            v.next_tick = r.time();
+            v.ticks_since_balance = r.u32();
+            v.evacuated = r.bool();
+            v.pv_blocked = r.bool();
+            v.stall_until = r.opt(|r| r.time());
+            v.pending_resched = r.bool();
+            v.timer_ints = r.u64();
+            v.resched_ipis = r.u64();
+            v.io_irqs = r.u64();
+        }
+        self.sync.load(r);
+        self.klocks.load(r);
+        self.freeze_mask.load(r);
+        let n_queues = r.usize();
+        assert_eq!(
+            n_queues,
+            self.io_queues.len(),
+            "I/O queue count differs from twin"
+        );
+        for q in &mut self.io_queues {
+            q.backlog = r.u64();
+            q.waiters = r.seq(|r| ThreadId(r.usize())).into();
+            q.capacity = r.opt(|r| r.u64());
+            q.drops = r.u64();
+        }
+        self.stats = GuestStats {
+            thread_migrations: r.u64(),
+            context_switches: r.u64(),
+            futex_waits: r.u64(),
+            futex_wakes: r.u64(),
+            pv_yields: r.u64(),
+        };
+        self.spin_waste_total = r.dur();
+        self.wake_scratch.clear();
+        self.evac_scratch.clear();
+    }
+}

@@ -148,6 +148,128 @@ pub trait ThreadProgram: Send {
     fn label(&self) -> &str {
         "thread"
     }
+
+    /// Whether this program can serialize its mutable state. Checkpoint
+    /// refuses VMs running unsupported programs (closure-driven
+    /// [`Looping`]) instead of silently snapshotting them wrong.
+    fn snapshot_supported(&self) -> bool {
+        true
+    }
+
+    /// Serializes the program's mutable state. The default writes
+    /// nothing — correct for stateless programs only; anything with
+    /// internal progress (remaining work, an RNG, a phase machine) must
+    /// override both this and [`ThreadProgram::load_state`].
+    fn save_state(&self, w: &mut sim_core::snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restores state saved by [`ThreadProgram::save_state`] into a
+    /// freshly constructed twin of the same program.
+    fn load_state(&mut self, r: &mut sim_core::snap::SnapReader<'_>) {
+        let _ = r;
+    }
+}
+
+/// Serializes a [`ThreadAction`] (for programs that snapshot pending
+/// scripts) — the inverse of [`load_action`].
+pub fn save_action(w: &mut sim_core::snap::SnapWriter, a: &ThreadAction) {
+    match *a {
+        ThreadAction::Compute(d) => {
+            w.u8(0);
+            w.dur(d);
+        }
+        ThreadAction::BarrierWait(BarrierId(i)) => {
+            w.u8(1);
+            w.usize(i);
+        }
+        ThreadAction::MutexLock(MutexId(i)) => {
+            w.u8(2);
+            w.usize(i);
+        }
+        ThreadAction::MutexUnlock(MutexId(i)) => {
+            w.u8(3);
+            w.usize(i);
+        }
+        ThreadAction::CondWait(CondId(c), MutexId(m)) => {
+            w.u8(4);
+            w.usize(c);
+            w.usize(m);
+        }
+        ThreadAction::CondSignal(CondId(i)) => {
+            w.u8(5);
+            w.usize(i);
+        }
+        ThreadAction::CondBroadcast(CondId(i)) => {
+            w.u8(6);
+            w.usize(i);
+        }
+        ThreadAction::UserSpinLock(SpinId(i)) => {
+            w.u8(7);
+            w.usize(i);
+        }
+        ThreadAction::UserSpinUnlock(SpinId(i)) => {
+            w.u8(8);
+            w.usize(i);
+        }
+        ThreadAction::SemWait(SemId(i)) => {
+            w.u8(9);
+            w.usize(i);
+        }
+        ThreadAction::SemPost(SemId(i)) => {
+            w.u8(10);
+            w.usize(i);
+        }
+        ThreadAction::KernelOp {
+            lock: KLockId(i),
+            hold,
+        } => {
+            w.u8(11);
+            w.usize(i);
+            w.dur(hold);
+        }
+        ThreadAction::IoWait(IoQueueId(i)) => {
+            w.u8(12);
+            w.usize(i);
+        }
+        ThreadAction::NicSend { bytes } => {
+            w.u8(13);
+            w.u64(bytes);
+        }
+        ThreadAction::Sleep(d) => {
+            w.u8(14);
+            w.dur(d);
+        }
+        ThreadAction::Yield => w.u8(15),
+        ThreadAction::Exit => w.u8(16),
+    }
+}
+
+/// Deserializes a [`ThreadAction`] written by [`save_action`].
+pub fn load_action(r: &mut sim_core::snap::SnapReader<'_>) -> ThreadAction {
+    match r.u8() {
+        0 => ThreadAction::Compute(r.dur()),
+        1 => ThreadAction::BarrierWait(BarrierId(r.usize())),
+        2 => ThreadAction::MutexLock(MutexId(r.usize())),
+        3 => ThreadAction::MutexUnlock(MutexId(r.usize())),
+        4 => ThreadAction::CondWait(CondId(r.usize()), MutexId(r.usize())),
+        5 => ThreadAction::CondSignal(CondId(r.usize())),
+        6 => ThreadAction::CondBroadcast(CondId(r.usize())),
+        7 => ThreadAction::UserSpinLock(SpinId(r.usize())),
+        8 => ThreadAction::UserSpinUnlock(SpinId(r.usize())),
+        9 => ThreadAction::SemWait(SemId(r.usize())),
+        10 => ThreadAction::SemPost(SemId(r.usize())),
+        11 => ThreadAction::KernelOp {
+            lock: KLockId(r.usize()),
+            hold: r.dur(),
+        },
+        12 => ThreadAction::IoWait(IoQueueId(r.usize())),
+        13 => ThreadAction::NicSend { bytes: r.u64() },
+        14 => ThreadAction::Sleep(r.dur()),
+        15 => ThreadAction::Yield,
+        16 => ThreadAction::Exit,
+        t => panic!("unknown ThreadAction tag {t}"),
+    }
 }
 
 /// A trivial program that computes once and exits — useful in tests.
@@ -174,6 +296,14 @@ impl ThreadProgram for OneShot {
     fn label(&self) -> &str {
         "oneshot"
     }
+
+    fn save_state(&self, w: &mut sim_core::snap::SnapWriter) {
+        w.opt(self.work.as_ref(), |w, d| w.dur(*d));
+    }
+
+    fn load_state(&mut self, r: &mut sim_core::snap::SnapReader<'_>) {
+        self.work = r.opt(|r| r.dur());
+    }
 }
 
 /// A program built from a fixed script of actions — the main test fixture.
@@ -198,6 +328,14 @@ impl ThreadProgram for Script {
 
     fn label(&self) -> &str {
         "script"
+    }
+
+    fn save_state(&self, w: &mut sim_core::snap::SnapWriter) {
+        w.seq(self.actions.as_slice().iter(), save_action);
+    }
+
+    fn load_state(&mut self, r: &mut sim_core::snap::SnapReader<'_>) {
+        self.actions = r.seq(load_action).into_iter();
     }
 }
 
@@ -230,6 +368,11 @@ where
 
     fn label(&self) -> &str {
         self.label
+    }
+
+    /// Closure state cannot be serialized; checkpoint must refuse.
+    fn snapshot_supported(&self) -> bool {
+        false
     }
 }
 

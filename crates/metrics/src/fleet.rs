@@ -33,6 +33,78 @@ pub struct HostSample {
     pub drops: u64,
 }
 
+/// Host-failure and migration counters for one fleet run: how much
+/// recovery machinery fired and what it cost. Carried alongside the
+/// latency data so a sweep can show that tail latency survived *because*
+/// of (or despite) evacuations, not just that it survived.
+#[derive(Clone, Debug, Default)]
+pub struct RobustnessStats {
+    /// Whole-host crashes injected.
+    pub hosts_down: u64,
+    /// Hosts brought back by cold restore.
+    pub hosts_restored: u64,
+    /// VMs moved off a host by evacuation (live or cold).
+    pub vms_evacuated: u64,
+    /// Live migrations that cut over successfully.
+    pub migrations_ok: u64,
+    /// Live migrations that aborted and rolled back to the source.
+    pub migrations_aborted: u64,
+    /// Total pre-copy rounds across all migrations (including rounds
+    /// wasted to link faults).
+    pub precopy_rounds: u64,
+    /// Requests re-queued exactly once off dead/draining backends.
+    pub requests_requeued: u64,
+    /// VM blackout per recovery event (migration stop-and-copy window,
+    /// or crash-to-restore outage), microseconds.
+    pub downtime_us: Histogram,
+}
+
+impl RobustnessStats {
+    /// True when no failure machinery fired at all.
+    pub fn is_zero(&self) -> bool {
+        self.hosts_down == 0
+            && self.hosts_restored == 0
+            && self.vms_evacuated == 0
+            && self.migrations_ok == 0
+            && self.migrations_aborted == 0
+            && self.precopy_rounds == 0
+            && self.requests_requeued == 0
+            && self.downtime_us.count() == 0
+    }
+
+    /// Exact merge (counter sums, histogram union) for multi-seed cells.
+    pub fn merge(&mut self, other: &RobustnessStats) {
+        self.hosts_down += other.hosts_down;
+        self.hosts_restored += other.hosts_restored;
+        self.vms_evacuated += other.vms_evacuated;
+        self.migrations_ok += other.migrations_ok;
+        self.migrations_aborted += other.migrations_aborted;
+        self.precopy_rounds += other.precopy_rounds;
+        self.requests_requeued += other.requests_requeued;
+        self.downtime_us.merge(&other.downtime_us);
+    }
+
+    /// Stable single-line JSON object (embedded in a `FleetPoint` line).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hosts_down\":{},\"hosts_restored\":{},\"vms_evacuated\":{},\
+             \"migrations_ok\":{},\"migrations_aborted\":{},\"precopy_rounds\":{},\
+             \"requests_requeued\":{},\"downtime\":{{\"count\":{},\"p50_us\":{},\
+             \"p99_us\":{}}}}}",
+            self.hosts_down,
+            self.hosts_restored,
+            self.vms_evacuated,
+            self.migrations_ok,
+            self.migrations_aborted,
+            self.precopy_rounds,
+            self.requests_requeued,
+            self.downtime_us.count(),
+            self.downtime_us.quantile(0.50),
+            self.downtime_us.quantile(0.99),
+        )
+    }
+}
+
 /// One (mode, offered-load) cell of a fleet sweep: fleet-wide quantiles
 /// with the per-host breakdown that produced them.
 #[derive(Clone, Debug)]
@@ -51,6 +123,10 @@ pub struct FleetPoint {
     pub latency_us: Histogram,
     /// The per-host breakdown, in host order.
     pub hosts: Vec<HostSample>,
+    /// Failure/recovery counters, present only for runs that exercise
+    /// the robustness machinery. `None` keeps the JSON of plain sweeps
+    /// byte-identical to pre-robustness output.
+    pub robustness: Option<RobustnessStats>,
 }
 
 impl FleetPoint {
@@ -79,7 +155,14 @@ impl FleetPoint {
             drops,
             latency_us,
             hosts,
+            robustness: None,
         }
+    }
+
+    /// Attaches failure/recovery counters to the point.
+    pub fn with_robustness(mut self, r: RobustnessStats) -> Self {
+        self.robustness = Some(r);
+        self
     }
 
     /// Fleet median latency, µs.
@@ -112,9 +195,13 @@ impl FleetPoint {
                 )
             })
             .collect();
+        let robustness = match &self.robustness {
+            Some(r) => format!(",\"robustness\":{}", r.to_json()),
+            None => String::new(),
+        };
         format!(
             "{{\"mode\":\"{}\",\"offered_rps\":{},\"sent\":{},\"completed\":{},\
-             \"drops\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"hosts\":[{}]}}",
+             \"drops\":{},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"hosts\":[{}]{}}}",
             self.mode,
             self.offered_rps,
             self.sent,
@@ -124,6 +211,7 @@ impl FleetPoint {
             self.p99_us(),
             self.p999_us(),
             hosts.join(","),
+            robustness,
         )
     }
 }
@@ -170,21 +258,42 @@ impl FleetCurve {
         self.points.iter().map(|p| p.drops).sum()
     }
 
+    /// Merged failure/recovery counters over the whole sweep; `None`
+    /// when no point carried any.
+    pub fn robustness(&self) -> Option<RobustnessStats> {
+        let mut merged = RobustnessStats::default();
+        let mut any = false;
+        for p in &self.points {
+            if let Some(r) = &p.robustness {
+                merged.merge(r);
+                any = true;
+            }
+        }
+        any.then_some(merged)
+    }
+
     /// The mode label (empty for an empty curve).
     pub fn mode(&self) -> &str {
         self.points.first().map_or("", |p| p.mode.as_str())
     }
 
-    /// Stable single-line JSON summary for one mode's curve.
+    /// Stable single-line JSON summary for one mode's curve. The merged
+    /// robustness object is appended only when some point carried one,
+    /// so plain sweeps keep their pre-robustness byte format.
     pub fn summary_json(&self, slo_p99_us: u64) -> String {
+        let robustness = match self.robustness() {
+            Some(r) => format!(",\"robustness\":{}", r.to_json()),
+            None => String::new(),
+        };
         format!(
             "{{\"mode\":\"{}\",\"points\":{},\"slo_p99_us\":{},\"sustained_rps\":{},\
-             \"total_drops\":{}}}",
+             \"total_drops\":{}{}}}",
             self.mode(),
             self.points.len(),
             slo_p99_us,
             self.sustained_rps(slo_p99_us),
             self.total_drops(),
+            robustness,
         )
     }
 }
@@ -297,6 +406,50 @@ mod tests {
         let s = c.summary_json(10_000);
         assert!(s.contains("\"mode\":\"static\""));
         assert!(s.contains("\"sustained_rps\":5000"));
+    }
+
+    #[test]
+    fn robustness_extends_json_only_when_present() {
+        let plain = FleetPoint::from_hosts("vscale", 1_000, 10, vec![host(0, &[100], 0)]);
+        let plain_line = plain.to_json();
+        assert!(!plain_line.contains("robustness"), "{plain_line}");
+
+        let mut r = RobustnessStats {
+            hosts_down: 1,
+            hosts_restored: 1,
+            vms_evacuated: 2,
+            migrations_ok: 3,
+            migrations_aborted: 1,
+            precopy_rounds: 7,
+            requests_requeued: 40,
+            ..RobustnessStats::default()
+        };
+        r.downtime_us.record(12_000);
+        assert!(!r.is_zero());
+        let line = plain.clone().with_robustness(r.clone()).to_json();
+        assert!(
+            line.starts_with(&plain_line[..plain_line.len() - 1]),
+            "robustness must extend, not reshape, the line: {line}"
+        );
+        assert!(line.contains("\"robustness\":{\"hosts_down\":1,"));
+        assert!(line.contains("\"migrations_ok\":3"));
+        assert!(line.contains("\"downtime\":{\"count\":1,"));
+
+        // Curve-level merge: counters sum, histogram unions.
+        let mut c = FleetCurve::default();
+        c.push(
+            FleetPoint::from_hosts("vscale", 1_000, 10, vec![host(0, &[100], 0)])
+                .with_robustness(r.clone()),
+        );
+        c.push(
+            FleetPoint::from_hosts("vscale", 2_000, 10, vec![host(0, &[100], 0)])
+                .with_robustness(r),
+        );
+        let merged = c.robustness().expect("curve carries robustness");
+        assert_eq!(merged.migrations_ok, 6);
+        assert_eq!(merged.downtime_us.count(), 2);
+        assert!(c.summary_json(10_000).contains("\"requests_requeued\":80"));
+        assert!(RobustnessStats::default().is_zero());
     }
 
     #[test]

@@ -308,6 +308,39 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue with the clock preset — the restore path's
+    /// constructor: a checkpointed queue is rebuilt as `with_clock(now,
+    /// delivered)` plus in-order `schedule` calls for every saved event,
+    /// which reproduces the original pop order exactly (delivery order is
+    /// `(time, insertion order)` and reinsertion preserves both).
+    pub fn with_clock(now: SimTime, delivered: u64) -> Self {
+        let mut q = Self::new();
+        q.now = now;
+        q.popped = delivered;
+        q
+    }
+
+    /// Removes **every** live event in exact pop order and resets the
+    /// queue to empty with the clock and delivered count unchanged.
+    ///
+    /// This is the checkpoint path's canonical-order capture: the wheel's
+    /// internal layout (slab indices, slot chains, generations) is
+    /// implementation detail that two behaviorally identical queues can
+    /// disagree on, so images store the drained `(time, payload)` list —
+    /// the part that determines all future behavior — and restore rebuilds
+    /// the wheel by rescheduling it in order. Outstanding [`EventHandle`]s
+    /// are invalidated; callers that keep handles must rebuild them from
+    /// the requeued payloads.
+    pub fn drain_ordered(&mut self) -> Vec<(SimTime, E)> {
+        let (saved_now, saved_popped) = (self.now, self.popped);
+        let mut out = Vec::with_capacity(self.live);
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        *self = Self::with_clock(saved_now, saved_popped);
+        out
+    }
+
     /// Size in bytes of one slab node: the event payload plus the wheel's
     /// per-event bookkeeping (time, seq, generation, level). The machine's
     /// cache-line budget (`Ev` small enough that a node fits in 64 bytes)

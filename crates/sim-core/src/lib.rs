@@ -29,6 +29,7 @@ pub mod event;
 pub mod fault;
 pub mod ids;
 pub mod rng;
+pub mod snap;
 pub mod soa;
 pub mod stats;
 pub mod time;
@@ -40,6 +41,7 @@ pub use fault::{
     SimErrorKind, WatchdogConfig,
 };
 pub use rng::SimRng;
+pub use snap::{SnapReader, SnapWriter};
 pub use soa::VcpuMap;
 pub use stats::{Cdf, Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};

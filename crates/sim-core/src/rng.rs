@@ -33,6 +33,17 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// The raw xoshiro256** state, for checkpoint images. Restoring via
+    /// [`SimRng::from_state`] resumes the stream at exactly this point.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured by [`SimRng::state`].
+    pub fn from_state(s: [u64; 4]) -> SimRng {
+        SimRng { s }
+    }
+
     /// Derives an independent child generator, e.g. one per VM or per
     /// workload, so adding a consumer does not perturb others' streams.
     pub fn fork(&mut self, label: u64) -> SimRng {

@@ -1,0 +1,358 @@
+//! Versioned byte codec for checkpoint/restore images.
+//!
+//! Every snapshotable component serializes itself through [`SnapWriter`]
+//! and rebuilds through [`SnapReader`]. The format is deliberately dumb:
+//! little-endian fixed-width integers, length-prefixed sequences, and
+//! tagged sections — no varints, no padding, no platform-dependent
+//! types — so an image produced at any `VSCALE_THREADS` setting is
+//! byte-identical to one produced at any other, and byte-comparing two
+//! images is a complete state-equality check.
+//!
+//! Malformed images are simulation bugs, not user input: the reader
+//! panics with the offending section tag rather than threading `Result`
+//! through every component. The only soft failure is the top-level
+//! magic/version check ([`SnapReader::open`]), which future-proofs
+//! on-disk images across format revisions.
+
+use crate::time::{SimDuration, SimTime};
+
+/// First 4 image bytes: "vSCL".
+pub const SNAP_MAGIC: u32 = 0x7653_434c;
+/// Bump on any layout change; restore refuses other versions.
+pub const SNAP_VERSION: u32 = 1;
+
+/// Serializes state into a flat byte image.
+#[derive(Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer carrying the magic/version header.
+    pub fn new() -> Self {
+        let mut w = SnapWriter { buf: Vec::new() };
+        w.u32(SNAP_MAGIC);
+        w.u32(SNAP_VERSION);
+        w
+    }
+
+    /// The finished image.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing (beyond any header) has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Opens a named section; [`SnapReader::section`] checks the tag, so
+    /// a save/load mismatch fails at the component that drifted instead
+    /// of misparsing everything downstream.
+    pub fn section(&mut self, tag: &'static str) {
+        self.u32(fnv1a(tag.as_bytes()));
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a little-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an f64 by bit pattern (exact round-trip, no rounding).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a usize as u64 (indices, lengths).
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a [`SimTime`] (nanoseconds; `MAX` round-trips as `u64::MAX`).
+    pub fn time(&mut self, t: SimTime) {
+        self.u64(t.as_ns());
+    }
+
+    /// Writes a [`SimDuration`].
+    pub fn dur(&mut self, d: SimDuration) {
+        self.u64(d.as_ns());
+    }
+
+    /// Writes an `Option<T>` via a presence byte and a closure.
+    pub fn opt<T>(&mut self, v: Option<&T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.bool(false),
+            Some(x) => {
+                self.bool(true);
+                f(self, x);
+            }
+        }
+    }
+
+    /// Writes a length-prefixed sequence via a closure per element.
+    pub fn seq<T>(
+        &mut self,
+        items: impl ExactSizeIterator<Item = T>,
+        mut f: impl FnMut(&mut Self, T),
+    ) {
+        self.usize(items.len());
+        for it in items {
+            f(self, it);
+        }
+    }
+
+    /// Writes length-prefixed raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.usize(b.len());
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Deserializes state from an image produced by [`SnapWriter`].
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// Validates the magic/version header; `Err` carries a description.
+    pub fn open(buf: &'a [u8]) -> Result<Self, String> {
+        let mut r = SnapReader { buf, pos: 0 };
+        if buf.len() < 8 {
+            return Err(format!("image truncated: {} bytes", buf.len()));
+        }
+        let magic = r.u32();
+        if magic != SNAP_MAGIC {
+            return Err(format!("bad magic {magic:#x}, want {SNAP_MAGIC:#x}"));
+        }
+        let version = r.u32();
+        if version != SNAP_VERSION {
+            return Err(format!(
+                "image version {version}, this build reads {SNAP_VERSION}"
+            ));
+        }
+        Ok(r)
+    }
+
+    /// True when every byte has been consumed — restore asserts this so
+    /// a short read (drifted save/load pairing) cannot pass silently.
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Checks a section tag written by [`SnapWriter::section`].
+    #[track_caller]
+    pub fn section(&mut self, tag: &'static str) {
+        let got = self.u32();
+        assert_eq!(
+            got,
+            fnv1a(tag.as_bytes()),
+            "snapshot section mismatch: expected \"{tag}\" at byte {}",
+            self.pos - 4
+        );
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        assert!(
+            self.pos + n <= self.buf.len(),
+            "snapshot image truncated at byte {} (want {n} more of {})",
+            self.pos,
+            self.buf.len()
+        );
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Reads a little-endian u32.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    /// Reads a little-endian u64.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian i64.
+    pub fn i64(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    /// Reads an f64 by bit pattern.
+    pub fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+
+    /// Reads a bool.
+    pub fn bool(&mut self) -> bool {
+        match self.u8() {
+            0 => false,
+            1 => true,
+            b => panic!("snapshot bool byte {b} at {}", self.pos - 1),
+        }
+    }
+
+    /// Reads a usize.
+    pub fn usize(&mut self) -> usize {
+        usize::try_from(self.u64()).expect("snapshot length overflows usize")
+    }
+
+    /// Reads a [`SimTime`].
+    pub fn time(&mut self) -> SimTime {
+        SimTime::from_ns(self.u64())
+    }
+
+    /// Reads a [`SimDuration`].
+    pub fn dur(&mut self) -> SimDuration {
+        SimDuration::from_ns(self.u64())
+    }
+
+    /// Reads an `Option<T>`.
+    pub fn opt<T>(&mut self, mut f: impl FnMut(&mut Self) -> T) -> Option<T> {
+        if self.bool() {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+
+    /// Reads a length-prefixed sequence into a `Vec`.
+    pub fn seq<T>(&mut self, mut f: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        let n = self.usize();
+        assert!(
+            n <= self.buf.len() - self.pos,
+            "snapshot sequence length {n} exceeds remaining bytes"
+        );
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// Reads length-prefixed raw bytes.
+    pub fn bytes(&mut self) -> &'a [u8] {
+        let n = self.usize();
+        self.take(n)
+    }
+}
+
+/// FNV-1a over a tag string — stable section identifiers without
+/// embedding strings in the image.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = SnapWriter::new();
+        w.section("prims");
+        w.u8(7);
+        w.u32(0xdead_beef);
+        w.u64(u64::MAX - 3);
+        w.i64(-42);
+        w.f64(0.125);
+        w.bool(true);
+        w.usize(9001);
+        w.time(SimTime::MAX);
+        w.dur(SimDuration::from_ns(123));
+        w.opt(Some(&5u64), |w, v| w.u64(*v));
+        w.opt(None::<&u64>, |w, v| w.u64(*v));
+        w.seq([1u64, 2, 3].iter(), |w, v| w.u64(*v));
+        w.bytes(b"abc");
+        let img = w.finish();
+        let mut r = SnapReader::open(&img).expect("header");
+        r.section("prims");
+        assert_eq!(r.u8(), 7);
+        assert_eq!(r.u32(), 0xdead_beef);
+        assert_eq!(r.u64(), u64::MAX - 3);
+        assert_eq!(r.i64(), -42);
+        assert_eq!(r.f64(), 0.125);
+        assert!(r.bool());
+        assert_eq!(r.usize(), 9001);
+        assert_eq!(r.time(), SimTime::MAX);
+        assert_eq!(r.dur(), SimDuration::from_ns(123));
+        assert_eq!(r.opt(|r| r.u64()), Some(5));
+        assert_eq!(r.opt(|r| r.u64()), None);
+        assert_eq!(r.seq(|r| r.u64()), vec![1, 2, 3]);
+        assert_eq!(r.bytes(), b"abc");
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn header_rejects_wrong_magic_and_version() {
+        assert!(SnapReader::open(&[1, 2, 3]).is_err());
+        let mut img = SnapWriter::new().finish();
+        img[0] ^= 0xff;
+        assert!(SnapReader::open(&img).unwrap_err().contains("magic"));
+        let mut img = SnapWriter::new().finish();
+        img[4] = 99;
+        assert!(SnapReader::open(&img).unwrap_err().contains("version"));
+    }
+
+    #[test]
+    #[should_panic(expected = "section mismatch")]
+    fn section_tags_catch_drift() {
+        let mut w = SnapWriter::new();
+        w.section("kernel");
+        let img = w.finish();
+        let mut r = SnapReader::open(&img).expect("header");
+        r.section("scheduler");
+    }
+
+    #[test]
+    #[should_panic(expected = "truncated")]
+    fn truncated_reads_panic() {
+        let img = SnapWriter::new().finish();
+        let mut r = SnapReader::open(&img).expect("header");
+        let _ = r.u64();
+    }
+
+    #[test]
+    fn identical_state_means_identical_bytes() {
+        let write = || {
+            let mut w = SnapWriter::new();
+            w.section("x");
+            w.seq([9u64, 8, 7].iter(), |w, v| w.u64(*v));
+            w.finish()
+        };
+        assert_eq!(write(), write());
+    }
+}

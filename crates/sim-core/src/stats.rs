@@ -155,6 +155,32 @@ impl Histogram {
         idx.min(HISTOGRAM_BUCKETS - 1)
     }
 
+    /// Serializes the counts (the base is a compile-time constant, so it
+    /// is not stored; a base change is a format change).
+    pub fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.section("hist");
+        w.seq(self.buckets.iter(), |w, &b| w.u64(b));
+        w.u64(self.zero_count);
+        w.u64(self.total);
+    }
+
+    /// Rebuilds a histogram saved by [`Histogram::save`].
+    pub fn load(r: &mut crate::snap::SnapReader<'_>) -> Self {
+        r.section("hist");
+        let buckets = r.seq(|r| r.u64());
+        assert_eq!(
+            buckets.len(),
+            HISTOGRAM_BUCKETS,
+            "histogram bucket count drifted"
+        );
+        Histogram {
+            buckets,
+            zero_count: r.u64(),
+            total: r.u64(),
+            base_ln: HISTOGRAM_BASE.ln(),
+        }
+    }
+
     /// Records one value.
     pub fn record(&mut self, value: u64) {
         self.total += 1;

@@ -88,6 +88,24 @@ impl ThreadProgram for SlideshowViewer {
     fn label(&self) -> &str {
         "slideshow"
     }
+
+    fn save_state(&self, w: &mut sim_core::snap::SnapWriter) {
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.dur(self.burst_left);
+        w.bool(self.in_gap);
+    }
+
+    fn load_state(&mut self, r: &mut sim_core::snap::SnapReader<'_>) {
+        let mut s = [0u64; 4];
+        for v in &mut s {
+            *v = r.u64();
+        }
+        self.rng = SimRng::from_state(s);
+        self.burst_left = r.dur();
+        self.in_gap = r.bool();
+    }
 }
 
 /// The interactive side of the desktop: UI timers and compositor work
@@ -120,6 +138,22 @@ impl ThreadProgram for UiTimers {
 
     fn label(&self) -> &str {
         "ui-timers"
+    }
+
+    fn save_state(&self, w: &mut sim_core::snap::SnapWriter) {
+        for s in self.rng.state() {
+            w.u64(s);
+        }
+        w.bool(self.computing);
+    }
+
+    fn load_state(&mut self, r: &mut sim_core::snap::SnapReader<'_>) {
+        let mut s = [0u64; 4];
+        for v in &mut s {
+            *v = r.u64();
+        }
+        self.rng = SimRng::from_state(s);
+        self.computing = r.bool();
     }
 }
 

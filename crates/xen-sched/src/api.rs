@@ -50,8 +50,37 @@
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId, VcpuId};
 use sim_core::time::{SimDuration, SimTime};
 
+use sim_core::snap::{SnapReader, SnapWriter};
+
 use crate::credit::{CreditConfig, CreditScheduler, SchedEvent, VcpuState};
 use crate::extend::ExtendInfo;
+
+/// Per-vCPU scheduler state that travels with a live migration.
+///
+/// Unlike a whole-machine checkpoint ([`HypervisorSched::save`]), a
+/// migrating domain lands in a *different* pool with its own runqueues
+/// and timeline, so only policy-portable facts are carried: the freeze
+/// flag, whether the vCPU had runnable work, and its credit balance
+/// (ignored by backends without a credit notion).
+#[derive(Clone, Copy, Debug)]
+pub struct VcpuSchedExport {
+    /// The guest-requested freeze flag (`SCHEDOP_freezecpu`).
+    pub frozen: bool,
+    /// Whether the vCPU was running or runnable at export time.
+    pub runnable: bool,
+    /// Backend-specific credit balance; zero when the backend carries
+    /// none.
+    pub credit: i64,
+}
+
+/// The per-domain scheduler payload of a live migration, produced by
+/// [`HypervisorSched::export_domain`] and consumed by
+/// [`HypervisorSched::import_domain`] on the destination pool.
+#[derive(Clone, Debug, Default)]
+pub struct DomSchedExport {
+    /// One entry per vCPU, in vCPU-index order.
+    pub vcpus: Vec<VcpuSchedExport>,
+}
 
 /// The scheduler policy surface consumed by the machine, the vScale
 /// channel, and the differential harness. See the module docs for the
@@ -180,6 +209,80 @@ pub trait HypervisorSched {
         0
     }
 
+    /// Serializes the backend's complete mutable state through the
+    /// checkpoint codec, exactly — restoring into a structurally
+    /// identical pool and resuming must be indistinguishable from never
+    /// having stopped, down to runqueue FIFO order. Backends that cannot
+    /// make that promise keep the panicking default.
+    fn save(&self, w: &mut SnapWriter) {
+        let _ = w;
+        unimplemented!("this scheduler backend does not support checkpoint/restore");
+    }
+
+    /// Restores state written by [`HypervisorSched::save`] into a pool
+    /// built from the same configuration and populations (asserted).
+    fn load(&mut self, r: &mut SnapReader<'_>) {
+        let _ = r;
+        unimplemented!("this scheduler backend does not support checkpoint/restore");
+    }
+
+    /// Extracts the migration payload for `dom`. The default is built
+    /// from the public surface and carries no credit; credit-bearing
+    /// backends override it.
+    fn export_domain(&self, dom: DomId) -> DomSchedExport {
+        DomSchedExport {
+            vcpus: (0..self.n_vcpus(dom))
+                .map(|v| {
+                    let gv = GlobalVcpu::new(dom, VcpuId(v));
+                    VcpuSchedExport {
+                        frozen: self.is_frozen(gv),
+                        runnable: !matches!(self.vcpu_state(gv), VcpuState::Blocked { .. }),
+                        credit: 0,
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Blocks every vCPU of `dom` and freezes it out of the pool — the
+    /// source side of a migration cutover, or a crashed VM. Routed
+    /// through the normal block path so the usual Desched/Run events are
+    /// emitted and the machine can unwind its dispatch state.
+    fn detach_domain(&mut self, dom: DomId, now: SimTime, events: &mut Vec<SchedEvent>) {
+        for v in 0..self.n_vcpus(dom) {
+            let gv = GlobalVcpu::new(dom, VcpuId(v));
+            if !matches!(self.vcpu_state(gv), VcpuState::Blocked { .. }) {
+                self.vcpu_block(gv, now, events);
+            }
+            self.set_frozen(gv, true);
+        }
+    }
+
+    /// Installs a payload from [`HypervisorSched::export_domain`] into
+    /// `dom` — a freshly created, fully blocked twin — waking the vCPUs
+    /// that had runnable work. Wake precedes the freeze-flag restore
+    /// because a frozen vCPU keeps running until the guest blocks it.
+    fn import_domain(
+        &mut self,
+        dom: DomId,
+        export: &DomSchedExport,
+        now: SimTime,
+        events: &mut Vec<SchedEvent>,
+    ) {
+        assert_eq!(
+            export.vcpus.len(),
+            self.n_vcpus(dom),
+            "vCPU count mismatch on import"
+        );
+        for (v, x) in export.vcpus.iter().enumerate() {
+            let gv = GlobalVcpu::new(dom, VcpuId(v));
+            if x.runnable && matches!(self.vcpu_state(gv), VcpuState::Blocked { .. }) {
+                self.vcpu_wake(gv, now, events);
+            }
+            self.set_frozen(gv, x.frozen);
+        }
+    }
+
     /// Wakes every vCPU of `dom` (guest boot / failsafe unfreeze).
     fn wake_domain(&mut self, dom: DomId, now: SimTime, events: &mut Vec<SchedEvent>) {
         for v in 0..self.n_vcpus(dom) {
@@ -195,6 +298,28 @@ impl HypervisorSched for CreditScheduler {
 
     fn backend_name() -> &'static str {
         "credit"
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        self.save_state(w);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) {
+        self.load_state(r);
+    }
+
+    fn export_domain(&self, dom: DomId) -> DomSchedExport {
+        self.export_domain_state(dom)
+    }
+
+    fn import_domain(
+        &mut self,
+        dom: DomId,
+        export: &DomSchedExport,
+        now: SimTime,
+        events: &mut Vec<SchedEvent>,
+    ) {
+        self.import_domain_state(dom, export, now, events);
     }
 
     fn n_pcpus(&self) -> usize {

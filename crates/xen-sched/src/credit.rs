@@ -1727,3 +1727,239 @@ mod scheduler_proptests {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore and migration export
+// ---------------------------------------------------------------------------
+
+pub(crate) use snapshot::{load_gv, load_vcpu_state, save_gv, save_vcpu_state};
+
+mod snapshot {
+    use super::*;
+    use crate::api::{DomSchedExport, VcpuSchedExport};
+    use sim_core::snap::{SnapReader, SnapWriter};
+
+    /// Serializes a [`GlobalVcpu`] (domain index + in-domain vCPU index).
+    pub(crate) fn save_gv(w: &mut SnapWriter, gv: GlobalVcpu) {
+        w.usize(gv.dom.index());
+        w.usize(gv.vcpu.index());
+    }
+
+    /// Reads a [`GlobalVcpu`] written by [`save_gv`].
+    pub(crate) fn load_gv(r: &mut SnapReader<'_>) -> GlobalVcpu {
+        let dom = DomId(r.usize());
+        GlobalVcpu::new(dom, VcpuId(r.usize()))
+    }
+
+    /// Serializes a [`VcpuState`] as a tag byte plus fields.
+    pub(crate) fn save_vcpu_state(w: &mut SnapWriter, s: VcpuState) {
+        match s {
+            VcpuState::Running { pcpu, since } => {
+                w.u8(0);
+                w.usize(pcpu.index());
+                w.time(since);
+            }
+            VcpuState::Runnable { pcpu, since } => {
+                w.u8(1);
+                w.usize(pcpu.index());
+                w.time(since);
+            }
+            VcpuState::Blocked { since } => {
+                w.u8(2);
+                w.time(since);
+            }
+        }
+    }
+
+    /// Reads a [`VcpuState`] written by [`save_vcpu_state`].
+    pub(crate) fn load_vcpu_state(r: &mut SnapReader<'_>) -> VcpuState {
+        match r.u8() {
+            0 => VcpuState::Running {
+                pcpu: PcpuId(r.usize()),
+                since: r.time(),
+            },
+            1 => VcpuState::Runnable {
+                pcpu: PcpuId(r.usize()),
+                since: r.time(),
+            },
+            2 => VcpuState::Blocked { since: r.time() },
+            t => panic!("unknown VcpuState tag {t}"),
+        }
+    }
+
+    fn load_prio(r: &mut SnapReader<'_>) -> Prio {
+        match r.u8() {
+            0 => Prio::Boost,
+            1 => Prio::Under,
+            2 => Prio::Over,
+            t => panic!("unknown Prio tag {t}"),
+        }
+    }
+
+    fn load_queue(r: &mut SnapReader<'_>) -> VecDeque<GlobalVcpu> {
+        r.seq(load_gv).into()
+    }
+
+    impl CreditScheduler {
+        /// Serializes all mutable scheduler state. The configuration and
+        /// the pCPU/domain/vCPU populations are structural: restore
+        /// targets a pool built the same way and asserts they match.
+        pub fn save_state(&self, w: &mut SnapWriter) {
+            let CreditScheduler {
+                config: _,
+                pcpus,
+                domains,
+                hot,
+                stats,
+                extend_window_start,
+                extend_version,
+                migrations,
+                total_run_ns,
+                park_buf: _,
+                unpark_buf: _,
+                active_buf: _,
+                params_buf: _,
+                infos_buf: _,
+            } = self;
+            w.section("credit");
+            w.seq(pcpus.iter(), |w, p| {
+                for q in &p.queues {
+                    w.seq(q.iter(), |w, gv| save_gv(w, *gv));
+                }
+                w.opt(p.current.as_ref(), |w, gv| save_gv(w, *gv));
+                w.time(p.run_since);
+                w.u64(p.gen);
+                w.u64(p.switches);
+            });
+            w.seq(domains.iter(), |w, d| {
+                w.u32(d.weight);
+                w.opt(d.cap_pcpus.as_ref(), |w, v| w.f64(*v));
+                w.opt(d.reservation_pcpus.as_ref(), |w, v| w.f64(*v));
+                w.dur(d.consumed_acct);
+                w.dur(d.consumed_extend);
+                d.extend.save(w);
+                w.u64(d.kicks_throttled);
+            });
+            w.seq(hot.values().iter(), |w, v| {
+                save_vcpu_state(w, v.state);
+                w.u8(v.prio as u8);
+                w.i64(v.credits_ns);
+                w.usize(v.last_pcpu.index());
+                w.bool(v.frozen);
+                w.bool(v.parked);
+                w.time(v.burn_from);
+            });
+            w.seq(stats.values().iter(), |w, s| {
+                w.dur(s.wait_total);
+                w.dur(s.run_total);
+                w.u64(s.scheduled_count);
+            });
+            w.time(*extend_window_start);
+            w.u64(*extend_version);
+            w.u64(*migrations);
+            w.u64(*total_run_ns);
+        }
+
+        /// Restores state saved by [`CreditScheduler::save_state`] into a
+        /// structurally identical pool.
+        pub fn load_state(&mut self, r: &mut SnapReader<'_>) {
+            r.section("credit");
+            let pcpus = r.seq(|r| Pcpu {
+                queues: [load_queue(r), load_queue(r), load_queue(r)],
+                current: r.opt(load_gv),
+                run_since: r.time(),
+                gen: r.u64(),
+                switches: r.u64(),
+            });
+            assert_eq!(pcpus.len(), self.pcpus.len(), "pCPU count drifted");
+            self.pcpus = pcpus;
+            let domains = r.seq(|r| Domain {
+                weight: r.u32(),
+                cap_pcpus: r.opt(|r| r.f64()),
+                reservation_pcpus: r.opt(|r| r.f64()),
+                consumed_acct: r.dur(),
+                consumed_extend: r.dur(),
+                extend: ExtendInfo::load(r),
+                kicks_throttled: r.u64(),
+            });
+            assert_eq!(domains.len(), self.domains.len(), "domain count drifted");
+            self.domains = domains;
+            let hot = r.seq(|r| Vcpu {
+                state: load_vcpu_state(r),
+                prio: load_prio(r),
+                credits_ns: r.i64(),
+                last_pcpu: PcpuId(r.usize()),
+                frozen: r.bool(),
+                parked: r.bool(),
+                burn_from: r.time(),
+            });
+            assert_eq!(hot.len(), self.hot.len(), "vCPU count drifted");
+            for (dst, src) in self.hot.values_mut().iter_mut().zip(hot) {
+                *dst = src;
+            }
+            let stats = r.seq(|r| VcpuStats {
+                wait_total: r.dur(),
+                run_total: r.dur(),
+                scheduled_count: r.u64(),
+            });
+            assert_eq!(stats.len(), self.stats.len(), "vCPU count drifted");
+            for (dst, src) in self.stats.values_mut().iter_mut().zip(stats) {
+                *dst = src;
+            }
+            self.extend_window_start = r.time();
+            self.extend_version = r.u64();
+            self.migrations = r.u64();
+            self.total_run_ns = r.u64();
+        }
+
+        /// Extracts the migration payload for `dom`, carrying the credit
+        /// balance alongside the generic flags.
+        pub fn export_domain_state(&self, dom: DomId) -> DomSchedExport {
+            DomSchedExport {
+                vcpus: self
+                    .hot
+                    .domain(dom)
+                    .iter()
+                    .map(|v| VcpuSchedExport {
+                        frozen: v.frozen,
+                        runnable: !matches!(v.state, VcpuState::Blocked { .. }),
+                        credit: v.credits_ns,
+                    })
+                    .collect(),
+            }
+        }
+
+        /// Installs a migration payload into `dom` (a freshly created,
+        /// fully blocked twin), restoring credit balances and waking the
+        /// vCPUs that had runnable work at export.
+        pub fn import_domain_state(
+            &mut self,
+            dom: DomId,
+            x: &DomSchedExport,
+            now: SimTime,
+            events: &mut Vec<SchedEvent>,
+        ) {
+            assert_eq!(
+                x.vcpus.len(),
+                self.hot.n_vcpus(dom),
+                "vCPU count mismatch on import"
+            );
+            for (i, vx) in x.vcpus.iter().enumerate() {
+                let gv = GlobalVcpu::new(dom, VcpuId(i));
+                {
+                    let v = &mut self.hot[gv];
+                    v.credits_ns = vx.credit;
+                    v.prio = if vx.credit > 0 {
+                        Prio::Under
+                    } else {
+                        Prio::Over
+                    };
+                }
+                if vx.runnable && matches!(self.hot[gv].state, VcpuState::Blocked { .. }) {
+                    self.vcpu_wake(gv, now, events);
+                }
+                self.hot[gv].frozen = vx.frozen;
+            }
+        }
+    }
+}

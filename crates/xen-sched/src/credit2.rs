@@ -31,12 +31,15 @@
 
 use std::collections::VecDeque;
 
-use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
+use sim_core::ids::{DomId, GlobalVcpu, PcpuId, VcpuId};
+use sim_core::snap::{SnapReader, SnapWriter};
 use sim_core::soa::VcpuMap;
 use sim_core::time::{SimDuration, SimTime};
 
-use crate::api::HypervisorSched;
-use crate::credit::{CreditConfig, SchedEvent, VcpuState};
+use crate::api::{DomSchedExport, HypervisorSched, VcpuSchedExport};
+use crate::credit::{
+    load_gv, load_vcpu_state, save_gv, save_vcpu_state, CreditConfig, SchedEvent, VcpuState,
+};
 use crate::extend::{ExtendInfo, ExtendParams};
 
 /// Initial credit grant (and the reset target): 10 ms of wall time at
@@ -314,6 +317,141 @@ impl HypervisorSched for Credit2Scheduler {
 
     fn backend_name() -> &'static str {
         "credit2"
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        let Credit2Scheduler {
+            config: _,
+            pcpus,
+            domains,
+            hot,
+            stats,
+            reset_epochs,
+            migrations,
+            total_run_ns,
+            extend_window_start,
+            extend_version,
+            params_buf: _,
+            infos_buf: _,
+        } = self;
+        w.section("credit2");
+        w.seq(pcpus.iter(), |w, p| {
+            w.seq(p.runq.iter(), |w, gv| save_gv(w, *gv));
+            w.opt(p.current.as_ref(), |w, gv| save_gv(w, *gv));
+            w.time(p.run_since);
+            w.u64(p.gen);
+            w.u64(p.switches);
+        });
+        w.seq(domains.iter(), |w, d| {
+            w.u32(d.weight);
+            w.opt(d.cap_pcpus.as_ref(), |w, v| w.f64(*v));
+            w.opt(d.reservation_pcpus.as_ref(), |w, v| w.f64(*v));
+            w.dur(d.consumed_extend);
+            d.extend.save(w);
+            w.u64(d.kicks_throttled);
+        });
+        w.seq(hot.values().iter(), |w, v| {
+            save_vcpu_state(w, v.state);
+            w.i64(v.credits_ns);
+            w.usize(v.last_pcpu.index());
+            w.bool(v.frozen);
+            w.time(v.burn_from);
+        });
+        w.seq(stats.values().iter(), |w, s| {
+            w.dur(s.wait_total);
+            w.dur(s.run_total);
+            w.u64(s.scheduled_count);
+        });
+        w.u64(*reset_epochs);
+        w.u64(*migrations);
+        w.u64(*total_run_ns);
+        w.time(*extend_window_start);
+        w.u64(*extend_version);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) {
+        r.section("credit2");
+        let pcpus = r.seq(|r| Pcpu2 {
+            runq: r.seq(load_gv).into(),
+            current: r.opt(load_gv),
+            run_since: r.time(),
+            gen: r.u64(),
+            switches: r.u64(),
+        });
+        assert_eq!(pcpus.len(), self.pcpus.len(), "pCPU count drifted");
+        self.pcpus = pcpus;
+        let domains = r.seq(|r| Dom2 {
+            weight: r.u32(),
+            cap_pcpus: r.opt(|r| r.f64()),
+            reservation_pcpus: r.opt(|r| r.f64()),
+            consumed_extend: r.dur(),
+            extend: ExtendInfo::load(r),
+            kicks_throttled: r.u64(),
+        });
+        assert_eq!(domains.len(), self.domains.len(), "domain count drifted");
+        self.domains = domains;
+        let hot = r.seq(|r| Vcpu2 {
+            state: load_vcpu_state(r),
+            credits_ns: r.i64(),
+            last_pcpu: PcpuId(r.usize()),
+            frozen: r.bool(),
+            burn_from: r.time(),
+        });
+        assert_eq!(hot.len(), self.hot.len(), "vCPU count drifted");
+        for (dst, src) in self.hot.values_mut().iter_mut().zip(hot) {
+            *dst = src;
+        }
+        let stats = r.seq(|r| VcpuStats2 {
+            wait_total: r.dur(),
+            run_total: r.dur(),
+            scheduled_count: r.u64(),
+        });
+        assert_eq!(stats.len(), self.stats.len(), "vCPU count drifted");
+        for (dst, src) in self.stats.values_mut().iter_mut().zip(stats) {
+            *dst = src;
+        }
+        self.reset_epochs = r.u64();
+        self.migrations = r.u64();
+        self.total_run_ns = r.u64();
+        self.extend_window_start = r.time();
+        self.extend_version = r.u64();
+    }
+
+    fn export_domain(&self, dom: DomId) -> DomSchedExport {
+        DomSchedExport {
+            vcpus: self
+                .hot
+                .domain(dom)
+                .iter()
+                .map(|v| VcpuSchedExport {
+                    frozen: v.frozen,
+                    runnable: !matches!(v.state, VcpuState::Blocked { .. }),
+                    credit: v.credits_ns,
+                })
+                .collect(),
+        }
+    }
+
+    fn import_domain(
+        &mut self,
+        dom: DomId,
+        export: &DomSchedExport,
+        now: SimTime,
+        events: &mut Vec<SchedEvent>,
+    ) {
+        assert_eq!(
+            export.vcpus.len(),
+            self.hot.n_vcpus(dom),
+            "vCPU count mismatch on import"
+        );
+        for (i, vx) in export.vcpus.iter().enumerate() {
+            let gv = GlobalVcpu::new(dom, VcpuId(i));
+            self.hot[gv].credits_ns = vx.credit;
+            if vx.runnable && matches!(self.hot[gv].state, VcpuState::Blocked { .. }) {
+                self.vcpu_wake(gv, now, events);
+            }
+            self.hot[gv].frozen = vx.frozen;
+        }
     }
 
     fn n_pcpus(&self) -> usize {

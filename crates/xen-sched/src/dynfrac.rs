@@ -27,11 +27,14 @@
 //! the credit backend.
 
 use sim_core::ids::{DomId, GlobalVcpu, PcpuId};
+use sim_core::snap::{SnapReader, SnapWriter};
 use sim_core::soa::VcpuMap;
 use sim_core::time::{SimDuration, SimTime};
 
 use crate::api::HypervisorSched;
-use crate::credit::{CreditConfig, SchedEvent, VcpuState};
+use crate::credit::{
+    load_gv, load_vcpu_state, save_gv, save_vcpu_state, CreditConfig, SchedEvent, VcpuState,
+};
 use crate::extend::{ExtendInfo, ExtendParams};
 
 /// Preemption granularity: a waiting vCPU preempts only when it trails
@@ -318,6 +321,107 @@ impl HypervisorSched for DynFracScheduler {
 
     fn backend_name() -> &'static str {
         "dynfrac"
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        let DynFracScheduler {
+            config: _,
+            pcpus,
+            domains,
+            hot,
+            stats,
+            runnable,
+            epochs,
+            migrations,
+            total_run_ns,
+            extend_window_start,
+            extend_version,
+            params_buf: _,
+            infos_buf: _,
+        } = self;
+        w.section("dynfrac");
+        w.seq(pcpus.iter(), |w, p| {
+            w.opt(p.current.as_ref(), |w, gv| save_gv(w, *gv));
+            w.time(p.run_since);
+            w.u64(p.gen);
+            w.u64(p.switches);
+        });
+        w.seq(domains.iter(), |w, d| {
+            w.u32(d.weight);
+            w.opt(d.cap_pcpus.as_ref(), |w, v| w.f64(*v));
+            w.opt(d.reservation_pcpus.as_ref(), |w, v| w.f64(*v));
+            w.dur(d.consumed_extend);
+            d.extend.save(w);
+            w.u64(d.kicks_throttled);
+        });
+        w.seq(hot.values().iter(), |w, v| {
+            save_vcpu_state(w, v.state);
+            w.u64(v.vruntime_ns);
+            w.u32(v.frac_permille);
+            w.usize(v.last_pcpu.index());
+            w.bool(v.frozen);
+            w.time(v.burn_from);
+        });
+        w.seq(stats.values().iter(), |w, s| {
+            w.dur(s.wait_total);
+            w.dur(s.run_total);
+            w.u64(s.scheduled_count);
+        });
+        w.seq(runnable.iter(), |w, gv| save_gv(w, *gv));
+        w.u64(*epochs);
+        w.u64(*migrations);
+        w.u64(*total_run_ns);
+        w.time(*extend_window_start);
+        w.u64(*extend_version);
+    }
+
+    fn load(&mut self, r: &mut SnapReader<'_>) {
+        r.section("dynfrac");
+        let pcpus = r.seq(|r| PcpuD {
+            current: r.opt(load_gv),
+            run_since: r.time(),
+            gen: r.u64(),
+            switches: r.u64(),
+        });
+        assert_eq!(pcpus.len(), self.pcpus.len(), "pCPU count drifted");
+        self.pcpus = pcpus;
+        let domains = r.seq(|r| DomD {
+            weight: r.u32(),
+            cap_pcpus: r.opt(|r| r.f64()),
+            reservation_pcpus: r.opt(|r| r.f64()),
+            consumed_extend: r.dur(),
+            extend: ExtendInfo::load(r),
+            kicks_throttled: r.u64(),
+        });
+        assert_eq!(domains.len(), self.domains.len(), "domain count drifted");
+        self.domains = domains;
+        let hot = r.seq(|r| VcpuD {
+            state: load_vcpu_state(r),
+            vruntime_ns: r.u64(),
+            frac_permille: r.u32(),
+            last_pcpu: PcpuId(r.usize()),
+            frozen: r.bool(),
+            burn_from: r.time(),
+        });
+        assert_eq!(hot.len(), self.hot.len(), "vCPU count drifted");
+        for (dst, src) in self.hot.values_mut().iter_mut().zip(hot) {
+            *dst = src;
+        }
+        let stats = r.seq(|r| VcpuStatsD {
+            wait_total: r.dur(),
+            run_total: r.dur(),
+            scheduled_count: r.u64(),
+        });
+        assert_eq!(stats.len(), self.stats.len(), "vCPU count drifted");
+        for (dst, src) in self.stats.values_mut().iter_mut().zip(stats) {
+            *dst = src;
+        }
+        self.runnable = r.seq(load_gv);
+        self.epochs = r.u64();
+        self.migrations = r.u64();
+        self.total_run_ns = r.u64();
+        self.extend_window_start = r.time();
+        self.extend_version = r.u64();
     }
 
     fn n_pcpus(&self) -> usize {

@@ -34,7 +34,7 @@ pub mod evtchn;
 pub mod extend;
 pub mod libxl_model;
 
-pub use api::HypervisorSched;
+pub use api::{DomSchedExport, HypervisorSched, VcpuSchedExport};
 pub use channel::VscaleChannel;
 pub use credit::{CreditConfig, CreditScheduler, Prio, SchedEvent, VcpuState};
 pub use credit2::Credit2Scheduler;

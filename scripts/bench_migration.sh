@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the migration/failover sweep (live migration across a dirty-rate
+# × link-latency grid, a rolling host upgrade, and a hot-spot
+# evacuation) and stores its JSON lines, plus a checksum of the
+# deterministic part.
+#
+#   ./scripts/bench_migration.sh             # writes BENCH_migration.json
+#   ./scripts/bench_migration.sh out.json    # writes elsewhere
+#
+# The sweep's seeds, scale, and thread count are pinned so the output —
+# everything except the wall-clock session line — is bit-identical on
+# every machine. scripts/verify.sh re-runs the same pinned sweep and
+# compares its checksum against scripts/migration.sha256; regenerate
+# that file with this script whenever a deliberate behavior change moves
+# the migration numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_migration.json}"
+
+echo "== migration sweep (pinned: quick scale, 2 seeds, 4 threads) -> $out =="
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench migration_sweep \
+    | tee /dev/stderr | grep '^{' > "$out"
+
+grep -v wall_ms "$out" | sha256sum | cut -d' ' -f1 > scripts/migration.sha256
+echo "== wrote $(wc -l < "$out") records to $out =="
+echo "== migration checksum: $(cat scripts/migration.sha256) =="

@@ -228,6 +228,42 @@ fi
 grep -q '"vscale_gt_static":true' "$cluster_out"
 echo "   fleet checksum OK ($got), vScale sustains more load than static at the p99 SLO"
 
+echo "== migration: failover sweep must match the committed numbers and lose nothing =="
+# Live migration across a dirty-rate × link-latency grid plus two
+# failover scenarios (rolling host upgrade, hot-spot evacuation), under
+# the same pinning discipline as the other bench gates. Beyond the
+# checksum, the closing gate line must attest zero request loss across
+# every scenario and that both cutover and capped-retry abort paths
+# actually ran; the whole sweep must also replay byte-identically across
+# thread counts, because crashes, restores, and blackout cutovers all
+# land at epoch boundaries of the threaded stepper. Regenerate
+# scripts/migration.sha256 deliberately with scripts/bench_migration.sh.
+mig_t4="$(mktemp)"; mig_t1="$(mktemp)"
+trap 'rm -f "$sweep_t1" "$sweep_t4" "$chaos_t1" "$chaos_t4" "$resilience_out" "$cluster_out" "$mig_t4" "$mig_t1"' EXIT
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench migration_sweep \
+    | grep '^{' | grep -v wall_ms > "$mig_t4"
+want="$(cat scripts/migration.sha256)"
+got="$(sha256sum "$mig_t4" | cut -d' ' -f1)"
+if [ "$want" != "$got" ]; then
+    echo "migration sweep drifted: want $want got $got" >&2
+    cat "$mig_t4" >&2
+    exit 1
+fi
+grep '"migration_gate"' "$mig_t4" | grep -q '"zero_loss":true'
+grep '"migration_gate"' "$mig_t4" | grep -q '"abort_and_cutover_seen":true'
+if grep -v '"migration_gate"' "$mig_t4" | grep -q '"zero_loss":false'; then
+    echo "a migration scenario lost or double-served requests:" >&2
+    grep '"zero_loss":false' "$mig_t4" >&2
+    exit 1
+fi
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=1 \
+    cargo bench -q --offline -p vscale-bench --bench migration_sweep \
+    | grep '^{' | grep -v wall_ms > "$mig_t1"
+diff -u "$mig_t4" "$mig_t1"
+echo "   migration checksum OK ($got); zero loss everywhere, abort and cutover both exercised,"
+echo "   byte-identical at VSCALE_THREADS=1 and =4"
+
 differential_smoke
 
 backend_grid_gate

@@ -1,0 +1,103 @@
+//! Snapshot determinism across the whole stack: restoring a mid-run
+//! checkpoint and running forward must be **byte-identical** to never
+//! having stopped — for every scheduler backend, and independent of the
+//! cluster worker-thread count.
+//!
+//! This is the property the host-failure machinery leans on: a crashed
+//! host restored from its checkpoint deterministically replays the lost
+//! interval, so the cluster can fence the replayed work exactly (it
+//! knows precisely what the replay will re-produce).
+
+use vscale_repro::apps::apache::{self, ApacheConfig};
+use vscale_repro::apps::desktop::{self, SlideshowConfig};
+use vscale_repro::core::config::{MachineConfig, SystemConfig};
+use vscale_repro::core::Machine;
+use vscale_repro::hv::{Credit2Scheduler, CreditScheduler, DynFracScheduler, HypervisorSched};
+use vscale_repro::sim::time::{SimDuration, SimTime};
+
+/// Builds a loaded machine: one vScale Apache-serving VM plus a desktop
+/// neighbour, with a request batch injected every 5 ms.
+fn build<S: HypervisorSched>(seed: u64) -> Machine<S> {
+    let mut m = Machine::<S>::with_backend(MachineConfig {
+        n_pcpus: 2,
+        seed,
+        ..MachineConfig::default()
+    });
+    let mut spec = SystemConfig::VScale.domain_spec(4);
+    spec.guest.costs.softirq_net = SimDuration::from_us(25);
+    let dom = m.add_domain(spec);
+    let srv = apache::install(&mut m, dom, ApacheConfig::default());
+    desktop::add_desktop_vm(&mut m, SlideshowConfig::default());
+    for i in 0..120u64 {
+        m.inject_io(dom, srv.port, SimTime::from_ms(5 + 5 * i), 2);
+    }
+    m
+}
+
+/// Checkpoint mid-run, restore into a twin, run both to the horizon:
+/// the final checkpoints (full machine state down to RNG words and
+/// event-wheel contents) must be byte-equal.
+fn restore_then_run_is_byte_identical<S: HypervisorSched>(backend: &str) {
+    let horizon = SimTime::from_ms(700);
+    let mut a = build::<S>(23);
+    a.run_until(SimTime::from_ms(260));
+    let mid = a.checkpoint();
+    let t_mid = a.now();
+    a.run_until(horizon);
+    let final_a = a.checkpoint();
+
+    let mut b = build::<S>(23);
+    b.restore(&mid);
+    assert_eq!(
+        b.now(),
+        t_mid,
+        "[{backend}] restore lands at the checkpoint instant"
+    );
+    b.run_until(horizon);
+    let final_b = b.checkpoint();
+    assert_eq!(
+        final_a, final_b,
+        "[{backend}] restore-then-run diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn credit_restore_then_run_is_byte_identical() {
+    restore_then_run_is_byte_identical::<CreditScheduler>("credit");
+}
+
+#[test]
+fn credit2_restore_then_run_is_byte_identical() {
+    restore_then_run_is_byte_identical::<Credit2Scheduler>("credit2");
+}
+
+#[test]
+fn dynfrac_restore_then_run_is_byte_identical() {
+    restore_then_run_is_byte_identical::<DynFracScheduler>("dynfrac");
+}
+
+/// The same checkpoint must come out of a fleet no matter how many
+/// worker threads stepped its hosts: host images are a pure function of
+/// simulated time.
+#[test]
+fn fleet_checkpoints_are_thread_count_invariant() {
+    use cluster::{build_web_fleet, ClusterConfig, WebFleetConfig};
+    let images = |threads: usize| -> Vec<Vec<u8>> {
+        let mut c = build_web_fleet(
+            WebFleetConfig {
+                hosts: 3,
+                desktops_per_host: 1,
+                ..WebFleetConfig::default()
+            },
+            ClusterConfig {
+                threads,
+                ..ClusterConfig::default()
+            },
+        );
+        c.open_loop(2_500.0, SimTime::ZERO, SimTime::from_ms(150));
+        c.run_until(SimTime::from_ms(150)).expect("runs");
+        (0..c.n_hosts()).map(|h| c.checkpoint_host(h)).collect()
+    };
+    let serial = images(1);
+    assert_eq!(serial, images(4), "host images depend on the thread count");
+}
