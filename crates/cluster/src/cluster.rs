@@ -51,6 +51,7 @@
 use std::collections::VecDeque;
 
 use guest_kernel::thread::IoQueueId;
+use metrics::elastic::SloWindow;
 use metrics::fleet::{FleetPoint, HostSample, RobustnessStats};
 use sim_core::event::EventQueue;
 use sim_core::fault::{FaultPlan, SimError};
@@ -58,6 +59,7 @@ use sim_core::rng::SimRng;
 use sim_core::stats::Histogram;
 use sim_core::time::{SimDuration, SimTime};
 use vscale::{DomId, Machine};
+use workloads::traces::{RateTrace, TraceSampler};
 use xen_sched::evtchn::PortId;
 
 use crate::lb::{Health, LbPolicy, LoadBalancer};
@@ -109,15 +111,19 @@ pub struct BackendSpec {
 
 /// Everything crossing host boundaries rides the cluster wheel.
 enum NetMsg {
-    /// The next open-loop request reaches the load balancer.
-    Arrival,
+    /// The next request of an open-loop stream reaches the load
+    /// balancer.
+    Arrival { stream: usize },
     /// A dispatched request reaches its target host's NIC.
     Deliver { backend: usize },
+    /// A wheel-scheduled SLO sampling instant: drain the per-host
+    /// window accumulators into one [`SloWindow`] for the controller.
+    SloSample,
 }
 
-#[derive(Clone, Copy)]
-struct Stream {
-    rate_rps: f64,
+/// One open-loop tenant stream: its rate-trace sampler and its end.
+struct StreamRt {
+    sampler: TraceSampler,
     end: SimTime,
 }
 
@@ -130,9 +136,25 @@ struct HostSlot {
     completed: u64,
     /// In-window listen-backlog drops.
     drops: u64,
+    /// Always-on window accumulators for the SLO sampler: latencies,
+    /// completions, and drops since the last window drain. Unlike the
+    /// measurement-window fields above, these are not gated on
+    /// [`Cluster::set_window`] — they are the online sensor the
+    /// autoscaler's controller reads, warmup included.
+    win_latency_us: Histogram,
+    /// Completions since the last window drain.
+    win_completed: u64,
+    /// Drops since the last window drain.
+    win_drops: u64,
     /// False while crashed; a down host is neither stepped nor
     /// harvested and its machine stays frozen at the crash instant.
     up: bool,
+    /// False while the host is a powered-down standby: it still steps
+    /// (its idle spare VMs keep their daemons' event streams alive) but
+    /// its spares are not migration landing slots and it does not count
+    /// toward the fleet's host-seconds bill. The autoscaler flips this
+    /// on scale-out/in.
+    in_service: bool,
     /// When the host went down (for outage-duration accounting).
     down_at: SimTime,
     /// Bumped whenever a VM is extracted from or installed on this host,
@@ -163,7 +185,6 @@ struct BackendSlot {
 pub struct Cluster {
     config: ClusterConfig,
     queue: EventQueue<NetMsg>,
-    rng: SimRng,
     now: SimTime,
     hosts: Vec<HostSlot>,
     backends: Vec<BackendSlot>,
@@ -183,11 +204,27 @@ pub struct Cluster {
     migrations: Vec<MigrationJob>,
     robustness: RobustnessStats,
     lb: LoadBalancer,
-    stream: Option<Stream>,
+    /// Open-loop tenant streams, in registration order.
+    streams: Vec<StreamRt>,
+    /// The legacy constant-stream RNG; [`Cluster::open_loop`] moves it
+    /// into the stream's sampler (once), keeping that stream's arrival
+    /// sequence byte-identical to the pre-trace loop.
+    arrivals_rng: Option<SimRng>,
+    /// Seed source for additional trace streams, forked per stream.
+    stream_rng_src: SimRng,
+    /// SLO sampling period, once installed.
+    slo_period: Option<SimDuration>,
+    /// Drained SLO windows awaiting the controller, in time order.
+    slo_samples: VecDeque<(SimTime, SloWindow)>,
+    /// Host `step_to` calls skipped because the host's next-event hint
+    /// lay past the epoch horizon (sparse stepping).
+    steps_skipped: u64,
     window: (SimTime, SimTime),
     sent: u64,
     /// Scratch for harvest: (completion time, backend index).
     harvest_buf: Vec<(SimTime, usize)>,
+    /// Scratch for sparse stepping: per-host due flags.
+    due_buf: Vec<bool>,
 }
 
 impl Cluster {
@@ -197,7 +234,8 @@ impl Cluster {
         let arrivals_rng = rng.fork(0x434c_5553);
         Cluster {
             queue: EventQueue::new(),
-            rng: arrivals_rng,
+            arrivals_rng: Some(arrivals_rng),
+            stream_rng_src: rng,
             now: SimTime::ZERO,
             hosts: Vec::new(),
             backends: Vec::new(),
@@ -210,10 +248,14 @@ impl Cluster {
             migrations: Vec::new(),
             robustness: RobustnessStats::default(),
             lb: LoadBalancer::new(config.lb),
-            stream: None,
+            streams: Vec::new(),
+            slo_period: None,
+            slo_samples: VecDeque::new(),
+            steps_skipped: 0,
             window: (SimTime::ZERO, SimTime::MAX),
             sent: 0,
             harvest_buf: Vec::new(),
+            due_buf: Vec::new(),
             config,
         }
     }
@@ -234,7 +276,11 @@ impl Cluster {
             latency_us: Histogram::new(),
             completed: 0,
             drops: 0,
+            win_latency_us: Histogram::new(),
+            win_completed: 0,
+            win_drops: 0,
             up: true,
+            in_service: true,
             down_at: SimTime::ZERO,
             topology: 0,
         });
@@ -322,6 +368,11 @@ impl Cluster {
         self.migrations.len()
     }
 
+    /// Is this backend the subject of an in-flight migration?
+    pub fn backend_migrating(&self, backend: usize) -> bool {
+        self.migrations.iter().any(|j| j.backend == backend)
+    }
+
     /// True while `backend`'s VM is detached from its source and its
     /// image is on the wire (the stop-and-copy window).
     pub fn backend_in_blackout(&self, backend: usize) -> bool {
@@ -348,25 +399,132 @@ impl Cluster {
         self.window = (start, end);
     }
 
-    /// Starts an open-loop request stream: `rate_rps` requests/s with
-    /// exponential inter-arrival jitter, first arrival shortly after
-    /// `start`, last before `end`. Open-loop means arrivals never wait
-    /// for replies — exactly the load regime where tail latency
-    /// explodes at saturation.
-    pub fn open_loop(&mut self, rate_rps: f64, start: SimTime, end: SimTime) {
-        assert!(rate_rps > 0.0);
-        assert!(self.stream.is_none(), "one stream per run");
-        self.stream = Some(Stream { rate_rps, end });
-        let gap = self.next_gap(rate_rps);
-        let first = start + gap;
-        if first < end {
-            self.queue.schedule(first, NetMsg::Arrival);
-        }
+    // ------------------------------------------------------------------
+    // SLO sampling and the elastic host lifecycle.
+    // ------------------------------------------------------------------
+
+    /// Schedules a recurring SLO sampling event on the cluster wheel,
+    /// every `period` starting one period from now. Each firing drains
+    /// the per-host window accumulators into one [`SloWindow`] held for
+    /// [`Cluster::pop_slo_sample`]. Sampling rides the same wheel as
+    /// arrivals, so sample instants interleave deterministically with
+    /// the load at any `VSCALE_THREADS`.
+    pub fn install_slo_sampler(&mut self, period: SimDuration) {
+        assert!(!period.is_zero(), "sampling period must be positive");
+        assert!(self.slo_period.is_none(), "SLO sampler already installed");
+        self.slo_period = Some(period);
+        self.queue.schedule(self.now + period, NetMsg::SloSample);
     }
 
-    fn next_gap(&mut self, rate_rps: f64) -> SimDuration {
-        let us = self.rng.exponential(1e6 / rate_rps);
-        SimDuration::from_us_f64(us).max(SimDuration::from_ns(1))
+    /// The oldest undelivered SLO sample, if any: (sample instant, the
+    /// window since the previous sample).
+    pub fn pop_slo_sample(&mut self) -> Option<(SimTime, SloWindow)> {
+        self.slo_samples.pop_front()
+    }
+
+    /// Drains the current partial SLO window immediately, without
+    /// waiting for the next wheel sample — the run-end flush that lets
+    /// an elastic run's aggregate ledger account for completions after
+    /// the last sample instant.
+    pub fn take_slo_window(&mut self) -> SloWindow {
+        self.drain_slo_window()
+    }
+
+    fn drain_slo_window(&mut self) -> SloWindow {
+        let mut w = SloWindow::default();
+        for h in &mut self.hosts {
+            w.latency_us.merge(&h.win_latency_us);
+            h.win_latency_us = Histogram::new();
+            w.completed += std::mem::take(&mut h.win_completed);
+            w.drops += std::mem::take(&mut h.win_drops);
+        }
+        w.in_flight = self.in_flight();
+        w
+    }
+
+    /// Is the host in service (serving capacity, not a parked standby)?
+    pub fn host_in_service(&self, host: usize) -> bool {
+        self.hosts[host].in_service
+    }
+
+    /// Hosts currently up and in service — the fleet's billed capacity.
+    pub fn hosts_in_service(&self) -> usize {
+        self.hosts.iter().filter(|h| h.up && h.in_service).count()
+    }
+
+    /// Moves a host into or out of service. An out-of-service host
+    /// still steps (its idle VMs' daemons keep ticking, so a later
+    /// activation is deterministic) but its spare slots stop being
+    /// migration landing targets. Taking a host out of service requires
+    /// that no routable backend still lives on it — evacuate first.
+    pub fn set_in_service(&mut self, host: usize, in_service: bool) {
+        assert!(host < self.hosts.len(), "unknown host {host}");
+        if !in_service {
+            let resident = self.backends.iter().enumerate().any(|(b, s)| {
+                s.spec.host == host && self.health[b] != Health::Down && !self.in_blackout[b]
+            });
+            assert!(
+                !resident,
+                "host {host} still serves routable backends; evacuate before retiring"
+            );
+        }
+        self.hosts[host].in_service = in_service;
+    }
+
+    /// Unreserved spare landing slots on one host.
+    pub fn spares_on(&self, host: usize) -> usize {
+        self.spares.iter().filter(|&&(h, _)| h == host).count()
+    }
+
+    /// The LB's in-flight count for one backend.
+    pub fn backend_outstanding(&self, backend: usize) -> u64 {
+        self.outstanding[backend]
+    }
+
+    /// Host `step_to` calls skipped so far by sparse stepping.
+    pub fn steps_skipped(&self) -> u64 {
+        self.steps_skipped
+    }
+
+    /// Starts the classic open-loop request stream: `rate_rps`
+    /// requests/s with exponential inter-arrival jitter, first arrival
+    /// shortly after `start`, last before `end`. Open-loop means
+    /// arrivals never wait for replies — exactly the load regime where
+    /// tail latency explodes at saturation.
+    ///
+    /// Since the trace rework this is sugar for a
+    /// [`RateTrace::Constant`] stream over the cluster's original
+    /// arrivals RNG, so the arrival sequence is byte-identical to the
+    /// pre-trace loop (the committed sweep checksums pin this). Callable
+    /// once; additional tenants go through [`Cluster::add_stream`].
+    pub fn open_loop(&mut self, rate_rps: f64, start: SimTime, end: SimTime) {
+        assert!(rate_rps > 0.0);
+        let rng = self
+            .arrivals_rng
+            .take()
+            .expect("one constant stream per run");
+        let sampler = TraceSampler::from_rng(RateTrace::Constant { rps: rate_rps }, rng);
+        self.push_stream(sampler, start, end);
+    }
+
+    /// Starts an additional open-loop tenant stream driven by `trace`,
+    /// with its own RNG forked from the cluster seed (streams are
+    /// mutually independent and composable); returns the stream index.
+    /// First arrival after `start`, last before `end`.
+    pub fn add_stream(&mut self, trace: RateTrace, start: SimTime, end: SimTime) -> usize {
+        let label = 0x7472_6163u64.wrapping_add(self.streams.len() as u64);
+        let sampler = TraceSampler::from_rng(trace, self.stream_rng_src.fork(label));
+        self.push_stream(sampler, start, end)
+    }
+
+    fn push_stream(&mut self, mut sampler: TraceSampler, start: SimTime, end: SimTime) -> usize {
+        let stream = self.streams.len();
+        let first = sampler.next_arrival(start);
+        if first < end {
+            self.queue.schedule(first, NetMsg::Arrival { stream });
+        }
+        self.streams.push(StreamRt { sampler, end });
+        stream
     }
 
     fn in_window(&self, t: SimTime) -> bool {
@@ -375,13 +533,19 @@ impl Cluster {
 
     fn handle(&mut self, t: SimTime, msg: NetMsg) {
         match msg {
-            NetMsg::Arrival => {
+            NetMsg::Arrival { stream } => {
                 self.dispatch(t);
-                let s = self.stream.expect("arrival without a stream");
-                let next = t + self.next_gap(s.rate_rps);
+                let s = &mut self.streams[stream];
+                let next = s.sampler.next_arrival(t);
                 if next < s.end {
-                    self.queue.schedule(next, NetMsg::Arrival);
+                    self.queue.schedule(next, NetMsg::Arrival { stream });
                 }
+            }
+            NetMsg::SloSample => {
+                let window = self.drain_slo_window();
+                self.slo_samples.push_back((t, window));
+                let period = self.slo_period.expect("sample without a sampler");
+                self.queue.schedule(t + period, NetMsg::SloSample);
             }
             NetMsg::Deliver { backend } => {
                 {
@@ -476,50 +640,87 @@ impl Cluster {
     /// configured. Results are collected per host and the first error
     /// (in host order) is returned, so the error too is independent of
     /// the thread count.
+    ///
+    /// Sparse stepping: a host whose next-event hint lies past `to` has
+    /// provably nothing to do this epoch — `step_to` would pop nothing
+    /// and mutate nothing (`pop_next_until` leaves `now` untouched when
+    /// the earliest event is beyond the deadline) — so it is skipped
+    /// entirely. The hint is conservative (may be early, never late),
+    /// so a wrong hint only costs a harmless no-op step, never a missed
+    /// event. Due flags are computed serially before any fan-out, which
+    /// keeps the skip counter and the work partition independent of the
+    /// thread count.
     fn step_hosts(&mut self, to: SimTime) -> Result<(), SimError> {
         let n = self.hosts.len();
+        let mut due = std::mem::take(&mut self.due_buf);
+        due.clear();
+        due.resize(n, false);
+        let mut any_due = false;
+        for (i, h) in self.hosts.iter().enumerate() {
+            if !h.up {
+                continue;
+            }
+            match h.machine.peek_time_hint() {
+                Some(hint) if hint <= to => {
+                    due[i] = true;
+                    any_due = true;
+                }
+                // Beyond the horizon, or a (theoretical) empty queue:
+                // stepping would be a no-op.
+                Some(_) | None => self.steps_skipped += 1,
+            }
+        }
+        if !any_due {
+            self.due_buf = due;
+            return Ok(());
+        }
         let threads = match self.config.threads {
             0 => testkit::parallel::threads_from_env(),
             t => t,
         }
         .min(n)
         .max(1);
-        if threads == 1 {
+        let result = if threads == 1 {
             let mut first_err = None;
-            for h in &mut self.hosts {
-                if !h.up {
+            for (i, h) in self.hosts.iter_mut().enumerate() {
+                if !due[i] {
                     continue;
                 }
                 if let Err(e) = h.machine.step_to(to) {
                     first_err.get_or_insert(e);
                 }
             }
-            return match first_err {
+            match first_err {
                 None => Ok(()),
                 Some(e) => Err(e),
-            };
-        }
-        let chunk = n.div_ceil(threads);
-        let results: Vec<Result<(), SimError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .hosts
-                .chunks_mut(chunk)
-                .map(|hs| {
-                    scope.spawn(move || {
-                        hs.iter_mut()
-                            .map(|h| if h.up { h.machine.step_to(to) } else { Ok(()) })
-                            .collect::<Vec<_>>()
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            let results: Vec<Result<(), SimError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .hosts
+                    .chunks_mut(chunk)
+                    .zip(due.chunks(chunk))
+                    .map(|(hs, ds)| {
+                        scope.spawn(move || {
+                            hs.iter_mut()
+                                .zip(ds)
+                                .map(|(h, &d)| if d { h.machine.step_to(to) } else { Ok(()) })
+                                .collect::<Vec<_>>()
+                        })
                     })
-                })
-                .collect();
-            // Chunks are contiguous and joined in order, so the
-            // flattened results are in host order.
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("host worker panicked"))
-                .collect()
-        });
-        results.into_iter().collect()
+                    .collect();
+                // Chunks are contiguous and joined in order, so the
+                // flattened results are in host order.
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("host worker panicked"))
+                    .collect()
+            });
+            results.into_iter().collect()
+        };
+        self.due_buf = due;
+        result
     }
 
     /// Matches new replies and drops against the dispatch ledger.
@@ -573,6 +774,11 @@ impl Cluster {
                     .expect("reply without a pending request");
                 self.outstanding[bidx] -= 1;
                 let reply_at = host.link.send_reply(c, b.spec.reply_bytes);
+                // The SLO-window accumulators see every completion —
+                // they are the controller's online sensor, not gated on
+                // the offline measurement window.
+                host.win_latency_us.record(reply_at.since(send).as_us());
+                host.win_completed += 1;
                 if send >= self.window.0 && send < self.window.1 {
                     host.latency_us.record(reply_at.since(send).as_us());
                     host.completed += 1;
@@ -596,6 +802,7 @@ impl Cluster {
                     }
                     let send = b.pending.pop_front().expect("drop without a request");
                     self.outstanding[bidx] -= 1;
+                    self.hosts[host_idx].win_drops += 1;
                     if send >= self.window.0 && send < self.window.1 {
                         self.hosts[host_idx].drops += 1;
                     }
@@ -805,6 +1012,10 @@ impl Cluster {
             self.hosts[dst_host].up,
             "destination host {dst_host} is down"
         );
+        assert!(
+            self.hosts[dst_host].in_service,
+            "destination host {dst_host} is out of service; activate it first"
+        );
         let src = self.backends[backend].spec.host;
         assert_ne!(src, dst_host, "source and destination are the same host");
         let Some(pos) = self.spares.iter().position(|&(h, _)| h == dst_host) else {
@@ -846,9 +1057,15 @@ impl Cluster {
     }
 
     /// Evacuation policy for a dying host: live-migrate every healthy
-    /// backend it serves onto spare slots elsewhere (first up host with
-    /// a spare, in registration order). Returns the number of
-    /// migrations started; backends without a landing slot stay put.
+    /// backend it serves onto spare slots elsewhere. Each backend lands
+    /// on the least-outstanding candidate — among up, in-service hosts
+    /// with a free spare, the one whose resident backends hold the
+    /// fewest in-flight requests, ties broken by fewer already-inbound
+    /// migrations and then by lowest host index (so one evacuation
+    /// spreads rather than piling onto a single receiver). Returns the
+    /// number of migrations started; backends without a landing slot
+    /// stay put. [`start_migration`](Cluster::start_migration) remains
+    /// the explicit-target API.
     pub fn evacuate_host(&mut self, host: usize, cfg: MigrationConfig) -> usize {
         assert!(
             self.hosts[host].up,
@@ -862,17 +1079,42 @@ impl Cluster {
             if self.migrations.iter().any(|j| j.backend == b) {
                 continue;
             }
-            let dst = self
-                .spares
-                .iter()
-                .find(|&&(h, _)| h != host && self.hosts[h].up)
-                .map(|&(h, _)| h);
-            let Some(dst) = dst else { break };
+            let Some(dst) = self.pick_landing_host(host) else {
+                break;
+            };
             if self.try_start_migration(b, dst, cfg, true) {
                 started += 1;
             }
         }
         started
+    }
+
+    /// The least-outstanding landing host for a migration off `src`:
+    /// minimizes (resident in-flight requests, inbound migrations, host
+    /// index) over up, in-service hosts ≠ `src` that hold a free spare.
+    fn pick_landing_host(&self, src: usize) -> Option<usize> {
+        let mut best: Option<(u64, usize, usize)> = None;
+        for h in 0..self.hosts.len() {
+            if h == src || !self.hosts[h].up || !self.hosts[h].in_service {
+                continue;
+            }
+            if !self.spares.iter().any(|&(sh, _)| sh == h) {
+                continue;
+            }
+            let outstanding: u64 = self
+                .backends
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.spec.host == h)
+                .map(|(b, _)| self.outstanding[b])
+                .sum();
+            let inbound = self.migrations.iter().filter(|j| j.dst_host == h).count();
+            let key = (outstanding, inbound, h);
+            if best.is_none_or(|k| key < k) {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, h)| h)
     }
 
     fn advance_migrations(&mut self) {
@@ -1142,9 +1384,11 @@ impl Cluster {
     /// Packages the run's measurements as one fleet sweep point,
     /// attaching robustness counters only when failure machinery
     /// actually fired (an undisturbed run serializes identically to one
-    /// from a build without failure support).
+    /// from a build without failure support). The sparse-stepping skip
+    /// counter rides along the same way: serialized only when non-zero.
     pub fn fleet_point(&self, mode: impl Into<String>, offered_rps: u64) -> FleetPoint {
-        let point = FleetPoint::from_hosts(mode, offered_rps, self.sent, self.host_samples());
+        let point = FleetPoint::from_hosts(mode, offered_rps, self.sent, self.host_samples())
+            .with_steps_skipped(self.steps_skipped);
         if self.robustness.is_zero() {
             point
         } else {

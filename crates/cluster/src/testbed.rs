@@ -42,6 +42,12 @@ pub struct WebFleetConfig {
     /// Idle structural twins of the serving VMs per host, registered as
     /// migration landing slots.
     pub spares_per_host: usize,
+    /// Parked elasticity capacity: extra hosts appended after the
+    /// active ones, carrying `serving_vms_per_host` spare slots each
+    /// (no serving backends, no desktops), built and then taken out of
+    /// service. An autoscaler activates one with `set_in_service` and
+    /// live-migrates load onto its spares.
+    pub standby_hosts: usize,
 }
 
 impl Default for WebFleetConfig {
@@ -56,6 +62,7 @@ impl Default for WebFleetConfig {
             seed: 7,
             fault: None,
             spares_per_host: 0,
+            standby_hosts: 0,
         }
     }
 }
@@ -126,6 +133,38 @@ pub fn build_web_fleet(fleet: WebFleetConfig, cluster_cfg: ClusterConfig) -> Clu
         desktop::add_desktops(&mut m, fleet.desktops_per_host, slideshow);
         cluster.add_host(m, LinkConfig::datacenter());
     }
+    // Standby hosts: spare slots only — no serving backends to
+    // register, no desktops to burn cycles. They still step (their
+    // spares' idle daemons tick), so activating one mid-run stays
+    // deterministic at any thread count.
+    for standby in 0..fleet.standby_hosts {
+        let host = fleet.hosts + standby;
+        let mut m = Machine::new(MachineConfig {
+            n_pcpus: fleet.n_pcpus,
+            seed: fleet
+                .seed
+                .wrapping_mul(0x9e37_79b9)
+                .wrapping_add(host as u64),
+            ..MachineConfig::default()
+        });
+        if let Some(f) = fleet.fault {
+            m.set_fault_plan(FaultConfig {
+                seed: f.seed ^ (0xf1ee_7000 + host as u64),
+                ..f
+            });
+        }
+        for _ in 0..fleet.serving_vms_per_host {
+            let mut spec = fleet
+                .mode
+                .domain_spec(fleet.vm_vcpus)
+                .with_weight(128 * fleet.vm_vcpus as u32);
+            spec.guest.costs.softirq_net = SimDuration::from_us(25);
+            let dom = m.add_domain(spec);
+            let _srv = apache::install(&mut m, dom, ApacheConfig::default());
+            spares.push((host, dom));
+        }
+        cluster.add_host(m, LinkConfig::datacenter());
+    }
     for (host, dom, srv) in backends {
         cluster.add_backend(BackendSpec {
             host,
@@ -137,6 +176,9 @@ pub fn build_web_fleet(fleet: WebFleetConfig, cluster_cfg: ClusterConfig) -> Clu
     }
     for (host, dom) in spares {
         cluster.add_spare(host, dom);
+    }
+    for standby in 0..fleet.standby_hosts {
+        cluster.set_in_service(fleet.hosts + standby, false);
     }
     cluster
 }

@@ -290,6 +290,73 @@ impl SystemConfig {
     }
 }
 
+/// Thresholds of the fleet autoscaler's SLO feedback controller
+/// (`crates/autoscale`). Lives here, next to the other policy knobs,
+/// so experiment grids can sweep controller aggressiveness the same way
+/// they sweep scheduler policy. All smoothing and comparison runs on
+/// the controller's sampled windows — nothing here touches the
+/// machine-level hot path, so an idle controller costs nothing.
+///
+/// The shape follows the adaptive-allocation feedback template:
+/// measure (windowed p99 / throughput / queue depth), filter (EMA),
+/// actuate with hysteresis (consecutive-sample dwell) and a cooldown
+/// that covers the actuator's own settling time (a live migration takes
+/// several epochs to cut over; reacting to mid-migration samples would
+/// double-fire).
+#[derive(Clone, Copy, Debug)]
+pub struct ElasticConfig {
+    /// The fleet-p99 target, µs. Scale-out pressure builds while the
+    /// smoothed p99 exceeds `scale_out_ratio` of this.
+    pub slo_p99_us: u64,
+    /// Controller sampling period (also the SLO-window width).
+    pub sample_period: SimDuration,
+    /// EMA weight of the newest sample, in (0, 1].
+    pub ema_alpha: f64,
+    /// Scale out when `ema_p99 > scale_out_ratio * slo_p99_us` for
+    /// `scale_out_dwell` consecutive samples.
+    pub scale_out_ratio: f64,
+    /// Scale in only while `ema_p99 < scale_in_ratio * slo_p99_us` …
+    pub scale_in_ratio: f64,
+    /// … *and* the smoothed fleet throughput fits on one fewer host at
+    /// `scale_in_util` of the per-host capacity estimate.
+    pub scale_in_util: f64,
+    /// Operator estimate of one host's comfortable capacity, req/s.
+    pub per_host_rps: f64,
+    /// Queue-depth escape hatch: scale out immediately (dwell still
+    /// applies) when in-flight requests exceed this many per host.
+    pub queue_depth_per_host: u64,
+    /// Consecutive breach samples before scale-out fires.
+    pub scale_out_dwell: u32,
+    /// Consecutive idle samples before scale-in fires.
+    pub scale_in_dwell: u32,
+    /// Dead time after any action before the next may fire.
+    pub cooldown: SimDuration,
+    /// The controller never drains below this many in-service hosts.
+    pub min_hosts: usize,
+    /// … and never activates beyond this many.
+    pub max_hosts: usize,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            slo_p99_us: 10_000,
+            sample_period: SimDuration::from_ms(20),
+            ema_alpha: 0.35,
+            scale_out_ratio: 0.8,
+            scale_in_ratio: 0.4,
+            scale_in_util: 0.6,
+            per_host_rps: 7_000.0,
+            queue_depth_per_host: 96,
+            scale_out_dwell: 2,
+            scale_in_dwell: 8,
+            cooldown: SimDuration::from_ms(150),
+            min_hosts: 1,
+            max_hosts: usize::MAX,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,7 +22,7 @@ pub mod config;
 pub mod daemon;
 pub mod machine;
 
-pub use config::{DomainSpec, MachineConfig, ScalingMode, SystemConfig};
+pub use config::{DomainSpec, ElasticConfig, MachineConfig, ScalingMode, SystemConfig};
 pub use daemon::DaemonConfig;
 pub use machine::{DomainStats, Machine};
 pub use sim_core::ids::{DomId, GlobalVcpu, PcpuId, ThreadId, VcpuId};

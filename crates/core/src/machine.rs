@@ -802,6 +802,16 @@ impl<S: HypervisorSched> Machine<S> {
         self.try_run_until(deadline)
     }
 
+    /// Cheap lower bound on this machine's next event time, or `None`
+    /// when its queue is empty. Inherits the wheel hint's contract:
+    /// conservative (may be earlier than the true next event) but never
+    /// late, so a caller that skips a [`Machine::step_to`] because the
+    /// hint lies past its deadline skips only a guaranteed no-op — the
+    /// cluster's sparse host stepping rests on exactly this.
+    pub fn peek_time_hint(&self) -> Option<SimTime> {
+        self.queue.peek_time_hint()
+    }
+
     /// Watchdog-supervised [`Machine::run_until_exited`].
     pub fn try_run_until_exited(
         &mut self,

@@ -6,12 +6,14 @@
 //! paper-vs-measured side by side (the data EXPERIMENTS.md records).
 
 pub mod attacks;
+pub mod elastic;
 pub mod fleet;
 pub mod paper;
 pub mod report;
 pub mod resilience;
 
 pub use attacks::{AttackCell, AttackGrid, AttackSample, SloCurve, SloPoint};
+pub use elastic::{ElasticCurve, ElasticSample, ScaleEvent, ScaleKind, SloWindow};
 pub use fleet::{FleetCurve, FleetPoint, HostSample};
 pub use report::{Series, Table};
 pub use resilience::{RecoveryCounters, ResilienceCurve, ResiliencePoint};

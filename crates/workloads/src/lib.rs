@@ -32,6 +32,8 @@ pub mod kbuild;
 pub mod npb;
 pub mod parsec;
 pub mod spin;
+pub mod traces;
 
 pub use antagonist::{AntagonistMode, AntagonistSpec, AttackKind};
 pub use spin::SpinPolicy;
+pub use traces::{RateTrace, TraceSampler};

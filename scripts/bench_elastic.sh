@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the elastic interplay study (five fleets through the same flash
+# crowd: static/vScale minimal, over-provisioned static, and the two
+# autoscaled fleets) and stores its JSON lines, plus a checksum of the
+# deterministic part.
+#
+#   ./scripts/bench_elastic.sh             # writes BENCH_elastic.json
+#   ./scripts/bench_elastic.sh out.json    # writes elsewhere
+#
+# The sweep's seeds, scale, and thread count are pinned so the output —
+# everything except the wall-clock session line — is bit-identical on
+# every machine. scripts/verify.sh re-runs the same pinned sweep and
+# compares its checksum against scripts/elastic.sha256; regenerate that
+# file with this script whenever a deliberate behavior change moves the
+# elastic curves.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_elastic.json}"
+
+echo "== elastic sweep (pinned: quick scale, 2 seeds, 4 threads) -> $out =="
+VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+    cargo bench -q --offline -p vscale-bench --bench elastic_sweep \
+    | tee /dev/stderr | grep '^{' > "$out"
+
+grep -v wall_ms "$out" | sha256sum | cut -d' ' -f1 > scripts/elastic.sha256
+echo "== wrote $(wc -l < "$out") records to $out =="
+echo "== elastic checksum: $(cat scripts/elastic.sha256) =="

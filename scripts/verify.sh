@@ -8,6 +8,7 @@
 #   ./scripts/verify.sh differential_smoke   # just the differential gate
 #   ./scripts/verify.sh backend_grid         # just the grid checksum gate
 #   ./scripts/verify.sh attack_grid          # just the adversarial-grid gate
+#   ./scripts/verify.sh elastic              # just the autoscaler interplay gate
 #   ./scripts/verify.sh machine_bench        # just the throughput floor gate
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -125,10 +126,65 @@ attack_grid_gate() {
     echo "   byte-identical at VSCALE_THREADS=1 and =4"
 }
 
+# The elastic interplay study: five fleets (static/vScale minimal,
+# over-provisioned static, autoscaled static and vScale) through the
+# same flash crowd, pinned like the other bench gates. Beyond the
+# checksum, the closing gate line must attest the headline of the
+# study: the autoscaled vScale fleet holds the fleet-p99 SLO with zero
+# request loss through at least one scale-out AND scale-in, the minimal
+# static fleet breaches, no fleet anywhere loses a request across scale
+# events, and vScale spends fewer host-seconds than the cheapest static
+# fleet that also held. The sweep must replay byte-identically across
+# thread counts: sampling rides the cluster's timing wheel and
+# actuation lands between lockstep epochs. Regenerate
+# scripts/elastic.sha256 deliberately with scripts/bench_elastic.sh.
+elastic_gate() {
+    echo "== elastic: interplay study must match the committed curves and hold the SLO =="
+    local out_t4 out_t1
+    out_t4="$(mktemp)"; out_t1="$(mktemp)"
+    VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=4 \
+        cargo bench -q --offline -p vscale-bench --bench elastic_sweep \
+        | grep '^{' | grep -v wall_ms > "$out_t4"
+    local want got
+    want="$(cat scripts/elastic.sha256)"
+    got="$(sha256sum "$out_t4" | cut -d' ' -f1)"
+    if [ "$want" != "$got" ]; then
+        echo "elastic curves drifted: want $want got $got" >&2
+        cat "$out_t4" >&2
+        rm -f "$out_t4" "$out_t1"
+        exit 1
+    fi
+    local field
+    for field in vscale_auto_held vscale_auto_scaled_out vscale_auto_scaled_in \
+                 static_min_breached all_zero_loss vscale_fewer_host_seconds; do
+        if ! grep '"elastic_gate"' "$out_t4" | grep -q "\"$field\":true"; then
+            echo "elastic gate attestation failed: $field" >&2
+            grep '"elastic_gate"' "$out_t4" >&2
+            rm -f "$out_t4" "$out_t1"
+            exit 1
+        fi
+    done
+    if grep -q '"drops":[1-9]' "$out_t4"; then
+        echo "an elastic run dropped requests across a scale event:" >&2
+        grep '"drops":[1-9]' "$out_t4" >&2
+        rm -f "$out_t4" "$out_t1"
+        exit 1
+    fi
+    VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=1 \
+        cargo bench -q --offline -p vscale-bench --bench elastic_sweep \
+        | grep '^{' | grep -v wall_ms > "$out_t1"
+    diff -u "$out_t4" "$out_t1"
+    rm -f "$out_t4" "$out_t1"
+    echo "   elastic checksum OK ($got); vScale+autoscaler holds the SLO with zero loss and"
+    echo "   fewer host-seconds than any SLO-holding static fleet; byte-identical at"
+    echo "   VSCALE_THREADS=1 and =4"
+}
+
 case "${1:-all}" in
     differential_smoke) differential_smoke; exit 0 ;;
     backend_grid) backend_grid_gate; exit 0 ;;
     attack_grid) attack_grid_gate; exit 0 ;;
+    elastic) elastic_gate; exit 0 ;;
     machine_bench) machine_bench_gate; exit 0 ;;
     all) ;;
     *) echo "unknown verify target: $1" >&2; exit 2 ;;
@@ -263,6 +319,8 @@ VSCALE_BENCH_SCALE=quick VSCALE_BENCH_SEEDS=2 VSCALE_THREADS=1 \
 diff -u "$mig_t4" "$mig_t1"
 echo "   migration checksum OK ($got); zero loss everywhere, abort and cutover both exercised,"
 echo "   byte-identical at VSCALE_THREADS=1 and =4"
+
+elastic_gate
 
 differential_smoke
 
